@@ -1,0 +1,141 @@
+//! Batch containers for alignment workloads.
+//!
+//! The mapper produces *candidate locations*: (read slice, reference
+//! slice) pairs that the aligners then verify. The paper's evaluation
+//! aligns 138,929 such pairs; [`TaskBatch`] is the unit that flows into
+//! the CPU thread pool and the GPU launch.
+
+use crate::seq::Seq;
+
+/// One candidate alignment task: a query (read or read window) paired
+/// with the target slice it should be aligned to, globally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignTask {
+    /// Identifier of the read this task came from.
+    pub read_id: u32,
+    /// Start of the target slice on the reference (for reporting only).
+    pub ref_pos: usize,
+    /// The query sequence.
+    pub query: Seq,
+    /// The target sequence.
+    pub target: Seq,
+}
+
+impl AlignTask {
+    /// Construct a task.
+    pub fn new(read_id: u32, ref_pos: usize, query: Seq, target: Seq) -> AlignTask {
+        AlignTask {
+            read_id,
+            ref_pos,
+            query,
+            target,
+        }
+    }
+
+    /// Total number of bases involved (used for throughput accounting).
+    pub fn bases(&self) -> usize {
+        self.query.len() + self.target.len()
+    }
+}
+
+/// A batch of alignment tasks plus aggregate statistics.
+#[derive(Debug, Clone, Default)]
+pub struct TaskBatch {
+    /// The tasks, in submission order.
+    pub tasks: Vec<AlignTask>,
+}
+
+impl TaskBatch {
+    /// An empty batch.
+    pub fn new() -> TaskBatch {
+        TaskBatch::default()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Add a task.
+    pub fn push(&mut self, task: AlignTask) {
+        self.tasks.push(task);
+    }
+
+    /// Total bases across all tasks.
+    pub fn total_bases(&self) -> usize {
+        self.tasks.iter().map(AlignTask::bases).sum()
+    }
+
+    /// Total query bases (the throughput denominator used in
+    /// EXPERIMENTS.md: aligned read-bases per second).
+    pub fn total_query_bases(&self) -> usize {
+        self.tasks.iter().map(|t| t.query.len()).sum()
+    }
+
+    /// Mean query length, or 0 for an empty batch.
+    pub fn mean_query_len(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.total_query_bases() as f64 / self.tasks.len() as f64
+    }
+
+    /// Split into chunks of at most `chunk` tasks (GPU launch sizing).
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = &[AlignTask]> {
+        self.tasks.chunks(chunk.max(1))
+    }
+}
+
+impl FromIterator<AlignTask> for TaskBatch {
+    fn from_iter<T: IntoIterator<Item = AlignTask>>(iter: T) -> TaskBatch {
+        TaskBatch {
+            tasks: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    fn task(q: &str, t: &str) -> AlignTask {
+        AlignTask::new(0, 0, seq(q), seq(t))
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let mut b = TaskBatch::new();
+        assert!(b.is_empty());
+        b.push(task("ACGT", "ACG"));
+        b.push(task("AC", "ACGT"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_bases(), 13);
+        assert_eq!(b.total_query_bases(), 6);
+        assert!((b.mean_query_len() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_mean_is_zero() {
+        assert_eq!(TaskBatch::new().mean_query_len(), 0.0);
+    }
+
+    #[test]
+    fn chunking() {
+        let b: TaskBatch = (0..10).map(|i| AlignTask::new(i, 0, seq("A"), seq("A"))).collect();
+        let chunks: Vec<_> = b.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        // chunk size 0 is clamped to 1 rather than panicking
+        assert_eq!(b.chunks(0).count(), 10);
+    }
+}

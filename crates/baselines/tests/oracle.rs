@@ -1,0 +1,113 @@
+//! Property tests: both baselines against the quadratic NW oracle.
+
+use align_core::{nw_distance, Base, GlobalAligner, Seq};
+use baselines::{Ksw2Aligner, MyersAligner, Scoring};
+use proptest::prelude::*;
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+fn arb_mutated_pair(max_len: usize, max_edits: usize) -> impl Strategy<Value = (Seq, Seq)> {
+    (
+        arb_seq(max_len),
+        prop::collection::vec((any::<u8>(), any::<u16>(), 0u8..4), 0..=max_edits),
+    )
+        .prop_map(|(q, edits)| {
+            let mut t: Vec<Base> = q.iter().collect();
+            for (kind, pos, code) in edits {
+                if t.is_empty() {
+                    break;
+                }
+                let pos = pos as usize % t.len();
+                match kind % 3 {
+                    0 => t[pos] = Base::from_code(code),
+                    1 => t.insert(pos, Base::from_code(code)),
+                    _ => {
+                        t.remove(pos);
+                    }
+                }
+            }
+            (q, t.into_iter().collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn myers_distance_equals_oracle(q in arb_seq(200), t in arb_seq(200)) {
+        let a = MyersAligner::new();
+        prop_assert_eq!(a.distance(&q, &t), nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn myers_distance_equals_oracle_small_initial_k(q in arb_seq(150), t in arb_seq(150)) {
+        // Force the doubling path to run several times.
+        let a = MyersAligner { initial_k: 1 };
+        prop_assert_eq!(a.distance(&q, &t), nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn myers_alignment_valid_and_optimal((q, t) in arb_mutated_pair(220, 16)) {
+        let a = MyersAligner::new();
+        let aln = a.align(&q, &t).unwrap();
+        aln.check(&q, &t).unwrap();
+        prop_assert_eq!(aln.edit_distance, nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn myers_alignment_valid_on_unrelated(q in arb_seq(130), t in arb_seq(130)) {
+        let a = MyersAligner::new();
+        let aln = a.align(&q, &t).unwrap();
+        aln.check(&q, &t).unwrap();
+        prop_assert_eq!(aln.edit_distance, nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn ksw2_unit_scoring_matches_oracle((q, t) in arb_mutated_pair(120, 10)) {
+        let a = Ksw2Aligner::exact(Scoring::unit());
+        let (aln, score) = a.align_scored(&q, &t).unwrap();
+        aln.check(&q, &t).unwrap();
+        prop_assert_eq!((-score) as usize, nw_distance(&q, &t));
+        // With unit scoring the produced CIGAR is itself optimal.
+        prop_assert_eq!(aln.edit_distance, nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn ksw2_affine_alignment_always_valid(q in arb_seq(120), t in arb_seq(120)) {
+        let a = Ksw2Aligner::exact(Scoring::map_pb());
+        let aln = a.align(&q, &t).unwrap();
+        aln.check(&q, &t).unwrap();
+    }
+
+    #[test]
+    fn ksw2_banded_matches_exact_for_wide_band((q, t) in arb_mutated_pair(150, 8)) {
+        let exact = Ksw2Aligner::exact(Scoring::map_pb());
+        let banded = Ksw2Aligner { scoring: Scoring::map_pb(), band: 32 };
+        let (_, s1) = exact.align_scored(&q, &t).unwrap();
+        let (a2, s2) = banded.align_scored(&q, &t).unwrap();
+        a2.check(&q, &t).unwrap();
+        // 8 edits cannot push the optimal path more than 8+|len diff|
+        // off the adjusted diagonal, so a band of 32 is sufficient.
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn ksw2_score_consistent_with_cigar((q, t) in arb_mutated_pair(100, 8)) {
+        let sc = Scoring::map_pb();
+        let a = Ksw2Aligner::exact(sc);
+        let (aln, score) = a.align_scored(&q, &t).unwrap();
+        // Recompute the score from the CIGAR runs.
+        let mut expect = 0i32;
+        let (m, x, ins, del) = aln.cigar.op_counts();
+        expect += sc.match_score * m as i32;
+        expect -= sc.mismatch * x as i32;
+        let gap_runs = aln.cigar.runs().iter()
+            .filter(|(_, op)| matches!(op, align_core::CigarOp::Ins | align_core::CigarOp::Del))
+            .count() as i32;
+        expect -= sc.gap_open * gap_runs + sc.gap_ext * (ins + del) as i32;
+        prop_assert_eq!(score, expect);
+    }
+}

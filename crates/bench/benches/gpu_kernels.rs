@@ -1,0 +1,42 @@
+//! Bench for experiments E4–E7: the GPU kernels.
+//!
+//! Criterion times the host-side *simulation*; the modeled device
+//! times (what the paper's speedups are about) are printed once per
+//! configuration below and regenerated in full by `repro gpu`. The
+//! host time still tracks the kernels' algorithmic work, so the
+//! improved/unimproved ratio is meaningful here too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genasm_gpu::GpuAligner;
+use gpu_sim::Device;
+
+fn bench_gpu_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4-E7_gpu_kernels");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let tasks = bench::task_batch(8, 2_000, 0.10, 7);
+    let device = Device::a6000();
+
+    for (name, gpu) in [
+        ("improved", GpuAligner::improved(device.clone())),
+        ("unimproved", GpuAligner::baseline(device.clone())),
+    ] {
+        // Print the modeled device numbers once (the E7 ratio source).
+        let report = gpu.align_batch(&tasks).expect("launch");
+        println!(
+            "[model] kernel={name} modeled_ms={:.4} global_MiB={:.2} occupancy={}/SM",
+            report.timing.total_ms,
+            report.totals.global_bytes as f64 / 1048576.0,
+            report.timing.blocks_per_sm
+        );
+        group.bench_with_input(BenchmarkId::new(name, tasks.len()), &tasks, |b, tasks| {
+            b.iter(|| gpu.align_batch(tasks).expect("launch").totals)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_kernels);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench for experiments E8–E9: the DP-table footprint and access
+//! counters (printed once — they are deterministic), plus the wall-time
+//! effect of the working-set reduction on the CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genasm_core::{GenAsmConfig, MemStats};
+
+fn counters_for(tasks: &[align_core::AlignTask], cfg: &GenAsmConfig) -> MemStats {
+    let mut stats = MemStats::new();
+    for t in tasks {
+        genasm_core::align_with_stats(&t.query, &t.target, cfg, &mut stats).expect("k=W");
+    }
+    stats
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let tasks = bench::task_batch(6, 4_000, 0.10, 11);
+
+    // E8/E9 are deterministic counter ratios; print them here so a
+    // bench run regenerates the paper row without the full harness.
+    let base = counters_for(&tasks, &GenAsmConfig::baseline());
+    let imp = counters_for(&tasks, &GenAsmConfig::improved());
+    println!(
+        "[E8] footprint: unimproved {:.0} B/window, improved {:.0} B/window, reduction {:.1}x (paper 24x)",
+        base.mean_table_bytes_per_window(),
+        imp.mean_table_bytes_per_window(),
+        base.footprint_reduction_vs(&imp)
+    );
+    println!(
+        "[E9] accesses: unimproved {:.0}/window, improved {:.0}/window, reduction {:.1}x (paper 12x)",
+        base.table_accesses() as f64 / base.windows as f64,
+        imp.table_accesses() as f64 / imp.windows as f64,
+        base.access_reduction_vs(&imp)
+    );
+
+    let mut group = c.benchmark_group("E8-E9_memory");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, cfg) in [
+        ("improved", GenAsmConfig::improved()),
+        ("unimproved", GenAsmConfig::baseline()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, tasks.len()), &tasks, |b, tasks| {
+            b.iter(|| counters_for(tasks, &cfg).table_words)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbench of the per-window engine (ablation A1 at the window
+//! level): how each improvement combination changes the cost of a
+//! single 64×64 window at several error weights.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genasm_core::bitvec::PatternMask;
+use genasm_core::{GenAsmConfig, Improvements, MemStats};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn window_inputs(errors: usize, seed: u64) -> (PatternMask, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let q = bench::random_seq(64, seed);
+    let mut t: Vec<u8> = (0..64).map(|i| q.get_code(i)).collect();
+    for _ in 0..errors {
+        let p = rng.gen_range(0..t.len());
+        t[p] = (t[p] + rng.gen_range(1..4)) % 4;
+    }
+    let pm = PatternMask::new_reversed_window(&q, 0, 64);
+    t.reverse();
+    (pm, t)
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A1_window_engine");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for &errors in &[0usize, 4, 16, 48] {
+        let (pm, trev) = window_inputs(errors, 5);
+        for improvements in [Improvements::ALL, Improvements::NONE] {
+            let cfg = GenAsmConfig {
+                improvements,
+                ..GenAsmConfig::improved()
+            };
+            let label = if improvements == Improvements::ALL {
+                "improved"
+            } else {
+                "unimproved"
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{errors}err")),
+                &(&pm, &trev),
+                |b, (pm, trev)| {
+                    b.iter(|| {
+                        let mut stats = MemStats::new();
+                        genasm_core::align_window(pm, trev, &cfg, 40, false, &mut stats)
+                            .expect("window")
+                            .d_star
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! # genasm-cli
+//!
+//! The `genasm` command-line tool: the suite's functionality packaged
+//! the way a downstream user consumes it.
+//!
+//! ```text
+//! genasm simulate --genome-len 500000 --reads 20 --read-len 5000 \
+//!                 --error 0.10 --seed 7 --ref ref.fa --out reads.fq
+//! genasm map     --ref ref.fa --reads reads.fq
+//! genasm align   --ref ref.fa --reads reads.fq [--aligner genasm|genasm-base|edlib|ksw2]
+//! genasm filter  --pattern GATTACA --text ref.fa -k 2
+//! ```
+//!
+//! `map` and `align` print PAF-like tab-separated records (one per
+//! candidate chain / alignment). All subcommands are plain functions
+//! over `Write` so the integration tests drive them without spawning
+//! processes.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use align_core::{GlobalAligner, Seq};
+use baselines::{Ksw2Aligner, MyersAligner};
+use genasm_cpu::CpuBatchAligner;
+use mapper::{CandidateParams, MinimizerIndex};
+use readsim::{
+    read_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq, ErrorModel,
+    FastxRecord, Genome, GenomeConfig, ReadConfig,
+};
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Simple flag parser: `--name value` pairs plus positionals.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
+                pairs.push((name.to_string(), value.clone()));
+            } else {
+                return Err(CliError::usage(format!("unexpected argument {a:?}")));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn req(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::usage(format!("missing required flag --{name}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+/// Top-level dispatch. `args` excludes the program name.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&Flags::parse(rest)?, out),
+        "map" => cmd_map(&Flags::parse(rest)?, out),
+        "align" => cmd_align(&Flags::parse(rest)?, out),
+        "filter" => cmd_filter(&Flags::parse(rest)?, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "usage:
+  genasm simulate --genome-len N --reads N --read-len N [--error R] [--seed S] --ref FILE --out FILE
+  genasm map      --ref FILE --reads FILE [--max-per-read N]
+  genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
+  genasm filter   --pattern SEQ --text FILE [-k N]";
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::runtime(format!("I/O error: {e}"))
+}
+
+fn load_fastx(path: &str) -> Result<Vec<FastxRecord>, CliError> {
+    let f = File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    read_fastx(BufReader::new(f)).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn load_reference(path: &str) -> Result<(String, Seq), CliError> {
+    let records = load_fastx(path)?;
+    let first = records
+        .into_iter()
+        .next()
+        .ok_or_else(|| CliError::runtime(format!("{path}: no records")))?;
+    Ok((first.name, first.seq))
+}
+
+fn cmd_simulate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let genome_len: usize = flags.num("genome-len", 500_000)?;
+    let n_reads: usize = flags.num("reads", 20)?;
+    let read_len: usize = flags.num("read-len", 5_000)?;
+    let error: f64 = flags.num("error", 0.10)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let ref_path = flags.req("ref")?;
+    let out_path = flags.req("out")?;
+
+    let genome = Genome::generate(&GenomeConfig::human_like(genome_len, seed));
+    let reads = simulate_reads(
+        &genome,
+        &ReadConfig {
+            count: n_reads,
+            length: read_len,
+            errors: ErrorModel::pacbio_clr(error),
+            rc_fraction: 0.5,
+            seed: seed ^ 0x5eed,
+        },
+    );
+
+    let f = File::create(ref_path).map_err(io_err)?;
+    write_fasta(
+        BufWriter::new(f),
+        &[FastxRecord::fasta("synthetic_ref", genome.seq.clone())],
+    )
+    .map_err(io_err)?;
+    let f = File::create(out_path).map_err(io_err)?;
+    write_fastq(BufWriter::new(f), &reads_to_records(&reads)).map_err(io_err)?;
+    writeln!(
+        out,
+        "wrote {} bp reference to {ref_path} and {} reads to {out_path}",
+        genome.seq.len(),
+        reads.len()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn candidate_params(flags: &Flags) -> Result<CandidateParams, CliError> {
+    let max_per_read: usize = flags.num("max-per-read", 100)?;
+    Ok(CandidateParams {
+        max_per_read,
+        ..CandidateParams::default()
+    })
+}
+
+fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reads = load_fastx(flags.req("reads")?)?;
+    let params = candidate_params(flags)?;
+    let index = MinimizerIndex::build(&reference);
+    for (i, r) in reads.iter().enumerate() {
+        let anchors = mapper::collect_anchors(&r.seq, &index);
+        let chains = mapper::chain_anchors(&anchors, index.k, &params.chain);
+        for c in chains.iter().take(params.max_per_read) {
+            // PAF-like: qname qlen qstart qend strand tname tlen tstart tend score anchors
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.0}\t{}",
+                r.name,
+                r.seq.len(),
+                c.read_start,
+                c.read_end,
+                if c.reverse { '-' } else { '+' },
+                ref_name,
+                reference.len(),
+                c.ref_start,
+                c.ref_end,
+                c.score,
+                c.anchors
+            )
+            .map_err(io_err)?;
+        }
+        let _ = i;
+    }
+    Ok(())
+}
+
+fn make_aligner(name: &str) -> Result<Box<dyn GlobalAligner + Sync>, CliError> {
+    match name {
+        "genasm" => Ok(Box::new(CpuBatchAligner::improved())),
+        "genasm-base" => Ok(Box::new(CpuBatchAligner::baseline())),
+        "edlib" => Ok(Box::new(MyersAligner::new())),
+        "ksw2" => Ok(Box::new(Ksw2Aligner::new())),
+        other => Err(CliError::usage(format!(
+            "unknown aligner {other:?} (genasm|genasm-base|edlib|ksw2)"
+        ))),
+    }
+}
+
+fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reads = load_fastx(flags.req("reads")?)?;
+    let params = candidate_params(flags)?;
+    let aligner = make_aligner(flags.get("aligner").unwrap_or("genasm"))?;
+    let index = MinimizerIndex::build(&reference);
+
+    for r in &reads {
+        let cands = mapper::candidates_for_read(0, &r.seq, &reference, &index, &params);
+        // Align every candidate, report them best-first by distance.
+        let mut rows: Vec<(usize, usize, usize, String)> = Vec::new();
+        for c in &cands {
+            let aln = aligner
+                .align(&c.query, &c.target)
+                .map_err(|e| CliError::runtime(format!("alignment failed: {e}")))?;
+            aln.check(&c.query, &c.target)
+                .map_err(|e| CliError::runtime(format!("invalid alignment: {e}")))?;
+            rows.push((
+                aln.edit_distance,
+                c.ref_pos,
+                c.target.len(),
+                aln.cigar.to_string(),
+            ));
+        }
+        rows.sort();
+        for (dist, tstart, tlen, cigar) in rows {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.name,
+                r.seq.len(),
+                ref_name,
+                tstart,
+                tstart + tlen,
+                dist,
+                cigar
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_filter(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let pattern = Seq::from_ascii(flags.req("pattern")?.as_bytes())
+        .map_err(|e| CliError::usage(format!("bad --pattern: {e}")))?;
+    if pattern.is_empty() || pattern.len() > 64 {
+        return Err(CliError::usage("--pattern must be 1..=64 bases"));
+    }
+    let (_, text) = load_reference(flags.req("text")?)?;
+    let k: usize = flags.num("k", 2)?;
+    for occ in genasm_core::filter_occurrences(&pattern, &text, k) {
+        writeln!(out, "{}\t{}", occ.end, occ.edits).map_err(io_err)?;
+    }
+    Ok(())
+}

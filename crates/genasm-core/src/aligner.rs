@@ -1,0 +1,121 @@
+//! The public aligner façade.
+
+use align_core::{Alignment, AlignError, GlobalAligner, Seq};
+use std::cell::RefCell;
+
+use crate::config::GenAsmConfig;
+use crate::stats::MemStats;
+use crate::window::align_with_stats;
+
+/// The GenASM aligner: configure once, align many pairs.
+///
+/// ```
+/// use genasm_core::GenAsmAligner;
+/// use align_core::{Seq, GlobalAligner};
+///
+/// let aligner = GenAsmAligner::improved();
+/// let q = Seq::from_ascii(b"ACGTACGTAC").unwrap();
+/// let t = Seq::from_ascii(b"ACGAACGTAC").unwrap();
+/// let aln = aligner.align(&q, &t).unwrap();
+/// assert_eq!(aln.edit_distance, 1);
+/// aln.check(&q, &t).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenAsmAligner {
+    cfg: GenAsmConfig,
+    stats: RefCell<MemStats>,
+}
+
+impl GenAsmAligner {
+    /// Aligner with the paper's improved configuration.
+    pub fn improved() -> GenAsmAligner {
+        GenAsmAligner::with_config(GenAsmConfig::improved())
+    }
+
+    /// Aligner running unimproved GenASM (MICRO 2020).
+    pub fn baseline() -> GenAsmAligner {
+        GenAsmAligner::with_config(GenAsmConfig::baseline())
+    }
+
+    /// Aligner with an explicit configuration (panics on invalid
+    /// geometry).
+    pub fn with_config(cfg: GenAsmConfig) -> GenAsmAligner {
+        cfg.validate();
+        GenAsmAligner {
+            cfg,
+            stats: RefCell::new(MemStats::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenAsmConfig {
+        &self.cfg
+    }
+
+    /// Align one pair, adding instrumentation to the provided counters
+    /// instead of the aligner's internal ones.
+    pub fn align_with_stats(
+        &self,
+        query: &Seq,
+        target: &Seq,
+        stats: &mut MemStats,
+    ) -> Result<Alignment, AlignError> {
+        align_with_stats(query, target, &self.cfg, stats)
+    }
+
+    /// Instrumentation accumulated by [`GlobalAligner::align`] calls.
+    pub fn stats(&self) -> MemStats {
+        *self.stats.borrow()
+    }
+
+    /// Reset the accumulated instrumentation.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = MemStats::new();
+    }
+}
+
+impl GlobalAligner for GenAsmAligner {
+    fn align(&self, query: &Seq, target: &Seq) -> align_core::Result<Alignment> {
+        let mut stats = self.stats.borrow_mut();
+        align_with_stats(query, target, &self.cfg, &mut stats)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.improvements == crate::config::Improvements::ALL {
+            "genasm-improved"
+        } else if self.cfg.improvements == crate::config::Improvements::NONE {
+            "genasm-baseline"
+        } else {
+            "genasm-custom"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn facade_aligns_and_accumulates_stats() {
+        let aligner = GenAsmAligner::improved();
+        let q = seq(&"ACGTACGT".repeat(20));
+        let a = aligner.align(&q, &q).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert!(aligner.stats().windows > 0);
+        aligner.reset_stats();
+        assert_eq!(aligner.stats().windows, 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GenAsmAligner::improved().name(), "genasm-improved");
+        assert_eq!(GenAsmAligner::baseline().name(), "genasm-baseline");
+        let mut cfg = GenAsmConfig::improved();
+        cfg.improvements.dent = false;
+        assert_eq!(GenAsmAligner::with_config(cfg).name(), "genasm-custom");
+    }
+}

@@ -1,0 +1,507 @@
+//! The per-window engine: GenASM-DC (distance calculation) and
+//! GenASM-TB (traceback), with the paper's three improvements.
+//!
+//! A window aligns a reversed pattern slice (≤ 64 chars, one bit each)
+//! against a reversed text slice. Reversal makes the backward traceback
+//! emit operations in forward order (GenASM's trick, DESIGN.md §5).
+//!
+//! ## Improvement mechanics
+//!
+//! * **Row-major evaluation + early termination.** Rows (error counts)
+//!   are computed in ascending order, an entire row across all text
+//!   columns at a time. This is legal because row `d` of column `i`
+//!   depends only on row `d-1` (columns `i-1`, `i`) and row `d`
+//!   (column `i-1`). The first row whose final column has the solution
+//!   bit active is the minimal edit count `d*`; with early termination
+//!   enabled, no further row is computed or stored.
+//! * **Entry compression.** Only the combined vector `R[d][i]` is
+//!   stored. The traceback re-derives edge existence from stored
+//!   neighbours and the pattern mask (see the private `traceback`
+//!   walk in this module).
+//! * **DENT.** The committed part of a non-final window's traceback
+//!   consumes at most `keep = W - O` pattern chars *and* at most `keep`
+//!   text chars (the walk stops at whichever bound is hit first). A walk
+//!   positioned at text column `i` has consumed `n-1-i` text columns, so
+//!   it can only visit columns `i >= n - keep`, and it reads neighbour
+//!   columns `i-1 >= n - keep - 1`. Everything below
+//!   `cut = max(0, n - keep - 1)` is therefore unreachable and is never
+//!   stored. Final windows walk until the pattern is consumed, so their
+//!   cut is 0.
+
+use align_core::{AlignError, CigarOp};
+
+use crate::bitvec::{init_row, step_row, step_row0, step_row_edges, PatternMask};
+use crate::config::GenAsmConfig;
+use crate::stats::MemStats;
+use crate::table::{slot, TbTable};
+
+/// Result of aligning one window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowResult {
+    /// Minimal edit count for the full pattern window against a prefix
+    /// of the (un-reversed) text window.
+    pub d_star: usize,
+    /// Committed operations, in forward order.
+    pub ops: Vec<CigarOp>,
+    /// Pattern characters consumed by the committed operations.
+    pub q_consumed: usize,
+    /// Text characters consumed by the committed operations.
+    pub t_consumed: usize,
+}
+
+/// Align one window.
+///
+/// * `pm` — bitmasks of the **reversed** pattern window (length `m`);
+/// * `text_rev` — 2-bit codes of the **reversed** text window;
+/// * `keep` — maximum pattern/text characters to commit (`W - O` for
+///   non-final windows, `m` for final ones);
+/// * `final_window` — final windows walk the full traceback and use a
+///   cut of 0.
+///
+/// Returns [`AlignError::NoAlignment`] when the window needs more than
+/// `cfg.k` edits (impossible when `cfg.k == cfg.w`).
+pub fn align_window(
+    pm: &PatternMask,
+    text_rev: &[u8],
+    cfg: &GenAsmConfig,
+    keep: usize,
+    final_window: bool,
+    stats: &mut MemStats,
+) -> Result<WindowResult, AlignError> {
+    let n = text_rev.len();
+    assert!(n >= 1, "empty text window");
+    assert!(keep >= 1, "keep must be positive");
+    let wpe = cfg.words_per_entry();
+    let cut = if final_window || !cfg.improvements.dent {
+        0
+    } else {
+        n.saturating_sub(keep + 1)
+    };
+
+    let solution = pm.solution_bit();
+    let mut table = TbTable::new(wpe, n, cut);
+    let mut prev_row = vec![0u64; n];
+    let mut cur_row = vec![0u64; n];
+    let mut d_star: Option<usize> = None;
+
+    for d in 0..=cfg.k {
+        table.begin_row();
+        let mut cur_prev = init_row(d);
+        let below_init = if d > 0 { init_row(d - 1) } else { 0 };
+        for i in 0..n {
+            let pmv = pm.get(text_rev[i]);
+            let val = if d == 0 {
+                step_row0(cur_prev, pmv)
+            } else {
+                let below_prev = if i == 0 {
+                    below_init
+                } else {
+                    stats.scratch_loads += 1;
+                    prev_row[i - 1]
+                };
+                stats.scratch_loads += 1;
+                let below_cur = prev_row[i];
+                step_row(below_prev, below_cur, cur_prev, pmv)
+            };
+            stats.cells_computed += 1;
+            stats.scratch_stores += 1;
+            cur_row[i] = val;
+            if i >= cut {
+                if wpe == 1 {
+                    table.push_entry(&[val], stats);
+                } else if d == 0 {
+                    // Row 0 has only match edges; the other slots are
+                    // inactive (all ones).
+                    table.push_entry(&[val, !0, !0, !0], stats);
+                } else {
+                    let below_prev = if i == 0 { below_init } else { prev_row[i - 1] };
+                    let edges = step_row_edges(below_prev, prev_row[i], cur_prev, pmv);
+                    table.push_entry(&edges, stats);
+                }
+            }
+            cur_prev = val;
+        }
+        if d_star.is_none() && cur_row[n - 1] & solution == 0 {
+            d_star = Some(d);
+            if cfg.improvements.early_term {
+                std::mem::swap(&mut prev_row, &mut cur_row);
+                break;
+            }
+        }
+        std::mem::swap(&mut prev_row, &mut cur_row);
+    }
+
+    let d_star = d_star.ok_or(AlignError::NoAlignment)?;
+    stats.windows += 1;
+    stats.rows_computed += table.rows() as u64;
+    table.account_footprint(stats);
+
+    let (ops, q_consumed, t_consumed) =
+        traceback(&table, pm, text_rev, d_star, keep, final_window, stats);
+    Ok(WindowResult {
+        d_star,
+        ops,
+        q_consumed,
+        t_consumed,
+    })
+}
+
+/// Load `R[d][i]` for the compressed layout, folding in the virtual
+/// init column `i == -1` (represented here by `i_plus_1 == 0`).
+#[inline]
+fn load_r(table: &TbTable, d: usize, i_plus_1: usize, stats: &mut MemStats) -> u64 {
+    if i_plus_1 == 0 {
+        init_row(d)
+    } else {
+        table.load(d, i_plus_1 - 1, 0, stats)
+    }
+}
+
+/// Whether bit `j` of `word` is active (0).
+#[inline(always)]
+fn active(word: u64, j: usize) -> bool {
+    word & (1u64 << j) == 0
+}
+
+/// GenASM-TB: walk the stored table from the solution entry, emitting
+/// operations in forward order (the inputs are reversed).
+///
+/// The walk starts at `(i = n-1, d = d_star, j = m-1)` and stops when
+/// the pattern is consumed (`j < 0`) or — for non-final windows — when
+/// either `keep` pattern or `keep` text characters have been consumed.
+///
+/// Edge priority is match > substitution > deletion > insertion; any
+/// active predecessor is cost-safe (DESIGN.md §5).
+fn traceback(
+    table: &TbTable,
+    pm: &PatternMask,
+    text_rev: &[u8],
+    d_star: usize,
+    keep: usize,
+    final_window: bool,
+    stats: &mut MemStats,
+) -> (Vec<CigarOp>, usize, usize) {
+    let m = pm.len();
+    let n = text_rev.len();
+    let mut ops = Vec::with_capacity(keep.min(m) + d_star + 1);
+    let mut d = d_star;
+    // `i` is the current text column + 1 so that 0 encodes the virtual
+    // init column; `j` is the current pattern bit + 1 likewise.
+    let mut i = n;
+    let mut j = m;
+    let mut qc = 0usize; // pattern chars consumed
+    let mut tc = 0usize; // text chars consumed
+
+    while j > 0 && (final_window || (qc < keep && tc < keep)) {
+        let op = if i == 0 {
+            // Text exhausted: only pattern-consuming edits remain. The
+            // init vectors certify them (bit j-1 active iff j <= d).
+            debug_assert!(d > 0 && active(init_row(d), j - 1));
+            CigarOp::Ins
+        } else if table.words_per_entry() == 4 {
+            pick_edge_stored(table, text_rev, pm, i, d, j, stats)
+        } else {
+            pick_edge_derived(table, text_rev, pm, i, d, j, stats)
+        };
+        match op {
+            CigarOp::Match | CigarOp::Mismatch => {
+                debug_assert!(i > 0, "diagonal op with no text left");
+                ops.push(op);
+                i -= 1;
+                j -= 1;
+                qc += 1;
+                tc += 1;
+                if op == CigarOp::Mismatch {
+                    d -= 1;
+                }
+            }
+            CigarOp::Del => {
+                debug_assert!(i > 0, "deletion with no text left");
+                ops.push(CigarOp::Del);
+                i -= 1;
+                tc += 1;
+                d -= 1;
+            }
+            CigarOp::Ins => {
+                ops.push(CigarOp::Ins);
+                j -= 1;
+                qc += 1;
+                d -= 1;
+            }
+        }
+    }
+    if final_window {
+        debug_assert_eq!(j, 0, "final window must consume the whole pattern");
+        debug_assert_eq!(
+            ops.iter().map(|o| o.cost()).sum::<usize>(),
+            d_star,
+            "final-window traceback cost must equal d*"
+        );
+    }
+    (ops, qc, tc)
+}
+
+/// Edge selection for the unimproved 4-word layout: read the stored edge
+/// vectors of the current entry in priority order.
+#[inline]
+fn pick_edge_stored(
+    table: &TbTable,
+    text_rev: &[u8],
+    pm: &PatternMask,
+    i: usize,
+    d: usize,
+    j: usize,
+    stats: &mut MemStats,
+) -> CigarOp {
+    debug_assert!(i > 0, "stored-edge traceback positioned at init column");
+    let col = i - 1;
+    let mword = table.load(d, col, slot::MATCH, stats);
+    if active(mword, j - 1) {
+        // The match vector is (R<<1)|PM; an active bit means both a
+        // pattern match here and an active diagonal predecessor.
+        return CigarOp::Match;
+    }
+    if d > 0 {
+        let sword = table.load(d, col, slot::SUBST, stats);
+        if active(sword, j - 1) {
+            return CigarOp::Mismatch;
+        }
+        let dword = table.load(d, col, slot::DEL, stats);
+        if active(dword, j - 1) {
+            return CigarOp::Del;
+        }
+        let iword = table.load(d, col, slot::INS, stats);
+        if active(iword, j - 1) {
+            return CigarOp::Ins;
+        }
+    }
+    unreachable!(
+        "no active edge at (col={col}, d={d}, j={}) — DC/TB inconsistency; pm bit {}",
+        j - 1,
+        active(pm.get(text_rev[col]), j - 1)
+    )
+}
+
+/// Edge selection for the compressed layout: re-derive the four edge
+/// conditions from neighbouring stored entries and the pattern mask
+/// (improvement 1 — this is what makes storing only the AND sufficient).
+#[inline]
+fn pick_edge_derived(
+    table: &TbTable,
+    text_rev: &[u8],
+    pm: &PatternMask,
+    i: usize,
+    d: usize,
+    j: usize,
+    stats: &mut MemStats,
+) -> CigarOp {
+    // Match: needs a text column, a pattern match at (j-1), and an
+    // active diagonal predecessor R[d][i-1] bit j-2 (or j == 1: the
+    // shifted-in active bit).
+    if i > 0 && active(pm.get(text_rev[i - 1]), j - 1) {
+        let diag_ok = j == 1 || {
+            let r = load_r(table, d, i - 1, stats);
+            active(r, j - 2)
+        };
+        if diag_ok {
+            return CigarOp::Match;
+        }
+    }
+    if d > 0 {
+        if i > 0 {
+            // Substitution and deletion both read R[d-1][i-1].
+            let below_prev = load_r(table, d - 1, i - 1, stats);
+            if j == 1 || active(below_prev, j - 2) {
+                return CigarOp::Mismatch;
+            }
+            if active(below_prev, j - 1) {
+                return CigarOp::Del;
+            }
+        }
+        // Insertion reads R[d-1][i] (same column, one error fewer).
+        let below_cur = load_r(table, d - 1, i, stats);
+        if j == 1 || active(below_cur, j - 2) {
+            return CigarOp::Ins;
+        }
+    }
+    unreachable!(
+        "no active edge at (i={}, d={d}, j={}) — DC/TB inconsistency",
+        i as isize - 1,
+        j - 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_core::Seq;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    fn rev_codes(s: &Seq) -> Vec<u8> {
+        (0..s.len()).rev().map(|i| s.get_code(i)).collect()
+    }
+
+    /// Run a single *final* window over full short sequences.
+    fn align_once(q: &str, t: &str, cfg: &GenAsmConfig) -> (WindowResult, MemStats) {
+        let q = seq(q);
+        let t = seq(t);
+        let pm = PatternMask::new_reversed_window(&q, 0, q.len());
+        let trev = rev_codes(&t);
+        let mut stats = MemStats::new();
+        let res = align_window(&pm, &trev, cfg, q.len(), true, &mut stats).unwrap();
+        (res, stats)
+    }
+
+    fn cfg_improved() -> GenAsmConfig {
+        GenAsmConfig::improved()
+    }
+
+    fn cfg_baseline() -> GenAsmConfig {
+        GenAsmConfig::baseline()
+    }
+
+    #[test]
+    fn exact_match_window() {
+        for cfg in [cfg_improved(), cfg_baseline()] {
+            let (res, _) = align_once("ACGTACGT", "ACGTACGT", &cfg);
+            assert_eq!(res.d_star, 0, "{cfg:?}");
+            assert_eq!(res.q_consumed, 8);
+            assert_eq!(res.t_consumed, 8);
+            assert!(res.ops.iter().all(|&o| o == CigarOp::Match));
+        }
+    }
+
+    #[test]
+    fn one_substitution() {
+        for cfg in [cfg_improved(), cfg_baseline()] {
+            let (res, _) = align_once("ACGT", "AGGT", &cfg);
+            assert_eq!(res.d_star, 1);
+            let cost: usize = res.ops.iter().map(|o| o.cost()).sum();
+            assert_eq!(cost, 1);
+            assert_eq!(res.ops.len(), 4);
+        }
+    }
+
+    #[test]
+    fn one_insertion_and_deletion() {
+        for cfg in [cfg_improved(), cfg_baseline()] {
+            // query has an extra char: expect one I
+            let (res, _) = align_once("ACGT", "AGT", &cfg);
+            assert_eq!(res.d_star, 1, "{cfg:?}");
+            assert_eq!(res.q_consumed, 4);
+            assert_eq!(res.t_consumed, 3);
+            // target has an extra char: expect one D (or cost-1 equivalent)
+            let (res, _) = align_once("AGT", "ACGT", &cfg);
+            assert_eq!(res.d_star, 1);
+            assert_eq!(res.q_consumed, 3);
+        }
+    }
+
+    #[test]
+    fn improved_and_baseline_agree_on_ops() {
+        let cases = [
+            ("ACGTACGTAC", "ACGTACGTAC"),
+            ("ACGTACGTAC", "ACGAACGTAC"),
+            ("ACGTACGTAC", "ACGTACG"),
+            ("ACGTA", "TTTTTTT"),
+            ("A", "T"),
+            ("A", "A"),
+        ];
+        for (q, t) in cases {
+            let (a, _) = align_once(q, t, &cfg_improved());
+            let (b, _) = align_once(q, t, &cfg_baseline());
+            assert_eq!(a.d_star, b.d_star, "{q} vs {t}");
+            assert_eq!(a.ops, b.ops, "{q} vs {t}");
+        }
+    }
+
+    #[test]
+    fn d_star_matches_oracle_distance_for_prefix_semantics() {
+        // For equal-length windows where the optimum consumes the whole
+        // text, d* equals the NW distance.
+        let cases = [("ACGTACGT", "ACCTACGT"), ("AAAA", "AATA"), ("ACGT", "TGCA")];
+        for (q, t) in cases {
+            let (res, _) = align_once(q, t, &cfg_improved());
+            let d = align_core::nw_distance(&seq(q), &seq(t));
+            // Bitap may consume less text (free original-text tail), so
+            // d* <= NW distance; with leftover charged it can't be
+            // cheaper than optimal.
+            let leftover = t.len() - res.t_consumed;
+            assert!(res.d_star <= d, "{q} vs {t}");
+            assert!(res.d_star + leftover >= d, "{q} vs {t}");
+        }
+    }
+
+    #[test]
+    fn early_termination_reduces_rows() {
+        let (_, s_imp) = align_once("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", &cfg_improved());
+        let (_, s_base) = align_once("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", &cfg_baseline());
+        assert_eq!(s_imp.rows_computed, 1); // exact match: only row 0
+        assert_eq!(s_base.rows_computed, 65); // k+1 rows, always
+        assert!(s_base.table_words > 24 * s_imp.table_words);
+    }
+
+    #[test]
+    fn no_alignment_when_budget_too_small() {
+        let q = seq("AAAAAAAA");
+        let t = seq("TTTTTTTT");
+        let pm = PatternMask::new_reversed_window(&q, 0, q.len());
+        let trev = rev_codes(&t);
+        let mut cfg = GenAsmConfig::improved();
+        cfg.k = 3;
+        let mut stats = MemStats::new();
+        let err = align_window(&pm, &trev, &cfg, q.len(), true, &mut stats).unwrap_err();
+        assert_eq!(err, AlignError::NoAlignment);
+    }
+
+    #[test]
+    fn cut_walk_respects_keep() {
+        // Non-final window with keep=4 must not consume more than 4 of
+        // either sequence.
+        let q = seq("ACGTACGTACGT");
+        let t = seq("ACGTACGTACGT");
+        let pm = PatternMask::new_reversed_window(&q, 0, q.len());
+        let trev = rev_codes(&t);
+        let mut cfg = GenAsmConfig::improved();
+        cfg.w = 12;
+        cfg.o = 8;
+        cfg.k = 12;
+        let mut stats = MemStats::new();
+        let res = align_window(&pm, &trev, &cfg, cfg.keep(), false, &mut stats).unwrap();
+        assert_eq!(res.q_consumed, 4);
+        assert_eq!(res.t_consumed, 4);
+        assert_eq!(res.ops.len(), 4);
+    }
+
+    #[test]
+    fn dent_prunes_columns_for_nonfinal_windows() {
+        let q = seq("ACGTACGTACGTACGTACGTACGTACGTACGT"); // 32
+        let t = q.clone();
+        let pm = PatternMask::new_reversed_window(&q, 0, q.len());
+        let trev = rev_codes(&t);
+        let mut with_dent = GenAsmConfig::improved();
+        with_dent.w = 32;
+        with_dent.o = 24;
+        with_dent.k = 32;
+        let mut without = with_dent;
+        without.improvements.dent = false;
+        let mut s1 = MemStats::new();
+        let mut s2 = MemStats::new();
+        let r1 = align_window(&pm, &trev, &with_dent, with_dent.keep(), false, &mut s1).unwrap();
+        let r2 = align_window(&pm, &trev, &without, without.keep(), false, &mut s2).unwrap();
+        assert_eq!(r1.ops, r2.ops, "DENT must not change the result");
+        // cut = n - keep - 1 = 32 - 8 - 1 = 23 -> 9 of 32 columns stored
+        assert_eq!(s1.table_words, 9);
+        assert_eq!(s2.table_words, 32);
+    }
+
+    #[test]
+    fn final_window_cost_equals_d_star_plus_validity() {
+        let (res, _) = align_once("ACGTTGCA", "ACGATGCA", &cfg_improved());
+        let cost: usize = res.ops.iter().map(|o| o.cost()).sum();
+        assert_eq!(cost, res.d_star);
+    }
+}

@@ -1,0 +1,52 @@
+//! # genasm-core
+//!
+//! The paper's primary contribution: the GenASM bitvector alignment
+//! algorithm (Senol Cali et al., MICRO 2020) together with the three
+//! algorithmic improvements of Lindegger et al. (IPDPSW 2022):
+//!
+//! 1. **entry compression** — store one word (the AND of the edge
+//!    vectors) per DP entry instead of four;
+//! 2. **early termination** — evaluate error rows in ascending order and
+//!    stop at the first row that contains the full solution;
+//! 3. **traceback-reachability pruning (DENT)** — never store DP entries
+//!    the traceback provably cannot read.
+//!
+//! Every improvement is individually toggleable ([`Improvements`]) so
+//! the ablation experiment can attribute footprint/traffic reductions.
+//! All DP-table traffic is counted in [`MemStats`]; experiments E8/E9
+//! (the 24× footprint and 12× access reductions) are ratios of these
+//! counters between [`GenAsmConfig::baseline`] and
+//! [`GenAsmConfig::improved`] runs.
+//!
+//! The row recurrence in [`bitvec`] is shared with the GPU kernels in
+//! the `genasm-gpu` crate, so CPU and (simulated) GPU results cannot
+//! drift apart.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use genasm_core::GenAsmAligner;
+//! use align_core::{Seq, GlobalAligner};
+//!
+//! let aligner = GenAsmAligner::improved();
+//! let query = Seq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
+//! let target = Seq::from_ascii(b"ACGTACCTACGTACGT").unwrap();
+//! let aln = aligner.align(&query, &target).unwrap();
+//! assert_eq!(aln.edit_distance, 1);
+//! ```
+
+pub mod aligner;
+pub mod bitvec;
+pub mod config;
+pub mod engine;
+pub mod filter;
+pub mod stats;
+pub mod table;
+pub mod window;
+
+pub use aligner::GenAsmAligner;
+pub use filter::{filter_distance, filter_occurrences, Occurrence};
+pub use config::{GenAsmConfig, Improvements};
+pub use engine::{align_window, WindowResult};
+pub use stats::MemStats;
+pub use window::align_with_stats;

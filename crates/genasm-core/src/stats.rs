@@ -1,0 +1,160 @@
+//! Instrumentation counters for the paper's memory experiments (E8, E9).
+//!
+//! The paper's central quantitative claims are that the three
+//! improvements reduce the DP table's **memory footprint by 24×** and
+//! its **number of memory accesses by 12×**. We measure both directly:
+//! every store to / load from the materialized traceback table is
+//! counted in word units, and the footprint of each window's table is
+//! recorded at its high-water mark.
+//!
+//! Scratch traffic (the two-row rolling state of the distance pass) is
+//! counted separately: it is the part of the working set that stays in
+//! registers/on-chip memory in both the baseline and the improved
+//! algorithm, so the paper's ratios are about *table* traffic. Reports
+//! show both so nothing is hidden.
+
+/// Counters for one alignment (or one batch; they add).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of windows processed.
+    pub windows: u64,
+    /// Error rows computed, summed over windows (`d* + 1` with early
+    /// termination, `k + 1` without).
+    pub rows_computed: u64,
+    /// DP cells (row × column intersections) evaluated.
+    pub cells_computed: u64,
+    /// High-water footprint of the materialized traceback tables, in
+    /// 64-bit words, summed over windows.
+    pub table_words: u64,
+    /// Word stores into the traceback table.
+    pub table_stores: u64,
+    /// Word loads from the traceback table (traceback walk).
+    pub table_loads: u64,
+    /// Word stores to the rolling scratch rows of the distance pass.
+    pub scratch_stores: u64,
+    /// Word loads from the rolling scratch rows of the distance pass.
+    pub scratch_loads: u64,
+}
+
+impl MemStats {
+    /// Zeroed counters.
+    pub fn new() -> MemStats {
+        MemStats::default()
+    }
+
+    /// Total accesses (loads + stores) to the materialized table.
+    pub fn table_accesses(&self) -> u64 {
+        self.table_stores + self.table_loads
+    }
+
+    /// Total accesses including scratch traffic.
+    pub fn total_accesses(&self) -> u64 {
+        self.table_accesses() + self.scratch_stores + self.scratch_loads
+    }
+
+    /// Footprint in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.table_words * 8
+    }
+
+    /// Mean footprint per window in bytes (0 when no windows ran).
+    pub fn mean_table_bytes_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.table_bytes() as f64 / self.windows as f64
+    }
+
+    /// Mean rows computed per window.
+    pub fn mean_rows_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.rows_computed as f64 / self.windows as f64
+    }
+
+    /// Accumulate another counter set.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.windows += other.windows;
+        self.rows_computed += other.rows_computed;
+        self.cells_computed += other.cells_computed;
+        self.table_words += other.table_words;
+        self.table_stores += other.table_stores;
+        self.table_loads += other.table_loads;
+        self.scratch_stores += other.scratch_stores;
+        self.scratch_loads += other.scratch_loads;
+    }
+
+    /// Footprint reduction factor of `self` (baseline) over `improved`.
+    pub fn footprint_reduction_vs(&self, improved: &MemStats) -> f64 {
+        ratio(self.table_words as f64, improved.table_words as f64)
+    }
+
+    /// Access reduction factor of `self` (baseline) over `improved`.
+    pub fn access_reduction_vs(&self, improved: &MemStats) -> f64 {
+        ratio(self.table_accesses() as f64, improved.table_accesses() as f64)
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MemStats {
+            windows: 1,
+            rows_computed: 5,
+            cells_computed: 100,
+            table_words: 40,
+            table_stores: 40,
+            table_loads: 10,
+            scratch_stores: 64,
+            scratch_loads: 64,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.windows, 2);
+        assert_eq!(a.table_words, 80);
+        assert_eq!(a.table_accesses(), 100);
+        assert_eq!(a.total_accesses(), 356);
+    }
+
+    #[test]
+    fn reductions() {
+        let base = MemStats {
+            table_words: 2400,
+            table_stores: 2400,
+            table_loads: 0,
+            ..MemStats::default()
+        };
+        let imp = MemStats {
+            table_words: 100,
+            table_stores: 100,
+            table_loads: 100,
+            ..MemStats::default()
+        };
+        assert!((base.footprint_reduction_vs(&imp) - 24.0).abs() < 1e-9);
+        assert!((base.access_reduction_vs(&imp) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_windows_means_zero_means() {
+        let s = MemStats::new();
+        assert_eq!(s.mean_table_bytes_per_window(), 0.0);
+        assert_eq!(s.mean_rows_per_window(), 0.0);
+        assert_eq!(s.footprint_reduction_vs(&s), 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Storage for the traceback DP table.
+//!
+//! One [`TbTable`] holds the materialized bitvectors of a single window.
+//! Its layout is where two of the paper's three improvements live:
+//!
+//! * **entry compression** — `words_per_entry == 1` stores only the
+//!   combined `R` vector per `(row, column)` entry; `words_per_entry ==
+//!   4` is the unimproved layout storing the four edge vectors
+//!   `(match, subst, del, ins)`;
+//! * **DENT** — each row stores only the columns `cut ..= n-1`; the
+//!   traceback provably never reads columns below `cut` (see
+//!   [`crate::engine`] for the derivation of `cut`).
+//!
+//! Early termination manifests simply as the table containing fewer rows.
+//!
+//! Every word moved in or out of the table is counted in [`MemStats`],
+//! because the table traffic is precisely what experiments E8/E9 ratio.
+
+use crate::stats::MemStats;
+
+/// Slot indices for uncompressed (4-word) entries.
+pub mod slot {
+    /// Match edge vector.
+    pub const MATCH: usize = 0;
+    /// Substitution edge vector.
+    pub const SUBST: usize = 1;
+    /// Text-consuming deletion edge vector.
+    pub const DEL: usize = 2;
+    /// Pattern-consuming insertion edge vector.
+    pub const INS: usize = 3;
+}
+
+/// The materialized DP table of one window.
+#[derive(Debug, Clone)]
+pub struct TbTable {
+    words_per_entry: usize,
+    n: usize,
+    cut: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl TbTable {
+    /// Create an empty table for `n` text columns, storing columns
+    /// `cut..n` of each row at `words_per_entry` words per entry.
+    pub fn new(words_per_entry: usize, n: usize, cut: usize) -> TbTable {
+        assert!(words_per_entry == 1 || words_per_entry == 4);
+        assert!(cut < n || n == 0, "cut {cut} must leave at least one column of {n}");
+        TbTable {
+            words_per_entry,
+            n,
+            cut,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Words stored per entry (1 = compressed, 4 = edge vectors).
+    pub fn words_per_entry(&self) -> usize {
+        self.words_per_entry
+    }
+
+    /// Number of stored rows (`d* + 1` with early termination).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of text columns the window had.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// First stored column.
+    pub fn cut(&self) -> usize {
+        self.cut
+    }
+
+    /// Total stored words (the footprint experiment E8 measures).
+    pub fn footprint_words(&self) -> u64 {
+        self.rows.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Begin a new row; returns its index.
+    pub fn begin_row(&mut self) -> usize {
+        self.rows
+            .push(Vec::with_capacity((self.n - self.cut) * self.words_per_entry));
+        self.rows.len() - 1
+    }
+
+    /// Append the entry for the next column of the row under
+    /// construction. `words` must hold exactly `words_per_entry` values.
+    #[inline]
+    pub fn push_entry(&mut self, words: &[u64], stats: &mut MemStats) {
+        debug_assert_eq!(words.len(), self.words_per_entry);
+        let row = self.rows.last_mut().expect("begin_row before push_entry");
+        row.extend_from_slice(words);
+        stats.table_stores += self.words_per_entry as u64;
+    }
+
+    /// Load one word of entry `(d, i)`. `slot` must be 0 for compressed
+    /// tables, or one of [`slot`] for 4-word tables.
+    ///
+    /// # Panics
+    /// Panics if the entry was pruned (column below the cut) or never
+    /// computed — both indicate a traceback bug, not a data condition.
+    #[inline]
+    pub fn load(&self, d: usize, i: usize, slot: usize, stats: &mut MemStats) -> u64 {
+        debug_assert!(slot < self.words_per_entry);
+        assert!(
+            i >= self.cut,
+            "traceback read column {i} below the DENT cut {} (DENT unsoundness)",
+            self.cut
+        );
+        assert!(i < self.n, "column {i} out of range {}", self.n);
+        let row = &self.rows[d];
+        stats.table_loads += 1;
+        row[(i - self.cut) * self.words_per_entry + slot]
+    }
+
+    /// Finalize: record the footprint high-water mark into `stats`.
+    pub fn account_footprint(&self, stats: &mut MemStats) {
+        stats.table_words += self.footprint_words();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressed_layout_roundtrip() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 4, 1); // columns 1..4 stored
+        t.begin_row();
+        for v in [10u64, 20, 30] {
+            t.push_entry(&[v], &mut stats);
+        }
+        t.begin_row();
+        for v in [40u64, 50, 60] {
+            t.push_entry(&[v], &mut stats);
+        }
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.footprint_words(), 6);
+        assert_eq!(stats.table_stores, 6);
+        assert_eq!(t.load(0, 1, 0, &mut stats), 10);
+        assert_eq!(t.load(0, 3, 0, &mut stats), 30);
+        assert_eq!(t.load(1, 2, 0, &mut stats), 50);
+        assert_eq!(stats.table_loads, 3);
+    }
+
+    #[test]
+    fn four_word_layout_roundtrip() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(4, 2, 0);
+        t.begin_row();
+        t.push_entry(&[1, 2, 3, 4], &mut stats);
+        t.push_entry(&[5, 6, 7, 8], &mut stats);
+        assert_eq!(t.footprint_words(), 8);
+        assert_eq!(t.load(0, 1, slot::MATCH, &mut stats), 5);
+        assert_eq!(t.load(0, 1, slot::SUBST, &mut stats), 6);
+        assert_eq!(t.load(0, 1, slot::DEL, &mut stats), 7);
+        assert_eq!(t.load(0, 1, slot::INS, &mut stats), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "DENT unsoundness")]
+    fn reading_pruned_column_panics() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 4, 2);
+        t.begin_row();
+        t.push_entry(&[1], &mut stats);
+        t.push_entry(&[2], &mut stats);
+        let _ = t.load(0, 1, 0, &mut stats);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 3, 0);
+        t.begin_row();
+        for v in [1u64, 2, 3] {
+            t.push_entry(&[v], &mut stats);
+        }
+        t.account_footprint(&mut stats);
+        assert_eq!(stats.table_words, 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! The windowed long-read driver: GenASM's greedy window pipeline.
+//!
+//! Long sequences are aligned with overlapping `W × W` windows. Each
+//! window is aligned by [`crate::engine::align_window`]; a non-final
+//! window commits only its first `W - O` consumed characters (the rest
+//! overlaps the next window and is recomputed there), then the window is
+//! re-anchored at the committed position. The final window commits its
+//! whole traceback and closes the alignment with explicit indels if one
+//! sequence runs out before the other.
+
+use align_core::{Alignment, AlignError, Cigar, CigarOp, Seq};
+
+use crate::bitvec::PatternMask;
+use crate::config::GenAsmConfig;
+use crate::engine::align_window;
+use crate::stats::MemStats;
+
+/// Align `query` against `target` end-to-end with the windowed GenASM
+/// pipeline, accumulating instrumentation into `stats`.
+pub fn align_with_stats(
+    query: &Seq,
+    target: &Seq,
+    cfg: &GenAsmConfig,
+    stats: &mut MemStats,
+) -> Result<Alignment, AlignError> {
+    cfg.validate();
+    let mut cigar = Cigar::new();
+    let mut qpos = 0usize;
+    let mut tpos = 0usize;
+    let mut text_rev: Vec<u8> = Vec::with_capacity(cfg.w);
+
+    loop {
+        let qrem = query.len() - qpos;
+        let trem = target.len() - tpos;
+        if qrem == 0 {
+            cigar.push_run(trem as u32, CigarOp::Del);
+            break;
+        }
+        if trem == 0 {
+            cigar.push_run(qrem as u32, CigarOp::Ins);
+            break;
+        }
+        let m = qrem.min(cfg.w);
+        let n = trem.min(cfg.w);
+        let final_window = m == qrem && n == trem;
+        let keep = if final_window { m } else { cfg.keep() };
+
+        let pm = PatternMask::new_reversed_window(query, qpos, m);
+        text_rev.clear();
+        text_rev.extend((0..n).rev().map(|i| target.get_code(tpos + i)));
+
+        let res = align_window(&pm, &text_rev, cfg, keep, final_window, stats)?;
+        debug_assert!(
+            res.q_consumed + res.t_consumed > 0,
+            "window made no progress (W={}, O={})",
+            cfg.w,
+            cfg.o
+        );
+        for &op in &res.ops {
+            cigar.push(op);
+        }
+        qpos += res.q_consumed;
+        tpos += res.t_consumed;
+
+        if final_window {
+            debug_assert_eq!(qpos, query.len(), "final window must consume the query");
+            let leftover = target.len() - tpos;
+            cigar.push_run(leftover as u32, CigarOp::Del);
+            break;
+        }
+    }
+
+    Ok(Alignment::from_cigar(cigar))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    fn improved(w: usize, o: usize) -> GenAsmConfig {
+        GenAsmConfig {
+            w,
+            o,
+            k: w,
+            improvements: crate::config::Improvements::ALL,
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let mut s = MemStats::new();
+        let cfg = GenAsmConfig::improved();
+        let a = align_with_stats(&Seq::new(), &Seq::new(), &cfg, &mut s).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        let a = align_with_stats(&seq("ACGT"), &Seq::new(), &cfg, &mut s).unwrap();
+        a.check(&seq("ACGT"), &Seq::new()).unwrap();
+        assert_eq!(a.edit_distance, 4);
+        let a = align_with_stats(&Seq::new(), &seq("ACG"), &cfg, &mut s).unwrap();
+        a.check(&Seq::new(), &seq("ACG")).unwrap();
+        assert_eq!(a.edit_distance, 3);
+    }
+
+    #[test]
+    fn single_window_exact() {
+        let q = seq("ACGTACGTACGT");
+        let mut s = MemStats::new();
+        let a = align_with_stats(&q, &q, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&q, &q).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(s.windows, 1);
+    }
+
+    #[test]
+    fn multi_window_exact_match() {
+        // 200 bases > W: exercises window stitching on the identity path.
+        let bases = "ACGT".repeat(50);
+        let q = seq(&bases);
+        let mut s = MemStats::new();
+        let a = align_with_stats(&q, &q, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&q, &q).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert!(s.windows >= 4, "expected several windows, got {}", s.windows);
+    }
+
+    #[test]
+    fn multi_window_with_scattered_errors() {
+        // Mutate a few positions of a 300-base sequence.
+        let mut bases: Vec<u8> = "ACGTTGCA".repeat(38).into_bytes(); // 304
+        bases[17] = b'A';
+        bases[130] = b'C';
+        bases[255] = b'G';
+        let q = seq(std::str::from_utf8(&bases).unwrap());
+        let t = seq(&"ACGTTGCA".repeat(38));
+        let mut s = MemStats::new();
+        let a = align_with_stats(&q, &t, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&q, &t).unwrap();
+        let oracle = align_core::nw_distance(&q, &t);
+        assert!(a.edit_distance >= oracle);
+        // Greedy windowing on low-error data should be optimal here.
+        assert_eq!(a.edit_distance, oracle);
+    }
+
+    #[test]
+    fn unequal_lengths_close() {
+        let q = seq(&"ACGTTGCA".repeat(30)); // 240
+        let t = seq(&"ACGTTGCA".repeat(28)); // 224
+        let mut s = MemStats::new();
+        let a = align_with_stats(&q, &t, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&q, &t).unwrap();
+        assert!(a.edit_distance >= 16);
+    }
+
+    #[test]
+    fn baseline_and_improved_same_distance() {
+        let mut bases: Vec<u8> = "TTAGGCAC".repeat(40).into_bytes();
+        bases[33] = b'T';
+        bases[200] = b'A';
+        let q = seq(std::str::from_utf8(&bases).unwrap());
+        let t = seq(&"TTAGGCAC".repeat(40));
+        let mut s1 = MemStats::new();
+        let mut s2 = MemStats::new();
+        let a = align_with_stats(&q, &t, &GenAsmConfig::improved(), &mut s1).unwrap();
+        let b = align_with_stats(&q, &t, &GenAsmConfig::baseline(), &mut s2).unwrap();
+        assert_eq!(a.cigar, b.cigar, "improvements must not change output");
+        assert!(s2.table_words > s1.table_words);
+    }
+
+    #[test]
+    fn small_windows_still_correct() {
+        let q = seq(&"ACGTTGCA".repeat(10));
+        let t = q.clone();
+        for (w, o) in [(8, 3), (16, 8), (32, 24), (5, 1)] {
+            let mut s = MemStats::new();
+            let a = align_with_stats(&q, &t, &improved(w, o), &mut s).unwrap();
+            a.check(&q, &t).unwrap();
+            assert_eq!(a.edit_distance, 0, "W={w} O={o}");
+        }
+    }
+
+    #[test]
+    fn budget_failure_propagates() {
+        let q = seq(&"AAAAAAAA".repeat(10));
+        let t = seq(&"TTTTTTTT".repeat(10));
+        let mut cfg = GenAsmConfig::improved();
+        cfg.k = 4;
+        let mut s = MemStats::new();
+        assert_eq!(
+            align_with_stats(&q, &t, &cfg, &mut s).unwrap_err(),
+            AlignError::NoAlignment
+        );
+    }
+
+    #[test]
+    fn very_asymmetric_lengths() {
+        // Query much shorter than target: the tail is closed with D runs.
+        let q = seq("ACGTACGT");
+        let t = seq(&"ACGTACGT".repeat(20));
+        let mut s = MemStats::new();
+        let a = align_with_stats(&q, &t, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&q, &t).unwrap();
+        // Query much longer than target.
+        let a = align_with_stats(&t, &q, &GenAsmConfig::improved(), &mut s).unwrap();
+        a.check(&t, &q).unwrap();
+    }
+}

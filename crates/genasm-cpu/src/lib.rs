@@ -1,0 +1,217 @@
+//! # genasm-cpu
+//!
+//! The multi-threaded CPU batch aligner: the paper's "CPU
+//! implementation of our improved GenASM algorithm" (and its unimproved
+//! counterpart), parallelized over alignment tasks with Rayon — the
+//! paper uses 48 threads on a dual-socket Xeon; we use every available
+//! core.
+//!
+//! Besides GenASM this crate can drive *any* [`GlobalAligner`] over a
+//! batch, which is how the benchmark harness times KSW2 and Edlib under
+//! identical threading.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use align_core::{AlignTask, Alignment, GlobalAligner, Seq};
+use genasm_core::{GenAsmConfig, MemStats};
+use rayon::prelude::*;
+
+pub mod throughput;
+
+pub use throughput::{aligned_bases_per_sec, BatchTiming};
+
+/// Outcome of one batch run.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Alignments in task order; `None` for tasks the aligner rejected
+    /// (e.g. edit budget exhausted under a small `k`).
+    pub alignments: Vec<Option<Alignment>>,
+    /// Wall-clock timing of the batch.
+    pub timing: BatchTiming,
+    /// Aggregated GenASM instrumentation (zeroed for foreign aligners).
+    pub stats: MemStats,
+    /// Number of rejected tasks.
+    pub failures: usize,
+}
+
+/// Align a batch with the GenASM configuration `cfg`, in parallel.
+pub fn align_batch_genasm(tasks: &[AlignTask], cfg: &GenAsmConfig) -> BatchResult {
+    cfg.validate();
+    let start = Instant::now();
+    let results: Vec<(Option<Alignment>, MemStats)> = tasks
+        .par_iter()
+        .map(|t| {
+            let mut stats = MemStats::new();
+            match genasm_core::align_with_stats(&t.query, &t.target, cfg, &mut stats) {
+                Ok(a) => (Some(a), stats),
+                Err(_) => (None, stats),
+            }
+        })
+        .collect();
+    let elapsed = start.elapsed();
+
+    let mut stats = MemStats::new();
+    let mut failures = 0;
+    let mut alignments = Vec::with_capacity(results.len());
+    for (a, s) in results {
+        stats.merge(&s);
+        if a.is_none() {
+            failures += 1;
+        }
+        alignments.push(a);
+    }
+    let timing = BatchTiming::new(tasks, elapsed);
+    BatchResult {
+        alignments,
+        timing,
+        stats,
+        failures,
+    }
+}
+
+/// Align a batch with an arbitrary aligner (used for the baselines).
+pub fn align_batch_with<A: GlobalAligner + Sync>(tasks: &[AlignTask], aligner: &A) -> BatchResult {
+    let start = Instant::now();
+    let failures = AtomicU64::new(0);
+    let alignments: Vec<Option<Alignment>> = tasks
+        .par_iter()
+        .map(|t| match aligner.align(&t.query, &t.target) {
+            Ok(a) => Some(a),
+            Err(_) => {
+                failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        })
+        .collect();
+    let elapsed = start.elapsed();
+    BatchResult {
+        timing: BatchTiming::new(tasks, elapsed),
+        alignments,
+        stats: MemStats::new(),
+        failures: failures.load(Ordering::Relaxed) as usize,
+    }
+}
+
+/// A GenASM batch aligner bound to a configuration, exposing the
+/// [`GlobalAligner`] interface for single pairs too.
+#[derive(Debug, Clone)]
+pub struct CpuBatchAligner {
+    /// The configuration used for every task.
+    pub cfg: GenAsmConfig,
+}
+
+impl CpuBatchAligner {
+    /// Improved GenASM.
+    pub fn improved() -> CpuBatchAligner {
+        CpuBatchAligner {
+            cfg: GenAsmConfig::improved(),
+        }
+    }
+
+    /// Unimproved GenASM.
+    pub fn baseline() -> CpuBatchAligner {
+        CpuBatchAligner {
+            cfg: GenAsmConfig::baseline(),
+        }
+    }
+
+    /// Run a batch.
+    pub fn run(&self, tasks: &[AlignTask]) -> BatchResult {
+        align_batch_genasm(tasks, &self.cfg)
+    }
+}
+
+impl GlobalAligner for CpuBatchAligner {
+    fn align(&self, query: &Seq, target: &Seq) -> align_core::Result<Alignment> {
+        let mut stats = MemStats::new();
+        genasm_core::align_with_stats(query, target, &self.cfg, &mut stats)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.improvements == genasm_core::Improvements::ALL {
+            "genasm-cpu-improved"
+        } else if self.cfg.improvements == genasm_core::Improvements::NONE {
+            "genasm-cpu-baseline"
+        } else {
+            "genasm-cpu-custom"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_core::TaskBatch;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    fn small_batch() -> TaskBatch {
+        let mut b = TaskBatch::new();
+        for i in 0..32u32 {
+            let unit = ["ACGTTGCA", "TTAGGCAC", "GGATCCAT", "ACCACGTA"][i as usize % 4];
+            let q = seq(&unit.repeat(20));
+            let mut tb = q.to_ascii();
+            tb[(i as usize * 3) % 120] = b'A';
+            let t = seq(std::str::from_utf8(&tb).unwrap());
+            b.push(AlignTask::new(i, 0, q, t));
+        }
+        b
+    }
+
+    #[test]
+    fn batch_aligns_everything() {
+        let batch = small_batch();
+        let res = align_batch_genasm(&batch.tasks, &GenAsmConfig::improved());
+        assert_eq!(res.failures, 0);
+        assert_eq!(res.alignments.len(), 32);
+        for (t, a) in batch.tasks.iter().zip(&res.alignments) {
+            a.as_ref().unwrap().check(&t.query, &t.target).unwrap();
+        }
+        assert!(res.stats.windows >= 32);
+        assert!(res.timing.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn improved_and_baseline_same_results_in_batch() {
+        let batch = small_batch();
+        let imp = align_batch_genasm(&batch.tasks, &GenAsmConfig::improved());
+        let base = align_batch_genasm(&batch.tasks, &GenAsmConfig::baseline());
+        for (a, b) in imp.alignments.iter().zip(&base.alignments) {
+            assert_eq!(a.as_ref().unwrap().cigar, b.as_ref().unwrap().cigar);
+        }
+        assert!(base.stats.table_words > imp.stats.table_words);
+    }
+
+    #[test]
+    fn foreign_aligner_batches() {
+        let batch = small_batch();
+        let res = align_batch_with(&batch.tasks, &baselines::MyersAligner::new());
+        assert_eq!(res.failures, 0);
+        for (t, a) in batch.tasks.iter().zip(&res.alignments) {
+            a.as_ref().unwrap().check(&t.query, &t.target).unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_failures_are_counted_not_fatal() {
+        let mut cfg = GenAsmConfig::improved();
+        cfg.k = 2;
+        let mut batch = TaskBatch::new();
+        batch.push(AlignTask::new(0, 0, seq("ACGTACGT"), seq("ACGTACGT")));
+        batch.push(AlignTask::new(1, 0, seq("AAAAAAAA"), seq("TTTTTTTT")));
+        let res = align_batch_genasm(&batch.tasks, &cfg);
+        assert_eq!(res.failures, 1);
+        assert!(res.alignments[0].is_some());
+        assert!(res.alignments[1].is_none());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let res = align_batch_genasm(&[], &GenAsmConfig::improved());
+        assert_eq!(res.alignments.len(), 0);
+        assert_eq!(res.failures, 0);
+    }
+}

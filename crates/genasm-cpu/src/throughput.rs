@@ -1,0 +1,103 @@
+//! Batch timing and throughput accounting.
+//!
+//! The paper reports aligner speedups as ratios of batch wall-clock
+//! time on the same candidate set; [`BatchTiming`] captures everything
+//! needed to reproduce those ratios and to express absolute throughput
+//! as aligned read-bases per second.
+
+use std::time::Duration;
+
+use align_core::AlignTask;
+
+/// Wall-clock timing of one batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTiming {
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total query bases aligned.
+    pub query_bases: u64,
+    /// Total bases (query + target).
+    pub total_bases: u64,
+}
+
+impl BatchTiming {
+    /// Build from the task list and the elapsed time.
+    pub fn new(tasks: &[AlignTask], wall: Duration) -> BatchTiming {
+        BatchTiming {
+            wall,
+            tasks: tasks.len(),
+            query_bases: tasks.iter().map(|t| t.query.len() as u64).sum(),
+            total_bases: tasks.iter().map(|t| t.bases() as u64).sum(),
+        }
+    }
+
+    /// Aligned query bases per second.
+    pub fn bases_per_sec(&self) -> f64 {
+        aligned_bases_per_sec(self.query_bases, self.wall)
+    }
+
+    /// Alignments per second.
+    pub fn alignments_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.tasks as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Speedup of this run over `other` (how much faster `self` is).
+    pub fn speedup_over(&self, other: &BatchTiming) -> f64 {
+        if self.wall.is_zero() {
+            return f64::INFINITY;
+        }
+        other.wall.as_secs_f64() / self.wall.as_secs_f64()
+    }
+}
+
+/// Aligned bases per second for a (bases, duration) pair.
+pub fn aligned_bases_per_sec(bases: u64, wall: Duration) -> f64 {
+    if wall.is_zero() {
+        return 0.0;
+    }
+    bases as f64 / wall.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_core::Seq;
+
+    fn task(n: usize) -> AlignTask {
+        let q = Seq::from_ascii("A".repeat(n).as_bytes()).unwrap();
+        AlignTask::new(0, 0, q.clone(), q)
+    }
+
+    #[test]
+    fn accounting() {
+        let tasks = vec![task(100), task(200)];
+        let t = BatchTiming::new(&tasks, Duration::from_secs(2));
+        assert_eq!(t.tasks, 2);
+        assert_eq!(t.query_bases, 300);
+        assert_eq!(t.total_bases, 600);
+        assert!((t.bases_per_sec() - 150.0).abs() < 1e-9);
+        assert!((t.alignments_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup() {
+        let tasks = vec![task(10)];
+        let fast = BatchTiming::new(&tasks, Duration::from_millis(100));
+        let slow = BatchTiming::new(&tasks, Duration::from_millis(400));
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_guard() {
+        assert_eq!(aligned_bases_per_sec(100, Duration::ZERO), 0.0);
+        let t = BatchTiming::new(&[], Duration::ZERO);
+        assert_eq!(t.alignments_per_sec(), 0.0);
+        assert!(t.speedup_over(&t).is_infinite());
+    }
+}

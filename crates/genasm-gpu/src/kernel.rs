@@ -1,0 +1,542 @@
+//! The GenASM GPU kernels.
+//!
+//! One thread block aligns one (read, reference-window) pair, walking
+//! the same greedy window pipeline as the CPU implementation. Inside a
+//! window, the DP is computed by a **row-group wavefront**: rows are
+//! processed in groups of [`ROW_GROUP`] threads; within a group, thread
+//! `r` computes row `d0 + r` along an anti-diagonal front (cell
+//! `(d, i)` is computed at step `s = (d - d0) + i`), and the group's
+//! bottom row is written to a full-width boundary buffer for the next
+//! group. Early termination stops after the group containing `d*`.
+//!
+//! The only difference between the improved and the unimproved kernel
+//! is where the traceback table lives and how wide its entries are:
+//!
+//! * **improved** (1 word/entry, early termination, DENT cut): the
+//!   table fits in shared memory (~21 KB worst case), so DP traffic
+//!   stays on-chip;
+//! * **unimproved** (4 words/entry, all `k+1` rows, no cut): the table
+//!   is 4·65·64·8 B ≈ 133 KB per window — beyond the A6000's 99 KB
+//!   per-block shared limit — so it lives in global memory, and every
+//!   DP store and every traceback load pays DRAM latency and bandwidth.
+//!
+//! That asymmetry is the paper's central GPU claim (experiment E7).
+
+use align_core::{Alignment, Cigar, CigarOp};
+use genasm_core::bitvec::{init_row, step_row, step_row0, step_row_edges, PatternMask};
+use genasm_core::GenAsmConfig;
+use gpu_sim::{BlockCtx, GlobalBuf, Kernel, SharedBuf, SimError};
+
+/// Threads per row-group (and per block).
+pub const ROW_GROUP: usize = 8;
+
+/// Modeled ALU cost of one wavefront step per thread, in issue slots:
+/// the `step_row` bit recurrence (≈12 logic ops), operand addressing and
+/// the predicated stores come to roughly 20 instructions. This is an
+/// instruction-count estimate of the kernel body, not a constant fitted
+/// to the paper's speedups.
+pub const CELL_COST_CYCLES: u64 = 20;
+
+/// Modeled ALU cost of one serial traceback step (edge re-derivation,
+/// branching, op emission).
+pub const TB_STEP_COST_CYCLES: u64 = 30;
+
+/// Modeled per-window control overhead (window setup, mask build,
+/// re-anchoring logic) in warp-cycles.
+pub const WINDOW_OVERHEAD_CYCLES: u64 = 200;
+
+/// Where a window's traceback table lives.
+enum TableMem {
+    Shared(SharedBuf),
+    Global(GlobalBuf),
+}
+
+impl TableMem {
+    #[inline]
+    fn store(&mut self, ctx: &mut BlockCtx, idx: usize, val: u64) {
+        match self {
+            TableMem::Shared(b) => ctx.sh_store(b, idx, val),
+            TableMem::Global(b) => ctx.gl_store(b, idx, val),
+        }
+    }
+
+    #[inline]
+    fn load(&mut self, ctx: &mut BlockCtx, idx: usize) -> u64 {
+        match self {
+            TableMem::Shared(b) => ctx.sh_load(b, idx),
+            TableMem::Global(b) => ctx.gl_load(b, idx),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            TableMem::Shared(b) => b.len(),
+            TableMem::Global(b) => b.len(),
+        }
+    }
+}
+
+/// Arguments of a batch launch.
+pub struct GpuBatchArgs {
+    /// The alignment tasks; block `i` processes `tasks[i]`.
+    pub tasks: Vec<align_core::AlignTask>,
+    /// GenASM configuration (improvements decide the kernel flavour).
+    pub cfg: GenAsmConfig,
+}
+
+/// Per-task output.
+#[derive(Debug, Clone)]
+pub struct GpuAlignment {
+    /// The alignment (identical to the CPU result by construction;
+    /// property-tested in `tests/gpu_vs_cpu.rs`).
+    pub alignment: Alignment,
+    /// Windows processed.
+    pub windows: u32,
+    /// Error rows computed, summed over windows.
+    pub rows_computed: u64,
+    /// Windows whose table spilled from shared to global memory
+    /// (improved kernel only; rare high-error final windows).
+    pub spilled_windows: u32,
+}
+
+/// The GenASM kernel; flavour chosen by `cfg.improvements`.
+pub struct GenAsmKernel;
+
+/// Shared-memory words of the improved kernel's static table
+/// allocation (sized for the non-final window shape).
+pub fn improved_table_words(cfg: &GenAsmConfig) -> usize {
+    (cfg.k + 1) * (cfg.keep() + 1).min(cfg.w)
+}
+
+/// Total shared bytes per block for the given configuration (table if
+/// it can stay on-chip, plus the wavefront scratch buffers).
+pub fn shared_bytes_for(cfg: &GenAsmConfig) -> usize {
+    let scratch = 2 * cfg.w + 3 * ROW_GROUP;
+    let table = if cfg.words_per_entry() == 1 {
+        if cfg.improvements.dent {
+            improved_table_words(cfg)
+        } else {
+            (cfg.k + 1) * cfg.w
+        }
+    } else {
+        0 // 4-word entries: table in global memory, shared holds scratch only
+    };
+    (table + scratch) * 8
+}
+
+impl Kernel for GenAsmKernel {
+    type Args = GpuBatchArgs;
+    type Output = GpuAlignment;
+
+    fn block(&self, ctx: &mut BlockCtx, args: &GpuBatchArgs) -> Result<GpuAlignment, SimError> {
+        let task = &args.tasks[ctx.block_idx];
+        let cfg = &args.cfg;
+        cfg.validate();
+        let query = &task.query;
+        let target = &task.target;
+
+        // Stream the 2-bit packed input windows in.
+        ctx.charge_global_stream(((query.len() + target.len()) / 4 + 2) as u64);
+
+        // Static shared allocations, reused across windows.
+        let wpe = cfg.words_per_entry();
+        let static_table_words = if wpe == 1 {
+            if cfg.improvements.dent {
+                improved_table_words(cfg)
+            } else {
+                (cfg.k + 1) * cfg.w
+            }
+        } else {
+            0
+        };
+        let mut shared_table = if static_table_words > 0 {
+            Some(ctx.shared_alloc(static_table_words)?)
+        } else {
+            None
+        };
+        let mut boundary = ctx.shared_alloc(cfg.w)?;
+        let mut boundary_next = ctx.shared_alloc(cfg.w)?;
+        let mut diag_a = ctx.shared_alloc(ROW_GROUP)?;
+        let mut diag_b = ctx.shared_alloc(ROW_GROUP)?;
+        let mut diag_c = ctx.shared_alloc(ROW_GROUP)?;
+
+        let mut cigar = Cigar::new();
+        let mut qpos = 0usize;
+        let mut tpos = 0usize;
+        let mut windows = 0u32;
+        let mut rows_total = 0u64;
+        let mut spilled = 0u32;
+        let mut text_rev: Vec<u8> = Vec::with_capacity(cfg.w);
+
+        loop {
+            let qrem = query.len() - qpos;
+            let trem = target.len() - tpos;
+            if qrem == 0 {
+                cigar.push_run(trem as u32, CigarOp::Del);
+                break;
+            }
+            if trem == 0 {
+                cigar.push_run(qrem as u32, CigarOp::Ins);
+                break;
+            }
+            let m = qrem.min(cfg.w);
+            let n = trem.min(cfg.w);
+            let final_window = m == qrem && n == trem;
+            let keep = if final_window { m } else { cfg.keep() };
+            let cut = if final_window || !cfg.improvements.dent {
+                0
+            } else {
+                n.saturating_sub(keep + 1)
+            };
+            let cols = n - cut;
+
+            let pm = PatternMask::new_reversed_window(query, qpos, m);
+            text_rev.clear();
+            text_rev.extend((0..n).rev().map(|i| target.get_code(tpos + i)));
+
+            // Pick storage: start in the static shared table when one
+            // exists; if early termination turns out to need more rows
+            // than it can hold (possible on high-error final windows,
+            // whose column count exceeds the static non-final shape),
+            // the window restarts in global memory.
+            let needs_worst = (cfg.k + 1) * cols * wpe;
+            let mut table = match shared_table.take() {
+                Some(buf) => TableMem::Shared(buf),
+                None => TableMem::Global(ctx.global_alloc(needs_worst)),
+            };
+
+            let mut win = {
+                let io = WindowIo {
+                    table: &mut table,
+                    boundary: &mut boundary,
+                    boundary_next: &mut boundary_next,
+                    diag_a: &mut diag_a,
+                    diag_b: &mut diag_b,
+                    diag_c: &mut diag_c,
+                };
+                window_on_device(ctx, io, &pm, &text_rev, cfg, cut, keep, final_window)?
+            };
+            if win.is_none() {
+                // Spill: redo this window with the table in DRAM.
+                spilled += 1;
+                let mut global = TableMem::Global(ctx.global_alloc(needs_worst));
+                let io = WindowIo {
+                    table: &mut global,
+                    boundary: &mut boundary,
+                    boundary_next: &mut boundary_next,
+                    diag_a: &mut diag_a,
+                    diag_b: &mut diag_b,
+                    diag_c: &mut diag_c,
+                };
+                win = window_on_device(ctx, io, &pm, &text_rev, cfg, cut, keep, final_window)?;
+            }
+            let win = win.expect("global table cannot run out of capacity");
+            if let TableMem::Shared(buf) = table {
+                shared_table = Some(buf);
+            }
+
+            windows += 1;
+            rows_total += win.rows as u64;
+            for &op in &win.ops {
+                cigar.push(op);
+            }
+            qpos += win.qc;
+            tpos += win.tc;
+            if final_window {
+                let leftover = target.len() - tpos;
+                cigar.push_run(leftover as u32, CigarOp::Del);
+                break;
+            }
+        }
+
+        // Stream the CIGAR out.
+        ctx.charge_global_stream(cigar.runs().len() as u64 * 5 + 8);
+        Ok(GpuAlignment {
+            alignment: Alignment::from_cigar(cigar),
+            windows,
+            rows_computed: rows_total,
+            spilled_windows: spilled,
+        })
+    }
+}
+
+struct WindowIo<'a> {
+    table: &'a mut TableMem,
+    boundary: &'a mut SharedBuf,
+    boundary_next: &'a mut SharedBuf,
+    diag_a: &'a mut SharedBuf,
+    diag_b: &'a mut SharedBuf,
+    diag_c: &'a mut SharedBuf,
+}
+
+struct WindowOut {
+    ops: Vec<CigarOp>,
+    qc: usize,
+    tc: usize,
+    rows: usize,
+}
+
+/// One window on the device: grouped-wavefront DC + serial traceback.
+///
+/// Returns `Ok(None)` when the next row group would not fit the table's
+/// capacity — the caller then restarts the window in global memory.
+#[allow(clippy::too_many_arguments)]
+fn window_on_device(
+    ctx: &mut BlockCtx,
+    io: WindowIo<'_>,
+    pm: &PatternMask,
+    text_rev: &[u8],
+    cfg: &GenAsmConfig,
+    cut: usize,
+    keep: usize,
+    final_window: bool,
+) -> Result<Option<WindowOut>, SimError> {
+    let WindowIo {
+        table,
+        boundary,
+        boundary_next,
+        diag_a,
+        diag_b,
+        diag_c,
+    } = io;
+    let mut diag_a = diag_a;
+    let mut diag_b = diag_b;
+    let mut diag_c = diag_c;
+
+    let n = text_rev.len();
+    let cols = n - cut;
+    let wpe = cfg.words_per_entry();
+    let solution = pm.solution_bit();
+    let total_rows = cfg.k + 1;
+    let groups = total_rows.div_ceil(ROW_GROUP);
+
+    let mut d_star: Option<usize> = None;
+    'groups: for g in 0..groups {
+        let d0 = g * ROW_GROUP;
+        let rows = ROW_GROUP.min(total_rows - d0);
+        if (d0 + rows) * cols * wpe > table.capacity() {
+            // The group would overflow the table: spill.
+            return Ok(None);
+        }
+        for s in 0..(n + rows - 1) {
+            let lo = s.saturating_sub(n - 1);
+            let hi = (rows - 1).min(s);
+            let mut solved: Option<usize> = None;
+            ctx.phase(lo..hi + 1, |r, c| {
+                let d = d0 + r;
+                let i = s - r;
+                let pmv = pm.get(text_rev[i]);
+                let cur_prev = if i == 0 {
+                    init_row(d)
+                } else {
+                    c.sh_load(diag_b, r)
+                };
+                let (val, edges) = if d == 0 {
+                    let v = step_row0(cur_prev, pmv);
+                    (v, [v, !0, !0, !0])
+                } else {
+                    let (below_prev, below_cur) = if r == 0 {
+                        let bp = if i == 0 {
+                            init_row(d - 1)
+                        } else {
+                            c.sh_load(boundary, i - 1)
+                        };
+                        (bp, c.sh_load(boundary, i))
+                    } else {
+                        let bp = if i == 0 {
+                            init_row(d - 1)
+                        } else {
+                            c.sh_load(diag_a, r - 1)
+                        };
+                        (bp, c.sh_load(diag_b, r - 1))
+                    };
+                    let e = step_row_edges(below_prev, below_cur, cur_prev, pmv);
+                    (step_row(below_prev, below_cur, cur_prev, pmv), e)
+                };
+                c.sh_store(diag_c, r, val);
+                if i >= cut {
+                    let base = (d * cols + (i - cut)) * wpe;
+                    if wpe == 1 {
+                        table.store(c, base, val);
+                    } else {
+                        for (slot, &w) in edges.iter().enumerate() {
+                            table.store(c, base + slot, w);
+                        }
+                    }
+                }
+                if r == rows - 1 {
+                    c.sh_store(boundary_next, i, val);
+                }
+                if i == n - 1 && val & solution == 0 {
+                    solved = Some(d);
+                }
+            });
+            // ALU cost of the recurrence for this step's active warps.
+            let warps = ((hi + 1 - lo) as u64).div_ceil(32);
+            ctx.charge_warp_cycles(warps.max(1) * CELL_COST_CYCLES);
+            // Rotate diagonals: a <- b, b <- c.
+            std::mem::swap(&mut diag_a, &mut diag_b);
+            std::mem::swap(&mut diag_b, &mut diag_c);
+            if let Some(d) = solved {
+                if d_star.is_none() {
+                    d_star = Some(d);
+                    if cfg.improvements.early_term {
+                        break 'groups;
+                    }
+                }
+            }
+        }
+        std::mem::swap(boundary, boundary_next);
+    }
+
+    let d_star = d_star.ok_or_else(|| SimError::KernelFailed {
+        reason: format!("window needs more than k={} edits", cfg.k),
+    })?;
+    let rows = if cfg.improvements.early_term {
+        d_star + 1
+    } else {
+        total_rows
+    };
+
+    // Serial traceback by thread 0.
+    let mut out = WindowOut {
+        ops: Vec::with_capacity(keep + d_star + 1),
+        qc: 0,
+        tc: 0,
+        rows,
+    };
+    ctx.serial_phase(|c| {
+        traceback_on_device(
+            c,
+            table,
+            pm,
+            text_rev,
+            cfg,
+            cut,
+            keep,
+            final_window,
+            d_star,
+            &mut out,
+        );
+    });
+    ctx.charge_warp_cycles(out.ops.len() as u64 * TB_STEP_COST_CYCLES + WINDOW_OVERHEAD_CYCLES);
+    Ok(Some(out))
+}
+
+#[inline(always)]
+fn active(word: u64, j: usize) -> bool {
+    word & (1u64 << j) == 0
+}
+
+/// The traceback walk, reading the table through the simulator so every
+/// load is charged to the right memory.
+#[allow(clippy::too_many_arguments)]
+fn traceback_on_device(
+    ctx: &mut BlockCtx,
+    table: &mut TableMem,
+    pm: &PatternMask,
+    text_rev: &[u8],
+    cfg: &GenAsmConfig,
+    cut: usize,
+    keep: usize,
+    final_window: bool,
+    d_star: usize,
+    out: &mut WindowOut,
+) {
+    let m = pm.len();
+    let n = text_rev.len();
+    let cols = n - cut;
+    let wpe = cfg.words_per_entry();
+    let mut d = d_star;
+    let mut i = n; // column + 1 (0 = virtual init column)
+    let mut j = m; // pattern bit + 1
+
+    // R[d][i-1] with init folding, for the compressed layout.
+    macro_rules! load_r {
+        ($ctx:expr, $d:expr, $ip1:expr) => {{
+            if $ip1 == 0 {
+                init_row($d)
+            } else {
+                debug_assert!($ip1 - 1 >= cut, "DENT cut violated in GPU traceback");
+                table.load($ctx, ($d * cols + ($ip1 - 1 - cut)) * wpe)
+            }
+        }};
+    }
+
+    while j > 0 && (final_window || (out.qc < keep && out.tc < keep)) {
+        let op = if i == 0 {
+            debug_assert!(d > 0 && active(init_row(d), j - 1));
+            CigarOp::Ins
+        } else if wpe == 4 {
+            // Unimproved: read the stored edge vectors in priority order.
+            let col = i - 1;
+            debug_assert!(col >= cut);
+            let base = (d * cols + (col - cut)) * wpe;
+            let mword = table.load(ctx, base);
+            if active(mword, j - 1) {
+                CigarOp::Match
+            } else {
+                debug_assert!(d > 0, "row 0 entry without a match edge");
+                let sword = table.load(ctx, base + 1);
+                if active(sword, j - 1) {
+                    CigarOp::Mismatch
+                } else {
+                    let dword = table.load(ctx, base + 2);
+                    if active(dword, j - 1) {
+                        CigarOp::Del
+                    } else {
+                        let iword = table.load(ctx, base + 3);
+                        debug_assert!(active(iword, j - 1), "no active edge (GPU baseline)");
+                        CigarOp::Ins
+                    }
+                }
+            }
+        } else {
+            // Improved: re-derive the edges from stored entries.
+            let mut op = None;
+            if active(pm.get(text_rev[i - 1]), j - 1) {
+                let diag_ok = j == 1 || active(load_r!(ctx, d, i - 1), j - 2);
+                if diag_ok {
+                    op = Some(CigarOp::Match);
+                }
+            }
+            if op.is_none() && d > 0 {
+                let below_prev = load_r!(ctx, d - 1, i - 1);
+                if j == 1 || active(below_prev, j - 2) {
+                    op = Some(CigarOp::Mismatch);
+                } else if active(below_prev, j - 1) {
+                    op = Some(CigarOp::Del);
+                } else {
+                    let below_cur = load_r!(ctx, d - 1, i);
+                    debug_assert!(j == 1 || active(below_cur, j - 2), "no active edge (GPU)");
+                    op = Some(CigarOp::Ins);
+                }
+            }
+            op.expect("DC/TB inconsistency in GPU kernel")
+        };
+        match op {
+            CigarOp::Match | CigarOp::Mismatch => {
+                out.ops.push(op);
+                i -= 1;
+                j -= 1;
+                out.qc += 1;
+                out.tc += 1;
+                if op == CigarOp::Mismatch {
+                    d -= 1;
+                }
+            }
+            CigarOp::Del => {
+                out.ops.push(CigarOp::Del);
+                i -= 1;
+                out.tc += 1;
+                d -= 1;
+            }
+            CigarOp::Ins => {
+                out.ops.push(CigarOp::Ins);
+                j -= 1;
+                out.qc += 1;
+                d -= 1;
+            }
+        }
+    }
+}

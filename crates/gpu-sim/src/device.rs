@@ -1,0 +1,135 @@
+//! Device descriptors: the hardware parameters of the simulated GPU.
+//!
+//! The paper evaluates on an NVIDIA RTX A6000. No GPU exists in this
+//! reproduction environment, so the `gpu-sim` substrate executes kernel
+//! code on CPU worker threads while *modeling* the GPU's resource
+//! limits (shared-memory capacity, occupancy) and estimating execution
+//! time from instrumented counters (see [`crate::timing`]). The
+//! algorithmic claims the paper makes about the GPU (what fits in
+//! on-chip memory, how much DRAM traffic each variant generates) are
+//! exactly the quantities this model measures.
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDescriptor {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Warp instructions issued per SM per cycle (scheduler count).
+    pub issue_width: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Shared memory available per SM, bytes.
+    pub shared_mem_per_sm: usize,
+    /// Maximum shared memory a single block may allocate, bytes.
+    pub shared_mem_per_block: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Average DRAM access latency in cycles.
+    pub dram_latency_cycles: f64,
+    /// Assumed memory-level parallelism for latency hiding (how many
+    /// outstanding global accesses overlap per block).
+    pub memory_level_parallelism: f64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Shared-memory accesses served per SM per cycle.
+    pub shared_ports: usize,
+}
+
+impl DeviceDescriptor {
+    /// NVIDIA RTX A6000 (GA102): 84 SMs, 128 cores/SM, 1.8 GHz boost,
+    /// 768 GB/s GDDR6, 100 KB shared memory per SM.
+    pub fn a6000() -> DeviceDescriptor {
+        DeviceDescriptor {
+            name: "RTX A6000 (simulated)".to_string(),
+            sm_count: 84,
+            warp_size: 32,
+            issue_width: 4,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 100 * 1024,
+            shared_mem_per_block: 99 * 1024,
+            clock_ghz: 1.8,
+            dram_bandwidth_gbps: 768.0,
+            dram_latency_cycles: 400.0,
+            memory_level_parallelism: 8.0,
+            launch_overhead_us: 5.0,
+            shared_ports: 32,
+        }
+    }
+
+    /// A deliberately small device for tests (2 SMs, tiny shared mem).
+    pub fn tiny() -> DeviceDescriptor {
+        DeviceDescriptor {
+            name: "tiny-test-gpu".to_string(),
+            sm_count: 2,
+            warp_size: 4,
+            issue_width: 1,
+            max_threads_per_sm: 64,
+            max_blocks_per_sm: 4,
+            shared_mem_per_sm: 4096,
+            shared_mem_per_block: 2048,
+            clock_ghz: 1.0,
+            dram_bandwidth_gbps: 10.0,
+            dram_latency_cycles: 100.0,
+            memory_level_parallelism: 4.0,
+            launch_overhead_us: 1.0,
+            shared_ports: 4,
+        }
+    }
+
+    /// Resident blocks per SM for a kernel using `block_threads` threads
+    /// and `shared_bytes` of shared memory per block (its *occupancy*).
+    pub fn blocks_per_sm(&self, block_threads: usize, shared_bytes: usize) -> usize {
+        let by_threads = self.max_threads_per_sm / block_threads.max(1);
+        let by_shared = if shared_bytes == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.shared_mem_per_sm / shared_bytes
+        };
+        by_threads.min(by_shared).min(self.max_blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6000_parameters_sane() {
+        let d = DeviceDescriptor::a6000();
+        assert_eq!(d.sm_count, 84);
+        assert!(d.dram_bandwidth_gbps > 500.0);
+        assert!(d.shared_mem_per_block <= d.shared_mem_per_sm);
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let d = DeviceDescriptor::a6000();
+        assert_eq!(d.blocks_per_sm(1536, 0), 1);
+        assert_eq!(d.blocks_per_sm(768, 0), 2);
+        assert_eq!(d.blocks_per_sm(64, 0), 16); // capped by max_blocks
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let d = DeviceDescriptor::a6000();
+        // 50 KB blocks: two fit in 100 KB.
+        assert_eq!(d.blocks_per_sm(128, 50 * 1024), 2);
+        // 99 KB blocks: only one.
+        assert_eq!(d.blocks_per_sm(128, 99 * 1024), 1);
+    }
+
+    #[test]
+    fn zero_thread_block_does_not_divide_by_zero() {
+        let d = DeviceDescriptor::tiny();
+        assert!(d.blocks_per_sm(0, 0) >= 1);
+    }
+}

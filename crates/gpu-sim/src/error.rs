@@ -1,0 +1,44 @@
+//! Simulator errors.
+
+/// Errors from the GPU simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A block exceeded its shared-memory budget.
+    SharedMemoryExceeded {
+        /// Bytes the failing allocation asked for.
+        requested: usize,
+        /// Bytes already allocated by the block.
+        used: usize,
+        /// The block's budget.
+        budget: usize,
+    },
+    /// The launch configuration itself is invalid for the device.
+    InvalidLaunch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A kernel reported a data-dependent failure.
+    KernelFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::SharedMemoryExceeded {
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "shared memory exceeded: requested {requested} B with {used}/{budget} B used"
+            ),
+            SimError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+            SimError::KernelFailed { reason } => write!(f, "kernel failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

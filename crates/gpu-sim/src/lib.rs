@@ -1,0 +1,46 @@
+//! # gpu-sim
+//!
+//! A software SIMT execution substrate standing in for the paper's
+//! NVIDIA A6000 (see DESIGN.md §2 for the substitution argument).
+//!
+//! Kernels ([`Kernel`]) are barrier-phase block programs executed on a
+//! host thread pool ([`Device::launch`]). The substrate enforces the
+//! GPU's *capacity* constraints (per-block shared memory, occupancy)
+//! and measures the *traffic* every block generates (warp issue slots,
+//! shared accesses, global accesses and bytes). An analytic
+//! roofline+latency model ([`timing`]) turns those counters into a
+//! device-time estimate.
+//!
+//! What is faithful: capacity limits, traffic accounting, occupancy,
+//! relative timing between kernels on the same device. What is not:
+//! cycle-accurate microarchitecture — absolute times are estimates, and
+//! the experiments report them as such.
+//!
+//! ```
+//! use gpu_sim::{Device, DeviceDescriptor, Kernel, BlockCtx, SimError};
+//!
+//! struct Doubler;
+//! impl Kernel for Doubler {
+//!     type Args = Vec<u64>;
+//!     type Output = u64;
+//!     fn block(&self, ctx: &mut BlockCtx, args: &Vec<u64>) -> Result<u64, SimError> {
+//!         Ok(args[ctx.block_idx] * 2)
+//!     }
+//! }
+//!
+//! let dev = Device::new(DeviceDescriptor::tiny());
+//! let out = dev.launch(3, 1, 0, &Doubler, &vec![1, 2, 3]).unwrap();
+//! assert_eq!(out.outputs, vec![2, 4, 6]);
+//! ```
+
+pub mod ctx;
+pub mod device;
+pub mod error;
+pub mod launch;
+pub mod timing;
+
+pub use ctx::{BlockCounters, BlockCtx, GlobalBuf, SharedBuf};
+pub use device::DeviceDescriptor;
+pub use error::SimError;
+pub use launch::{Device, Kernel, LaunchReport};
+pub use timing::{estimate, TimingEstimate};

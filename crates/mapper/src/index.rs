@@ -1,0 +1,241 @@
+//! Minimizer extraction and reference indexing (minimap2-style).
+//!
+//! A *minimizer* is the k-mer with the smallest hash in every window of
+//! `w` consecutive k-mers (Roberts et al. 2004). We use canonical
+//! k-mers (the smaller of the k-mer and its reverse complement) so a
+//! read and its reverse complement sample the same positions, and an
+//! invertible 64-bit mix as the ordering hash, like minimap2.
+
+use align_core::Seq;
+use std::collections::HashMap;
+
+/// One extracted minimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Minimizer {
+    /// Start position of the k-mer in the sequence.
+    pub pos: u32,
+    /// Hash of the canonical k-mer.
+    pub hash: u64,
+    /// True when the canonical form is the reverse complement.
+    pub flipped: bool,
+}
+
+/// Invertible 64-bit integer mix (Thomas Wang / minimap2's hash64).
+#[inline]
+pub fn hash64(key: u64, mask: u64) -> u64 {
+    let mut k = key & mask;
+    k = (!k).wrapping_add(k << 21) & mask;
+    k ^= k >> 24;
+    k = (k.wrapping_add(k << 3)).wrapping_add(k << 8) & mask;
+    k ^= k >> 14;
+    k = (k.wrapping_add(k << 2)).wrapping_add(k << 4) & mask;
+    k ^= k >> 28;
+    k = k.wrapping_add(k << 31) & mask;
+    k
+}
+
+/// Extract the `(w, k)` minimizers of `seq`.
+///
+/// Ties within a window keep the rightmost k-mer (robust winnowing).
+pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
+    assert!(k >= 1 && k <= 31, "k must be in 1..=31");
+    assert!(w >= 1, "w must be positive");
+    let n = seq.len();
+    if n < k {
+        return Vec::new();
+    }
+    let mask: u64 = (1u64 << (2 * k)) - 1;
+    let shift = 2 * (k - 1) as u64;
+    let mut fwd: u64 = 0;
+    let mut rev: u64 = 0;
+    // Rolling hashes of every k-mer.
+    let nk = n - k + 1;
+    let mut hashes: Vec<(u64, bool)> = Vec::with_capacity(nk);
+    for i in 0..n {
+        let c = seq.get_code(i) as u64;
+        fwd = ((fwd << 2) | c) & mask;
+        rev = (rev >> 2) | ((3 - c) << shift);
+        if i + 1 >= k {
+            let (canon, flipped) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+            hashes.push((hash64(canon, mask), flipped));
+        }
+    }
+    // Winnowing with a monotone deque over windows of `w` k-mers.
+    let mut out: Vec<Minimizer> = Vec::new();
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let push_out = |out: &mut Vec<Minimizer>, idx: usize, hashes: &[(u64, bool)]| {
+        let m = Minimizer {
+            pos: idx as u32,
+            hash: hashes[idx].0,
+            flipped: hashes[idx].1,
+        };
+        if out.last() != Some(&m) {
+            out.push(m);
+        }
+    };
+    for i in 0..nk {
+        while let Some(&back) = deque.back() {
+            // `>=` keeps the rightmost minimum on ties.
+            if hashes[back].0 >= hashes[i].0 {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        let win_start = i + 1;
+        if win_start >= w {
+            while *deque.front().expect("nonempty deque") + w <= i {
+                deque.pop_front();
+            }
+            push_out(&mut out, *deque.front().unwrap(), &hashes);
+        }
+    }
+    if nk < w && nk > 0 {
+        // Sequence shorter than one full window: keep its global minimum
+        // so short sequences are still indexable.
+        push_out(&mut out, *deque.front().unwrap(), &hashes);
+    }
+    out
+}
+
+/// A minimizer index over a reference sequence.
+#[derive(Debug)]
+pub struct MinimizerIndex {
+    /// Window length in k-mers.
+    pub w: usize,
+    /// k-mer length.
+    pub k: usize,
+    /// Reference length.
+    pub ref_len: usize,
+    /// hash -> positions/orientations in the reference.
+    buckets: HashMap<u64, Vec<(u32, bool)>>,
+    /// Occurrence cutoff: hashes hit more often than this are masked
+    /// (minimap2's high-frequency filter, `-f`).
+    pub max_occ: usize,
+}
+
+impl MinimizerIndex {
+    /// Build an index with minimap2-ish long-read defaults
+    /// (`w = 10`, `k = 15`).
+    pub fn build(reference: &Seq) -> MinimizerIndex {
+        MinimizerIndex::build_params(reference, 10, 15, 400)
+    }
+
+    /// Build with explicit parameters.
+    pub fn build_params(reference: &Seq, w: usize, k: usize, max_occ: usize) -> MinimizerIndex {
+        let mut buckets: HashMap<u64, Vec<(u32, bool)>> = HashMap::new();
+        for m in minimizers(reference, w, k) {
+            buckets.entry(m.hash).or_default().push((m.pos, m.flipped));
+        }
+        MinimizerIndex {
+            w,
+            k,
+            ref_len: reference.len(),
+            buckets,
+            max_occ,
+        }
+    }
+
+    /// Number of distinct indexed minimizer hashes.
+    pub fn distinct_minimizers(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Look up a hash; respects the occurrence cutoff.
+    pub fn lookup(&self, hash: u64) -> &[(u32, bool)] {
+        match self.buckets.get(&hash) {
+            Some(v) if v.len() <= self.max_occ => v,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn hash64_is_deterministic_and_masked() {
+        let mask = (1u64 << 30) - 1;
+        let h1 = hash64(12345, mask);
+        assert_eq!(h1, hash64(12345, mask));
+        assert!(h1 <= mask);
+        assert_ne!(hash64(1, mask), hash64(2, mask));
+    }
+
+    #[test]
+    fn minimizers_cover_sequence() {
+        let s = seq(&"ACGTTGCAGGATCCATGGTACCAT".repeat(10));
+        let ms = minimizers(&s, 5, 7);
+        assert!(!ms.is_empty());
+        // Winnowing guarantee: gap between consecutive minimizers < w + k.
+        for pair in ms.windows(2) {
+            assert!(
+                (pair[1].pos - pair[0].pos) as usize <= 5 + 7,
+                "winnowing gap violated"
+            );
+        }
+    }
+
+    #[test]
+    fn short_sequence_still_yields_minimizer() {
+        let s = seq("ACGTACGTAC"); // 10 bases, k=7 -> 4 k-mers < w=10
+        let ms = minimizers(&s, 10, 7);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn sequence_shorter_than_k_yields_nothing() {
+        assert!(minimizers(&seq("ACG"), 5, 7).is_empty());
+    }
+
+    #[test]
+    fn canonical_minimizers_shared_with_rc() {
+        let s = seq(&"ACGTTGCAGGATCCATGGTACCATAAGGCCTT".repeat(8));
+        let rc = s.reverse_complement();
+        let mut h1: Vec<u64> = minimizers(&s, 5, 11).iter().map(|m| m.hash).collect();
+        let mut h2: Vec<u64> = minimizers(&rc, 5, 11).iter().map(|m| m.hash).collect();
+        h1.sort_unstable();
+        h1.dedup();
+        h2.sort_unstable();
+        h2.dedup();
+        // The hash *sets* must be identical (positions differ).
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn index_lookup_roundtrip() {
+        let s = seq(&"ACGTTGCAGGATCCAT".repeat(20));
+        let idx = MinimizerIndex::build_params(&s, 5, 9, 1000);
+        assert!(idx.distinct_minimizers() > 0);
+        let ms = minimizers(&s, 5, 9);
+        // Every extracted minimizer must be findable at its position.
+        for m in &ms {
+            let hits = idx.lookup(m.hash);
+            assert!(hits.iter().any(|&(p, _)| p == m.pos));
+        }
+    }
+
+    #[test]
+    fn max_occ_masks_repetitive_hashes() {
+        let s = seq(&"ACGTACGTACGTACGTACGTACGT".repeat(50));
+        let idx = MinimizerIndex::build_params(&s, 4, 8, 2);
+        // The dominant periodic minimizer occurs way more than twice.
+        let over_cutoff = idx
+            .buckets
+            .values()
+            .filter(|v| v.len() > 2)
+            .count();
+        assert!(over_cutoff > 0, "expected repetitive hashes in this input");
+        for (h, v) in &idx.buckets {
+            if v.len() > 2 {
+                assert!(idx.lookup(*h).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests of the mapper: minimizer and chaining invariants on
+//! random references.
+
+use align_core::{Base, Seq};
+use mapper::{chain_anchors, collect_anchors, minimizers, CandidateParams, ChainParams,
+             MinimizerIndex};
+use proptest::prelude::*;
+
+fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn winnowing_density_guarantee(s in arb_seq(100, 2_000), w in 2usize..16, k in 5usize..20) {
+        let ms = minimizers(&s, w, k);
+        prop_assume!(s.len() >= k + w);
+        // At least one minimizer per window of w k-mers, and positions
+        // strictly increasing with bounded gaps.
+        prop_assert!(!ms.is_empty());
+        for pair in ms.windows(2) {
+            prop_assert!(pair[1].pos > pair[0].pos);
+            prop_assert!((pair[1].pos - pair[0].pos) as usize <= w + k);
+        }
+        // Every minimizer position is a valid k-mer start.
+        for m in &ms {
+            prop_assert!(m.pos as usize + k <= s.len());
+        }
+    }
+
+    #[test]
+    fn strand_symmetry_of_minimizer_sets(s in arb_seq(200, 800)) {
+        let rc = s.reverse_complement();
+        let mut a: Vec<u64> = minimizers(&s, 8, 13).iter().map(|m| m.hash).collect();
+        let mut b: Vec<u64> = minimizers(&rc, 8, 13).iter().map(|m| m.hash).collect();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_substring_read_always_maps(s in arb_seq(3_000, 8_000), off_frac in 0.0f64..0.6) {
+        let read_len = 800;
+        let start = ((s.len() - read_len) as f64 * off_frac) as usize;
+        let read = s.slice(start, read_len);
+        let index = MinimizerIndex::build_params(&s, 10, 15, 1_000);
+        let anchors = collect_anchors(&read, &index);
+        prop_assert!(!anchors.is_empty(), "exact read produced no anchors");
+        let chains = chain_anchors(&anchors, index.k, &ChainParams::default());
+        prop_assert!(!chains.is_empty(), "exact read produced no chain");
+        let best = &chains[0];
+        // The best chain must sit on the true locus.
+        prop_assert!(best.ref_start.abs_diff(start) < 400,
+            "best chain at {} but truth at {start}", best.ref_start);
+        prop_assert!(!best.reverse);
+    }
+
+    #[test]
+    fn rc_read_maps_reverse(s in arb_seq(3_000, 6_000)) {
+        let read = s.slice(1_000, 700).reverse_complement();
+        let index = MinimizerIndex::build_params(&s, 10, 15, 1_000);
+        let chains = chain_anchors(&collect_anchors(&read, &index), index.k,
+                                   &ChainParams::default());
+        prop_assert!(!chains.is_empty());
+        prop_assert!(chains[0].reverse, "RC read must map to the reverse strand");
+        prop_assert!(chains[0].ref_start.abs_diff(1_000) < 400);
+    }
+
+    #[test]
+    fn chains_are_well_formed(s in arb_seq(2_000, 5_000), n_reads in 1usize..4) {
+        let index = MinimizerIndex::build(&s);
+        for r in 0..n_reads {
+            let start = (r * 500) % (s.len() - 600);
+            let read = s.slice(start, 600);
+            let chains = chain_anchors(&collect_anchors(&read, &index), index.k,
+                                       &ChainParams::default());
+            for c in &chains {
+                prop_assert!(c.read_start < c.read_end);
+                prop_assert!(c.ref_start < c.ref_end);
+                prop_assert!(c.read_end <= read.len());
+                prop_assert!(c.ref_end <= s.len());
+                prop_assert!(c.anchors >= ChainParams::default().min_anchors);
+                prop_assert!(c.score >= ChainParams::default().min_score);
+            }
+            // Best-first ordering.
+            for pair in chains.windows(2) {
+                prop_assert!(pair[0].score >= pair[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_tasks_are_alignable(s in arb_seq(4_000, 8_000)) {
+        let read = s.slice(500, 1_000);
+        let index = MinimizerIndex::build(&s);
+        let tasks = mapper::candidates_for_read(0, &read, &s, &index,
+                                                &CandidateParams::default());
+        prop_assume!(!tasks.is_empty());
+        let t = &tasks[0];
+        // The primary candidate of an exact read must be near-exact.
+        let d = align_core::doubling_nw_distance(&t.query, &t.target);
+        prop_assert!(d <= CandidateParams::default().flank + 64,
+            "primary candidate distance {d} too large");
+    }
+}

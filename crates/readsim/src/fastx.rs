@@ -1,0 +1,364 @@
+//! Minimal FASTA/FASTQ reading and writing.
+//!
+//! The real pipeline the paper builds on exchanges reads and references
+//! as FASTA/FASTQ files (PBSIM2 writes FASTQ, minimap2 reads both). The
+//! CLI tools in this suite do the same, so simulated workloads can be
+//! round-tripped to disk and inspected with standard tools.
+//!
+//! Scope: DNA records over `ACGT` (what the aligners accept); `N` and
+//! other IUPAC codes are rejected with a clear error rather than being
+//! silently squashed. Line wrapping is accepted on input and written at
+//! 80 columns on output.
+
+use std::io::{self, BufRead, Write};
+
+use align_core::{AlignError, Seq};
+
+/// One FASTA/FASTQ record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastxRecord {
+    /// Record name (text after `>` / `@`, up to the first whitespace).
+    pub name: String,
+    /// The sequence.
+    pub seq: Seq,
+    /// Phred+33 qualities for FASTQ records, `None` for FASTA.
+    pub qual: Option<Vec<u8>>,
+}
+
+impl FastxRecord {
+    /// A FASTA record.
+    pub fn fasta(name: &str, seq: Seq) -> FastxRecord {
+        FastxRecord {
+            name: name.to_string(),
+            seq,
+            qual: None,
+        }
+    }
+
+    /// A FASTQ record; `qual` holds raw Phred scores (not +33 encoded).
+    pub fn fastq(name: &str, seq: Seq, qual: Vec<u8>) -> FastxRecord {
+        assert_eq!(seq.len(), qual.len(), "quality length mismatch");
+        FastxRecord {
+            name: name.to_string(),
+            seq,
+            qual: Some(qual),
+        }
+    }
+}
+
+/// Errors from FASTX parsing.
+#[derive(Debug)]
+pub enum FastxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed record structure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A sequence character the aligners cannot represent.
+    BadBase(AlignError),
+}
+
+impl From<io::Error> for FastxError {
+    fn from(e: io::Error) -> FastxError {
+        FastxError::Io(e)
+    }
+}
+
+impl core::fmt::Display for FastxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FastxError::Io(e) => write!(f, "I/O error: {e}"),
+            FastxError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            FastxError::BadBase(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FastxError {}
+
+/// Parse FASTA or FASTQ (auto-detected from the first byte).
+pub fn read_fastx<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
+    let mut lines = reader.lines().enumerate();
+    let mut records = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+
+    loop {
+        let (lineno, line) = match pending.take() {
+            Some(x) => x,
+            None => match lines.next() {
+                Some((i, l)) => (i, l?),
+                None => break,
+            },
+        };
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_bytes()[0] {
+            b'>' => {
+                let name = header_name(&line[1..]);
+                let mut seq = Seq::new();
+                // Collect sequence lines until the next header.
+                loop {
+                    match lines.next() {
+                        Some((i, l)) => {
+                            let l = l?;
+                            let t = l.trim_end();
+                            if t.starts_with('>') || t.starts_with('@') {
+                                pending = Some((i, l));
+                                break;
+                            }
+                            append_seq(&mut seq, t, i + 1)?;
+                        }
+                        None => break,
+                    }
+                }
+                records.push(FastxRecord {
+                    name,
+                    seq,
+                    qual: None,
+                });
+            }
+            b'@' => {
+                let name = header_name(&line[1..]);
+                let (si, seq_line) = next_line(&mut lines, lineno)?;
+                let mut seq = Seq::new();
+                append_seq(&mut seq, seq_line.trim_end(), si + 1)?;
+                let (pi, plus) = next_line(&mut lines, si)?;
+                if !plus.trim_end().starts_with('+') {
+                    return Err(FastxError::Parse {
+                        line: pi + 1,
+                        reason: "expected '+' separator".to_string(),
+                    });
+                }
+                let (qi, qual_line) = next_line(&mut lines, pi)?;
+                let qual_line = qual_line.trim_end();
+                if qual_line.len() != seq.len() {
+                    return Err(FastxError::Parse {
+                        line: qi + 1,
+                        reason: format!(
+                            "quality length {} != sequence length {}",
+                            qual_line.len(),
+                            seq.len()
+                        ),
+                    });
+                }
+                let qual = qual_line.bytes().map(|b| b.saturating_sub(33)).collect();
+                records.push(FastxRecord {
+                    name,
+                    seq,
+                    qual: Some(qual),
+                });
+            }
+            _ => {
+                return Err(FastxError::Parse {
+                    line: lineno + 1,
+                    reason: format!("unexpected record start {:?}", &line[..line.len().min(8)]),
+                })
+            }
+        }
+    }
+    Ok(records)
+}
+
+fn header_name(s: &str) -> String {
+    s.split_whitespace().next().unwrap_or("").to_string()
+}
+
+fn next_line(
+    lines: &mut impl Iterator<Item = (usize, io::Result<String>)>,
+    after: usize,
+) -> Result<(usize, String), FastxError> {
+    match lines.next() {
+        Some((i, l)) => Ok((i, l?)),
+        None => Err(FastxError::Parse {
+            line: after + 2,
+            reason: "unexpected end of file".to_string(),
+        }),
+    }
+}
+
+fn append_seq(seq: &mut Seq, line: &str, lineno: usize) -> Result<(), FastxError> {
+    for &b in line.as_bytes() {
+        match align_core::Base::from_ascii(b) {
+            Ok(base) => seq.push(base),
+            Err(e) => {
+                return Err(match e {
+                    AlignError::BadBase(_) => FastxError::Parse {
+                        line: lineno,
+                        reason: format!("unsupported base {:?} (only ACGT)", b as char),
+                    },
+                    other => FastxError::BadBase(other),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write records as FASTA (qualities, if any, are dropped).
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastxRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(w, ">{}", r.name)?;
+        let ascii = r.seq.to_ascii();
+        for chunk in ascii.chunks(80) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write records as FASTQ. Records without qualities get a constant
+/// high quality.
+pub fn write_fastq<W: Write>(mut w: W, records: &[FastxRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(w, "@{}", r.name)?;
+        w.write_all(&r.seq.to_ascii())?;
+        writeln!(w)?;
+        writeln!(w, "+")?;
+        match &r.qual {
+            Some(q) => {
+                let encoded: Vec<u8> = q.iter().map(|&x| x.min(60) + 33).collect();
+                w.write_all(&encoded)?;
+            }
+            None => {
+                let encoded = vec![b'I'; r.seq.len()];
+                w.write_all(&encoded)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Convert simulated reads into FASTQ records (name encodes provenance
+/// so downstream evaluation can recover the truth).
+pub fn reads_to_records(reads: &[crate::SimRead]) -> Vec<FastxRecord> {
+    reads
+        .iter()
+        .map(|r| {
+            let name = format!(
+                "read{}_pos{}_{}_{}",
+                r.id,
+                r.true_start,
+                r.true_end,
+                if r.reverse { "rev" } else { "fwd" }
+            );
+            FastxRecord::fastq(&name, r.seq.clone(), r.qual.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn fasta_roundtrip_with_wrapping() {
+        let records = vec![
+            FastxRecord::fasta("chr1", seq(&"ACGT".repeat(50))),
+            FastxRecord::fasta("chr2", seq("GGCC")),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        // 200 bases wrap into 3 lines.
+        assert!(String::from_utf8_lossy(&buf).lines().count() >= 5);
+        let parsed = read_fastx(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fastq_roundtrip() {
+        let records = vec![FastxRecord::fastq("r1", seq("ACGTAC"), vec![10, 20, 30, 40, 50, 60])];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let parsed = read_fastx(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn header_names_stop_at_whitespace() {
+        let input = b">read1 description here\nACGT\n";
+        let parsed = read_fastx(Cursor::new(&input[..])).unwrap();
+        assert_eq!(parsed[0].name, "read1");
+    }
+
+    #[test]
+    fn mixed_fasta_fastq_detected_per_record() {
+        let input = b">ref\nACGT\n@read\nGGCC\n+\nIIII\n";
+        let parsed = read_fastx(Cursor::new(&input[..])).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].qual.is_none());
+        assert!(parsed[1].qual.is_some());
+    }
+
+    #[test]
+    fn n_bases_rejected_with_line_number() {
+        let input = b">ref\nACGT\nACNT\n";
+        let err = read_fastx(Cursor::new(&input[..])).unwrap_err();
+        match err {
+            FastxError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains('N'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_fastq_rejected() {
+        let input = b"@read\nACGT\n+\n";
+        assert!(read_fastx(Cursor::new(&input[..])).is_err());
+        let input = b"@read\nACGT\nIIII\n";
+        assert!(read_fastx(Cursor::new(&input[..])).is_err());
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let input = b"@read\nACGT\n+\nII\n";
+        match read_fastx(Cursor::new(&input[..])).unwrap_err() {
+            FastxError::Parse { reason, .. } => assert!(reason.contains("quality length")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_reads_export() {
+        use crate::genome::{Genome, GenomeConfig};
+        let g = Genome::generate(&GenomeConfig::plain(10_000, 1));
+        let reads = crate::simulate_reads(
+            &g,
+            &crate::ReadConfig {
+                count: 3,
+                length: 500,
+                errors: crate::ErrorModel::pacbio_clr(0.1),
+                rc_fraction: 0.5,
+                seed: 2,
+            },
+        );
+        let records = reads_to_records(&reads);
+        assert_eq!(records.len(), 3);
+        assert!(records[0].name.starts_with("read0_pos"));
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let parsed = read_fastx(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].seq, reads[0].seq);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_fastx(Cursor::new(b"".as_slice())).unwrap().is_empty());
+        assert!(read_fastx(Cursor::new(b"\n\n".as_slice())).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! PBSIM2-style long-read simulation.
+//!
+//! Reads are sampled from a reference genome with a PacBio CLR error
+//! profile: a configurable total error rate split between
+//! substitutions, insertions and deletions (PBSIM's CLR ratio is
+//! roughly 6:50:44 in our default), and *bursty* errors driven by a
+//! two-state hidden Markov model — a simplified stand-in for PBSIM2's
+//! FIC-HMM quality model. Each read carries per-base Phred-like quality
+//! scores derived from the HMM state, and its true origin interval for
+//! mapper evaluation.
+
+use align_core::{Base, Seq};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::genome::Genome;
+
+/// Error-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Mean total error rate (fraction of read bases that are errors).
+    pub error_rate: f64,
+    /// Relative weight of substitutions.
+    pub sub_frac: f64,
+    /// Relative weight of insertions (bases present in the read only).
+    pub ins_frac: f64,
+    /// Relative weight of deletions (reference bases skipped).
+    pub del_frac: f64,
+    /// Error-rate multiplier in the HMM's "good" state.
+    pub good_mult: f64,
+    /// Error-rate multiplier in the "bad" (bursty) state.
+    pub bad_mult: f64,
+    /// Probability of switching good -> bad per base.
+    pub to_bad: f64,
+    /// Probability of switching bad -> good per base.
+    pub to_good: f64,
+}
+
+impl ErrorModel {
+    /// PacBio CLR-like profile at a given total error rate.
+    pub fn pacbio_clr(error_rate: f64) -> ErrorModel {
+        ErrorModel {
+            error_rate,
+            sub_frac: 0.06,
+            ins_frac: 0.50,
+            del_frac: 0.44,
+            good_mult: 0.6,
+            bad_mult: 3.0,
+            to_bad: 0.002,
+            to_good: 0.012,
+        }
+    }
+
+    /// Error-free reads (sanity baseline).
+    pub fn perfect() -> ErrorModel {
+        ErrorModel {
+            error_rate: 0.0,
+            sub_frac: 1.0,
+            ins_frac: 0.0,
+            del_frac: 0.0,
+            good_mult: 1.0,
+            bad_mult: 1.0,
+            to_bad: 0.0,
+            to_good: 1.0,
+        }
+    }
+
+    fn normalized(&self) -> (f64, f64, f64) {
+        let total = self.sub_frac + self.ins_frac + self.del_frac;
+        assert!(total > 0.0 || self.error_rate == 0.0, "error fractions sum to 0");
+        if total == 0.0 {
+            return (1.0, 0.0, 0.0);
+        }
+        (
+            self.sub_frac / total,
+            self.ins_frac / total,
+            self.del_frac / total,
+        )
+    }
+}
+
+/// Read-set configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadConfig {
+    /// Number of reads to simulate.
+    pub count: usize,
+    /// Read length (every read has this length, like the paper's fixed
+    /// 10 kbp reads).
+    pub length: usize,
+    /// Error model.
+    pub errors: ErrorModel,
+    /// Fraction of reads sampled from the reverse strand.
+    pub rc_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReadConfig {
+    /// The paper's workload shape: `count` reads of 10 kbp at ~10%
+    /// CLR errors, both strands.
+    pub fn paper_like(count: usize, seed: u64) -> ReadConfig {
+        ReadConfig {
+            count,
+            length: 10_000,
+            errors: ErrorModel::pacbio_clr(0.10),
+            rc_fraction: 0.5,
+            seed,
+        }
+    }
+}
+
+/// One simulated read with provenance.
+#[derive(Debug, Clone)]
+pub struct SimRead {
+    /// Read identifier (index in the read set).
+    pub id: u32,
+    /// The read sequence (as sequenced, i.e. reverse-complemented for
+    /// reverse-strand reads).
+    pub seq: Seq,
+    /// Phred-like quality per base (higher = better).
+    pub qual: Vec<u8>,
+    /// True origin: start on the forward reference.
+    pub true_start: usize,
+    /// True origin: end (exclusive) on the forward reference.
+    pub true_end: usize,
+    /// True strand: `false` = forward, `true` = reverse complement.
+    pub reverse: bool,
+    /// Number of error events injected.
+    pub errors_injected: usize,
+}
+
+/// Simulate a read set from `genome`.
+pub fn simulate_reads(genome: &Genome, cfg: &ReadConfig) -> Vec<SimRead> {
+    assert!(cfg.length > 0, "read length must be positive");
+    assert!(
+        genome.seq.len() > cfg.length * 2,
+        "genome ({}) too short for reads of length {}",
+        genome.seq.len(),
+        cfg.length
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let (sub_p, ins_p, _del_p) = cfg.errors.normalized();
+    let mut reads = Vec::with_capacity(cfg.count);
+
+    for id in 0..cfg.count {
+        // Leave slack for deletions consuming extra reference.
+        let max_ref_span = cfg.length * 2;
+        let start = rng.gen_range(0..genome.seq.len() - max_ref_span);
+        let mut bases: Vec<Base> = Vec::with_capacity(cfg.length);
+        let mut qual: Vec<u8> = Vec::with_capacity(cfg.length);
+        let mut rpos = start;
+        let mut bad_state = false;
+        let mut errors_injected = 0usize;
+
+        while bases.len() < cfg.length && rpos < genome.seq.len() {
+            // HMM state switch.
+            let switch = if bad_state {
+                cfg.errors.to_good
+            } else {
+                cfg.errors.to_bad
+            };
+            if switch > 0.0 && rng.gen_bool(switch.min(1.0)) {
+                bad_state = !bad_state;
+            }
+            let mult = if bad_state {
+                cfg.errors.bad_mult
+            } else {
+                cfg.errors.good_mult
+            };
+            let p_err = (cfg.errors.error_rate * mult).min(0.75);
+            let q = phred_from_error(p_err);
+
+            if p_err > 0.0 && rng.gen_bool(p_err) {
+                errors_injected += 1;
+                let r: f64 = rng.gen();
+                if r < sub_p {
+                    // Substitution: emit a different base.
+                    let orig = genome.seq.get(rpos);
+                    let sub = Base::from_code((orig.code() + rng.gen_range(1..4)) % 4);
+                    bases.push(sub);
+                    qual.push(q);
+                    rpos += 1;
+                } else if r < sub_p + ins_p {
+                    // Insertion: emit a random base, reference stays.
+                    bases.push(Base::from_code(rng.gen_range(0..4)));
+                    qual.push(q);
+                } else {
+                    // Deletion: skip a reference base.
+                    rpos += 1;
+                }
+            } else {
+                bases.push(genome.seq.get(rpos));
+                qual.push(q);
+                rpos += 1;
+            }
+        }
+
+        let true_start = start;
+        let true_end = rpos;
+        let reverse = rng.gen_bool(cfg.rc_fraction.clamp(0.0, 1.0));
+        let mut seq: Seq = bases.into_iter().collect();
+        if reverse {
+            seq = seq.reverse_complement();
+            qual.reverse();
+        }
+        reads.push(SimRead {
+            id: id as u32,
+            seq,
+            qual,
+            true_start,
+            true_end,
+            reverse,
+            errors_injected,
+        });
+    }
+    reads
+}
+
+/// Phred-like quality from an error probability.
+fn phred_from_error(p: f64) -> u8 {
+    if p <= 0.0 {
+        return 60;
+    }
+    (-10.0 * p.log10()).clamp(0.0, 60.0).round() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{Genome, GenomeConfig};
+
+    fn genome(len: usize) -> Genome {
+        Genome::generate(&GenomeConfig::plain(len, 11))
+    }
+
+    #[test]
+    fn perfect_reads_match_reference_exactly() {
+        let g = genome(100_000);
+        let cfg = ReadConfig {
+            count: 10,
+            length: 1_000,
+            errors: ErrorModel::perfect(),
+            rc_fraction: 0.0,
+            seed: 5,
+        };
+        for r in simulate_reads(&g, &cfg) {
+            assert_eq!(r.seq.len(), 1_000);
+            assert_eq!(r.errors_injected, 0);
+            let origin = g.seq.slice(r.true_start, r.true_end - r.true_start);
+            assert_eq!(r.seq, origin);
+        }
+    }
+
+    #[test]
+    fn rc_reads_match_reverse_complement() {
+        let g = genome(50_000);
+        let cfg = ReadConfig {
+            count: 8,
+            length: 500,
+            errors: ErrorModel::perfect(),
+            rc_fraction: 1.0,
+            seed: 6,
+        };
+        for r in simulate_reads(&g, &cfg) {
+            assert!(r.reverse);
+            let origin = g.seq.slice(r.true_start, r.true_end - r.true_start);
+            assert_eq!(r.seq, origin.reverse_complement());
+        }
+    }
+
+    #[test]
+    fn error_rate_is_calibrated() {
+        let g = genome(400_000);
+        let cfg = ReadConfig {
+            count: 20,
+            length: 5_000,
+            errors: ErrorModel::pacbio_clr(0.10),
+            rc_fraction: 0.0,
+            seed: 7,
+        };
+        let reads = simulate_reads(&g, &cfg);
+        let total_errors: usize = reads.iter().map(|r| r.errors_injected).sum();
+        let total_bases: usize = reads.iter().map(|r| r.seq.len()).sum();
+        let rate = total_errors as f64 / total_bases as f64;
+        assert!(
+            (rate - 0.10).abs() < 0.02,
+            "injected error rate {rate} too far from 10%"
+        );
+    }
+
+    #[test]
+    fn edit_distance_to_origin_tracks_error_rate() {
+        let g = genome(200_000);
+        let cfg = ReadConfig {
+            count: 5,
+            length: 800,
+            errors: ErrorModel::pacbio_clr(0.08),
+            rc_fraction: 0.0,
+            seed: 8,
+        };
+        for r in simulate_reads(&g, &cfg) {
+            let origin = g.seq.slice(r.true_start, r.true_end - r.true_start);
+            let d = align_core::nw_distance(&r.seq, &origin);
+            assert!(d > 0, "8% errors should leave a trace");
+            // NW distance can be below the injected count (events can
+            // cancel) but never above.
+            assert!(d <= r.errors_injected, "d={d} > injected {}", r.errors_injected);
+        }
+    }
+
+    #[test]
+    fn qualities_reflect_error_probability() {
+        let g = genome(100_000);
+        let cfg = ReadConfig {
+            count: 3,
+            length: 2_000,
+            errors: ErrorModel::pacbio_clr(0.12),
+            rc_fraction: 0.0,
+            seed: 9,
+        };
+        for r in simulate_reads(&g, &cfg) {
+            assert_eq!(r.qual.len(), r.seq.len());
+            // Two distinct HMM states should produce at least two
+            // distinct quality values over 2000 bases.
+            let mut quals: Vec<u8> = r.qual.clone();
+            quals.dedup();
+            assert!(quals.len() > 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = genome(60_000);
+        let cfg = ReadConfig::paper_like(3, 42);
+        let cfg = ReadConfig { length: 2_000, ..cfg };
+        let a = simulate_reads(&g, &cfg);
+        let b = simulate_reads(&g, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.true_start, y.true_start);
+        }
+    }
+
+    #[test]
+    fn phred_mapping() {
+        assert_eq!(phred_from_error(0.1), 10);
+        assert_eq!(phred_from_error(0.01), 20);
+        assert_eq!(phred_from_error(0.0), 60);
+    }
+}

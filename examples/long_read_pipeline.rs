@@ -1,0 +1,80 @@
+//! The full long-read pipeline on a miniature genome: simulate →
+//! map → align, the paper's evaluation flow end to end.
+//!
+//! ```text
+//! cargo run --release --example long_read_pipeline
+//! ```
+
+use align_core::GlobalAligner;
+use genasm_core::GenAsmAligner;
+use mapper::{CandidateParams, MinimizerIndex};
+use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+fn main() {
+    // 1. A 300 kbp genome with repeat structure.
+    let genome = Genome::generate(&GenomeConfig::human_like(300_000, 7));
+    println!(
+        "genome: {} bp, GC {:.1}%, {} planted repeat copies",
+        genome.seq.len(),
+        genome.seq.gc_content() * 100.0,
+        genome.planted.len()
+    );
+
+    // 2. Twenty 5 kbp PacBio CLR-style reads at 10% error.
+    let reads = simulate_reads(
+        &genome,
+        &ReadConfig {
+            count: 20,
+            length: 5_000,
+            errors: ErrorModel::pacbio_clr(0.10),
+            rc_fraction: 0.5,
+            seed: 99,
+        },
+    );
+    println!("reads : {} x {} bp", reads.len(), reads[0].seq.len());
+
+    // 3. Map with minimizer seeding + chaining, all chains kept (-P).
+    let index = MinimizerIndex::build(&genome.seq);
+    let params = CandidateParams::default();
+    let aligner = GenAsmAligner::improved();
+    let mut total_candidates = 0;
+    let mut correct_best = 0;
+
+    for read in &reads {
+        let cands = mapper::candidates_for_read(read.id, &read.seq, &genome.seq, &index, &params);
+        total_candidates += cands.len();
+
+        // 4. Align every candidate; the best-scoring one should be the
+        // true origin.
+        let mut best: Option<(usize, usize)> = None; // (distance, ref_pos)
+        for c in &cands {
+            let aln = aligner.align(&c.query, &c.target).expect("alignment");
+            aln.check(&c.query, &c.target).expect("valid CIGAR");
+            if best.map_or(true, |(d, _)| aln.edit_distance < d) {
+                best = Some((aln.edit_distance, c.ref_pos));
+            }
+        }
+        if let Some((dist, pos)) = best {
+            let hit = pos.abs_diff(read.true_start) < 2_000;
+            if hit {
+                correct_best += 1;
+            }
+            println!(
+                "read {:>2}: {:>3} candidates, best distance {:>4} at {:>7} (truth {:>7}) {}",
+                read.id,
+                cands.len(),
+                dist,
+                pos,
+                read.true_start,
+                if hit { "✓" } else { "✗" }
+            );
+        } else {
+            println!("read {:>2}: unmapped", read.id);
+        }
+    }
+    println!(
+        "\n{total_candidates} candidates total, best-candidate accuracy {}/{}",
+        correct_best,
+        reads.len()
+    );
+}

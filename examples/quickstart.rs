@@ -1,0 +1,45 @@
+//! Quickstart: align two sequences with the improved GenASM algorithm
+//! and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use align_core::{alignment::format_alignment, GlobalAligner, Seq};
+use genasm_core::{GenAsmAligner, MemStats};
+
+fn main() {
+    // A query with one substitution, one insertion and one deletion
+    // relative to the target.
+    let query = Seq::from_ascii(b"ACGTACGTTAGGCCATACGGTTACAGGATTACACGT").unwrap();
+    let target = Seq::from_ascii(b"ACGTACCTTAGGCATACGGTTAACAGGATTACACGT").unwrap();
+
+    let aligner = GenAsmAligner::improved();
+    let alignment = aligner.align(&query, &target).expect("alignment");
+
+    println!("query : {query}");
+    println!("target: {target}");
+    println!();
+    println!("edit distance: {}", alignment.edit_distance);
+    println!("CIGAR        : {}", alignment.cigar);
+    println!();
+    println!("{}", format_alignment(&query, &target, &alignment, 60));
+
+    // The instrumentation behind the paper's memory claims is a method
+    // call away.
+    let mut stats = MemStats::new();
+    aligner
+        .align_with_stats(&query, &target, &mut stats)
+        .unwrap();
+    println!("windows processed : {}", stats.windows);
+    println!("error rows/window : {:.1}", stats.mean_rows_per_window());
+    println!(
+        "DP table footprint: {} bytes ({} words)",
+        stats.table_bytes(),
+        stats.table_words
+    );
+
+    // Verify the alignment is valid against both sequences.
+    alignment.check(&query, &target).expect("valid CIGAR");
+    println!("\nalignment validated ✓");
+}

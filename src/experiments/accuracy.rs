@@ -1,0 +1,113 @@
+//! Experiment A2 (extension): alignment quality of windowed GenASM.
+//!
+//! GenASM's windowed heuristic is approximate; the paper's claim is
+//! that its output quality matches the exact aligners on realistic
+//! data. We quantify that: for every candidate we compare GenASM's
+//! edit cost against the optimal edit distance (our Myers baseline,
+//! which property tests pin to the NW oracle), and validate every
+//! CIGAR.
+
+use align_core::{AlignTask, GlobalAligner};
+use baselines::MyersAligner;
+use genasm_core::GenAsmConfig;
+
+use crate::report::{f, Table};
+
+/// Quality statistics over one candidate tier.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyTier {
+    /// Candidates evaluated.
+    pub pairs: usize,
+    /// Candidates where GenASM's cost equals the optimum.
+    pub optimal: usize,
+    /// Mean relative excess cost, `(genasm - opt) / max(opt, 1)`.
+    pub mean_excess: f64,
+    /// Largest relative excess observed.
+    pub max_excess: f64,
+    /// Mean optimal distance (tier difficulty indicator).
+    pub mean_opt_distance: f64,
+}
+
+impl AccuracyTier {
+    fn push(&mut self, genasm: usize, opt: usize, excess_sum: &mut f64, opt_sum: &mut usize) {
+        let excess = (genasm - opt) as f64 / opt.max(1) as f64;
+        if genasm == opt {
+            self.optimal += 1;
+        }
+        *excess_sum += excess;
+        self.max_excess = self.max_excess.max(excess);
+        *opt_sum += opt;
+        self.pairs += 1;
+    }
+}
+
+/// Measured outcome of the accuracy experiment, split into the
+/// true-locus-like tier (optimal distance proportional to the read
+/// error rate) and the off-target tier (repeat hits and junk, where a
+/// greedy heuristic is *expected* to over-pay — every aligner in the
+/// paper's pipeline discards those by score anyway).
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyResults {
+    /// Plausible-locus candidates (optimal distance < 20% of query).
+    pub good: AccuracyTier,
+    /// Off-target candidates.
+    pub junk: AccuracyTier,
+}
+
+/// Compare GenASM's cost against the exact edit distance.
+pub fn run(tasks: &[AlignTask]) -> AccuracyResults {
+    let genasm = GenAsmConfig::improved();
+    let myers = MyersAligner::new();
+    let mut res = AccuracyResults::default();
+    let (mut gx, mut go) = (0.0, 0usize);
+    let (mut jx, mut jo) = (0.0, 0usize);
+    for t in tasks {
+        let mut stats = genasm_core::MemStats::new();
+        let g = genasm_core::align_with_stats(&t.query, &t.target, &genasm, &mut stats)
+            .expect("k=W cannot fail");
+        g.check(&t.query, &t.target).expect("invalid GenASM CIGAR");
+        let opt = myers.align(&t.query, &t.target).expect("myers");
+        opt.check(&t.query, &t.target).expect("invalid Myers CIGAR");
+        assert!(
+            g.edit_distance >= opt.edit_distance,
+            "GenASM beat the optimum: impossible"
+        );
+        if opt.edit_distance * 5 < t.query.len() {
+            res.good.push(g.edit_distance, opt.edit_distance, &mut gx, &mut go);
+        } else {
+            res.junk.push(g.edit_distance, opt.edit_distance, &mut jx, &mut jo);
+        }
+    }
+    if res.good.pairs > 0 {
+        res.good.mean_excess = gx / res.good.pairs as f64;
+        res.good.mean_opt_distance = go as f64 / res.good.pairs as f64;
+    }
+    if res.junk.pairs > 0 {
+        res.junk.mean_excess = jx / res.junk.pairs as f64;
+        res.junk.mean_opt_distance = jo as f64 / res.junk.pairs as f64;
+    }
+    res
+}
+
+/// Render the A2 table.
+pub fn report(res: &AccuracyResults) -> String {
+    let mut t = Table::new(
+        "A2: GenASM alignment quality vs exact edit distance",
+        &["tier", "pairs", "cost-optimal", "mean excess", "max excess", "mean opt distance"],
+    );
+    for (name, tier) in [("true-locus-like", &res.good), ("off-target", &res.junk)] {
+        t.row(&[
+            name.to_string(),
+            tier.pairs.to_string(),
+            format!(
+                "{} ({}%)",
+                tier.optimal,
+                f(100.0 * tier.optimal as f64 / tier.pairs.max(1) as f64)
+            ),
+            f(tier.mean_excess),
+            f(tier.max_excess),
+            f(tier.mean_opt_distance),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,81 @@
+//! Experiments E1–E3: CPU aligner throughput comparison.
+//!
+//! Paper (Section II): "Our CPU implementation achieves a 15.2×, 1.7×,
+//! and 1.9× speedup over KSW2, Edlib, and a CPU implementation of
+//! GenASM without our improvements, respectively."
+
+use align_core::AlignTask;
+use baselines::{Ksw2Aligner, MyersAligner};
+use genasm_core::GenAsmConfig;
+use genasm_cpu::{align_batch_genasm, align_batch_with, BatchTiming};
+
+use crate::report::{f, x, Table};
+
+/// Measured outcome of the CPU comparison.
+#[derive(Debug, Clone)]
+pub struct CpuResults {
+    /// (aligner name, timing) for each contender.
+    pub timings: Vec<(&'static str, BatchTiming)>,
+    /// Speedup of improved GenASM over KSW2 (paper: 15.2×).
+    pub vs_ksw2: f64,
+    /// Speedup over Edlib (paper: 1.7×).
+    pub vs_edlib: f64,
+    /// Speedup over unimproved GenASM (paper: 1.9×).
+    pub vs_baseline: f64,
+}
+
+/// Run all four CPU aligners over the same tasks.
+pub fn run(tasks: &[AlignTask]) -> CpuResults {
+    let ksw2 = align_batch_with(tasks, &Ksw2Aligner::new());
+    let edlib = align_batch_with(tasks, &MyersAligner::new());
+    let base = align_batch_genasm(tasks, &GenAsmConfig::baseline());
+    let imp = align_batch_genasm(tasks, &GenAsmConfig::improved());
+    assert_eq!(imp.failures, 0, "improved GenASM with k=W cannot fail");
+
+    let vs_ksw2 = imp.timing.speedup_over(&ksw2.timing);
+    let vs_edlib = imp.timing.speedup_over(&edlib.timing);
+    let vs_baseline = imp.timing.speedup_over(&base.timing);
+    CpuResults {
+        timings: vec![
+            ("ksw2", ksw2.timing),
+            ("edlib", edlib.timing),
+            ("genasm-unimproved", base.timing),
+            ("genasm-improved", imp.timing),
+        ],
+        vs_ksw2,
+        vs_edlib,
+        vs_baseline,
+    }
+}
+
+/// Render the E1–E3 tables.
+pub fn report(res: &CpuResults) -> String {
+    let mut t = Table::new(
+        "CPU aligner throughput (same candidate set, all host cores)",
+        &["aligner", "wall ms", "alignments/s", "Mbases/s"],
+    );
+    for (name, timing) in &res.timings {
+        t.row(&[
+            name.to_string(),
+            f(timing.wall.as_secs_f64() * 1e3),
+            f(timing.alignments_per_sec()),
+            f(timing.bases_per_sec() / 1e6),
+        ]);
+    }
+    let mut s = t.render();
+    let mut t2 = Table::new(
+        "E1-E3: improved GenASM CPU speedups (paper vs measured)",
+        &["exp", "speedup over", "paper", "measured"],
+    );
+    t2.row(&["E1".into(), "ksw2".into(), "15.2x".into(), x(res.vs_ksw2)]);
+    t2.row(&["E2".into(), "edlib".into(), "1.7x".into(), x(res.vs_edlib)]);
+    t2.row(&[
+        "E3".into(),
+        "genasm-unimproved".into(),
+        "1.9x".into(),
+        x(res.vs_baseline),
+    ]);
+    s.push('\n');
+    s.push_str(&t2.render());
+    s
+}

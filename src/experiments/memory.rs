@@ -1,0 +1,110 @@
+//! Experiments E8–E9: memory footprint and access reductions.
+//!
+//! Paper (abstract / Section I): "Our algorithmic improvements reduce
+//! the memory footprint by 24× and the number of memory accesses by
+//! 12×."
+//!
+//! Both numbers are ratios of instrumented DP-table counters between
+//! the unimproved and improved configurations over the same windows.
+//! We report them for the full candidate set and for the
+//! true-locus-only subset (whose error profile matches the sequencing
+//! error rate; off-target candidates drive `d*` toward `k` and shrink
+//! the early-termination saving — the mix is what the paper averaged
+//! over, and the split makes that visible).
+
+use align_core::AlignTask;
+use genasm_core::{GenAsmConfig, MemStats};
+
+use crate::report::{bytes, f, x, Table};
+
+/// Counters for one configuration over one task set.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRun {
+    /// Aggregated counters.
+    pub stats: MemStats,
+}
+
+/// Measured outcome of the memory experiment.
+#[derive(Debug, Clone)]
+pub struct MemoryResults {
+    /// Unimproved / improved counters over all candidates.
+    pub all: (MemRun, MemRun),
+    /// Same over true-locus candidates only.
+    pub true_locus: (MemRun, MemRun),
+    /// E8 on the full set.
+    pub footprint_reduction: f64,
+    /// E9 on the full set.
+    pub access_reduction: f64,
+}
+
+fn measure(tasks: &[AlignTask], cfg: &GenAsmConfig) -> MemRun {
+    let mut stats = MemStats::new();
+    for t in tasks {
+        genasm_core::align_with_stats(&t.query, &t.target, cfg, &mut stats)
+            .expect("k=W cannot fail");
+    }
+    MemRun { stats }
+}
+
+/// Run the instrumented comparison.
+pub fn run(all_tasks: &[AlignTask], true_locus_tasks: &[AlignTask]) -> MemoryResults {
+    let base_all = measure(all_tasks, &GenAsmConfig::baseline());
+    let imp_all = measure(all_tasks, &GenAsmConfig::improved());
+    let base_true = measure(true_locus_tasks, &GenAsmConfig::baseline());
+    let imp_true = measure(true_locus_tasks, &GenAsmConfig::improved());
+    let footprint_reduction = base_all.stats.footprint_reduction_vs(&imp_all.stats);
+    let access_reduction = base_all.stats.access_reduction_vs(&imp_all.stats);
+    MemoryResults {
+        all: (base_all, imp_all),
+        true_locus: (base_true, imp_true),
+        footprint_reduction,
+        access_reduction,
+    }
+}
+
+fn subset_rows(t: &mut Table, label: &str, base: &MemRun, imp: &MemRun) {
+    for (name, run) in [("unimproved", base), ("improved", imp)] {
+        t.row(&[
+            label.to_string(),
+            name.to_string(),
+            f(run.stats.mean_rows_per_window()),
+            bytes(run.stats.mean_table_bytes_per_window()),
+            f(run.stats.table_accesses() as f64 / run.stats.windows.max(1) as f64),
+        ]);
+    }
+}
+
+/// Render the E8–E9 tables.
+pub fn report(res: &MemoryResults) -> String {
+    let mut t = Table::new(
+        "DP-table working set per 64x64 window",
+        &["subset", "config", "rows/window", "table bytes/window", "table accesses/window"],
+    );
+    subset_rows(&mut t, "all candidates", &res.all.0, &res.all.1);
+    subset_rows(&mut t, "true locus", &res.true_locus.0, &res.true_locus.1);
+    let mut s = t.render();
+
+    let tl_fp = res.true_locus.0.stats.footprint_reduction_vs(&res.true_locus.1.stats);
+    let tl_ac = res.true_locus.0.stats.access_reduction_vs(&res.true_locus.1.stats);
+    let mut t2 = Table::new(
+        "E8-E9: memory reductions (paper vs measured)",
+        &["exp", "metric", "paper", "measured (all)", "measured (true locus)"],
+    );
+    t2.row(&[
+        "E8".into(),
+        "footprint reduction".into(),
+        "24x".into(),
+        x(res.footprint_reduction),
+        x(tl_fp),
+    ]);
+    t2.row(&[
+        "E9".into(),
+        "access reduction".into(),
+        "12x".into(),
+        x(res.access_reduction),
+        x(tl_ac),
+    ]);
+    s.push('\n');
+    s.push_str(&t2.render());
+    s
+}

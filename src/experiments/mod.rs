@@ -1,0 +1,17 @@
+//! Experiment drivers, one module per paper claim (plus extensions).
+//!
+//! | module | experiment | paper claim |
+//! |---|---|---|
+//! | [`cpu`] | E1–E3 | 15.2× / 1.7× / 1.9× CPU speedups |
+//! | [`gpu`] | E4–E7 | 4.1× / 62× / 7.2× / 5.9× GPU speedups |
+//! | [`memory`] | E8–E9 | 24× footprint, 12× access reductions |
+//! | [`ablation`] | A1 | (extension) per-improvement attribution |
+//! | [`accuracy`] | A2 | (extension) quality vs exact aligners |
+//! | [`sweep`] | A3 | (extension) error-rate & geometry sweeps |
+
+pub mod ablation;
+pub mod accuracy;
+pub mod cpu;
+pub mod gpu;
+pub mod memory;
+pub mod sweep;

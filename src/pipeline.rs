@@ -1,0 +1,236 @@
+//! The end-to-end evaluation pipeline, mirroring the paper's Section II:
+//! simulate a genome → simulate PacBio-like reads (PBSIM2's role) →
+//! map them and collect **all** chains (minimap2 `-P`'s role) → hand
+//! the candidate (read, reference-window) pairs to the aligners.
+
+use align_core::{AlignTask, TaskBatch};
+use mapper::{CandidateParams, MinimizerIndex};
+use readsim::{simulate_reads, Genome, GenomeConfig, ReadConfig, SimRead};
+
+/// Workload scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~1 Mbp genome, 50 reads — seconds on a laptop core.
+    Small,
+    /// ~2 Mbp genome, 150 reads.
+    Medium,
+    /// ~4 Mbp genome, 500 reads of 10 kbp — the paper's read count.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Genome length for this scale.
+    pub fn genome_len(&self) -> usize {
+        match self {
+            Scale::Small => 1_000_000,
+            Scale::Medium => 2_000_000,
+            Scale::Paper => 4_000_000,
+        }
+    }
+
+    /// Read count for this scale.
+    pub fn read_count(&self) -> usize {
+        match self {
+            Scale::Small => 50,
+            Scale::Medium => 150,
+            Scale::Paper => 500,
+        }
+    }
+
+    /// Cap on aligned candidate tasks for the *timed* experiments (the
+    /// quadratic KSW2 baseline on one host core sets the budget; all
+    /// throughput numbers are per-base, so the cap does not bias
+    /// ratios). `None` = align everything.
+    pub fn task_cap(&self) -> Option<usize> {
+        match self {
+            Scale::Small => Some(400),
+            Scale::Medium => Some(1_200),
+            Scale::Paper => Some(4_000),
+        }
+    }
+
+    /// Cap on tasks run through the (functionally simulated, hence
+    /// host-time-bound) GPU kernels.
+    pub fn gpu_task_cap(&self) -> usize {
+        match self {
+            Scale::Small => 96,
+            Scale::Medium => 256,
+            Scale::Paper => 512,
+        }
+    }
+}
+
+/// The generated workload: genome, reads, and candidate tasks.
+pub struct Workload {
+    /// The synthetic reference genome.
+    pub genome: Genome,
+    /// The simulated reads with provenance.
+    pub reads: Vec<SimRead>,
+    /// All candidate (read, window) alignment tasks (`-P` semantics).
+    pub batch: TaskBatch,
+    /// Candidates whose reference window overlaps the read's true
+    /// origin (indices into `batch.tasks`).
+    pub true_locus: Vec<usize>,
+}
+
+impl Workload {
+    /// Build the full pipeline deterministically.
+    pub fn build(scale: Scale, seed: u64) -> Workload {
+        let genome = Genome::generate(&GenomeConfig::human_like(scale.genome_len(), seed));
+        let read_cfg = ReadConfig::paper_like(scale.read_count(), seed ^ 0x5eed);
+        let reads = simulate_reads(&genome, &read_cfg);
+        let index = MinimizerIndex::build(&genome.seq);
+        let params = CandidateParams {
+            max_per_read: 600,
+            ..CandidateParams::default()
+        };
+
+        let mut batch = TaskBatch::new();
+        for r in &reads {
+            for t in mapper::candidates_for_read(r.id, &r.seq, &genome.seq, &index, &params) {
+                batch.push(t);
+            }
+        }
+        let true_locus = classify_true_locus(&batch.tasks, &reads);
+        Workload {
+            genome,
+            reads,
+            batch,
+            true_locus,
+        }
+    }
+
+    /// The timed subset of tasks for this scale: an even stride sample
+    /// across the whole candidate set, so the subset preserves the
+    /// true-locus/off-target mix instead of over-representing the first
+    /// few reads.
+    pub fn timed_tasks(&self, scale: Scale) -> Vec<AlignTask> {
+        let n = self.batch.tasks.len();
+        let cap = scale.task_cap().unwrap_or(n).min(n);
+        if cap == 0 || n == 0 {
+            return Vec::new();
+        }
+        let stride = (n as f64 / cap as f64).max(1.0);
+        (0..cap)
+            .map(|i| self.batch.tasks[(i as f64 * stride) as usize % n].clone())
+            .collect()
+    }
+
+    /// One candidate per read: the one whose reference window overlaps
+    /// the read's true origin the most (the "primary" mapping, which is
+    /// what downstream tools keep). These are the pairs on which the
+    /// aligner-quality experiment compares GenASM against the optimum.
+    pub fn primary_tasks(&self) -> Vec<AlignTask> {
+        let mut best: Vec<Option<(usize, usize)>> = vec![None; self.reads.len()]; // (overlap, idx)
+        for (i, t) in self.batch.tasks.iter().enumerate() {
+            let Some(read) = self.reads.get(t.read_id as usize) else {
+                continue;
+            };
+            let ov_start = t.ref_pos.max(read.true_start);
+            let ov_end = (t.ref_pos + t.target.len()).min(read.true_end);
+            let overlap = ov_end.saturating_sub(ov_start);
+            let slot = &mut best[t.read_id as usize];
+            if slot.map_or(true, |(o, _)| overlap > o) {
+                *slot = Some((overlap, i));
+            }
+        }
+        best.iter()
+            .flatten()
+            .filter(|(o, _)| *o > 0)
+            .map(|&(_, i)| self.batch.tasks[i].clone())
+            .collect()
+    }
+
+    /// Candidates per read, on average.
+    pub fn candidates_per_read(&self) -> f64 {
+        if self.reads.is_empty() {
+            return 0.0;
+        }
+        self.batch.len() as f64 / self.reads.len() as f64
+    }
+}
+
+/// Indices of tasks whose reference window overlaps at least half of
+/// the read's true origin interval.
+fn classify_true_locus(tasks: &[AlignTask], reads: &[SimRead]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let Some(read) = reads.get(t.read_id as usize) else {
+            continue;
+        };
+        let win_start = t.ref_pos;
+        let win_end = t.ref_pos + t.target.len();
+        let ov_start = win_start.max(read.true_start);
+        let ov_end = win_end.min(read.true_end);
+        let overlap = ov_end.saturating_sub(ov_start);
+        if overlap * 2 >= read.true_end - read.true_start {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn tiny_pipeline_builds() {
+        // A miniature custom pipeline to keep the test fast.
+        let genome = Genome::generate(&GenomeConfig::human_like(120_000, 7));
+        let read_cfg = readsim::ReadConfig {
+            count: 5,
+            length: 3_000,
+            errors: readsim::ErrorModel::pacbio_clr(0.10),
+            rc_fraction: 0.5,
+            seed: 99,
+        };
+        let reads = simulate_reads(&genome, &read_cfg);
+        let index = MinimizerIndex::build(&genome.seq);
+        let params = CandidateParams::default();
+        let mut n_candidates = 0;
+        for r in &reads {
+            let c = mapper::candidates_for_read(r.id, &r.seq, &genome.seq, &index, &params);
+            n_candidates += c.len();
+        }
+        assert!(
+            n_candidates >= reads.len(),
+            "every read should map at least once, got {n_candidates}"
+        );
+    }
+
+    #[test]
+    fn true_locus_classification() {
+        let genome = Genome::generate(&GenomeConfig::plain(60_000, 3));
+        let read = readsim::SimRead {
+            id: 0,
+            seq: genome.seq.slice(10_000, 2_000),
+            qual: vec![30; 2_000],
+            true_start: 10_000,
+            true_end: 12_000,
+            reverse: false,
+            errors_injected: 0,
+        };
+        let good = AlignTask::new(0, 9_900, genome.seq.slice(9_900, 2_200), genome.seq.slice(9_900, 2_200));
+        let bad = AlignTask::new(0, 40_000, genome.seq.slice(40_000, 2_200), genome.seq.slice(40_000, 2_200));
+        let idx = classify_true_locus(&[good, bad], &[read]);
+        assert_eq!(idx, vec![0]);
+    }
+}

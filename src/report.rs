@@ -1,0 +1,149 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// A simple aligned-column table.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("## ");
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..width[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for report cells.
+pub fn f(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a ratio as `N.N×`.
+pub fn x(ratio: f64) -> String {
+    format!("{}x", f(ratio))
+}
+
+/// Format a byte count human-readably.
+pub fn bytes(b: f64) -> String {
+    if b >= 1048576.0 {
+        format!("{:.1} MiB", b / 1048576.0)
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // header and rows align on the second column
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(42.123), "42.1");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(x(2.0), "2.00x");
+        assert_eq!(bytes(512.0), "512 B");
+        assert_eq!(bytes(2048.0), "2.0 KiB");
+        assert_eq!(bytes(3.0 * 1048576.0), "3.0 MiB");
+    }
+}

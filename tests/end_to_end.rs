@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full pipeline from genome to
+//! validated alignments, with every aligner in the suite.
+
+use align_core::{AlignTask, GlobalAligner};
+use baselines::{Ksw2Aligner, MyersAligner};
+use genasm_core::{GenAsmConfig, MemStats};
+use genasm_gpu::GpuAligner;
+use gpu_sim::Device;
+use mapper::{CandidateParams, MinimizerIndex};
+use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+/// A small but complete workload: 150 kbp genome, 8 reads of 2 kbp.
+fn tiny_workload() -> (Genome, Vec<AlignTask>) {
+    let genome = Genome::generate(&GenomeConfig::human_like(150_000, 21));
+    let reads = simulate_reads(
+        &genome,
+        &ReadConfig {
+            count: 8,
+            length: 2_000,
+            errors: ErrorModel::pacbio_clr(0.10),
+            rc_fraction: 0.5,
+            seed: 22,
+        },
+    );
+    let index = MinimizerIndex::build(&genome.seq);
+    let mut tasks = Vec::new();
+    for r in &reads {
+        tasks.extend(mapper::candidates_for_read(
+            r.id,
+            &r.seq,
+            &genome.seq,
+            &index,
+            &CandidateParams::default(),
+        ));
+    }
+    assert!(
+        tasks.len() >= reads.len(),
+        "each read should produce at least one candidate"
+    );
+    (genome, tasks)
+}
+
+#[test]
+fn every_aligner_validates_on_mapped_candidates() {
+    let (_genome, tasks) = tiny_workload();
+    let subset = &tasks[..tasks.len().min(12)];
+    let genasm = genasm_cpu::CpuBatchAligner::improved();
+    let genasm_base = genasm_cpu::CpuBatchAligner::baseline();
+    let myers = MyersAligner::new();
+    let ksw2 = Ksw2Aligner::new();
+    for t in subset {
+        for aligner in [
+            &genasm as &dyn GlobalAligner,
+            &genasm_base,
+            &myers,
+            &ksw2,
+        ] {
+            let aln = aligner
+                .align(&t.query, &t.target)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", aligner.name()));
+            aln.check(&t.query, &t.target)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", aligner.name()));
+        }
+    }
+}
+
+#[test]
+fn genasm_cost_bounded_by_exact_distance() {
+    let (_genome, tasks) = tiny_workload();
+    let subset = &tasks[..tasks.len().min(12)];
+    let genasm = genasm_cpu::CpuBatchAligner::improved();
+    let myers = MyersAligner::new();
+    let mut good = 0;
+    for t in subset {
+        let g = genasm.align(&t.query, &t.target).unwrap();
+        let opt = myers.align(&t.query, &t.target).unwrap();
+        assert!(g.edit_distance >= opt.edit_distance, "GenASM beat the optimum");
+        // "Good" = plausibly the true locus (distance proportional to
+        // the 10% error rate); off-target repeat hits are excluded —
+        // there the greedy heuristic is expected to produce
+        // valid-but-suboptimal alignments.
+        if opt.edit_distance * 6 < t.query.len() {
+            good += 1;
+            let excess = g.edit_distance - opt.edit_distance;
+            // The windowed heuristic loses at most a few percent on
+            // realistic candidates (the accuracy experiment quantifies
+            // the distribution).
+            assert!(
+                excess * 20 <= opt.edit_distance,
+                "excess {excess} over optimum {} is more than 5%",
+                opt.edit_distance
+            );
+        }
+    }
+    assert!(good >= 4, "workload produced too few true-locus candidates");
+}
+
+#[test]
+fn gpu_and_cpu_agree_on_pipeline_candidates() {
+    let (_genome, tasks) = tiny_workload();
+    let subset: Vec<AlignTask> = tasks.into_iter().take(6).collect();
+    let gpu = GpuAligner::improved(Device::a6000());
+    let report = gpu.align_batch(&subset).unwrap();
+    for (t, r) in subset.iter().zip(&report.results) {
+        let mut stats = MemStats::new();
+        let cpu =
+            genasm_core::align_with_stats(&t.query, &t.target, &GenAsmConfig::improved(), &mut stats)
+                .unwrap();
+        assert_eq!(r.alignment.cigar, cpu.cigar, "GPU/CPU divergence");
+    }
+}
+
+#[test]
+fn memory_reductions_materialize_on_real_candidates() {
+    let (_genome, tasks) = tiny_workload();
+    let subset = &tasks[..tasks.len().min(10)];
+    let mut base = MemStats::new();
+    let mut imp = MemStats::new();
+    for t in subset {
+        genasm_core::align_with_stats(&t.query, &t.target, &GenAsmConfig::baseline(), &mut base)
+            .unwrap();
+        genasm_core::align_with_stats(&t.query, &t.target, &GenAsmConfig::improved(), &mut imp)
+            .unwrap();
+    }
+    let footprint = base.footprint_reduction_vs(&imp);
+    let accesses = base.access_reduction_vs(&imp);
+    // The paper's figures are 24x and 12x; the exact value depends on
+    // the candidate mix, but anything below these floors means an
+    // improvement stopped working.
+    assert!(footprint > 8.0, "footprint reduction collapsed: {footprint:.1}x");
+    assert!(accesses > 4.0, "access reduction collapsed: {accesses:.1}x");
+    assert_eq!(base.windows, imp.windows);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (ga, ta) = tiny_workload();
+    let (gb, tb) = tiny_workload();
+    assert_eq!(ga.seq, gb.seq);
+    assert_eq!(ta.len(), tb.len());
+    for (x, y) in ta.iter().zip(&tb) {
+        assert_eq!(x.query, y.query);
+        assert_eq!(x.ref_pos, y.ref_pos);
+    }
+}
