@@ -184,7 +184,7 @@ impl Cigar {
     pub fn ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
         self.runs
             .iter()
-            .flat_map(|&(n, op)| std::iter::repeat(op).take(n as usize))
+            .flat_map(|&(n, op)| std::iter::repeat_n(op, n as usize))
     }
 
     /// True if there are no operations.

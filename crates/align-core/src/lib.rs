@@ -26,7 +26,7 @@ pub mod nw;
 pub mod seq;
 pub mod task;
 
-pub use alignment::{Alignment, GlobalAligner};
+pub use alignment::{Alignment, GlobalAligner, ReusableAligner};
 pub use cigar::{Cigar, CigarOp};
 pub use nw::{banded_nw_distance, doubling_nw_distance, nw_align, nw_distance};
 pub use seq::{Base, Seq};

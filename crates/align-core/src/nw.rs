@@ -65,7 +65,11 @@ pub fn nw_align(query: &Seq, target: &Seq) -> Alignment {
         if ti > 0 && qi > 0 {
             let eq = query.get_code(qi - 1) == target.get_code(ti - 1);
             if dp[ti - 1][qi - 1] + usize::from(!eq) == here {
-                rev.push(if eq { CigarOp::Match } else { CigarOp::Mismatch });
+                rev.push(if eq {
+                    CigarOp::Match
+                } else {
+                    CigarOp::Mismatch
+                });
                 ti -= 1;
                 qi -= 1;
                 continue;

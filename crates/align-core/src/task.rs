@@ -130,7 +130,9 @@ mod tests {
 
     #[test]
     fn chunking() {
-        let b: TaskBatch = (0..10).map(|i| AlignTask::new(i, 0, seq("A"), seq("A"))).collect();
+        let b: TaskBatch = (0..10)
+            .map(|i| AlignTask::new(i, 0, seq("A"), seq("A")))
+            .collect();
         let chunks: Vec<_> = b.chunks(4).collect();
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[0].len(), 4);

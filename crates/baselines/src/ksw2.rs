@@ -11,7 +11,7 @@
 //! cell (2 bits H-source + 1 bit E-extend + 1 bit F-extend), mirroring
 //! KSW2's `p` matrix.
 
-use align_core::{Alignment, AlignError, Cigar, CigarOp, GlobalAligner, Seq};
+use align_core::{AlignError, Alignment, Cigar, CigarOp, GlobalAligner, Seq};
 
 const NEG_INF: i32 = i32::MIN / 2;
 
@@ -250,7 +250,11 @@ impl Ksw2Aligner {
                     match byte & SRC_MASK {
                         SRC_DIAG => {
                             let eq = query.get_code(i - 1) == target.get_code(j - 1);
-                            rev.push(if eq { CigarOp::Match } else { CigarOp::Mismatch });
+                            rev.push(if eq {
+                                CigarOp::Match
+                            } else {
+                                CigarOp::Mismatch
+                            });
                             i -= 1;
                             j -= 1;
                         }
@@ -287,6 +291,21 @@ impl Ksw2Aligner {
 impl Default for Ksw2Aligner {
     fn default() -> Ksw2Aligner {
         Ksw2Aligner::new()
+    }
+}
+
+impl align_core::ReusableAligner for Ksw2Aligner {
+    // The quadratic DP allocates per (m, n) shape; a unit workspace
+    // keeps KSW2 drivable by the reuse-aware batch harness.
+    type Workspace = ();
+
+    fn align_reusing(
+        &self,
+        _ws: &mut (),
+        query: &Seq,
+        target: &Seq,
+    ) -> align_core::Result<Alignment> {
+        self.align(query, target)
     }
 }
 

@@ -18,7 +18,7 @@
 //! arbitrary cell values with O(1) popcount queries from block-bottom
 //! scores.
 
-use align_core::{Alignment, AlignError, Cigar, CigarOp, GlobalAligner, Seq};
+use align_core::{AlignError, Alignment, Cigar, CigarOp, GlobalAligner, Seq};
 
 const INF: i64 = i64::MAX / 4;
 
@@ -40,7 +40,7 @@ impl PatternBlocks {
         for i in 0..m {
             peq[i / 64][query.get_code(i) as usize] |= 1u64 << (i % 64);
         }
-        let w_last = if m % 64 == 0 { 64 } else { m % 64 };
+        let w_last = if m.is_multiple_of(64) { 64 } else { m % 64 };
         PatternBlocks {
             m,
             nblocks,
@@ -273,7 +273,10 @@ impl MyersAligner {
                 if m == 0 {
                     // Empty query: prefix mode may end anywhere at the
                     // cost of the consumed prefix; best is the empty one.
-                    return ModeDistance { distance: 0, end: 0 };
+                    return ModeDistance {
+                        distance: 0,
+                        end: 0,
+                    };
                 }
                 let pb = PatternBlocks::new(query);
                 let mut pv = vec![!0u64; pb.nblocks];
@@ -322,13 +325,33 @@ impl MyersAligner {
             return query.len();
         }
         let pb = PatternBlocks::new(query);
-        let mut k = self.initial_k.max(1).max(query.len().abs_diff(target.len()));
+        let mut k = self
+            .initial_k
+            .max(1)
+            .max(query.len().abs_diff(target.len()));
         loop {
             if let Some(d) = compute(&pb, target, k, None) {
                 return d;
             }
             k = (k * 2).min(query.len() + target.len());
         }
+    }
+}
+
+impl align_core::ReusableAligner for MyersAligner {
+    // No cross-alignment scratch yet: the doubling search re-sizes its
+    // block columns per (k, n) anyway. The unit workspace still lets the
+    // batch harness drive Myers through the same reuse code path as
+    // GenASM.
+    type Workspace = ();
+
+    fn align_reusing(
+        &self,
+        _ws: &mut (),
+        query: &Seq,
+        target: &Seq,
+    ) -> align_core::Result<Alignment> {
+        self.align(query, target)
     }
 }
 
@@ -349,8 +372,7 @@ impl GlobalAligner for MyersAligner {
         let mut store = Store {
             columns: Vec::new(),
         };
-        let d2 = compute(&pb, target, k_tb, Some(&mut store))
-            .ok_or(AlignError::NoAlignment)?;
+        let d2 = compute(&pb, target, k_tb, Some(&mut store)).ok_or(AlignError::NoAlignment)?;
         debug_assert_eq!(d, d2, "store pass must reproduce the distance");
 
         // Standard NW walk over value() queries.
@@ -361,7 +383,11 @@ impl GlobalAligner for MyersAligner {
             let eq = query.get_code(i - 1) == target.get_code(j - 1);
             let diag = value(&pb, &store, i - 1, j - 1);
             if diag + i64::from(!eq) == cur {
-                rev.push(if eq { CigarOp::Match } else { CigarOp::Mismatch });
+                rev.push(if eq {
+                    CigarOp::Match
+                } else {
+                    CigarOp::Mismatch
+                });
                 i -= 1;
                 j -= 1;
                 cur = diag;
@@ -384,8 +410,8 @@ impl GlobalAligner for MyersAligner {
             i -= 1;
             cur = up;
         }
-        rev.extend(std::iter::repeat(CigarOp::Ins).take(i));
-        rev.extend(std::iter::repeat(CigarOp::Del).take(j));
+        rev.extend(std::iter::repeat_n(CigarOp::Ins, i));
+        rev.extend(std::iter::repeat_n(CigarOp::Del, j));
         rev.reverse();
         let aln = Alignment::from_cigar(Cigar::from_ops(rev));
         debug_assert_eq!(aln.edit_distance, d2);
@@ -450,7 +476,9 @@ mod tests {
         let a = MyersAligner::new();
         // Lengths straddling the 64-bit block boundary.
         for len in [63, 64, 65, 127, 128, 129] {
-            let q: Seq = (0..len).map(|i| align_core::Base::from_code((i % 4) as u8)).collect();
+            let q: Seq = (0..len)
+                .map(|i| align_core::Base::from_code((i % 4) as u8))
+                .collect();
             let mut t = q.to_ascii();
             t[len / 2] = if t[len / 2] == b'A' { b'C' } else { b'A' };
             let t = seq(std::str::from_utf8(&t).unwrap());
@@ -570,8 +598,14 @@ mod tests {
     fn empty_query_mode_distances() {
         let a = MyersAligner::new();
         let t = seq("ACGT");
-        assert_eq!(a.distance_mode(&Seq::new(), &t, MyersMode::Infix).distance, 0);
-        assert_eq!(a.distance_mode(&Seq::new(), &t, MyersMode::Prefix).distance, 0);
+        assert_eq!(
+            a.distance_mode(&Seq::new(), &t, MyersMode::Infix).distance,
+            0
+        );
+        assert_eq!(
+            a.distance_mode(&Seq::new(), &t, MyersMode::Prefix).distance,
+            0
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Microbench of the per-window engine (ablation A1 at the window
 //! level): how each improvement combination changes the cost of a
-//! single 64×64 window at several error weights.
+//! single 64×64 window at several error weights — and what workspace
+//! reuse saves per window (fresh allocates every buffer per call;
+//! reused amortizes them across the run).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genasm_core::bitvec::PatternMask;
-use genasm_core::{GenAsmConfig, Improvements, MemStats};
+use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -14,7 +16,7 @@ fn window_inputs(errors: usize, seed: u64) -> (PatternMask, Vec<u8>) {
     let mut t: Vec<u8> = (0..64).map(|i| q.get_code(i)).collect();
     for _ in 0..errors {
         let p = rng.gen_range(0..t.len());
-        t[p] = (t[p] + rng.gen_range(1..4)) % 4;
+        t[p] = (t[p] + rng.gen_range(1..4u8)) % 4;
     }
     let pm = PatternMask::new_reversed_window(&q, 0, 64);
     t.reverse();
@@ -45,13 +47,50 @@ fn bench_window(c: &mut Criterion) {
                 |b, (pm, trev)| {
                     b.iter(|| {
                         let mut stats = MemStats::new();
-                        genasm_core::align_window(pm, trev, &cfg, 40, false, &mut stats)
+                        genasm_core::align_window_fresh(pm, trev, &cfg, 40, false, &mut stats)
                             .expect("window")
                             .d_star
                     })
                 },
             );
         }
+    }
+    group.finish();
+
+    // Fresh vs reused ns/window: identical DP work, the difference is
+    // purely the per-window allocations the workspace removes.
+    let mut group = c.benchmark_group("A1_window_workspace");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &errors in &[0usize, 4, 16, 48] {
+        let (pm, trev) = window_inputs(errors, 5);
+        let cfg = GenAsmConfig::improved();
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("{errors}err")),
+            &(&pm, &trev),
+            |b, (pm, trev)| {
+                b.iter(|| {
+                    let mut stats = MemStats::new();
+                    genasm_core::align_window_fresh(pm, trev, &cfg, 40, false, &mut stats)
+                        .expect("window")
+                        .d_star
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reused", format!("{errors}err")),
+            &(&pm, &trev),
+            |b, (pm, trev)| {
+                let mut ws = AlignWorkspace::with_capacity(cfg.w);
+                b.iter(|| {
+                    ws.set_window_raw((*pm).clone(), trev);
+                    genasm_core::align_window(&mut ws, &cfg, 40, false)
+                        .expect("window")
+                        .d_star
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
 
     group.bench_function("genome_200kb", |b| {
-        b.iter(|| Genome::generate(&GenomeConfig::human_like(200_000, 3)).seq.len())
+        b.iter(|| {
+            Genome::generate(&GenomeConfig::human_like(200_000, 3))
+                .seq
+                .len()
+        })
     });
 
     let genome = Genome::generate(&GenomeConfig::human_like(200_000, 3));

@@ -120,7 +120,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
         }
-        other => Err(CliError::usage(format!("unknown subcommand {other:?}\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
     }
 }
 

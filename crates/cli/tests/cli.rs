@@ -49,13 +49,20 @@ fn simulate_map_align_pipeline() {
     let reads_path = dir.join("reads.fq");
     let out = run_ok(&[
         "simulate",
-        "--genome-len", "120000",
-        "--reads", "4",
-        "--read-len", "1500",
-        "--error", "0.08",
-        "--seed", "5",
-        "--ref", ref_path.to_str().unwrap(),
-        "--out", reads_path.to_str().unwrap(),
+        "--genome-len",
+        "120000",
+        "--reads",
+        "4",
+        "--read-len",
+        "1500",
+        "--error",
+        "0.08",
+        "--seed",
+        "5",
+        "--ref",
+        ref_path.to_str().unwrap(),
+        "--out",
+        reads_path.to_str().unwrap(),
     ]);
     assert!(out.contains("120000 bp reference"));
     assert!(out.contains("4 reads"));
@@ -63,8 +70,10 @@ fn simulate_map_align_pipeline() {
     // map: PAF-like rows, one per chain.
     let paf = run_ok(&[
         "map",
-        "--ref", ref_path.to_str().unwrap(),
-        "--reads", reads_path.to_str().unwrap(),
+        "--ref",
+        ref_path.to_str().unwrap(),
+        "--reads",
+        reads_path.to_str().unwrap(),
     ]);
     let rows: Vec<&str> = paf.lines().collect();
     assert!(rows.len() >= 4, "every read should map:\n{paf}");
@@ -82,15 +91,21 @@ fn simulate_map_align_pipeline() {
     // (genasm >= edlib per pair).
     let genasm_out = run_ok(&[
         "align",
-        "--ref", ref_path.to_str().unwrap(),
-        "--reads", reads_path.to_str().unwrap(),
-        "--aligner", "genasm",
+        "--ref",
+        ref_path.to_str().unwrap(),
+        "--reads",
+        reads_path.to_str().unwrap(),
+        "--aligner",
+        "genasm",
     ]);
     let edlib_out = run_ok(&[
         "align",
-        "--ref", ref_path.to_str().unwrap(),
-        "--reads", reads_path.to_str().unwrap(),
-        "--aligner", "edlib",
+        "--ref",
+        ref_path.to_str().unwrap(),
+        "--reads",
+        reads_path.to_str().unwrap(),
+        "--aligner",
+        "edlib",
     ]);
     let parse_best = |s: &str| -> Vec<(String, usize)> {
         let mut best: Vec<(String, usize)> = Vec::new();
@@ -110,7 +125,10 @@ fn simulate_map_align_pipeline() {
     assert_eq!(gb.len(), eb.len());
     for ((gn, gd), (en, ed)) in gb.iter().zip(&eb) {
         assert_eq!(gn, en);
-        assert!(gd >= ed, "genasm best {gd} below exact optimum {ed} for {gn}");
+        assert!(
+            gd >= ed,
+            "genasm best {gd} below exact optimum {ed} for {gn}"
+        );
         // 8% error on 1500 bp: distance should be loosely near 120.
         assert!(*ed > 20 && *ed < 500, "implausible distance {ed} for {en}");
     }
@@ -134,18 +152,18 @@ fn filter_finds_planted_pattern() {
     let mut seq_bytes = vec![b'A'; 300];
     let pattern = b"GATTACAGGATCC";
     seq_bytes[100..100 + pattern.len()].copy_from_slice(pattern);
-    let rec = readsim::FastxRecord::fasta(
-        "ref",
-        align_core::Seq::from_ascii(&seq_bytes).unwrap(),
-    );
+    let rec = readsim::FastxRecord::fasta("ref", align_core::Seq::from_ascii(&seq_bytes).unwrap());
     let f = std::fs::File::create(&ref_path).unwrap();
     readsim::write_fasta(std::io::BufWriter::new(f), &[rec]).unwrap();
 
     let out = run_ok(&[
         "filter",
-        "--pattern", "GATTACAGGATCC",
-        "--text", ref_path.to_str().unwrap(),
-        "-k", "0",
+        "--pattern",
+        "GATTACAGGATCC",
+        "--text",
+        ref_path.to_str().unwrap(),
+        "-k",
+        "0",
     ]);
     let rows: Vec<&str> = out.lines().collect();
     assert_eq!(rows.len(), 1, "exactly one exact occurrence:\n{out}");

@@ -1,11 +1,12 @@
 //! The public aligner façade.
 
-use align_core::{Alignment, AlignError, GlobalAligner, Seq};
+use align_core::{AlignError, Alignment, GlobalAligner, ReusableAligner, Seq};
 use std::cell::RefCell;
 
 use crate::config::GenAsmConfig;
 use crate::stats::MemStats;
-use crate::window::align_with_stats;
+use crate::window::{align_with_stats, align_with_workspace};
+use crate::workspace::AlignWorkspace;
 
 /// The GenASM aligner: configure once, align many pairs.
 ///
@@ -63,6 +64,37 @@ impl GenAsmAligner {
         align_with_stats(query, target, &self.cfg, stats)
     }
 
+    /// Align one pair borrowing all scratch from `ws` — the hot-path
+    /// entry point. Instrumentation accumulates in `ws.stats`.
+    ///
+    /// ```
+    /// use genasm_core::{AlignWorkspace, GenAsmAligner};
+    /// use align_core::Seq;
+    ///
+    /// let aligner = GenAsmAligner::improved();
+    /// let mut ws = AlignWorkspace::new();
+    /// let q = Seq::from_ascii(b"ACGTACGTAC").unwrap();
+    /// let t = Seq::from_ascii(b"ACGAACGTAC").unwrap();
+    /// for _ in 0..3 {
+    ///     // Scratch buffers are reused across these calls.
+    ///     let aln = aligner.align_reusing(&mut ws, &q, &t).unwrap();
+    ///     assert_eq!(aln.edit_distance, 1);
+    /// }
+    /// ```
+    pub fn align_reusing(
+        &self,
+        ws: &mut AlignWorkspace,
+        query: &Seq,
+        target: &Seq,
+    ) -> Result<Alignment, AlignError> {
+        align_with_workspace(query, target, &self.cfg, ws)
+    }
+
+    /// A workspace pre-sized for this aligner's window geometry.
+    pub fn new_workspace(&self) -> AlignWorkspace {
+        AlignWorkspace::with_capacity(self.cfg.w)
+    }
+
     /// Instrumentation accumulated by [`GlobalAligner::align`] calls.
     pub fn stats(&self) -> MemStats {
         *self.stats.borrow()
@@ -71,6 +103,19 @@ impl GenAsmAligner {
     /// Reset the accumulated instrumentation.
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = MemStats::new();
+    }
+}
+
+impl ReusableAligner for GenAsmAligner {
+    type Workspace = AlignWorkspace;
+
+    fn align_reusing(
+        &self,
+        ws: &mut AlignWorkspace,
+        query: &Seq,
+        target: &Seq,
+    ) -> align_core::Result<Alignment> {
+        GenAsmAligner::align_reusing(self, ws, query, target)
     }
 }
 

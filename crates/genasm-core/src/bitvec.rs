@@ -46,13 +46,26 @@ impl PatternMask {
     }
 
     fn from_slice_fn(m: usize, code_at: impl Fn(usize) -> u8) -> PatternMask {
-        assert!(m >= 1 && m <= MAX_W, "pattern window length {m} not in 1..=64");
+        assert!(
+            (1..=MAX_W).contains(&m),
+            "pattern window length {m} not in 1..=64"
+        );
         let mut masks = [!0u64; 4];
         for j in 0..m {
             let c = code_at(j) as usize;
             masks[c] &= !(1u64 << j);
         }
         PatternMask { masks, m }
+    }
+
+    /// A length-1 all-mismatch mask, used only to give
+    /// [`crate::workspace::AlignWorkspace`] an initial value before its
+    /// first window is staged.
+    pub(crate) fn placeholder() -> PatternMask {
+        PatternMask {
+            masks: [!0u64; 4],
+            m: 1,
+        }
     }
 
     /// The mask for text character code `c` (`0..=3`).
@@ -147,7 +160,7 @@ mod tests {
         assert_eq!(pm.get(1) & 0b1111, 0b1101); // C at j=1
         assert_eq!(pm.get(2) & 0b1111, 0b1011); // G at j=2
         assert_eq!(pm.get(3) & 0b1111, 0b1111); // no T
-        // bits beyond m are inactive (1)
+                                                // bits beyond m are inactive (1)
         assert_eq!(pm.get(0) >> 4, !0u64 >> 4);
     }
 
@@ -202,7 +215,12 @@ mod tests {
     #[test]
     fn and_of_edges_equals_step() {
         let cases = [
-            (0x0123_4567_89ab_cdefu64, 0xfedc_ba98_7654_3210u64, 0x00ff_00ff_00ff_00ffu64, 0xaaaa_5555_aaaa_5555u64),
+            (
+                0x0123_4567_89ab_cdefu64,
+                0xfedc_ba98_7654_3210u64,
+                0x00ff_00ff_00ff_00ffu64,
+                0xaaaa_5555_aaaa_5555u64,
+            ),
             (!0, !0, !0, !0),
             (0, 0, 0, 0),
         ];

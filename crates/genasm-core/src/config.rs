@@ -116,7 +116,12 @@ impl GenAsmConfig {
             "window size W={} must be in 1..=64",
             self.w
         );
-        assert!(self.o < self.w, "overlap O={} must be < W={}", self.o, self.w);
+        assert!(
+            self.o < self.w,
+            "overlap O={} must be < W={}",
+            self.o,
+            self.w
+        );
         assert!(
             self.k <= self.w,
             "edit budget k={} must be <= W={} (one bitvector row per error)",

@@ -5,6 +5,11 @@
 //! against a reversed text slice. Reversal makes the backward traceback
 //! emit operations in forward order (GenASM's trick, DESIGN.md §5).
 //!
+//! All mutable state — scratch rows, the traceback table, the staged
+//! window inputs, the op buffer, and the instrumentation counters —
+//! lives in a caller-provided [`AlignWorkspace`], so a warm workspace
+//! aligns windows without a single heap allocation.
+//!
 //! ## Improvement mechanics
 //!
 //! * **Row-major evaluation + early termination.** Rows (error counts)
@@ -34,12 +39,27 @@ use crate::bitvec::{init_row, step_row, step_row0, step_row_edges, PatternMask};
 use crate::config::GenAsmConfig;
 use crate::stats::MemStats;
 use crate::table::{slot, TbTable};
+use crate::workspace::AlignWorkspace;
 
-/// Result of aligning one window.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WindowResult {
+/// Result of aligning one window; the committed operations are left in
+/// [`AlignWorkspace::window_ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
     /// Minimal edit count for the full pattern window against a prefix
     /// of the (un-reversed) text window.
+    pub d_star: usize,
+    /// Pattern characters consumed by the committed operations.
+    pub q_consumed: usize,
+    /// Text characters consumed by the committed operations.
+    pub t_consumed: usize,
+}
+
+/// Result of [`align_window_fresh`]: a [`WindowSummary`] plus an owned
+/// copy of the committed operations, for one-shot callers that don't
+/// manage a workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowResult {
+    /// Minimal edit count for the full pattern window.
     pub d_star: usize,
     /// Committed operations, in forward order.
     pub ops: Vec<CigarOp>,
@@ -49,26 +69,26 @@ pub struct WindowResult {
     pub t_consumed: usize,
 }
 
-/// Align one window.
+/// Align the window staged in `ws` (see [`AlignWorkspace::set_window`]).
 ///
-/// * `pm` — bitmasks of the **reversed** pattern window (length `m`);
-/// * `text_rev` — 2-bit codes of the **reversed** text window;
 /// * `keep` — maximum pattern/text characters to commit (`W - O` for
 ///   non-final windows, `m` for final ones);
 /// * `final_window` — final windows walk the full traceback and use a
 ///   cut of 0.
 ///
+/// The committed operations are appended to a cleared
+/// [`AlignWorkspace::window_ops`]; instrumentation accumulates into
+/// `ws.stats`. A warm workspace makes this entirely allocation-free.
+///
 /// Returns [`AlignError::NoAlignment`] when the window needs more than
 /// `cfg.k` edits (impossible when `cfg.k == cfg.w`).
 pub fn align_window(
-    pm: &PatternMask,
-    text_rev: &[u8],
+    ws: &mut AlignWorkspace,
     cfg: &GenAsmConfig,
     keep: usize,
     final_window: bool,
-    stats: &mut MemStats,
-) -> Result<WindowResult, AlignError> {
-    let n = text_rev.len();
+) -> Result<WindowSummary, AlignError> {
+    let n = ws.text_rev.len();
     assert!(n >= 1, "empty text window");
     assert!(keep >= 1, "keep must be positive");
     let wpe = cfg.words_per_entry();
@@ -77,11 +97,22 @@ pub fn align_window(
     } else {
         n.saturating_sub(keep + 1)
     };
+    ws.table.reset(wpe, n, cut);
+    ws.ensure_scratch(n);
+
+    // Disjoint borrows of the workspace fields for the DP loops.
+    let AlignWorkspace {
+        pm,
+        text_rev,
+        prev_row,
+        cur_row,
+        table,
+        ops,
+        stats,
+        ..
+    } = ws;
 
     let solution = pm.solution_bit();
-    let mut table = TbTable::new(wpe, n, cut);
-    let mut prev_row = vec![0u64; n];
-    let mut cur_row = vec![0u64; n];
     let mut d_star: Option<usize> = None;
 
     for d in 0..=cfg.k {
@@ -124,11 +155,11 @@ pub fn align_window(
         if d_star.is_none() && cur_row[n - 1] & solution == 0 {
             d_star = Some(d);
             if cfg.improvements.early_term {
-                std::mem::swap(&mut prev_row, &mut cur_row);
+                std::mem::swap(prev_row, cur_row);
                 break;
             }
         }
-        std::mem::swap(&mut prev_row, &mut cur_row);
+        std::mem::swap(prev_row, cur_row);
     }
 
     let d_star = d_star.ok_or(AlignError::NoAlignment)?;
@@ -136,13 +167,36 @@ pub fn align_window(
     stats.rows_computed += table.rows() as u64;
     table.account_footprint(stats);
 
-    let (ops, q_consumed, t_consumed) =
-        traceback(&table, pm, text_rev, d_star, keep, final_window, stats);
-    Ok(WindowResult {
+    let (q_consumed, t_consumed) =
+        traceback(table, pm, text_rev, d_star, keep, final_window, ops, stats);
+    Ok(WindowSummary {
         d_star,
-        ops,
         q_consumed,
         t_consumed,
+    })
+}
+
+/// One-shot convenience: align a single window from explicit inputs
+/// with a transient workspace (tests, benchmarks, exploratory use).
+/// Batch callers should hold an [`AlignWorkspace`] and call
+/// [`align_window`] instead.
+pub fn align_window_fresh(
+    pm: &PatternMask,
+    text_rev: &[u8],
+    cfg: &GenAsmConfig,
+    keep: usize,
+    final_window: bool,
+    stats: &mut MemStats,
+) -> Result<WindowResult, AlignError> {
+    let mut ws = AlignWorkspace::new();
+    ws.set_window_raw(pm.clone(), text_rev);
+    let summary = align_window(&mut ws, cfg, keep, final_window)?;
+    stats.merge(&ws.stats);
+    Ok(WindowResult {
+        d_star: summary.d_star,
+        ops: ws.ops.clone(),
+        q_consumed: summary.q_consumed,
+        t_consumed: summary.t_consumed,
     })
 }
 
@@ -164,7 +218,8 @@ fn active(word: u64, j: usize) -> bool {
 }
 
 /// GenASM-TB: walk the stored table from the solution entry, emitting
-/// operations in forward order (the inputs are reversed).
+/// operations in forward order (the inputs are reversed) into `ops`
+/// (cleared first). Returns `(q_consumed, t_consumed)`.
 ///
 /// The walk starts at `(i = n-1, d = d_star, j = m-1)` and stops when
 /// the pattern is consumed (`j < 0`) or — for non-final windows — when
@@ -172,6 +227,7 @@ fn active(word: u64, j: usize) -> bool {
 ///
 /// Edge priority is match > substitution > deletion > insertion; any
 /// active predecessor is cost-safe (DESIGN.md §5).
+#[allow(clippy::too_many_arguments)]
 fn traceback(
     table: &TbTable,
     pm: &PatternMask,
@@ -179,11 +235,12 @@ fn traceback(
     d_star: usize,
     keep: usize,
     final_window: bool,
+    ops: &mut Vec<CigarOp>,
     stats: &mut MemStats,
-) -> (Vec<CigarOp>, usize, usize) {
+) -> (usize, usize) {
     let m = pm.len();
     let n = text_rev.len();
-    let mut ops = Vec::with_capacity(keep.min(m) + d_star + 1);
+    ops.clear();
     let mut d = d_star;
     // `i` is the current text column + 1 so that 0 encodes the virtual
     // init column; `j` is the current pattern bit + 1 likewise.
@@ -238,7 +295,7 @@ fn traceback(
             "final-window traceback cost must equal d*"
         );
     }
-    (ops, qc, tc)
+    (qc, tc)
 }
 
 /// Edge selection for the unimproved 4-word layout: read the stored edge
@@ -351,7 +408,7 @@ mod tests {
         let pm = PatternMask::new_reversed_window(&q, 0, q.len());
         let trev = rev_codes(&t);
         let mut stats = MemStats::new();
-        let res = align_window(&pm, &trev, cfg, q.len(), true, &mut stats).unwrap();
+        let res = align_window_fresh(&pm, &trev, cfg, q.len(), true, &mut stats).unwrap();
         (res, stats)
     }
 
@@ -453,7 +510,7 @@ mod tests {
         let mut cfg = GenAsmConfig::improved();
         cfg.k = 3;
         let mut stats = MemStats::new();
-        let err = align_window(&pm, &trev, &cfg, q.len(), true, &mut stats).unwrap_err();
+        let err = align_window_fresh(&pm, &trev, &cfg, q.len(), true, &mut stats).unwrap_err();
         assert_eq!(err, AlignError::NoAlignment);
     }
 
@@ -470,7 +527,7 @@ mod tests {
         cfg.o = 8;
         cfg.k = 12;
         let mut stats = MemStats::new();
-        let res = align_window(&pm, &trev, &cfg, cfg.keep(), false, &mut stats).unwrap();
+        let res = align_window_fresh(&pm, &trev, &cfg, cfg.keep(), false, &mut stats).unwrap();
         assert_eq!(res.q_consumed, 4);
         assert_eq!(res.t_consumed, 4);
         assert_eq!(res.ops.len(), 4);
@@ -490,8 +547,9 @@ mod tests {
         without.improvements.dent = false;
         let mut s1 = MemStats::new();
         let mut s2 = MemStats::new();
-        let r1 = align_window(&pm, &trev, &with_dent, with_dent.keep(), false, &mut s1).unwrap();
-        let r2 = align_window(&pm, &trev, &without, without.keep(), false, &mut s2).unwrap();
+        let r1 =
+            align_window_fresh(&pm, &trev, &with_dent, with_dent.keep(), false, &mut s1).unwrap();
+        let r2 = align_window_fresh(&pm, &trev, &without, without.keep(), false, &mut s2).unwrap();
         assert_eq!(r1.ops, r2.ops, "DENT must not change the result");
         // cut = n - keep - 1 = 32 - 8 - 1 = 23 -> 9 of 32 columns stored
         assert_eq!(s1.table_words, 9);
@@ -503,5 +561,31 @@ mod tests {
         let (res, _) = align_once("ACGTTGCA", "ACGATGCA", &cfg_improved());
         let cost: usize = res.ops.iter().map(|o| o.cost()).sum();
         assert_eq!(cost, res.d_star);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_per_window() {
+        // The same workspace driven across dissimilar windows must give
+        // the same summaries and ops as fresh workspaces.
+        let cases = [
+            ("ACGTACGTAC", "ACGTACGTAC"),
+            ("ACGTA", "TTTTTTT"),
+            ("ACGTACGTAC", "ACGAACGTAC"),
+            ("A", "T"),
+            ("TTTTACGT", "ACGTTTTT"),
+        ];
+        let cfg = cfg_improved();
+        let mut ws = AlignWorkspace::new();
+        for (q, t) in cases {
+            let (fresh, _) = align_once(q, t, &cfg);
+            let q = seq(q);
+            let t = seq(t);
+            ws.set_window(&q, 0, q.len(), &t, 0, t.len());
+            let reused = align_window(&mut ws, &cfg, q.len(), true).unwrap();
+            assert_eq!(reused.d_star, fresh.d_star);
+            assert_eq!(reused.q_consumed, fresh.q_consumed);
+            assert_eq!(reused.t_consumed, fresh.t_consumed);
+            assert_eq!(ws.window_ops(), &fresh.ops[..]);
+        }
     }
 }

@@ -7,6 +7,11 @@
 //! same row-major early-terminating evaluation as the aligner, in O(2
 //! rows) of scratch.
 //!
+//! The scratch rows live in an [`AlignWorkspace`], shared with the
+//! aligner: the `_with` variants borrow a caller-owned workspace and
+//! are allocation-free when warm; the plain functions wrap them with a
+//! transient workspace for one-shot use.
+//!
 //! Semantics are classic Bitap approximate matching: an occurrence ends
 //! at text position `i` when the whole pattern aligns to *some suffix*
 //! of `text[..=i]` with at most `d` edits (free text prefix).
@@ -14,6 +19,7 @@
 use align_core::Seq;
 
 use crate::bitvec::{init_row, step_row, step_row0, PatternMask, MAX_W};
+use crate::workspace::AlignWorkspace;
 
 /// One approximate occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +32,17 @@ pub struct Occurrence {
 }
 
 /// Minimum edits over all occurrences of `pattern` in `text`, if any
-/// occurrence needs at most `k` edits.
+/// occurrence needs at most `k` edits. One-shot wrapper around
+/// [`filter_distance_with`].
+///
+/// # Panics
+/// Panics if the pattern is empty or longer than [`MAX_W`].
+pub fn filter_distance(pattern: &Seq, text: &Seq, k: usize) -> Option<usize> {
+    filter_distance_with(&mut AlignWorkspace::new(), pattern, text, k)
+}
+
+/// Minimum edits over all occurrences of `pattern` in `text`, borrowing
+/// the scratch rows from `ws`.
 ///
 /// Row-major evaluation with early termination: rows `0..=k` are tried
 /// in ascending order and the first row with any solution column is the
@@ -35,7 +51,12 @@ pub struct Occurrence {
 ///
 /// # Panics
 /// Panics if the pattern is empty or longer than [`MAX_W`].
-pub fn filter_distance(pattern: &Seq, text: &Seq, k: usize) -> Option<usize> {
+pub fn filter_distance_with(
+    ws: &mut AlignWorkspace,
+    pattern: &Seq,
+    text: &Seq,
+    k: usize,
+) -> Option<usize> {
     assert!(
         !pattern.is_empty() && pattern.len() <= MAX_W,
         "pattern length {} not in 1..=64",
@@ -48,8 +69,12 @@ pub fn filter_distance(pattern: &Seq, text: &Seq, k: usize) -> Option<usize> {
     let pm = PatternMask::new(pattern);
     let solution = pm.solution_bit();
     let n = text.len();
-    let mut prev = vec![0u64; n];
-    let mut cur = vec![0u64; n];
+    ws.ensure_scratch(n);
+    // Row 0 never reads `prev_row`, and every later row reads only
+    // entries the previous row wrote, so stale scratch is harmless.
+    let AlignWorkspace {
+        prev_row, cur_row, ..
+    } = ws;
     for d in 0..=k {
         let mut cur_prev = init_row(d);
         let below_init = if d > 0 { init_row(d - 1) } else { 0 };
@@ -59,41 +84,64 @@ pub fn filter_distance(pattern: &Seq, text: &Seq, k: usize) -> Option<usize> {
             let val = if d == 0 {
                 step_row0(cur_prev, pmv)
             } else {
-                let below_prev = if i == 0 { below_init } else { prev[i - 1] };
-                step_row(below_prev, prev[i], cur_prev, pmv)
+                let below_prev = if i == 0 { below_init } else { prev_row[i - 1] };
+                step_row(below_prev, prev_row[i], cur_prev, pmv)
             };
-            cur[i] = val;
+            cur_row[i] = val;
             cur_prev = val;
             hit |= val & solution == 0;
         }
         if hit {
             return Some(d);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev_row, cur_row);
     }
     None
 }
 
 /// All occurrence end positions with their minimal edit counts, for
-/// occurrences needing at most `k` edits.
+/// occurrences needing at most `k` edits. One-shot wrapper around
+/// [`filter_occurrences_with`].
+pub fn filter_occurrences(pattern: &Seq, text: &Seq, k: usize) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    filter_occurrences_with(&mut AlignWorkspace::new(), pattern, text, k, &mut out);
+    out
+}
+
+/// All occurrences of `pattern` in `text` within `k` edits, borrowing
+/// scratch from `ws` and appending to `out` (cleared first).
 ///
 /// Runs rows `0..=k` and reports, per text position, the first row in
 /// which the solution bit became active.
-pub fn filter_occurrences(pattern: &Seq, text: &Seq, k: usize) -> Vec<Occurrence> {
+pub fn filter_occurrences_with(
+    ws: &mut AlignWorkspace,
+    pattern: &Seq,
+    text: &Seq,
+    k: usize,
+    out: &mut Vec<Occurrence>,
+) {
     assert!(
         !pattern.is_empty() && pattern.len() <= MAX_W,
         "pattern length {} not in 1..=64",
         pattern.len()
     );
+    out.clear();
     if text.is_empty() {
-        return Vec::new();
+        return;
     }
     let pm = PatternMask::new(pattern);
     let solution = pm.solution_bit();
     let n = text.len();
-    let mut prev = vec![0u64; n];
-    let mut cur = vec![0u64; n];
-    let mut best: Vec<Option<usize>> = vec![None; n];
+    ws.ensure_scratch(n);
+    let AlignWorkspace {
+        prev_row,
+        cur_row,
+        occ_best,
+        ..
+    } = ws;
+    const UNSEEN: u32 = u32::MAX;
+    occ_best.clear();
+    occ_best.resize(n, UNSEEN);
     for d in 0..=k {
         let mut cur_prev = init_row(d);
         let below_init = if d > 0 { init_row(d - 1) } else { 0 };
@@ -102,21 +150,23 @@ pub fn filter_occurrences(pattern: &Seq, text: &Seq, k: usize) -> Vec<Occurrence
             let val = if d == 0 {
                 step_row0(cur_prev, pmv)
             } else {
-                let below_prev = if i == 0 { below_init } else { prev[i - 1] };
-                step_row(below_prev, prev[i], cur_prev, pmv)
+                let below_prev = if i == 0 { below_init } else { prev_row[i - 1] };
+                step_row(below_prev, prev_row[i], cur_prev, pmv)
             };
-            cur[i] = val;
+            cur_row[i] = val;
             cur_prev = val;
-            if val & solution == 0 && best[i].is_none() {
-                best[i] = Some(d);
+            if val & solution == 0 && occ_best[i] == UNSEEN {
+                occ_best[i] = d as u32;
             }
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev_row, cur_row);
     }
-    best.iter()
-        .enumerate()
-        .filter_map(|(end, d)| d.map(|edits| Occurrence { end, edits }))
-        .collect()
+    out.extend(occ_best.iter().enumerate().filter_map(|(end, &d)| {
+        (d != UNSEEN).then_some(Occurrence {
+            end,
+            edits: d as usize,
+        })
+    }));
 }
 
 #[cfg(test)]
@@ -211,9 +261,34 @@ mod tests {
     }
 
     #[test]
+    fn reused_workspace_filter_matches_fresh() {
+        // Dissimilar consecutive calls through one workspace must agree
+        // with fresh-workspace runs (stale scratch must not leak).
+        let cases = [
+            ("ACGTT", "GGGACGTTGGG", 2),
+            ("AAAA", "CCCC", 4),
+            ("ACGT", "ACGTACGT", 2),
+            ("GATTACA", "GCATGCATGATTTACAGGG", 7),
+            ("TGCA", "T", 4),
+        ];
+        let mut ws = AlignWorkspace::new();
+        let mut occ = Vec::new();
+        for (p, t, k) in cases {
+            let (p, t) = (seq(p), seq(t));
+            assert_eq!(
+                filter_distance_with(&mut ws, &p, &t, k),
+                filter_distance(&p, &t, k),
+                "{p:?} in {t:?}"
+            );
+            filter_occurrences_with(&mut ws, &p, &t, k, &mut occ);
+            assert_eq!(occ, filter_occurrences(&p, &t, k), "{p:?} in {t:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "not in 1..=64")]
     fn oversized_pattern_panics() {
-        let p: Seq = std::iter::repeat(align_core::Base::A).take(65).collect();
+        let p: Seq = std::iter::repeat_n(align_core::Base::A, 65).collect();
         let _ = filter_distance(&p, &seq("ACGT"), 1);
     }
 }

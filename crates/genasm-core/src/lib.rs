@@ -22,7 +22,22 @@
 //! the `genasm-gpu` crate, so CPU and (simulated) GPU results cannot
 //! drift apart.
 //!
+//! ## The allocation-free hot path
+//!
+//! All mutable per-alignment state — the rolling scratch rows, the
+//! traceback table arena, the staged window inputs, the traceback op
+//! buffer, and the instrumentation counters — lives in an
+//! [`AlignWorkspace`]. Create one per worker, reuse it for every
+//! alignment that worker runs, and the steady state performs **zero
+//! heap allocations per window**: buffers are cleared and refilled
+//! within their retained capacity. `genasm-cpu` wires this into its
+//! Rayon batch driver with one workspace per worker thread
+//! (`par_iter().map_init(..)`), and the property tests assert reused
+//! workspaces are bit-identical to fresh ones.
+//!
 //! ## Quick start
+//!
+//! One-shot alignment:
 //!
 //! ```
 //! use genasm_core::GenAsmAligner;
@@ -34,6 +49,30 @@
 //! let aln = aligner.align(&query, &target).unwrap();
 //! assert_eq!(aln.edit_distance, 1);
 //! ```
+//!
+//! Batch-style alignment reusing one workspace (the hot path):
+//!
+//! ```
+//! use genasm_core::{AlignWorkspace, GenAsmAligner};
+//! use align_core::Seq;
+//!
+//! let aligner = GenAsmAligner::improved();
+//! let mut ws = aligner.new_workspace();
+//! let pairs = [
+//!     (b"ACGTACGTACGTACGT".as_slice(), b"ACGTACCTACGTACGT".as_slice()),
+//!     (b"TTTTACGTACGT".as_slice(), b"TTTTACGTACGT".as_slice()),
+//! ];
+//! for (q, t) in pairs {
+//!     let q = Seq::from_ascii(q).unwrap();
+//!     let t = Seq::from_ascii(t).unwrap();
+//!     // Scratch rows, the traceback arena and all staging buffers are
+//!     // reused across iterations; only the returned Alignment allocates.
+//!     let aln = aligner.align_reusing(&mut ws, &q, &t).unwrap();
+//!     aln.check(&q, &t).unwrap();
+//! }
+//! // ws.stats now holds instrumentation for both alignments.
+//! assert!(ws.stats.windows >= 2);
+//! ```
 
 pub mod aligner;
 pub mod bitvec;
@@ -43,10 +82,14 @@ pub mod filter;
 pub mod stats;
 pub mod table;
 pub mod window;
+pub mod workspace;
 
 pub use aligner::GenAsmAligner;
-pub use filter::{filter_distance, filter_occurrences, Occurrence};
 pub use config::{GenAsmConfig, Improvements};
-pub use engine::{align_window, WindowResult};
+pub use engine::{align_window, align_window_fresh, WindowResult, WindowSummary};
+pub use filter::{
+    filter_distance, filter_distance_with, filter_occurrences, filter_occurrences_with, Occurrence,
+};
 pub use stats::MemStats;
-pub use window::align_with_stats;
+pub use window::{align_with_stats, align_with_workspace};
+pub use workspace::{AlignWorkspace, CapacitySignature};

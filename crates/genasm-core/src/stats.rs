@@ -92,7 +92,10 @@ impl MemStats {
 
     /// Access reduction factor of `self` (baseline) over `improved`.
     pub fn access_reduction_vs(&self, improved: &MemStats) -> f64 {
-        ratio(self.table_accesses() as f64, improved.table_accesses() as f64)
+        ratio(
+            self.table_accesses() as f64,
+            improved.table_accesses() as f64,
+        )
     }
 }
 

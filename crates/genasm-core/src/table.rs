@@ -13,6 +13,16 @@
 //!
 //! Early termination manifests simply as the table containing fewer rows.
 //!
+//! ## Arena layout and reuse
+//!
+//! Entries live in a single flat `Vec<u64>` arena with per-row start
+//! offsets — no per-row `Vec`s, so a traceback step costs one offset
+//! lookup instead of a double pointer chase, and the whole table can be
+//! **reused across windows**: [`TbTable::reset`] reshapes the table for
+//! the next window while keeping both buffers' capacity. After a few
+//! windows of warm-up, filling the table performs no heap allocation
+//! (this is what [`crate::workspace::AlignWorkspace`] relies on).
+//!
 //! Every word moved in or out of the table is counted in [`MemStats`],
 //! because the table traffic is precisely what experiments E8/E9 ratio.
 
@@ -36,21 +46,40 @@ pub struct TbTable {
     words_per_entry: usize,
     n: usize,
     cut: usize,
-    rows: Vec<Vec<u64>>,
+    /// Flat entry arena: rows are appended back to back.
+    words: Vec<u64>,
+    /// Start offset of each stored row within `words`.
+    row_offsets: Vec<usize>,
 }
 
 impl TbTable {
     /// Create an empty table for `n` text columns, storing columns
     /// `cut..n` of each row at `words_per_entry` words per entry.
     pub fn new(words_per_entry: usize, n: usize, cut: usize) -> TbTable {
+        let mut t = TbTable {
+            words_per_entry: 1,
+            n: 0,
+            cut: 0,
+            words: Vec::new(),
+            row_offsets: Vec::new(),
+        };
+        t.reset(words_per_entry, n, cut);
+        t
+    }
+
+    /// Reshape for the next window, retaining the arena's capacity.
+    /// Equivalent to `*self = TbTable::new(..)` without the allocation.
+    pub fn reset(&mut self, words_per_entry: usize, n: usize, cut: usize) {
         assert!(words_per_entry == 1 || words_per_entry == 4);
-        assert!(cut < n || n == 0, "cut {cut} must leave at least one column of {n}");
-        TbTable {
-            words_per_entry,
-            n,
-            cut,
-            rows: Vec::new(),
-        }
+        assert!(
+            cut < n || n == 0,
+            "cut {cut} must leave at least one column of {n}"
+        );
+        self.words_per_entry = words_per_entry;
+        self.n = n;
+        self.cut = cut;
+        self.words.clear();
+        self.row_offsets.clear();
     }
 
     /// Words stored per entry (1 = compressed, 4 = edge vectors).
@@ -60,7 +89,7 @@ impl TbTable {
 
     /// Number of stored rows (`d* + 1` with early termination).
     pub fn rows(&self) -> usize {
-        self.rows.len()
+        self.row_offsets.len()
     }
 
     /// Number of text columns the window had.
@@ -75,14 +104,19 @@ impl TbTable {
 
     /// Total stored words (the footprint experiment E8 measures).
     pub fn footprint_words(&self) -> u64 {
-        self.rows.iter().map(|r| r.len() as u64).sum()
+        self.words.len() as u64
+    }
+
+    /// Arena capacity in words (stable across windows once warmed up;
+    /// the workspace-reuse tests assert on this).
+    pub fn capacity_words(&self) -> usize {
+        self.words.capacity()
     }
 
     /// Begin a new row; returns its index.
     pub fn begin_row(&mut self) -> usize {
-        self.rows
-            .push(Vec::with_capacity((self.n - self.cut) * self.words_per_entry));
-        self.rows.len() - 1
+        self.row_offsets.push(self.words.len());
+        self.row_offsets.len() - 1
     }
 
     /// Append the entry for the next column of the row under
@@ -90,8 +124,8 @@ impl TbTable {
     #[inline]
     pub fn push_entry(&mut self, words: &[u64], stats: &mut MemStats) {
         debug_assert_eq!(words.len(), self.words_per_entry);
-        let row = self.rows.last_mut().expect("begin_row before push_entry");
-        row.extend_from_slice(words);
+        debug_assert!(!self.row_offsets.is_empty(), "begin_row before push_entry");
+        self.words.extend_from_slice(words);
         stats.table_stores += self.words_per_entry as u64;
     }
 
@@ -110,9 +144,9 @@ impl TbTable {
             self.cut
         );
         assert!(i < self.n, "column {i} out of range {}", self.n);
-        let row = &self.rows[d];
+        let base = self.row_offsets[d];
         stats.table_loads += 1;
-        row[(i - self.cut) * self.words_per_entry + slot]
+        self.words[base + (i - self.cut) * self.words_per_entry + slot]
     }
 
     /// Finalize: record the footprint high-water mark into `stats`.
@@ -181,5 +215,33 @@ mod tests {
         }
         t.account_footprint(&mut stats);
         assert_eq!(stats.table_words, 3);
+    }
+
+    #[test]
+    fn reset_reshapes_but_keeps_capacity() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 8, 0);
+        for _ in 0..3 {
+            t.begin_row();
+            for v in 0..8u64 {
+                t.push_entry(&[v], &mut stats);
+            }
+        }
+        let cap = t.capacity_words();
+        assert!(cap >= 24);
+        t.reset(4, 5, 2);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.footprint_words(), 0);
+        assert_eq!(t.words_per_entry(), 4);
+        assert_eq!(t.cols(), 5);
+        assert_eq!(t.cut(), 2);
+        assert_eq!(t.capacity_words(), cap, "reset must not shrink the arena");
+        // Smaller refill stays within the warmed capacity.
+        t.begin_row();
+        for v in 0..3u64 {
+            t.push_entry(&[v, v, v, v], &mut stats);
+        }
+        assert_eq!(t.load(0, 3, slot::SUBST, &mut stats), 1);
+        assert_eq!(t.capacity_words(), cap);
     }
 }

@@ -8,26 +8,29 @@
 //! whole traceback and closes the alignment with explicit indels if one
 //! sequence runs out before the other.
 
-use align_core::{Alignment, AlignError, Cigar, CigarOp, Seq};
+use align_core::{AlignError, Alignment, Cigar, CigarOp, Seq};
 
-use crate::bitvec::PatternMask;
 use crate::config::GenAsmConfig;
 use crate::engine::align_window;
 use crate::stats::MemStats;
+use crate::workspace::AlignWorkspace;
 
 /// Align `query` against `target` end-to-end with the windowed GenASM
-/// pipeline, accumulating instrumentation into `stats`.
-pub fn align_with_stats(
+/// pipeline, borrowing all scratch state from `ws`.
+///
+/// Instrumentation accumulates into `ws.stats`. With a warm workspace
+/// the only allocation this performs is the returned [`Alignment`]'s
+/// own CIGAR storage — every window is heap-allocation-free.
+pub fn align_with_workspace(
     query: &Seq,
     target: &Seq,
     cfg: &GenAsmConfig,
-    stats: &mut MemStats,
+    ws: &mut AlignWorkspace,
 ) -> Result<Alignment, AlignError> {
     cfg.validate();
     let mut cigar = Cigar::new();
     let mut qpos = 0usize;
     let mut tpos = 0usize;
-    let mut text_rev: Vec<u8> = Vec::with_capacity(cfg.w);
 
     loop {
         let qrem = query.len() - qpos;
@@ -45,18 +48,15 @@ pub fn align_with_stats(
         let final_window = m == qrem && n == trem;
         let keep = if final_window { m } else { cfg.keep() };
 
-        let pm = PatternMask::new_reversed_window(query, qpos, m);
-        text_rev.clear();
-        text_rev.extend((0..n).rev().map(|i| target.get_code(tpos + i)));
-
-        let res = align_window(&pm, &text_rev, cfg, keep, final_window, stats)?;
+        ws.set_window(query, qpos, m, target, tpos, n);
+        let res = align_window(ws, cfg, keep, final_window)?;
         debug_assert!(
             res.q_consumed + res.t_consumed > 0,
             "window made no progress (W={}, O={})",
             cfg.w,
             cfg.o
         );
-        for &op in &res.ops {
+        for &op in ws.window_ops() {
             cigar.push(op);
         }
         qpos += res.q_consumed;
@@ -71,6 +71,22 @@ pub fn align_with_stats(
     }
 
     Ok(Alignment::from_cigar(cigar))
+}
+
+/// Align with a transient workspace, accumulating instrumentation into
+/// `stats` — the original entry point, kept for one-shot callers. Batch
+/// code should hold an [`AlignWorkspace`] and call
+/// [`align_with_workspace`] so scratch buffers amortize across tasks.
+pub fn align_with_stats(
+    query: &Seq,
+    target: &Seq,
+    cfg: &GenAsmConfig,
+    stats: &mut MemStats,
+) -> Result<Alignment, AlignError> {
+    let mut ws = AlignWorkspace::with_capacity(cfg.w);
+    let result = align_with_workspace(query, target, cfg, &mut ws);
+    stats.merge(&ws.stats);
+    result
 }
 
 #[cfg(test)]
@@ -123,7 +139,11 @@ mod tests {
         let a = align_with_stats(&q, &q, &GenAsmConfig::improved(), &mut s).unwrap();
         a.check(&q, &q).unwrap();
         assert_eq!(a.edit_distance, 0);
-        assert!(s.windows >= 4, "expected several windows, got {}", s.windows);
+        assert!(
+            s.windows >= 4,
+            "expected several windows, got {}",
+            s.windows
+        );
     }
 
     #[test]

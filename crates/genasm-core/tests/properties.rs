@@ -12,7 +12,7 @@
 //! 5. instrumentation sanity: improved footprint ≤ baseline footprint.
 
 use align_core::{nw_distance, Base, Seq};
-use genasm_core::{GenAsmConfig, Improvements, MemStats};
+use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats};
 use proptest::prelude::*;
 
 fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
@@ -23,7 +23,10 @@ fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
 /// A (query, target) pair where the target is a mutated copy of the
 /// query — the realistic long-read case.
 fn arb_mutated_pair(max_len: usize, max_edits: usize) -> impl Strategy<Value = (Seq, Seq)> {
-    (arb_seq(max_len), prop::collection::vec((any::<u8>(), any::<u16>(), 0u8..4), 0..=max_edits))
+    (
+        arb_seq(max_len),
+        prop::collection::vec((any::<u8>(), any::<u16>(), 0u8..4), 0..=max_edits),
+    )
         .prop_map(|(q, edits)| {
             let mut t: Vec<Base> = q.iter().collect();
             for (kind, pos, code) in edits {
@@ -127,5 +130,131 @@ proptest! {
         let cfg = GenAsmConfig { w, o, k: w, improvements: Improvements::ALL };
         let (a, _) = align(&q, &t, &cfg);
         a.check(&q, &t).unwrap();
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh(
+        pairs in prop::collection::vec(arb_mutated_pair(250, 16), 1..6),
+        improvements_idx in 0usize..8,
+    ) {
+        // One workspace reused across a stream of dissimilar alignments
+        // must produce exactly the same Alignment and MemStats as a
+        // fresh workspace per pair, under every improvement combination.
+        let improvements = Improvements::all_combinations()[improvements_idx];
+        let cfg = GenAsmConfig { improvements, ..GenAsmConfig::improved() };
+        let mut ws = AlignWorkspace::new();
+        for (q, t) in &pairs {
+            let reused = genasm_core::align_with_workspace(q, t, &cfg, &mut ws).expect("k=W");
+            let per_task = ws.take_stats();
+            let (fresh, fresh_stats) = align(q, t, &cfg);
+            prop_assert_eq!(&reused.cigar, &fresh.cigar,
+                "reuse changed the alignment under {}", improvements.label());
+            prop_assert_eq!(per_task, fresh_stats,
+                "reuse changed the instrumentation under {}", improvements.label());
+        }
+    }
+}
+
+/// Satellite acceptance test: a single workspace reused across 100+
+/// randomized alignments stays bit-identical to fresh-workspace runs
+/// (results *and* instrumentation), and — once warm — its buffer
+/// capacities never change again, i.e. the steady state allocates
+/// nothing per alignment, let alone per window.
+#[test]
+fn workspace_reuse_bit_identical_and_capacity_stable_over_100_alignments() {
+    use proptest::test_runner::TestRng;
+    use proptest::Strategy;
+
+    let mut rng = TestRng::for_test("workspace_reuse_longrun");
+    let configs: Vec<GenAsmConfig> = Improvements::all_combinations()
+        .into_iter()
+        .map(|improvements| GenAsmConfig {
+            improvements,
+            ..GenAsmConfig::improved()
+        })
+        .collect();
+    let mut workspaces: Vec<AlignWorkspace> = configs
+        .iter()
+        .map(|cfg| AlignWorkspace::with_capacity(cfg.w))
+        .collect();
+
+    // Warm-up: adversarial pairs push every buffer to its high-water
+    // mark (unrelated sequences maximize d* and table rows; the offset
+    // pair maximizes the traceback op count). The remaining randomized
+    // cases then must not grow any buffer: WARMUP_CASES below gives the
+    // random stream slack to finish the job before stability is
+    // asserted.
+    let warm_pairs: Vec<(Seq, Seq)> = vec![
+        (
+            (0..400).map(|i| Base::from_code((i % 4) as u8)).collect(),
+            (0..400)
+                .map(|i| Base::from_code((3 - i % 4) as u8))
+                .collect(),
+        ),
+        (
+            (0..64).map(|_| Base::from_code(0)).collect(),
+            (0..64)
+                .map(|i| Base::from_code(if i < 32 { 1 } else { 0 }))
+                .collect(),
+        ),
+    ];
+    for (cfg, ws) in configs.iter().zip(&mut workspaces) {
+        for (q, t) in &warm_pairs {
+            genasm_core::align_with_workspace(q, t, cfg, ws).expect("k=W");
+        }
+        ws.take_stats();
+    }
+
+    const WARMUP_CASES: usize = 20;
+    let mut warm_sigs: Vec<Option<genasm_core::CapacitySignature>> = vec![None; configs.len()];
+
+    let pair_strategy = {
+        // Mutated pairs (realistic) mixed with unrelated pairs (worst
+        // case d*), all within the warm-up length.
+        proptest::collection::vec(0u8..4, 1..=380)
+            .prop_map(|codes| codes.into_iter().map(Base::from_code).collect::<Seq>())
+    };
+    for case in 0..120 {
+        let q: Seq = pair_strategy.generate(&mut rng);
+        let t: Seq = if case % 3 == 0 {
+            pair_strategy.generate(&mut rng) // unrelated
+        } else {
+            // light mutation: flip a few bases of q
+            let mut bases: Vec<Base> = q.iter().collect();
+            let flips = 1 + case % 7;
+            for f in 0..flips {
+                let pos = (case * 31 + f * 17) % bases.len();
+                bases[pos] = Base::from_code((bases[pos].code() + 1) % 4);
+            }
+            bases.into_iter().collect()
+        };
+        for ((cfg, ws), warm_sig) in configs.iter().zip(&mut workspaces).zip(&mut warm_sigs) {
+            let reused = genasm_core::align_with_workspace(&q, &t, cfg, ws).expect("k=W");
+            let per_task = ws.take_stats();
+            let mut fresh_stats = MemStats::new();
+            let fresh = genasm_core::align_with_stats(&q, &t, cfg, &mut fresh_stats).expect("k=W");
+            assert_eq!(
+                reused.cigar,
+                fresh.cigar,
+                "case {case}: reuse changed the alignment under {}",
+                cfg.improvements.label()
+            );
+            assert_eq!(
+                per_task,
+                fresh_stats,
+                "case {case}: reuse changed instrumentation under {}",
+                cfg.improvements.label()
+            );
+            match warm_sig {
+                None if case + 1 >= WARMUP_CASES => *warm_sig = Some(ws.capacity_signature()),
+                None => {}
+                Some(sig) => assert_eq!(
+                    ws.capacity_signature(),
+                    *sig,
+                    "case {case}: a warm workspace re-allocated under {}",
+                    cfg.improvements.label()
+                ),
+            }
+        }
     }
 }

@@ -13,8 +13,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use align_core::{AlignTask, Alignment, GlobalAligner, Seq};
-use genasm_core::{GenAsmConfig, MemStats};
+use align_core::{AlignTask, Alignment, GlobalAligner, ReusableAligner, Seq};
+use genasm_core::{AlignWorkspace, GenAsmConfig, MemStats};
 use rayon::prelude::*;
 
 pub mod throughput;
@@ -36,18 +36,25 @@ pub struct BatchResult {
 }
 
 /// Align a batch with the GenASM configuration `cfg`, in parallel.
+///
+/// Each Rayon worker creates **one** [`AlignWorkspace`] (`map_init`)
+/// and reuses it for every task that worker claims, so scratch rows,
+/// traceback arenas and staging buffers are allocated once per worker,
+/// not once per task — the batch hot path is allocation-free in steady
+/// state.
 pub fn align_batch_genasm(tasks: &[AlignTask], cfg: &GenAsmConfig) -> BatchResult {
     cfg.validate();
     let start = Instant::now();
+    let w = cfg.w;
     let results: Vec<(Option<Alignment>, MemStats)> = tasks
         .par_iter()
-        .map(|t| {
-            let mut stats = MemStats::new();
-            match genasm_core::align_with_stats(&t.query, &t.target, cfg, &mut stats) {
-                Ok(a) => (Some(a), stats),
-                Err(_) => (None, stats),
-            }
-        })
+        .map_init(
+            move || AlignWorkspace::with_capacity(w),
+            |ws, t| {
+                let a = genasm_core::align_with_workspace(&t.query, &t.target, cfg, ws).ok();
+                (a, ws.take_stats())
+            },
+        )
         .collect();
     let elapsed = start.elapsed();
 
@@ -67,6 +74,42 @@ pub fn align_batch_genasm(tasks: &[AlignTask], cfg: &GenAsmConfig) -> BatchResul
         timing,
         stats,
         failures,
+    }
+}
+
+/// Align a batch with any [`ReusableAligner`]: one workspace per
+/// worker, reused across that worker's share of the batch. This is the
+/// code path the bench harness uses to compare backends under identical
+/// threading *and* identical allocation discipline.
+///
+/// The returned [`BatchResult::stats`] is zeroed — the generic
+/// workspace has no common instrumentation interface (same contract as
+/// [`align_batch_with`]). Use [`align_batch_genasm`] when GenASM
+/// [`MemStats`] are needed.
+pub fn align_batch_reusing<A: ReusableAligner + Sync>(
+    tasks: &[AlignTask],
+    aligner: &A,
+) -> BatchResult {
+    let start = Instant::now();
+    let failures = AtomicU64::new(0);
+    let alignments: Vec<Option<Alignment>> = tasks
+        .par_iter()
+        .map_init(A::Workspace::default, |ws, t| {
+            match aligner.align_reusing(ws, &t.query, &t.target) {
+                Ok(a) => Some(a),
+                Err(_) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        })
+        .collect();
+    let elapsed = start.elapsed();
+    BatchResult {
+        timing: BatchTiming::new(tasks, elapsed),
+        alignments,
+        stats: MemStats::new(),
+        failures: failures.load(Ordering::Relaxed) as usize,
     }
 }
 
@@ -119,6 +162,19 @@ impl CpuBatchAligner {
     /// Run a batch.
     pub fn run(&self, tasks: &[AlignTask]) -> BatchResult {
         align_batch_genasm(tasks, &self.cfg)
+    }
+}
+
+impl ReusableAligner for CpuBatchAligner {
+    type Workspace = AlignWorkspace;
+
+    fn align_reusing(
+        &self,
+        ws: &mut AlignWorkspace,
+        query: &Seq,
+        target: &Seq,
+    ) -> align_core::Result<Alignment> {
+        genasm_core::align_with_workspace(query, target, &self.cfg, ws)
     }
 }
 
@@ -213,5 +269,47 @@ mod tests {
         let res = align_batch_genasm(&[], &GenAsmConfig::improved());
         assert_eq!(res.alignments.len(), 0);
         assert_eq!(res.failures, 0);
+    }
+
+    #[test]
+    fn reusing_batch_matches_per_task_path() {
+        // The map_init workspace-reuse path must be bit-identical to
+        // aligning every task with a fresh workspace.
+        let batch = small_batch();
+        let reused = align_batch_genasm(&batch.tasks, &GenAsmConfig::improved());
+        let mut fresh_stats = MemStats::new();
+        for (t, a) in batch.tasks.iter().zip(&reused.alignments) {
+            let mut s = MemStats::new();
+            let fresh = genasm_core::align_with_stats(
+                &t.query,
+                &t.target,
+                &GenAsmConfig::improved(),
+                &mut s,
+            )
+            .unwrap();
+            assert_eq!(a.as_ref().unwrap().cigar, fresh.cigar);
+            fresh_stats.merge(&s);
+        }
+        assert_eq!(reused.stats, fresh_stats, "instrumentation must not drift");
+    }
+
+    #[test]
+    fn reusable_trait_batch_works_for_genasm() {
+        let batch = small_batch();
+        let res = align_batch_reusing(&batch.tasks, &CpuBatchAligner::improved());
+        assert_eq!(res.failures, 0);
+        for (t, a) in batch.tasks.iter().zip(&res.alignments) {
+            a.as_ref().unwrap().check(&t.query, &t.target).unwrap();
+        }
+    }
+
+    #[test]
+    fn reusable_trait_batch_works_for_baselines() {
+        let batch = small_batch();
+        let res = align_batch_reusing(&batch.tasks, &baselines::MyersAligner::new());
+        assert_eq!(res.failures, 0);
+        for (t, a) in batch.tasks.iter().zip(&res.alignments) {
+            a.as_ref().unwrap().check(&t.query, &t.target).unwrap();
+        }
     }
 }

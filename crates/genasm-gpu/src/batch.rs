@@ -4,7 +4,7 @@ use align_core::AlignTask;
 use genasm_core::GenAsmConfig;
 use gpu_sim::{BlockCounters, Device, SimError, TimingEstimate};
 
-use crate::kernel::{shared_bytes_for, GenAsmKernel, GpuAlignment, GpuBatchArgs, ROW_GROUP};
+use crate::kernel::{shared_bytes_for, GenAsmKernel, GpuAlignment, ROW_GROUP};
 
 /// Result of one GPU batch.
 #[derive(Debug)]
@@ -58,16 +58,16 @@ impl GpuAligner {
         shared_bytes_for(&self.cfg)
     }
 
-    /// Align a batch of tasks: one block per task.
+    /// Align a batch of tasks: one block per task. The task slice is
+    /// borrowed straight into the kernel — no host-side copy — and each
+    /// simulation worker reuses one staging workspace across all the
+    /// blocks it executes.
     pub fn align_batch(&self, tasks: &[AlignTask]) -> Result<GpuBatchReport, SimError> {
-        let args = GpuBatchArgs {
-            tasks: tasks.to_vec(),
-            cfg: self.cfg,
-        };
+        let kernel = GenAsmKernel { cfg: self.cfg };
         let shared_bytes = self.shared_bytes();
         let report = self
             .device
-            .launch(tasks.len(), ROW_GROUP, shared_bytes, &GenAsmKernel, &args)?;
+            .launch(tasks.len(), ROW_GROUP, shared_bytes, &kernel, tasks)?;
         Ok(GpuBatchReport {
             results: report.outputs,
             totals: report.totals,

@@ -76,12 +76,16 @@ impl TableMem {
     }
 }
 
-/// Arguments of a batch launch.
-pub struct GpuBatchArgs {
-    /// The alignment tasks; block `i` processes `tasks[i]`.
-    pub tasks: Vec<align_core::AlignTask>,
-    /// GenASM configuration (improvements decide the kernel flavour).
-    pub cfg: GenAsmConfig,
+/// Reusable host-side staging of one simulation worker: each worker
+/// reuses these buffers across every block (task) it executes, and
+/// within a block across every window, mirroring the CPU side's
+/// `AlignWorkspace` arena discipline.
+#[derive(Debug, Default)]
+pub struct KernelWorkspace {
+    /// Reversed 2-bit text codes of the current window.
+    text_rev: Vec<u8>,
+    /// Committed operations of the current window, forward order.
+    ops: Vec<CigarOp>,
 }
 
 /// Per-task output.
@@ -99,8 +103,12 @@ pub struct GpuAlignment {
     pub spilled_windows: u32,
 }
 
-/// The GenASM kernel; flavour chosen by `cfg.improvements`.
-pub struct GenAsmKernel;
+/// The GenASM kernel; flavour chosen by `cfg.improvements`. Launch it
+/// over a borrowed task slice — tasks are never copied host-side.
+pub struct GenAsmKernel {
+    /// GenASM configuration (improvements decide the kernel flavour).
+    pub cfg: GenAsmConfig,
+}
 
 /// Shared-memory words of the improved kernel's static table
 /// allocation (sized for the non-final window shape).
@@ -125,12 +133,18 @@ pub fn shared_bytes_for(cfg: &GenAsmConfig) -> usize {
 }
 
 impl Kernel for GenAsmKernel {
-    type Args = GpuBatchArgs;
+    type Args = [align_core::AlignTask];
     type Output = GpuAlignment;
+    type Workspace = KernelWorkspace;
 
-    fn block(&self, ctx: &mut BlockCtx, args: &GpuBatchArgs) -> Result<GpuAlignment, SimError> {
-        let task = &args.tasks[ctx.block_idx];
-        let cfg = &args.cfg;
+    fn block(
+        &self,
+        ctx: &mut BlockCtx,
+        tasks: &[align_core::AlignTask],
+        ws: &mut KernelWorkspace,
+    ) -> Result<GpuAlignment, SimError> {
+        let task = &tasks[ctx.block_idx];
+        let cfg = &self.cfg;
         cfg.validate();
         let query = &task.query;
         let target = &task.target;
@@ -166,7 +180,6 @@ impl Kernel for GenAsmKernel {
         let mut windows = 0u32;
         let mut rows_total = 0u64;
         let mut spilled = 0u32;
-        let mut text_rev: Vec<u8> = Vec::with_capacity(cfg.w);
 
         loop {
             let qrem = query.len() - qpos;
@@ -191,8 +204,9 @@ impl Kernel for GenAsmKernel {
             let cols = n - cut;
 
             let pm = PatternMask::new_reversed_window(query, qpos, m);
-            text_rev.clear();
-            text_rev.extend((0..n).rev().map(|i| target.get_code(tpos + i)));
+            ws.text_rev.clear();
+            ws.text_rev
+                .extend((0..n).rev().map(|i| target.get_code(tpos + i)));
 
             // Pick storage: start in the static shared table when one
             // exists; if early termination turns out to need more rows
@@ -214,7 +228,17 @@ impl Kernel for GenAsmKernel {
                     diag_b: &mut diag_b,
                     diag_c: &mut diag_c,
                 };
-                window_on_device(ctx, io, &pm, &text_rev, cfg, cut, keep, final_window)?
+                window_on_device(
+                    ctx,
+                    io,
+                    &pm,
+                    &ws.text_rev,
+                    cfg,
+                    cut,
+                    keep,
+                    final_window,
+                    &mut ws.ops,
+                )?
             };
             if win.is_none() {
                 // Spill: redo this window with the table in DRAM.
@@ -228,7 +252,17 @@ impl Kernel for GenAsmKernel {
                     diag_b: &mut diag_b,
                     diag_c: &mut diag_c,
                 };
-                win = window_on_device(ctx, io, &pm, &text_rev, cfg, cut, keep, final_window)?;
+                win = window_on_device(
+                    ctx,
+                    io,
+                    &pm,
+                    &ws.text_rev,
+                    cfg,
+                    cut,
+                    keep,
+                    final_window,
+                    &mut ws.ops,
+                )?;
             }
             let win = win.expect("global table cannot run out of capacity");
             if let TableMem::Shared(buf) = table {
@@ -237,7 +271,7 @@ impl Kernel for GenAsmKernel {
 
             windows += 1;
             rows_total += win.rows as u64;
-            for &op in &win.ops {
+            for &op in &ws.ops {
                 cigar.push(op);
             }
             qpos += win.qc;
@@ -270,13 +304,13 @@ struct WindowIo<'a> {
 }
 
 struct WindowOut {
-    ops: Vec<CigarOp>,
     qc: usize,
     tc: usize,
     rows: usize,
 }
 
 /// One window on the device: grouped-wavefront DC + serial traceback.
+/// Committed operations land in `ops` (cleared first; worker-reused).
 ///
 /// Returns `Ok(None)` when the next row group would not fit the table's
 /// capacity — the caller then restarts the window in global memory.
@@ -290,6 +324,7 @@ fn window_on_device(
     cut: usize,
     keep: usize,
     final_window: bool,
+    ops: &mut Vec<CigarOp>,
 ) -> Result<Option<WindowOut>, SimError> {
     let WindowIo {
         table,
@@ -399,12 +434,8 @@ fn window_on_device(
     };
 
     // Serial traceback by thread 0.
-    let mut out = WindowOut {
-        ops: Vec::with_capacity(keep + d_star + 1),
-        qc: 0,
-        tc: 0,
-        rows,
-    };
+    let mut out = WindowOut { qc: 0, tc: 0, rows };
+    ops.clear();
     ctx.serial_phase(|c| {
         traceback_on_device(
             c,
@@ -416,10 +447,11 @@ fn window_on_device(
             keep,
             final_window,
             d_star,
+            ops,
             &mut out,
         );
     });
-    ctx.charge_warp_cycles(out.ops.len() as u64 * TB_STEP_COST_CYCLES + WINDOW_OVERHEAD_CYCLES);
+    ctx.charge_warp_cycles(ops.len() as u64 * TB_STEP_COST_CYCLES + WINDOW_OVERHEAD_CYCLES);
     Ok(Some(out))
 }
 
@@ -441,6 +473,7 @@ fn traceback_on_device(
     keep: usize,
     final_window: bool,
     d_star: usize,
+    ops: &mut Vec<CigarOp>,
     out: &mut WindowOut,
 ) {
     let m = pm.len();
@@ -457,7 +490,7 @@ fn traceback_on_device(
             if $ip1 == 0 {
                 init_row($d)
             } else {
-                debug_assert!($ip1 - 1 >= cut, "DENT cut violated in GPU traceback");
+                debug_assert!($ip1 > cut, "DENT cut violated in GPU traceback");
                 table.load($ctx, ($d * cols + ($ip1 - 1 - cut)) * wpe)
             }
         }};
@@ -516,7 +549,7 @@ fn traceback_on_device(
         };
         match op {
             CigarOp::Match | CigarOp::Mismatch => {
-                out.ops.push(op);
+                ops.push(op);
                 i -= 1;
                 j -= 1;
                 out.qc += 1;
@@ -526,13 +559,13 @@ fn traceback_on_device(
                 }
             }
             CigarOp::Del => {
-                out.ops.push(CigarOp::Del);
+                ops.push(CigarOp::Del);
                 i -= 1;
                 out.tc += 1;
                 d -= 1;
             }
             CigarOp::Ins => {
-                out.ops.push(CigarOp::Ins);
+                ops.push(CigarOp::Ins);
                 j -= 1;
                 out.qc += 1;
                 d -= 1;

@@ -27,5 +27,6 @@ pub mod batch;
 pub mod kernel;
 
 pub use batch::{GpuAligner, GpuBatchReport};
-pub use kernel::{improved_table_words, shared_bytes_for, GenAsmKernel, GpuAlignment,
-                 GpuBatchArgs, ROW_GROUP};
+pub use kernel::{
+    improved_table_words, shared_bytes_for, GenAsmKernel, GpuAlignment, KernelWorkspace, ROW_GROUP,
+};

@@ -273,7 +273,11 @@ mod tests {
         assert_eq!(c.shared_remaining(), 224);
         let err = c.shared_alloc(100).unwrap_err();
         match err {
-            SimError::SharedMemoryExceeded { requested, used, budget } => {
+            SimError::SharedMemoryExceeded {
+                requested,
+                used,
+                budget,
+            } => {
                 assert_eq!(requested, 800);
                 assert_eq!(used, 800);
                 assert_eq!(budget, 1024);

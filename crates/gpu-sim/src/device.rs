@@ -89,11 +89,10 @@ impl DeviceDescriptor {
     /// and `shared_bytes` of shared memory per block (its *occupancy*).
     pub fn blocks_per_sm(&self, block_threads: usize, shared_bytes: usize) -> usize {
         let by_threads = self.max_threads_per_sm / block_threads.max(1);
-        let by_shared = if shared_bytes == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.shared_mem_per_sm / shared_bytes
-        };
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .unwrap_or(self.max_blocks_per_sm);
         by_threads.min(by_shared).min(self.max_blocks_per_sm)
     }
 }

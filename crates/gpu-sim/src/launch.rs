@@ -1,8 +1,8 @@
 //! Kernel launch: distributing blocks over CPU workers and assembling
 //! the launch report.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use std::thread;
 
 use crate::ctx::{BlockCounters, BlockCtx};
 use crate::device::DeviceDescriptor;
@@ -16,9 +16,22 @@ pub trait Kernel: Sync {
     type Args: Sync + ?Sized;
     /// Per-block output.
     type Output: Send;
+    /// Reusable host-side staging state. Each simulation worker creates
+    /// one workspace and reuses it across every block it executes, so
+    /// kernels can keep scratch buffers (reversed-text staging, op
+    /// buffers) allocation-free in steady state. Kernels without scratch
+    /// use `()`.
+    type Workspace: Default + Send;
 
-    /// Execute one block.
-    fn block(&self, ctx: &mut BlockCtx, args: &Self::Args) -> Result<Self::Output, SimError>;
+    /// Execute one block. `ws` is this worker's reusable workspace; its
+    /// contents at entry are whatever the previous block left behind, so
+    /// kernels must clear what they read.
+    fn block(
+        &self,
+        ctx: &mut BlockCtx,
+        args: &Self::Args,
+        ws: &mut Self::Workspace,
+    ) -> Result<Self::Output, SimError>;
 }
 
 /// Result of a kernel launch.
@@ -88,48 +101,51 @@ impl Device {
         let start = std::time::Instant::now();
         let n_workers = self.host_workers.max(1).min(grid_dim.max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<(BlockCounters, K::Output)>>> =
+        type BlockSlot<O> = Option<(BlockCounters, O)>;
+        let results: Mutex<Vec<BlockSlot<K::Output>>> =
             Mutex::new((0..grid_dim).map(|_| None).collect());
         let failure: Mutex<Option<SimError>> = Mutex::new(None);
 
         thread::scope(|s| {
             for _ in 0..n_workers {
-                s.spawn(|_| loop {
-                    let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if b >= grid_dim || failure.lock().is_some() {
-                        break;
-                    }
-                    let mut ctx = BlockCtx::new(
-                        b,
-                        grid_dim,
-                        block_dim,
-                        self.desc.warp_size,
-                        shared_bytes,
-                    );
-                    match kernel.block(&mut ctx, args) {
-                        Ok(out) => {
-                            results.lock()[b] = Some((ctx.into_counters(), out));
-                        }
-                        Err(e) => {
-                            let mut f = failure.lock();
-                            if f.is_none() {
-                                *f = Some(e);
-                            }
+                s.spawn(|| {
+                    let mut ws = K::Workspace::default();
+                    loop {
+                        let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if b >= grid_dim || failure.lock().unwrap().is_some() {
                             break;
+                        }
+                        let mut ctx = BlockCtx::new(
+                            b,
+                            grid_dim,
+                            block_dim,
+                            self.desc.warp_size,
+                            shared_bytes,
+                        );
+                        match kernel.block(&mut ctx, args, &mut ws) {
+                            Ok(out) => {
+                                results.lock().unwrap()[b] = Some((ctx.into_counters(), out));
+                            }
+                            Err(e) => {
+                                let mut f = failure.lock().unwrap();
+                                if f.is_none() {
+                                    *f = Some(e);
+                                }
+                                break;
+                            }
                         }
                     }
                 });
             }
-        })
-        .expect("simulation worker panicked");
+        });
 
-        if let Some(e) = failure.into_inner() {
+        if let Some(e) = failure.into_inner().unwrap() {
             return Err(e);
         }
         let mut totals = BlockCounters::default();
         let mut per_block = Vec::with_capacity(grid_dim);
         let mut outputs = Vec::with_capacity(grid_dim);
-        for slot in results.into_inner() {
+        for slot in results.into_inner().unwrap() {
             let (c, o) = slot.expect("every block completed");
             totals.merge(&c);
             per_block.push(c);
@@ -156,8 +172,14 @@ mod tests {
     impl Kernel for ReduceKernel {
         type Args = Vec<u64>;
         type Output = u64;
+        type Workspace = ();
 
-        fn block(&self, ctx: &mut BlockCtx, args: &Vec<u64>) -> Result<u64, SimError> {
+        fn block(
+            &self,
+            ctx: &mut BlockCtx,
+            args: &Vec<u64>,
+            _ws: &mut (),
+        ) -> Result<u64, SimError> {
             let n = ctx.block_dim;
             let mut sh = ctx.shared_alloc(n)?;
             let base = ctx.block_idx * n;
@@ -211,7 +233,8 @@ mod tests {
         impl Kernel for Hog {
             type Args = ();
             type Output = ();
-            fn block(&self, ctx: &mut BlockCtx, _: &()) -> Result<(), SimError> {
+            type Workspace = ();
+            fn block(&self, ctx: &mut BlockCtx, _: &(), _ws: &mut ()) -> Result<(), SimError> {
                 ctx.shared_alloc(10_000)?; // 80 KB > tiny's 2 KB
                 Ok(())
             }

@@ -23,7 +23,9 @@
 //! impl Kernel for Doubler {
 //!     type Args = Vec<u64>;
 //!     type Output = u64;
-//!     fn block(&self, ctx: &mut BlockCtx, args: &Vec<u64>) -> Result<u64, SimError> {
+//!     // Per-worker reusable staging; this kernel needs none.
+//!     type Workspace = ();
+//!     fn block(&self, ctx: &mut BlockCtx, args: &Vec<u64>, _ws: &mut ()) -> Result<u64, SimError> {
 //!         Ok(args[ctx.block_idx] * 2)
 //!     }
 //! }

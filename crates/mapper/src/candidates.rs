@@ -115,7 +115,9 @@ mod tests {
 
     fn random_seq(len: usize, seed: u64) -> Seq {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect()
+        (0..len)
+            .map(|_| Base::from_code(rng.gen_range(0..4)))
+            .collect()
     }
 
     #[test]
@@ -123,13 +125,15 @@ mod tests {
         let reference = random_seq(100_000, 1);
         let index = MinimizerIndex::build(&reference);
         let read = reference.slice(40_000, 2_000);
-        let tasks =
-            candidates_for_read(7, &read, &reference, &index, &CandidateParams::default());
+        let tasks = candidates_for_read(7, &read, &reference, &index, &CandidateParams::default());
         assert!(!tasks.is_empty(), "perfect read must map");
         let best = &tasks[0];
         assert_eq!(best.read_id, 7);
-        assert!(best.ref_pos <= 40_000 && 40_000 - best.ref_pos <= 200,
-            "window start {} too far from truth 40000", best.ref_pos);
+        assert!(
+            best.ref_pos <= 40_000 && 40_000 - best.ref_pos <= 200,
+            "window start {} too far from truth 40000",
+            best.ref_pos
+        );
         assert!(best.target.len() >= 2_000);
         // The window must contain the true origin entirely.
         assert!(best.ref_pos + best.target.len() >= 42_000);
@@ -140,13 +144,15 @@ mod tests {
         let reference = random_seq(80_000, 2);
         let index = MinimizerIndex::build(&reference);
         let read = reference.slice(30_000, 1_500).reverse_complement();
-        let tasks =
-            candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
+        let tasks = candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
         assert!(!tasks.is_empty(), "rc read must map");
         let best = &tasks[0];
         // Oriented query must align nearly perfectly to the window.
         let d = align_core::nw_distance(&best.query, &best.target);
-        assert!(d <= 2 * 64 + 32, "oriented candidate distance {d} too large");
+        assert!(
+            d <= 2 * 64 + 32,
+            "oriented candidate distance {d} too large"
+        );
     }
 
     #[test]
@@ -160,8 +166,7 @@ mod tests {
         let reference: Seq = bases.into_iter().collect();
         let index = MinimizerIndex::build(&reference);
         let read: Seq = unit[500..2_500].iter().copied().collect();
-        let tasks =
-            candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
+        let tasks = candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
         assert!(
             tasks.len() >= 3,
             "read from triplicated locus produced only {} candidates",
@@ -174,9 +179,12 @@ mod tests {
         let reference = random_seq(50_000, 5);
         let index = MinimizerIndex::build(&reference);
         let read = random_seq(2_000, 999); // unrelated sequence
-        let tasks =
-            candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
-        assert!(tasks.len() <= 1, "unrelated read should rarely chain, got {}", tasks.len());
+        let tasks = candidates_for_read(0, &read, &reference, &index, &CandidateParams::default());
+        assert!(
+            tasks.len() <= 1,
+            "unrelated read should rarely chain, got {}",
+            tasks.len()
+        );
     }
 
     #[test]

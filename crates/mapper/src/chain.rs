@@ -112,7 +112,11 @@ pub fn chain_anchors(anchors: &[Anchor], k: usize, params: &ChainParams) -> Vec<
         let mut subset: Vec<DpAnchor> = strand_anchors
             .iter()
             .map(|a| DpAnchor {
-                sort_pos: if strand { max_rp - a.read_pos } else { a.read_pos },
+                sort_pos: if strand {
+                    max_rp - a.read_pos
+                } else {
+                    a.read_pos
+                },
                 orig_pos: a.read_pos,
                 ref_pos: a.ref_pos,
             })

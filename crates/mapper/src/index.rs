@@ -38,7 +38,7 @@ pub fn hash64(key: u64, mask: u64) -> u64 {
 ///
 /// Ties within a window keep the rightmost k-mer (robust winnowing).
 pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
-    assert!(k >= 1 && k <= 31, "k must be in 1..=31");
+    assert!((1..=31).contains(&k), "k must be in 1..=31");
     assert!(w >= 1, "w must be positive");
     let n = seq.len();
     if n < k {
@@ -56,7 +56,11 @@ pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
         fwd = ((fwd << 2) | c) & mask;
         rev = (rev >> 2) | ((3 - c) << shift);
         if i + 1 >= k {
-            let (canon, flipped) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+            let (canon, flipped) = if fwd <= rev {
+                (fwd, false)
+            } else {
+                (rev, true)
+            };
             hashes.push((hash64(canon, mask), flipped));
         }
     }
@@ -226,11 +230,7 @@ mod tests {
         let s = seq(&"ACGTACGTACGTACGTACGTACGT".repeat(50));
         let idx = MinimizerIndex::build_params(&s, 4, 8, 2);
         // The dominant periodic minimizer occurs way more than twice.
-        let over_cutoff = idx
-            .buckets
-            .values()
-            .filter(|v| v.len() > 2)
-            .count();
+        let over_cutoff = idx.buckets.values().filter(|v| v.len() > 2).count();
         assert!(over_cutoff > 0, "expected repetitive hashes in this input");
         for (h, v) in &idx.buckets {
             if v.len() > 2 {

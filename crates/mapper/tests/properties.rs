@@ -2,8 +2,9 @@
 //! random references.
 
 use align_core::{Base, Seq};
-use mapper::{chain_anchors, collect_anchors, minimizers, CandidateParams, ChainParams,
-             MinimizerIndex};
+use mapper::{
+    chain_anchors, collect_anchors, minimizers, CandidateParams, ChainParams, MinimizerIndex,
+};
 use proptest::prelude::*;
 
 fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = Seq> {

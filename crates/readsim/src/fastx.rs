@@ -103,19 +103,14 @@ pub fn read_fastx<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError>
                 let name = header_name(&line[1..]);
                 let mut seq = Seq::new();
                 // Collect sequence lines until the next header.
-                loop {
-                    match lines.next() {
-                        Some((i, l)) => {
-                            let l = l?;
-                            let t = l.trim_end();
-                            if t.starts_with('>') || t.starts_with('@') {
-                                pending = Some((i, l));
-                                break;
-                            }
-                            append_seq(&mut seq, t, i + 1)?;
-                        }
-                        None => break,
+                for (i, l) in lines.by_ref() {
+                    let l = l?;
+                    let t = l.trim_end();
+                    if t.starts_with('>') || t.starts_with('@') {
+                        pending = Some((i, l));
+                        break;
                     }
+                    append_seq(&mut seq, t, i + 1)?;
                 }
                 records.push(FastxRecord {
                     name,
@@ -279,7 +274,11 @@ mod tests {
 
     #[test]
     fn fastq_roundtrip() {
-        let records = vec![FastxRecord::fastq("r1", seq("ACGTAC"), vec![10, 20, 30, 40, 50, 60])];
+        let records = vec![FastxRecord::fastq(
+            "r1",
+            seq("ACGTAC"),
+            vec![10, 20, 30, 40, 50, 60],
+        )];
         let mut buf = Vec::new();
         write_fastq(&mut buf, &records).unwrap();
         let parsed = read_fastx(Cursor::new(buf)).unwrap();
@@ -359,6 +358,8 @@ mod tests {
     #[test]
     fn empty_input_is_empty() {
         assert!(read_fastx(Cursor::new(b"".as_slice())).unwrap().is_empty());
-        assert!(read_fastx(Cursor::new(b"\n\n".as_slice())).unwrap().is_empty());
+        assert!(read_fastx(Cursor::new(b"\n\n".as_slice()))
+            .unwrap()
+            .is_empty());
     }
 }

@@ -67,7 +67,10 @@ impl ErrorModel {
 
     fn normalized(&self) -> (f64, f64, f64) {
         let total = self.sub_frac + self.ins_frac + self.del_frac;
-        assert!(total > 0.0 || self.error_rate == 0.0, "error fractions sum to 0");
+        assert!(
+            total > 0.0 || self.error_rate == 0.0,
+            "error fractions sum to 0"
+        );
         if total == 0.0 {
             return (1.0, 0.0, 0.0);
         }
@@ -176,7 +179,7 @@ pub fn simulate_reads(genome: &Genome, cfg: &ReadConfig) -> Vec<SimRead> {
                 if r < sub_p {
                     // Substitution: emit a different base.
                     let orig = genome.seq.get(rpos);
-                    let sub = Base::from_code((orig.code() + rng.gen_range(1..4)) % 4);
+                    let sub = Base::from_code((orig.code() + rng.gen_range(1..4u8)) % 4);
                     bases.push(sub);
                     qual.push(q);
                     rpos += 1;
@@ -304,7 +307,11 @@ mod tests {
             assert!(d > 0, "8% errors should leave a trace");
             // NW distance can be below the injected count (events can
             // cancel) but never above.
-            assert!(d <= r.errors_injected, "d={d} > injected {}", r.errors_injected);
+            assert!(
+                d <= r.errors_injected,
+                "d={d} > injected {}",
+                r.errors_injected
+            );
         }
     }
 
@@ -332,7 +339,10 @@ mod tests {
     fn deterministic_given_seed() {
         let g = genome(60_000);
         let cfg = ReadConfig::paper_like(3, 42);
-        let cfg = ReadConfig { length: 2_000, ..cfg };
+        let cfg = ReadConfig {
+            length: 2_000,
+            ..cfg
+        };
         let a = simulate_reads(&g, &cfg);
         let b = simulate_reads(&g, &cfg);
         assert_eq!(a.len(), b.len());

@@ -1,0 +1,279 @@
+//! Offline stand-in for `rayon`'s parallel slice iterators.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset the suite uses — `par_iter().map(..).collect()` and
+//! `par_iter().map_init(..).collect()` — on real OS threads via
+//! `std::thread::scope`. Work is distributed by chunked atomic index
+//! claiming, which gives the same key property as rayon's thread pools:
+//! with `map_init`, each worker thread creates its per-worker state
+//! **once** and reuses it for every item that worker claims. That is
+//! the contract the batch aligners rely on for workspace reuse.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Items claimed per atomic fetch: large enough to amortize contention,
+/// small enough to balance skewed workloads (alignment tasks vary in
+/// length).
+const CHUNK: usize = 8;
+
+/// Number of worker threads used for parallel iteration.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// The per-item reference type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator borrowing the items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map with per-worker mutable state: `init` runs once per worker
+    /// thread, and that worker passes its state to `f` for every item
+    /// it processes (rayon's `map_init`).
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        S: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+/// The `map` adapter.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute and collect results in item order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        let f = self.f;
+        C::from_vec(run_parallel(self.items, || (), move |_, item| f(item)))
+    }
+}
+
+/// The `map_init` adapter.
+pub struct ParMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T, S, R, INIT, F> ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    /// Execute and collect results in item order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_vec(run_parallel(self.items, self.init, self.f))
+    }
+}
+
+/// Containers a parallel map can collect into.
+pub trait FromParallel<R> {
+    /// Build from the in-order result vector.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Vec<R> {
+        v
+    }
+}
+
+/// Raw base pointer into the results vector, captured once on the main
+/// thread so workers never materialize a `&mut Vec` (overlapping unique
+/// references across threads would be undefined behavior even with
+/// disjoint element writes).
+struct ResultsPtr<R> {
+    base: *mut Option<R>,
+    len: usize,
+}
+unsafe impl<R: Send> Sync for ResultsPtr<R> {}
+
+impl<R> ResultsPtr<R> {
+    /// Write slot `idx`.
+    ///
+    /// # Safety
+    /// Each index must be written by at most one thread, the backing
+    /// vector must outlive all writers, and the owner must not touch
+    /// the vector until the writers have joined.
+    unsafe fn write(&self, idx: usize, val: R) {
+        assert!(idx < self.len);
+        self.base.add(idx).write(Some(val));
+    }
+}
+
+fn run_parallel<'a, T, S, R, INIT, F>(items: &'a [T], init: INIT, f: F) -> Vec<R>
+where
+    T: Sync,
+    S: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n.div_ceil(CHUNK)).max(1);
+    if workers == 1 {
+        let mut state = init();
+        return items.iter().map(|t| f(&mut state, t)).collect();
+    }
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let results_ptr = ResultsPtr {
+        base: results.as_mut_ptr(),
+        len: results.len(),
+    };
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (results_ptr, next, init, f) = (&results_ptr, &next, &init, &f);
+        for _ in 0..workers {
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(n);
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        let out = f(&mut state, item);
+                        // SAFETY: each index is claimed by exactly one
+                        // worker via the atomic counter, so writes are
+                        // disjoint; `results` outlives the scope and is
+                        // not touched until the scope joins.
+                        unsafe {
+                            results_ptr.write(start + i, out);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("worker missed an index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..50_000).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(
+                || {
+                    INITS.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |state, &x| {
+                    *state += 1;
+                    x + 1
+                },
+            )
+            .collect();
+        assert_eq!(out[17], 18);
+        // init ran once per worker, not once per item.
+        let inits = INITS.load(Ordering::Relaxed);
+        assert!(inits <= current_num_threads(), "{inits} inits");
+        assert!(inits >= 1);
+    }
+
+    #[test]
+    fn really_parallel_when_cores_allow() {
+        // All workers must observe distinct states (no sharing).
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<(usize, usize)> = v
+            .par_iter()
+            .map_init(Vec::<usize>::new, |seen, &x| {
+                seen.push(x);
+                (x, seen.len())
+            })
+            .collect();
+        // Per-worker counts are monotone within that worker's items, and
+        // every item appears exactly once overall.
+        let mut xs: Vec<usize> = out.iter().map(|p| p.0).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, (0..1000).collect::<Vec<_>>());
+    }
+}

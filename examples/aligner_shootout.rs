@@ -14,7 +14,9 @@ use genasm_cpu::CpuBatchAligner;
 use rand::prelude::*;
 
 fn mutated_pair(rng: &mut StdRng, len: usize, error_rate: f64) -> (Seq, Seq) {
-    let q: Vec<Base> = (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+    let q: Vec<Base> = (0..len)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
     let mut t = q.clone();
     let mut i = 0;
     while i < t.len() {

@@ -12,7 +12,9 @@ use gpu_sim::Device;
 use rand::prelude::*;
 
 fn mutated_pair(rng: &mut StdRng, len: usize, error_rate: f64) -> (Seq, Seq) {
-    let q: Vec<Base> = (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+    let q: Vec<Base> = (0..len)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
     let mut t = q.clone();
     let mut i = 0;
     while i < t.len() {
@@ -42,10 +44,12 @@ fn main() {
 
     let device = Device::a6000();
     println!("device: {}", device.desc.name);
-    println!("  SMs: {}, shared/block: {} KiB, DRAM: {} GB/s\n",
+    println!(
+        "  SMs: {}, shared/block: {} KiB, DRAM: {} GB/s\n",
         device.desc.sm_count,
         device.desc.shared_mem_per_block / 1024,
-        device.desc.dram_bandwidth_gbps);
+        device.desc.dram_bandwidth_gbps
+    );
 
     for (label, gpu) in [
         ("improved  ", GpuAligner::improved(device.clone())),
@@ -59,7 +63,10 @@ fn main() {
             .sum();
         println!("kernel {label}:");
         println!("  shared memory/block : {} KiB", report.shared_bytes / 1024);
-        println!("  occupancy           : {} blocks/SM", report.timing.blocks_per_sm);
+        println!(
+            "  occupancy           : {} blocks/SM",
+            report.timing.blocks_per_sm
+        );
         println!(
             "  global traffic      : {:.2} MiB",
             report.totals.global_bytes as f64 / 1048576.0
@@ -74,7 +81,9 @@ fn main() {
     }
 
     // The two kernels must agree bit-for-bit on the alignments.
-    let a = GpuAligner::improved(device.clone()).align_batch(&tasks).unwrap();
+    let a = GpuAligner::improved(device.clone())
+        .align_batch(&tasks)
+        .unwrap();
     let b = GpuAligner::baseline(device).align_batch(&tasks).unwrap();
     assert!(a
         .results

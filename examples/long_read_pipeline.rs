@@ -50,7 +50,7 @@ fn main() {
         for c in &cands {
             let aln = aligner.align(&c.query, &c.target).expect("alignment");
             aln.check(&c.query, &c.target).expect("valid CIGAR");
-            if best.map_or(true, |(d, _)| aln.edit_distance < d) {
+            if best.is_none_or(|(d, _)| aln.edit_distance < d) {
                 best = Some((aln.edit_distance, c.ref_pos));
             }
         }

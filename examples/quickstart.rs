@@ -8,6 +8,16 @@
 use align_core::{alignment::format_alignment, GlobalAligner, Seq};
 use genasm_core::{GenAsmAligner, MemStats};
 
+/// Mutate every 4th base of `seq` (deterministic demo input).
+fn perturb(seq: &Seq) -> Seq {
+    (0..seq.len())
+        .map(|i| {
+            let c = seq.get_code(i);
+            align_core::Base::from_code(if i % 4 == 0 { (c + 1) % 4 } else { c })
+        })
+        .collect()
+}
+
 fn main() {
     // A query with one substitution, one insertion and one deletion
     // relative to the target.
@@ -42,4 +52,24 @@ fn main() {
     // Verify the alignment is valid against both sequences.
     alignment.check(&query, &target).expect("valid CIGAR");
     println!("\nalignment validated ✓");
+
+    // The hot path for many alignments: hold one AlignWorkspace and
+    // reuse it — scratch rows, the traceback arena and staging buffers
+    // are allocated once and reused for every pair (zero heap
+    // allocations per window in steady state).
+    let mut ws = aligner.new_workspace();
+    let pairs = [
+        (query.clone(), target.clone()),
+        (target.clone(), query.clone()),
+        (query.clone(), perturb(&query)),
+    ];
+    for (q, t) in &pairs {
+        let aln = aligner.align_reusing(&mut ws, q, t).expect("alignment");
+        println!("reused workspace: d={} over {q}", aln.edit_distance);
+    }
+    println!(
+        "workspace instrumentation: {} windows across {} alignments",
+        ws.stats.windows,
+        pairs.len()
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
         match a.as_str() {
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                scale = Scale::parse(&v).unwrap_or_else(|| usage());
+                scale = v.parse().unwrap_or_else(|e| {
+                    eprintln!("repro: {e}");
+                    usage()
+                });
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());

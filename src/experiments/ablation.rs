@@ -44,7 +44,7 @@ pub fn run(tasks: &[AlignTask]) -> Vec<AblationRow> {
         });
     }
     // Baseline first, then by decreasing footprint.
-    rows.sort_by(|a, b| b.stats.table_words.cmp(&a.stats.table_words));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.stats.table_words));
     rows
 }
 

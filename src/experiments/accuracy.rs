@@ -73,9 +73,11 @@ pub fn run(tasks: &[AlignTask]) -> AccuracyResults {
             "GenASM beat the optimum: impossible"
         );
         if opt.edit_distance * 5 < t.query.len() {
-            res.good.push(g.edit_distance, opt.edit_distance, &mut gx, &mut go);
+            res.good
+                .push(g.edit_distance, opt.edit_distance, &mut gx, &mut go);
         } else {
-            res.junk.push(g.edit_distance, opt.edit_distance, &mut jx, &mut jo);
+            res.junk
+                .push(g.edit_distance, opt.edit_distance, &mut jx, &mut jo);
         }
     }
     if res.good.pairs > 0 {
@@ -93,7 +95,14 @@ pub fn run(tasks: &[AlignTask]) -> AccuracyResults {
 pub fn report(res: &AccuracyResults) -> String {
     let mut t = Table::new(
         "A2: GenASM alignment quality vs exact edit distance",
-        &["tier", "pairs", "cost-optimal", "mean excess", "max excess", "mean opt distance"],
+        &[
+            "tier",
+            "pairs",
+            "cost-optimal",
+            "mean excess",
+            "max excess",
+            "mean opt distance",
+        ],
     );
     for (name, tier) in [("true-locus-like", &res.good), ("off-target", &res.junk)] {
         t.row(&[

@@ -104,7 +104,11 @@ pub fn report(res: &GpuResults) -> String {
         f(res.gpu_baseline_ms),
         crate::report::bytes(res.baseline_global_bytes as f64),
     ]);
-    t.row(&["cpu genasm-improved".into(), f(res.cpu_improved_ms), "-".into()]);
+    t.row(&[
+        "cpu genasm-improved".into(),
+        f(res.cpu_improved_ms),
+        "-".into(),
+    ]);
     t.row(&["cpu ksw2".into(), f(res.ksw2_ms), "-".into()]);
     t.row(&["cpu edlib".into(), f(res.edlib_ms), "-".into()]);
     let mut s = t.render();

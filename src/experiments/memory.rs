@@ -78,17 +78,37 @@ fn subset_rows(t: &mut Table, label: &str, base: &MemRun, imp: &MemRun) {
 pub fn report(res: &MemoryResults) -> String {
     let mut t = Table::new(
         "DP-table working set per 64x64 window",
-        &["subset", "config", "rows/window", "table bytes/window", "table accesses/window"],
+        &[
+            "subset",
+            "config",
+            "rows/window",
+            "table bytes/window",
+            "table accesses/window",
+        ],
     );
     subset_rows(&mut t, "all candidates", &res.all.0, &res.all.1);
     subset_rows(&mut t, "true locus", &res.true_locus.0, &res.true_locus.1);
     let mut s = t.render();
 
-    let tl_fp = res.true_locus.0.stats.footprint_reduction_vs(&res.true_locus.1.stats);
-    let tl_ac = res.true_locus.0.stats.access_reduction_vs(&res.true_locus.1.stats);
+    let tl_fp = res
+        .true_locus
+        .0
+        .stats
+        .footprint_reduction_vs(&res.true_locus.1.stats);
+    let tl_ac = res
+        .true_locus
+        .0
+        .stats
+        .access_reduction_vs(&res.true_locus.1.stats);
     let mut t2 = Table::new(
         "E8-E9: memory reductions (paper vs measured)",
-        &["exp", "metric", "paper", "measured (all)", "measured (true locus)"],
+        &[
+            "exp",
+            "metric",
+            "paper",
+            "measured (all)",
+            "measured (true locus)",
+        ],
     );
     t2.row(&[
         "E8".into(),

@@ -45,7 +45,9 @@ pub struct GeometryPoint {
 }
 
 fn mutated_pair(rng: &mut StdRng, len: usize, error_rate: f64) -> (Seq, Seq) {
-    let q: Vec<Base> = (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+    let q: Vec<Base> = (0..len)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
     let mut t = q.clone();
     // sub:ins:del at the CLR-ish 6:50:44 mix
     let mut i = 0;

@@ -19,15 +19,12 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from a CLI string.
-    pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "small" => Some(Scale::Small),
-            "medium" => Some(Scale::Medium),
-            "paper" => Some(Scale::Paper),
-            _ => None,
-        }
-    }
+    /// Every scale with its CLI name, in size order.
+    pub const ALL: [(Scale, &'static str); 3] = [
+        (Scale::Small, "small"),
+        (Scale::Medium, "medium"),
+        (Scale::Paper, "paper"),
+    ];
 
     /// Genome length for this scale.
     pub fn genome_len(&self) -> usize {
@@ -69,6 +66,52 @@ impl Scale {
         }
     }
 }
+
+impl std::str::FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Scale, ParseScaleError> {
+        Scale::ALL
+            .iter()
+            .find(|(_, name)| *name == s)
+            .map(|&(scale, _)| scale)
+            .ok_or_else(|| ParseScaleError {
+                given: s.to_string(),
+            })
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (_, name) = Scale::ALL
+            .iter()
+            .find(|(scale, _)| scale == self)
+            .expect("every scale is in Scale::ALL");
+        f.write_str(name)
+    }
+}
+
+/// Error for an unrecognized scale name; lists the valid ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScaleError {
+    /// What the user typed.
+    pub given: String,
+}
+
+impl std::fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown scale '{}'; valid scales are ", self.given)?;
+        for (i, (_, name)) in Scale::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "'{name}'")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
 
 /// The generated workload: genome, reads, and candidate tasks.
 pub struct Workload {
@@ -140,7 +183,7 @@ impl Workload {
             let ov_end = (t.ref_pos + t.target.len()).min(read.true_end);
             let overlap = ov_end.saturating_sub(ov_start);
             let slot = &mut best[t.read_id as usize];
-            if slot.map_or(true, |(o, _)| overlap > o) {
+            if slot.is_none_or(|(o, _)| overlap > o) {
                 *slot = Some((overlap, i));
             }
         }
@@ -186,9 +229,22 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(Scale::parse("small"), Some(Scale::Small));
-        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
-        assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!("small".parse(), Ok(Scale::Small));
+        assert_eq!("paper".parse(), Ok(Scale::Paper));
+        let err = "bogus".parse::<Scale>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'bogus'"), "{msg}");
+        for (_, name) in Scale::ALL {
+            assert!(msg.contains(name), "error must list '{name}': {msg}");
+        }
+    }
+
+    #[test]
+    fn scale_display_roundtrips() {
+        for (scale, name) in Scale::ALL {
+            assert_eq!(scale.to_string(), name);
+            assert_eq!(name.parse::<Scale>(), Ok(scale));
+        }
     }
 
     #[test]
@@ -228,8 +284,18 @@ mod tests {
             reverse: false,
             errors_injected: 0,
         };
-        let good = AlignTask::new(0, 9_900, genome.seq.slice(9_900, 2_200), genome.seq.slice(9_900, 2_200));
-        let bad = AlignTask::new(0, 40_000, genome.seq.slice(40_000, 2_200), genome.seq.slice(40_000, 2_200));
+        let good = AlignTask::new(
+            0,
+            9_900,
+            genome.seq.slice(9_900, 2_200),
+            genome.seq.slice(9_900, 2_200),
+        );
+        let bad = AlignTask::new(
+            0,
+            40_000,
+            genome.seq.slice(40_000, 2_200),
+            genome.seq.slice(40_000, 2_200),
+        );
         let idx = classify_true_locus(&[good, bad], &[read]);
         assert_eq!(idx, vec![0]);
     }

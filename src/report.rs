@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(3.15159), "3.15");
         assert_eq!(f(42.123), "42.1");
         assert_eq!(f(12345.6), "12346");
         assert_eq!(x(2.0), "2.00x");

@@ -11,7 +11,9 @@ fn tasks(n: usize, len: usize) -> Vec<align_core::AlignTask> {
     let mut rng = StdRng::seed_from_u64(77);
     (0..n)
         .map(|i| {
-            let q: Vec<Base> = (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+            let q: Vec<Base> = (0..len)
+                .map(|_| Base::from_code(rng.gen_range(0..4)))
+                .collect();
             let mut t = q.clone();
             let mut j = 0;
             while j < t.len() {
@@ -38,7 +40,15 @@ fn cpu_experiment_reports_all_rows() {
     let res = cpu::run(&tasks(6, 800));
     assert!(res.vs_ksw2 > 0.0 && res.vs_edlib > 0.0 && res.vs_baseline > 0.0);
     let report = cpu::report(&res);
-    for needle in ["E1", "E2", "E3", "ksw2", "edlib", "genasm-improved", "15.2x"] {
+    for needle in [
+        "E1",
+        "E2",
+        "E3",
+        "ksw2",
+        "edlib",
+        "genasm-improved",
+        "15.2x",
+    ] {
         assert!(report.contains(needle), "missing {needle} in:\n{report}");
     }
 }
@@ -46,7 +56,10 @@ fn cpu_experiment_reports_all_rows() {
 #[test]
 fn gpu_experiment_reports_all_rows() {
     let res = gpu::run(&tasks(4, 600));
-    assert!(res.vs_gpu_baseline > 1.0, "improved kernel must beat baseline");
+    assert!(
+        res.vs_gpu_baseline > 1.0,
+        "improved kernel must beat baseline"
+    );
     let report = gpu::report(&res);
     for needle in ["E4", "E5", "E6", "E7", "4.1x", "62x", "7.2x", "5.9x"] {
         assert!(report.contains(needle), "missing {needle} in:\n{report}");
@@ -74,8 +87,13 @@ fn ablation_covers_all_combinations() {
         assert!(report.contains(needle), "missing {needle} in:\n{report}");
     }
     // The fully-improved row must have the smallest footprint.
-    let improved = rows.iter().find(|r| r.label == "+compress+et+dent").unwrap();
-    assert!(rows.iter().all(|r| improved.stats.table_words <= r.stats.table_words));
+    let improved = rows
+        .iter()
+        .find(|r| r.label == "+compress+et+dent")
+        .unwrap();
+    assert!(rows
+        .iter()
+        .all(|r| improved.stats.table_words <= r.stats.table_words));
 }
 
 #[test]
