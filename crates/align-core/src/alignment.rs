@@ -39,6 +39,19 @@ impl Alignment {
         self.cigar.validate(query, target)
     }
 
+    /// Identity over alignment columns = matches / (M + X + I + D), in
+    /// `[0, 1]`. This is the identity reported in the PAF-like records
+    /// (it needs no sequences, only the CIGAR); an empty alignment is
+    /// defined as identity 1.
+    pub fn column_identity(&self) -> f64 {
+        let (m, x, i, d) = self.cigar.op_counts();
+        let cols = m + x + i + d;
+        if cols == 0 {
+            return 1.0;
+        }
+        m as f64 / cols as f64
+    }
+
     /// Identity = matches / max(query, target) length, in `[0, 1]`.
     pub fn identity(&self, query: &Seq, target: &Seq) -> f64 {
         let denom = query.len().max(target.len());

@@ -6,26 +6,34 @@
 //! ```text
 //! genasm simulate --genome-len 500000 --reads 20 --read-len 5000 \
 //!                 --error 0.10 --seed 7 --ref ref.fa --out reads.fq
-//! genasm map     --ref ref.fa --reads reads.fq
-//! genasm align   --ref ref.fa --reads reads.fq [--aligner genasm|genasm-base|edlib|ksw2]
-//! genasm filter  --pattern GATTACA --text ref.fa -k 2
+//! genasm map      --ref ref.fa --reads reads.fq
+//! genasm align    --ref ref.fa --reads reads.fq [--aligner genasm|genasm-base|edlib|ksw2]
+//! genasm pipeline --ref ref.fa --reads reads.fq [--backend cpu|gpu-sim|edlib|ksw2]
+//! genasm filter   --pattern GATTACA --text ref.fa -k 2
 //! ```
 //!
-//! `map` and `align` print PAF-like tab-separated records (one per
-//! candidate chain / alignment). All subcommands are plain functions
-//! over `Write` so the integration tests drive them without spawning
-//! processes.
+//! `map`, `align` and `pipeline` print PAF-like tab-separated records
+//! (one per candidate chain / alignment). `align` is the one-shot batch
+//! path (load everything, align everything); `pipeline` streams the
+//! reads through the bounded-queue pipeline in [`genasm_pipeline`] and
+//! produces **byte-identical output** for the same workload — the
+//! record formatting and per-read ordering live in one place,
+//! [`genasm_pipeline::AlignRecord`]. All subcommands are plain
+//! functions over `Write` so the integration tests drive them without
+//! spawning processes.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
-use align_core::{GlobalAligner, Seq};
-use baselines::{Ksw2Aligner, MyersAligner};
-use genasm_cpu::CpuBatchAligner;
+use align_core::Seq;
+use genasm_pipeline::{
+    AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, PipelineConfig,
+    ReadInput,
+};
 use mapper::{CandidateParams, MinimizerIndex};
 use readsim::{
     read_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq, ErrorModel,
-    FastxRecord, Genome, GenomeConfig, ReadConfig,
+    FastxReader, FastxRecord, Genome, GenomeConfig, ReadConfig,
 };
 
 /// CLI failure: message plus suggested exit code.
@@ -115,6 +123,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&Flags::parse(rest)?, out),
         "map" => cmd_map(&Flags::parse(rest)?, out),
         "align" => cmd_align(&Flags::parse(rest)?, out),
+        "pipeline" => cmd_pipeline(&Flags::parse(rest)?, out),
         "filter" => cmd_filter(&Flags::parse(rest)?, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -129,8 +138,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// The usage text.
 pub const USAGE: &str = "usage:
   genasm simulate --genome-len N --reads N --read-len N [--error R] [--seed S] --ref FILE --out FILE
-  genasm map      --ref FILE --reads FILE [--max-per-read N]
-  genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
+  genasm map      --ref FILE --reads FILE [--max-per-read N] [--threads N]
+  genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N] [--threads N]
+  genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
+                  [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N] [--metrics on]
   genasm filter   --pattern SEQ --text FILE [-k N]";
 
 fn io_err(e: std::io::Error) -> CliError {
@@ -149,6 +160,20 @@ fn load_reference(path: &str) -> Result<(String, Seq), CliError> {
         .next()
         .ok_or_else(|| CliError::runtime(format!("{path}: no records")))?;
     Ok((first.name, first.seq))
+}
+
+/// Apply `--threads N` to the global Rayon pool (0 = all cores). Only
+/// acts when the flag is present, so plain invocations keep the
+/// default pool.
+fn configure_threads(flags: &Flags) -> Result<(), CliError> {
+    if flags.get("threads").is_none() {
+        return Ok(());
+    }
+    let n: usize = flags.num("threads", 0)?;
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .map_err(|e| CliError::runtime(format!("cannot size thread pool: {e}")))
 }
 
 fn cmd_simulate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
@@ -202,8 +227,9 @@ fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let (ref_name, reference) = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
     let params = candidate_params(flags)?;
+    configure_threads(flags)?;
     let index = MinimizerIndex::build(&reference);
-    for (i, r) in reads.iter().enumerate() {
+    for r in &reads {
         let anchors = mapper::collect_anchors(&r.seq, &index);
         let chains = mapper::chain_anchors(&anchors, index.k, &params.chain);
         for c in chains.iter().take(params.max_per_read) {
@@ -225,62 +251,154 @@ fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             )
             .map_err(io_err)?;
         }
-        let _ = i;
     }
     Ok(())
 }
 
-fn make_aligner(name: &str) -> Result<Box<dyn GlobalAligner + Sync>, CliError> {
-    match name {
-        "genasm" => Ok(Box::new(CpuBatchAligner::improved())),
-        "genasm-base" => Ok(Box::new(CpuBatchAligner::baseline())),
-        "edlib" => Ok(Box::new(MyersAligner::new())),
-        "ksw2" => Ok(Box::new(Ksw2Aligner::new())),
-        other => Err(CliError::usage(format!(
-            "unknown aligner {other:?} (genasm|genasm-base|edlib|ksw2)"
-        ))),
+/// The `--aligner` choices of `genasm align`, mirroring the
+/// [`BackendKind`] pattern: parse failures list every valid name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AlignerKind {
+    Genasm,
+    GenasmBase,
+    Edlib,
+    Ksw2,
+}
+
+impl AlignerKind {
+    const ALL: [(AlignerKind, &'static str); 4] = [
+        (AlignerKind::Genasm, "genasm"),
+        (AlignerKind::GenasmBase, "genasm-base"),
+        (AlignerKind::Edlib, "edlib"),
+        (AlignerKind::Ksw2, "ksw2"),
+    ];
+
+    fn create(&self) -> Box<dyn Backend> {
+        match self {
+            AlignerKind::Genasm => Box::new(CpuBackend::improved()),
+            AlignerKind::GenasmBase => Box::new(CpuBackend::baseline()),
+            AlignerKind::Edlib => Box::new(EdlibBackend::new()),
+            AlignerKind::Ksw2 => Box::new(Ksw2Backend::new()),
+        }
     }
 }
 
+impl std::str::FromStr for AlignerKind {
+    type Err = CliError;
+
+    fn from_str(s: &str) -> Result<AlignerKind, CliError> {
+        AlignerKind::ALL
+            .iter()
+            .find(|(_, name)| *name == s)
+            .map(|&(kind, _)| kind)
+            .ok_or_else(|| {
+                let names: Vec<String> = AlignerKind::ALL
+                    .iter()
+                    .map(|(_, n)| format!("'{n}'"))
+                    .collect();
+                CliError::usage(format!(
+                    "unknown aligner '{s}'; valid aligners are {}",
+                    names.join(", ")
+                ))
+            })
+    }
+}
+
+/// One-shot batch alignment: load every read, generate every candidate,
+/// align the whole batch through the chosen backend, print per-read
+/// best-first records. This is the reference the streaming `pipeline`
+/// subcommand must match byte-for-byte.
 fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let aligner: AlignerKind = flags.get("aligner").unwrap_or("genasm").parse()?;
+    let params = candidate_params(flags)?;
+    configure_threads(flags)?;
     let (ref_name, reference) = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
-    let params = candidate_params(flags)?;
-    let aligner = make_aligner(flags.get("aligner").unwrap_or("genasm"))?;
+    let backend = aligner.create();
     let index = MinimizerIndex::build(&reference);
 
-    for r in &reads {
-        let cands = mapper::candidates_for_read(0, &r.seq, &reference, &index, &params);
-        // Align every candidate, report them best-first by distance.
-        let mut rows: Vec<(usize, usize, usize, String)> = Vec::new();
-        for c in &cands {
-            let aln = aligner
-                .align(&c.query, &c.target)
-                .map_err(|e| CliError::runtime(format!("alignment failed: {e}")))?;
-            aln.check(&c.query, &c.target)
-                .map_err(|e| CliError::runtime(format!("invalid alignment: {e}")))?;
-            rows.push((
-                aln.edit_distance,
-                c.ref_pos,
-                c.target.len(),
-                aln.cigar.to_string(),
-            ));
+    // Generate all candidates up front (the one-shot shape).
+    let mut tasks = Vec::new();
+    let mut read_of_task = Vec::new();
+    for (i, r) in reads.iter().enumerate() {
+        for t in mapper::candidates_for_read(i as u32, &r.seq, &reference, &index, &params) {
+            read_of_task.push(i);
+            tasks.push(t);
         }
-        rows.sort();
-        for (dist, tstart, tlen, cigar) in rows {
-            writeln!(
-                out,
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                r.name,
-                r.seq.len(),
-                ref_name,
-                tstart,
-                tstart + tlen,
-                dist,
-                cigar
-            )
-            .map_err(io_err)?;
+    }
+
+    let alignments = backend
+        .align_batch(&tasks)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    let mut rows: Vec<Vec<AlignRecord>> = reads.iter().map(|_| Vec::new()).collect();
+    for ((&i, task), aln) in read_of_task.iter().zip(&tasks).zip(&alignments) {
+        let aln = aln.as_ref().ok_or_else(|| {
+            CliError::runtime(format!(
+                "alignment failed for read {}: no alignment within the edit budget",
+                reads[i].name
+            ))
+        })?;
+        aln.check(&task.query, &task.target)
+            .map_err(|e| CliError::runtime(format!("invalid alignment: {e}")))?;
+        rows[i].push(AlignRecord::new(
+            &reads[i].name,
+            reads[i].seq.len(),
+            &ref_name,
+            task.ref_pos,
+            task.target.len(),
+            aln,
+        ));
+    }
+    for per_read in &mut rows {
+        per_read.sort_by_cached_key(AlignRecord::sort_key);
+        for row in per_read.iter() {
+            writeln!(out, "{}", row.to_tsv()).map_err(io_err)?;
         }
+    }
+    Ok(())
+}
+
+/// Streaming alignment through the bounded-queue pipeline.
+fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let backend: BackendKind = flags
+        .get("backend")
+        .unwrap_or("cpu")
+        .parse()
+        .map_err(|e| CliError::usage(format!("{e}")))?;
+    let cfg = PipelineConfig {
+        batch_bases: flags.num("batch-bases", 256 * 1024)?,
+        queue_depth: flags.num("queue-depth", 8)?,
+        dispatchers: flags.num("dispatchers", 1)?,
+        params: candidate_params(flags)?,
+    };
+    let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
+    configure_threads(flags)?;
+    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reads_path = flags.req("reads")?;
+    let backend = backend.create();
+
+    let f = File::open(reads_path)
+        .map_err(|e| CliError::runtime(format!("cannot open {reads_path}: {e}")))?;
+    let stream = FastxReader::new(BufReader::new(f)).map(|r| {
+        r.map(|rec| ReadInput {
+            name: rec.name,
+            seq: rec.seq,
+        })
+    });
+
+    let metrics = genasm_pipeline::run_pipeline(
+        stream,
+        &ref_name,
+        &reference,
+        backend.as_ref(),
+        &cfg,
+        |rec| writeln!(out, "{}", rec.to_tsv()),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    if show_metrics {
+        eprint!("{}", metrics.summary());
     }
     Ok(())
 }

@@ -144,6 +144,208 @@ fn simulate_map_align_pipeline() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Simulate a small workload into `dir`, returning (ref, reads) paths.
+fn simulate_workload(dir: &std::path::Path, reads: usize, read_len: usize) -> (String, String) {
+    let ref_path = dir.join("ref.fa").to_str().unwrap().to_string();
+    let reads_path = dir.join("reads.fq").to_str().unwrap().to_string();
+    run_ok(&[
+        "simulate",
+        "--genome-len",
+        "90000",
+        "--reads",
+        &reads.to_string(),
+        "--read-len",
+        &read_len.to_string(),
+        "--error",
+        "0.08",
+        "--seed",
+        "11",
+        "--ref",
+        &ref_path,
+        "--out",
+        &reads_path,
+    ]);
+    (ref_path, reads_path)
+}
+
+#[test]
+fn pipeline_matches_align_byte_for_byte_on_every_backend() {
+    let dir = tmpdir("pipeline-vs-align");
+    let (ref_path, reads_path) = simulate_workload(&dir, 5, 900);
+
+    // (align --aligner X, pipeline --backend Y) pairs that must agree.
+    // gpu-sim runs the same GenASM algorithm as the CPU path (the GPU
+    // port is property-tested to produce identical CIGARs), so it is
+    // compared against the genasm aligner output.
+    let pairs = [
+        ("genasm", "cpu"),
+        ("edlib", "edlib"),
+        ("ksw2", "ksw2"),
+        ("genasm", "gpu-sim"),
+    ];
+    for (aligner, backend) in pairs {
+        let align_out = run_ok(&[
+            "align",
+            "--ref",
+            &ref_path,
+            "--reads",
+            &reads_path,
+            "--aligner",
+            aligner,
+        ]);
+        assert!(!align_out.is_empty(), "align produced no records");
+        // Sweep batching geometry: output must not depend on it.
+        for (batch_bases, queue_depth) in [("4096", "1"), ("1048576", "8")] {
+            let pipe_out = run_ok(&[
+                "pipeline",
+                "--ref",
+                &ref_path,
+                "--reads",
+                &reads_path,
+                "--backend",
+                backend,
+                "--batch-bases",
+                batch_bases,
+                "--queue-depth",
+                queue_depth,
+            ]);
+            assert_eq!(
+                pipe_out, align_out,
+                "pipeline --backend {backend} (batch {batch_bases}, depth {queue_depth}) \
+                 diverged from align --aligner {aligner}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn align_and_pipeline_emit_parseable_cigar_and_identity() {
+    let dir = tmpdir("identity-cols");
+    let (ref_path, reads_path) = simulate_workload(&dir, 3, 700);
+    for cmd in ["align", "pipeline"] {
+        let out = run_ok(&[cmd, "--ref", &ref_path, "--reads", &reads_path]);
+        assert!(!out.is_empty(), "{cmd} produced no records");
+        for line in out.lines() {
+            let rec = genasm_pipeline::AlignRecord::parse_tsv(line)
+                .unwrap_or_else(|e| panic!("{cmd} row {line:?} unparseable: {e}"));
+            // CIGAR must be consistent with the distance column, and
+            // identity with the CIGAR.
+            assert_eq!(rec.cigar.edit_cost(), rec.edit_distance, "{cmd}: {line}");
+            let (m, x, i, d) = rec.cigar.op_counts();
+            let expect = m as f64 / (m + x + i + d) as f64;
+            assert!(
+                (rec.identity - expect).abs() < 5e-5,
+                "{cmd}: identity {} != {expect} in {line}",
+                rec.identity
+            );
+            assert!(rec.identity > 0.5, "implausible identity in {line}");
+            assert_eq!(rec.tend - rec.tstart, {
+                let (m2, x2, _, d2) = rec.cigar.op_counts();
+                m2 + x2 + d2
+            });
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_aligner_and_backend_list_valid_choices() {
+    let e = run_err(&[
+        "align",
+        "--ref",
+        "/nope",
+        "--reads",
+        "/nope",
+        "--aligner",
+        "bwa",
+    ]);
+    assert_eq!(e.code, 2);
+    for name in ["genasm", "genasm-base", "edlib", "ksw2"] {
+        assert!(e.message.contains(name), "missing {name}: {}", e.message);
+    }
+
+    let e = run_err(&[
+        "pipeline",
+        "--ref",
+        "/nope",
+        "--reads",
+        "/nope",
+        "--backend",
+        "tpu",
+    ]);
+    assert_eq!(e.code, 2);
+    for name in ["cpu", "gpu-sim", "edlib", "ksw2"] {
+        assert!(e.message.contains(name), "missing {name}: {}", e.message);
+    }
+}
+
+#[test]
+fn threads_flag_sizes_the_global_pool() {
+    let dir = tmpdir("threads");
+    let (ref_path, reads_path) = simulate_workload(&dir, 2, 600);
+    let baseline = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    let threaded = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--threads",
+        "3",
+    ]);
+    assert_eq!(baseline, threaded, "thread count must not change output");
+    // The flag really did reconfigure the global pool.
+    assert_eq!(rayon::current_num_threads(), 3);
+    // Restore the default so other tests in this binary keep all cores.
+    run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--threads",
+        "0",
+    ]);
+    assert!(rayon::current_num_threads() >= 1);
+
+    let e = run_err(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--threads",
+        "lots",
+    ]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--threads"), "{}", e.message);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipeline_usage_mentions_backends_and_metrics_go_to_stderr() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("genasm pipeline"), "{out}");
+    assert!(out.contains("--backend"), "{out}");
+    // stdout purity: enabling metrics must not change the records on
+    // stdout (the summary goes to stderr).
+    let dir = tmpdir("metrics-stdout");
+    let (ref_path, reads_path) = simulate_workload(&dir, 2, 600);
+    let plain = run_ok(&["pipeline", "--ref", &ref_path, "--reads", &reads_path]);
+    let with_metrics = run_ok(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--metrics",
+        "on",
+    ]);
+    assert_eq!(plain, with_metrics);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn filter_finds_planted_pattern() {
     let dir = tmpdir("filter");

@@ -1,0 +1,163 @@
+//! The batch scheduler: coalesces tasks into size-targeted batches.
+//!
+//! Batches are sized by **total aligned bases** (query + target), not
+//! task count — alignment cost scales with bases, so base-targeted
+//! batches keep backend launches evenly loaded whether the input is
+//! many short candidates or few long ones. A batch is flushed as soon
+//! as it reaches the target; a single task larger than the target
+//! travels as a batch of one. Task order is preserved: batch `n`
+//! contains a contiguous run of tasks, and concatenating batches
+//! `0..n` reconstructs the input stream exactly.
+
+use align_core::AlignTask;
+
+/// Metadata carried alongside each task so the sink can reassemble
+/// per-read output without holding whole reads.
+#[derive(Debug, Clone)]
+pub struct TaskMeta {
+    /// 0-based index of the read in the input stream.
+    pub read_seq: u64,
+    /// Read name (shared across the read's tasks).
+    pub qname: std::sync::Arc<str>,
+    /// Read length in bases.
+    pub qlen: usize,
+    /// How many candidate tasks this read generated in total.
+    pub read_tasks: u32,
+    /// Window start on the reference.
+    pub tstart: usize,
+    /// Window length on the reference.
+    pub tlen: usize,
+}
+
+/// A scheduled batch: a contiguous run of tasks plus their metadata.
+#[derive(Debug)]
+pub struct Batch {
+    /// Scheduler-assigned sequence number (reorder key).
+    pub seq: u64,
+    /// The alignment tasks, contiguous for backend dispatch.
+    pub tasks: Vec<AlignTask>,
+    /// `metas[i]` describes `tasks[i]`.
+    pub metas: Vec<TaskMeta>,
+    /// Total bases across `tasks`.
+    pub bases: usize,
+}
+
+/// Accumulates tasks and emits batches at the base target.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    target_bases: usize,
+    next_seq: u64,
+    tasks: Vec<AlignTask>,
+    metas: Vec<TaskMeta>,
+    bases: usize,
+}
+
+impl BatchBuilder {
+    /// A builder targeting `target_bases` per batch (at least 1).
+    pub fn new(target_bases: usize) -> BatchBuilder {
+        BatchBuilder {
+            target_bases: target_bases.max(1),
+            next_seq: 0,
+            tasks: Vec::new(),
+            metas: Vec::new(),
+            bases: 0,
+        }
+    }
+
+    /// Add one task; returns the finished batch if this push reached
+    /// the target.
+    pub fn push(&mut self, task: AlignTask, meta: TaskMeta) -> Option<Batch> {
+        self.bases += task.bases();
+        self.tasks.push(task);
+        self.metas.push(meta);
+        if self.bases >= self.target_bases {
+            self.take()
+        } else {
+            None
+        }
+    }
+
+    /// Flush whatever is accumulated (end of stream).
+    pub fn take(&mut self) -> Option<Batch> {
+        if self.tasks.is_empty() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Batch {
+            seq,
+            tasks: std::mem::take(&mut self.tasks),
+            metas: std::mem::take(&mut self.metas),
+            bases: std::mem::replace(&mut self.bases, 0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_core::Seq;
+    use std::sync::Arc;
+
+    fn task(n: usize) -> (AlignTask, TaskMeta) {
+        let s: Seq = std::iter::repeat_n(align_core::Base::A, n).collect();
+        (
+            AlignTask::new(0, 0, s.clone(), s),
+            TaskMeta {
+                read_seq: 0,
+                qname: Arc::from("r"),
+                qlen: n,
+                read_tasks: 1,
+                tstart: 0,
+                tlen: n,
+            },
+        )
+    }
+
+    #[test]
+    fn flushes_at_base_target() {
+        let mut b = BatchBuilder::new(100);
+        let (t, m) = task(20); // 40 bases
+        assert!(b.push(t, m).is_none());
+        let (t, m) = task(20);
+        assert!(b.push(t, m).is_none());
+        let (t, m) = task(20); // 120 bases total -> flush
+        let batch = b.push(t, m).unwrap();
+        assert_eq!(batch.seq, 0);
+        assert_eq!(batch.tasks.len(), 3);
+        assert_eq!(batch.bases, 120);
+        assert!(b.take().is_none(), "builder was drained");
+    }
+
+    #[test]
+    fn oversized_task_is_a_batch_of_one() {
+        let mut b = BatchBuilder::new(10);
+        let (t, m) = task(500);
+        let batch = b.push(t, m).unwrap();
+        assert_eq!(batch.tasks.len(), 1);
+        assert_eq!(batch.bases, 1000);
+    }
+
+    #[test]
+    fn sequences_are_consecutive_and_order_preserved() {
+        let mut b = BatchBuilder::new(1); // every task its own batch
+        let mut seqs = Vec::new();
+        for i in 1..=5 {
+            let (t, m) = task(i);
+            let batch = b.push(t, m).unwrap();
+            assert_eq!(batch.tasks[0].query.len(), i);
+            seqs.push(batch.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trailing_remainder_flushes_on_take() {
+        let mut b = BatchBuilder::new(1_000_000);
+        let (t, m) = task(10);
+        assert!(b.push(t, m).is_none());
+        let batch = b.take().unwrap();
+        assert_eq!(batch.tasks.len(), 1);
+        assert_eq!(batch.seq, 0);
+    }
+}

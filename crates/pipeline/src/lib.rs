@@ -1,0 +1,438 @@
+//! # genasm-pipeline
+//!
+//! A streaming, multi-backend alignment pipeline:
+//!
+//! ```text
+//!  reads ──► candidate generation ──► batch scheduler ──► backend dispatch ──► ordered sink
+//!  (iter)    (mapper, 1 thread)       (1 thread)          (N threads,          (caller thread,
+//!                │                        │                pluggable Backend)   reorder buffer)
+//!                ▼                        ▼                    │
+//!            task queue ────────────► batch queue ────────► result queue
+//!           (bounded, weighted        (bounded,             (bounded,
+//!            by bases)                 queue_depth)          queue_depth)
+//! ```
+//!
+//! The paper's evaluation drives GenASM as a one-shot batch: load every
+//! read, generate every candidate, align, print. This crate gives the
+//! suite the shape a production service needs — a *continuous stream*
+//! of alignment work fed to whichever backend is fastest — with three
+//! invariants:
+//!
+//! * **Bounded memory.** Stages communicate over bounded queues
+//!   ([`queue::BoundedQueue`]); the task queue is weighted by bases so
+//!   peak resident task memory is `O(queue_depth × batch_bases)`
+//!   regardless of input size ([`PipelineConfig::resident_bases_bound`]).
+//!   A full queue blocks the producer (backpressure) instead of
+//!   buffering.
+//! * **Deterministic output.** The scheduler numbers batches, a
+//!   [`reorder::ReorderBuffer`] restores that order at the sink, and
+//!   per-read rows are sorted by [`record::AlignRecord::sort_key`] —
+//!   so output is byte-identical for every batch size, queue depth and
+//!   thread count, and byte-identical to the one-shot `genasm align`
+//!   path.
+//! * **Observable stages.** [`metrics::PipelineMetrics`] reports
+//!   per-stage busy time and throughput, queue depths, the batch-size
+//!   histogram, backend utilization, and peak in-flight bases.
+//!
+//! Backends implement [`backend::Backend`]; the Rayon CPU batch
+//! aligner, the simulated GPU, and both baselines ship in
+//! [`backend`]. All reuse per-worker workspaces internally, so the hot
+//! path stays allocation-free in steady state.
+
+pub mod backend;
+pub mod batcher;
+pub mod metrics;
+pub mod queue;
+pub mod record;
+pub mod reorder;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use align_core::{Alignment, Seq};
+use mapper::{CandidateParams, MinimizerIndex};
+
+pub use backend::{
+    Backend, BackendError, BackendKind, CpuBackend, EdlibBackend, GpuSimBackend, Ksw2Backend,
+    ParseBackendError,
+};
+pub use batcher::{Batch, BatchBuilder, TaskMeta};
+pub use metrics::{PipelineMetrics, QueueMetrics, StageCounters};
+pub use queue::BoundedQueue;
+pub use record::AlignRecord;
+pub use reorder::ReorderBuffer;
+
+/// One read entering the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadInput {
+    /// Read name (becomes `qname` in the output records).
+    pub name: String,
+    /// The read sequence.
+    pub seq: Seq,
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target total bases (query + target) per dispatched batch.
+    pub batch_bases: usize,
+    /// Depth of each inter-stage queue: the task queue admits
+    /// `queue_depth × batch_bases` bases, the batch and result queues
+    /// `queue_depth` batches each.
+    pub queue_depth: usize,
+    /// Backend dispatch workers. 1 is right for backends that
+    /// parallelize internally (CPU/Rayon, GPU); more overlaps batches.
+    pub dispatchers: usize,
+    /// Candidate-generation parameters for the mapper stage.
+    pub params: CandidateParams,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            batch_bases: 256 * 1024,
+            queue_depth: 8,
+            dispatchers: 1,
+            params: CandidateParams::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Upper bound on bases resident in the pipeline at once, given the
+    /// largest single task observed. Every stage holds at most one
+    /// batch (plus the batch in construction and the reorder backlog),
+    /// so residency is linear in `queue_depth × batch_bases` and
+    /// independent of workload size — the property the streaming test
+    /// asserts.
+    pub fn resident_bases_bound(&self, max_task_bases: usize) -> usize {
+        let q = self.queue_depth.max(1);
+        let d = self.dispatchers.max(1);
+        // A batch flushes when it *reaches* the target, so it can
+        // overshoot by one task.
+        let per_batch = self.batch_bases + max_task_bases;
+        // task queue (weighted capacity + one oversized admission)
+        q * self.batch_bases + max_task_bases
+            // the scheduler's batch under construction
+            + per_batch
+            // batch queue + batches inside dispatchers + result queue
+            + per_batch * (q + d + q)
+            // reorder backlog: everything past the scheduler can be
+            // waiting on one straggler batch
+            + per_batch * (2 * q + d)
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The read stream produced an error.
+    Input(String),
+    /// A backend poisoned a batch.
+    Backend(BackendError),
+    /// A task found no alignment within the backend's edit budget.
+    NoAlignment {
+        /// Name of the read whose candidate failed.
+        read: String,
+    },
+    /// The sink callback failed to write a record.
+    Sink(std::io::Error),
+}
+
+impl core::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PipelineError::Input(msg) => write!(f, "read input: {msg}"),
+            PipelineError::Backend(e) => write!(f, "{e}"),
+            PipelineError::NoAlignment { read } => {
+                write!(
+                    f,
+                    "alignment failed for read {read}: no alignment within the edit budget"
+                )
+            }
+            PipelineError::Sink(e) => write!(f, "write error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A completed batch travelling from dispatch to the sink. Sequences
+/// are already dropped; only metadata and alignments remain.
+struct DoneBatch {
+    seq: u64,
+    metas: Vec<TaskMeta>,
+    alignments: Vec<Option<Alignment>>,
+}
+
+/// Run the pipeline to completion.
+///
+/// `reads` is consumed incrementally — the whole read set is never
+/// materialized. Records are delivered to `on_record` in deterministic
+/// order (input read order; within a read, best alignment first — see
+/// [`AlignRecord::sort_key`]). Returns the run's [`PipelineMetrics`].
+pub fn run_pipeline<I, E, F>(
+    reads: I,
+    ref_name: &str,
+    reference: &Seq,
+    backend: &dyn Backend,
+    cfg: &PipelineConfig,
+    mut on_record: F,
+) -> Result<PipelineMetrics, PipelineError>
+where
+    I: Iterator<Item = Result<ReadInput, E>> + Send,
+    E: core::fmt::Display,
+    F: FnMut(&AlignRecord) -> std::io::Result<()>,
+{
+    let wall0 = Instant::now();
+    let index = MinimizerIndex::build(reference);
+    let counters = StageCounters::default();
+
+    let task_q: BoundedQueue<(align_core::AlignTask, TaskMeta)> =
+        BoundedQueue::new(cfg.queue_depth.max(1) * cfg.batch_bases.max(1));
+    let batch_q: BoundedQueue<Batch> = BoundedQueue::new(cfg.queue_depth.max(1));
+    let result_q: BoundedQueue<DoneBatch> = BoundedQueue::new(cfg.queue_depth.max(1));
+
+    let error: Mutex<Option<PipelineError>> = Mutex::new(None);
+    // First error wins; closing every queue unblocks all stages so the
+    // scope can join without deadlocking.
+    let abort = |e: PipelineError| {
+        let mut slot = error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        task_q.close();
+        batch_q.close();
+        result_q.close();
+    };
+
+    let dispatchers = cfg.dispatchers.max(1);
+    let live_dispatchers = AtomicUsize::new(dispatchers);
+    let mut sink_result: Result<(), PipelineError> = Ok(());
+
+    std::thread::scope(|scope| {
+        // Stage 1: read + candidate generation.
+        scope.spawn(|| {
+            let mut reads = reads;
+            let mut read_seq: u64 = 0;
+            loop {
+                let t0 = Instant::now();
+                let item = match reads.next() {
+                    None => break,
+                    Some(Err(e)) => {
+                        abort(PipelineError::Input(e.to_string()));
+                        return;
+                    }
+                    Some(Ok(r)) => r,
+                };
+                counters.reads_in.fetch_add(1, Ordering::Relaxed);
+                let tasks = mapper::candidates_for_read(
+                    read_seq as u32,
+                    &item.seq,
+                    reference,
+                    &index,
+                    &cfg.params,
+                );
+                StageCounters::add_ns(&counters.mapper_ns, t0.elapsed());
+                if !tasks.is_empty() {
+                    counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
+                }
+                let read_tasks = tasks.len() as u32;
+                let qname: Arc<str> = Arc::from(item.name.as_str());
+                let qlen = item.seq.len();
+                for task in tasks {
+                    let bases = task.bases();
+                    let meta = TaskMeta {
+                        read_seq,
+                        qname: Arc::clone(&qname),
+                        qlen,
+                        read_tasks,
+                        tstart: task.ref_pos,
+                        tlen: task.target.len(),
+                    };
+                    counters.task_in(bases);
+                    counters
+                        .query_bases
+                        .fetch_add(task.query.len() as u64, Ordering::Relaxed);
+                    if task_q.push((task, meta), bases).is_err() {
+                        return; // pipeline is aborting
+                    }
+                }
+                read_seq += 1;
+            }
+            task_q.close();
+        });
+
+        // Stage 2: batch scheduler (coalesce by total bases).
+        scope.spawn(|| {
+            let mut builder = BatchBuilder::new(cfg.batch_bases);
+            let dispatch = |batch: Batch| -> Result<(), ()> {
+                counters.batch_dispatched(batch.tasks.len(), batch.bases);
+                batch_q.push(batch, 1).map_err(|_| ())
+            };
+            while let Some((task, meta)) = task_q.pop() {
+                let t0 = Instant::now();
+                let flushed = builder.push(task, meta);
+                StageCounters::add_ns(&counters.scheduler_ns, t0.elapsed());
+                if let Some(batch) = flushed {
+                    if dispatch(batch).is_err() {
+                        return; // pipeline is aborting
+                    }
+                }
+            }
+            if let Some(batch) = builder.take() {
+                if dispatch(batch).is_err() {
+                    return;
+                }
+            }
+            batch_q.close();
+        });
+
+        // Stage 3: backend dispatch.
+        for _ in 0..dispatchers {
+            scope.spawn(|| {
+                while let Some(batch) = batch_q.pop() {
+                    let t0 = Instant::now();
+                    let alignments = match backend.align_batch(&batch.tasks) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            abort(PipelineError::Backend(e));
+                            return;
+                        }
+                    };
+                    StageCounters::add_ns(&counters.backend_ns, t0.elapsed());
+                    let done = DoneBatch {
+                        seq: batch.seq,
+                        metas: batch.metas,
+                        alignments,
+                    };
+                    // Task sequences drop here; the sink only needs
+                    // metadata and CIGARs.
+                    if result_q.push(done, 1).is_err() {
+                        return;
+                    }
+                }
+                if live_dispatchers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    result_q.close();
+                }
+            });
+        }
+
+        // Stage 4: ordered sink (this thread).
+        sink_result = sink_loop(&result_q, &counters, ref_name, &mut on_record, &error);
+        if sink_result.is_err() {
+            // Unblock the upstream stages so the scope can join.
+            task_q.close();
+            batch_q.close();
+            result_q.close();
+        }
+    });
+
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    sink_result?;
+
+    Ok(PipelineMetrics::snapshot(
+        &counters,
+        wall0.elapsed(),
+        QueueMetrics {
+            capacity: task_q.capacity(),
+            pushed: task_q.total_pushed(),
+            high_water: task_q.high_water(),
+        },
+        QueueMetrics {
+            capacity: batch_q.capacity(),
+            pushed: batch_q.total_pushed(),
+            high_water: batch_q.high_water(),
+        },
+        QueueMetrics {
+            capacity: result_q.capacity(),
+            pushed: result_q.total_pushed(),
+            high_water: result_q.high_water(),
+        },
+    ))
+}
+
+/// Accumulates one read's rows until all its tasks have reported.
+struct ReadAcc {
+    read_seq: u64,
+    expected: u32,
+    rows: Vec<AlignRecord>,
+}
+
+fn sink_loop<F>(
+    result_q: &BoundedQueue<DoneBatch>,
+    counters: &StageCounters,
+    ref_name: &str,
+    on_record: &mut F,
+    error: &Mutex<Option<PipelineError>>,
+) -> Result<(), PipelineError>
+where
+    F: FnMut(&AlignRecord) -> std::io::Result<()>,
+{
+    let mut reorder: ReorderBuffer<DoneBatch> = ReorderBuffer::new();
+    let mut acc: Option<ReadAcc> = None;
+
+    let mut emit =
+        |acc: &mut Option<ReadAcc>, counters: &StageCounters| -> Result<(), PipelineError> {
+            if let Some(mut group) = acc.take() {
+                debug_assert_eq!(
+                    group.rows.len(),
+                    group.expected as usize,
+                    "read {} flushed before all its tasks reported",
+                    group.read_seq
+                );
+                // cached_key: the CIGAR-string tiebreak is built once
+                // per row, not once per comparison.
+                group.rows.sort_by_cached_key(AlignRecord::sort_key);
+                for row in &group.rows {
+                    on_record(row).map_err(PipelineError::Sink)?;
+                    counters.records_out.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        };
+
+    while let Some(done) = result_q.pop() {
+        for batch in reorder.push(done.seq, done) {
+            let t0 = Instant::now();
+            for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
+                counters.task_out(meta.qlen + meta.tlen);
+                let Some(aln) = aln else {
+                    return Err(PipelineError::NoAlignment {
+                        read: meta.qname.to_string(),
+                    });
+                };
+                if acc.as_ref().is_some_and(|a| a.read_seq != meta.read_seq) {
+                    emit(&mut acc, counters)?;
+                }
+                let group = acc.get_or_insert_with(|| ReadAcc {
+                    read_seq: meta.read_seq,
+                    expected: meta.read_tasks,
+                    rows: Vec::with_capacity(meta.read_tasks as usize),
+                });
+                group.rows.push(AlignRecord::new(
+                    &meta.qname,
+                    meta.qlen,
+                    ref_name,
+                    meta.tstart,
+                    meta.tlen,
+                    &aln,
+                ));
+            }
+            StageCounters::add_ns(&counters.sink_ns, t0.elapsed());
+        }
+    }
+    if error.lock().unwrap().is_some() {
+        // Aborting: the failed batch never arrives, so later batches
+        // may be stranded in the reorder buffer and the current read
+        // may be incomplete. Drop both rather than emitting a partial
+        // read; run_pipeline returns the recorded error.
+        return Ok(());
+    }
+    debug_assert!(reorder.is_empty(), "reorder buffer drained");
+    emit(&mut acc, counters)
+}

@@ -1,0 +1,168 @@
+//! The PAF-like output record shared by `genasm align` and
+//! `genasm pipeline`.
+//!
+//! Both subcommands must produce *byte-identical* output on the same
+//! workload, so there is exactly one formatter: this one. The row is
+//! tab-separated:
+//!
+//! ```text
+//! qname  qlen  tname  tstart  tend  edit_distance  cigar  identity
+//! ```
+//!
+//! `identity` is matches / alignment columns ([`Alignment::column_identity`])
+//! printed with four decimals. [`AlignRecord::parse_tsv`] inverts the
+//! formatter (used by tests and any downstream tooling).
+
+use align_core::{Alignment, Cigar};
+
+/// One output row of `align` / `pipeline`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignRecord {
+    /// Read name.
+    pub qname: String,
+    /// Read length in bases.
+    pub qlen: usize,
+    /// Reference name.
+    pub tname: String,
+    /// Window start on the reference.
+    pub tstart: usize,
+    /// Window end on the reference (exclusive).
+    pub tend: usize,
+    /// Unit edit distance of the alignment.
+    pub edit_distance: usize,
+    /// The alignment path.
+    pub cigar: Cigar,
+    /// Matches / alignment columns.
+    pub identity: f64,
+}
+
+impl AlignRecord {
+    /// Build a record from an alignment and its task coordinates.
+    pub fn new(
+        qname: &str,
+        qlen: usize,
+        tname: &str,
+        tstart: usize,
+        tlen: usize,
+        aln: &Alignment,
+    ) -> AlignRecord {
+        AlignRecord {
+            qname: qname.to_string(),
+            qlen,
+            tname: tname.to_string(),
+            tstart,
+            tend: tstart + tlen,
+            edit_distance: aln.edit_distance,
+            identity: aln.column_identity(),
+            cigar: aln.cigar.clone(),
+        }
+    }
+
+    /// The deterministic per-read ordering: best distance first, then
+    /// reference position, then the CIGAR as a tiebreak so equal-cost
+    /// candidates have a total order.
+    pub fn sort_key(&self) -> (usize, usize, usize, String) {
+        (
+            self.edit_distance,
+            self.tstart,
+            self.tend,
+            self.cigar.to_string(),
+        )
+    }
+
+    /// Format as one TSV row (no trailing newline).
+    pub fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
+            self.qname,
+            self.qlen,
+            self.tname,
+            self.tstart,
+            self.tend,
+            self.edit_distance,
+            self.cigar,
+            self.identity
+        )
+    }
+
+    /// Parse a row produced by [`AlignRecord::to_tsv`].
+    pub fn parse_tsv(line: &str) -> Result<AlignRecord, String> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 8 {
+            return Err(format!("expected 8 columns, got {}", cols.len()));
+        }
+        let num = |i: usize| -> Result<usize, String> {
+            cols[i]
+                .parse()
+                .map_err(|_| format!("bad number in column {}: {:?}", i + 1, cols[i]))
+        };
+        let cigar = Cigar::parse(cols[6]).map_err(|e| format!("bad CIGAR: {e}"))?;
+        let identity: f64 = cols[7]
+            .parse()
+            .map_err(|_| format!("bad identity: {:?}", cols[7]))?;
+        Ok(AlignRecord {
+            qname: cols[0].to_string(),
+            qlen: num(1)?,
+            tname: cols[2].to_string(),
+            tstart: num(3)?,
+            tend: num(4)?,
+            edit_distance: num(5)?,
+            cigar,
+            identity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align_core::Seq;
+
+    fn aligned(q: &str, t: &str) -> Alignment {
+        let q = Seq::from_ascii(q.as_bytes()).unwrap();
+        let t = Seq::from_ascii(t.as_bytes()).unwrap();
+        align_core::nw_align(&q, &t)
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let aln = aligned("ACGTACGT", "ACGAACGT");
+        let rec = AlignRecord::new("read1", 8, "chr1", 100, 8, &aln);
+        let line = rec.to_tsv();
+        let back = AlignRecord::parse_tsv(&line).unwrap();
+        assert_eq!(back.qname, "read1");
+        assert_eq!(back.qlen, 8);
+        assert_eq!(back.tname, "chr1");
+        assert_eq!(back.tstart, 100);
+        assert_eq!(back.tend, 108);
+        assert_eq!(back.edit_distance, aln.edit_distance);
+        assert_eq!(back.cigar, aln.cigar);
+        assert!((back.identity - aln.column_identity()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identity_formats_with_four_decimals() {
+        let aln = aligned("ACGT", "ACGT");
+        let rec = AlignRecord::new("r", 4, "t", 0, 4, &aln);
+        assert!(rec.to_tsv().ends_with("\t1.0000"));
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        assert!(AlignRecord::parse_tsv("too\tfew").is_err());
+        let aln = aligned("ACGT", "ACGT");
+        let mut line = AlignRecord::new("r", 4, "t", 0, 4, &aln).to_tsv();
+        line = line.replace("4M", "4Q");
+        assert!(AlignRecord::parse_tsv(&line).is_err());
+    }
+
+    #[test]
+    fn sort_key_orders_best_first() {
+        let good = AlignRecord::new("r", 8, "t", 5, 8, &aligned("ACGTACGT", "ACGTACGT"));
+        let bad = AlignRecord::new("r", 8, "t", 0, 8, &aligned("ACGTACGT", "ACCTACGA"));
+        let mut rows = [bad.clone(), good.clone()];
+        rows.sort_by_key(AlignRecord::sort_key);
+        assert_eq!(rows[0], good);
+        assert_eq!(rows[1], bad);
+    }
+}

@@ -1,0 +1,390 @@
+//! Integration properties of the streaming pipeline:
+//!
+//! 1. **Determinism** — output is byte-identical across every batching
+//!    geometry (batch size in bases, queue depth, dispatcher count,
+//!    Rayon thread count) and identical to the one-shot
+//!    `genasm-cpu` batch path.
+//! 2. **Bounded memory** — peak resident task bases stay within
+//!    [`PipelineConfig::resident_bases_bound`] even when the workload
+//!    is far larger than the configured queue capacity.
+//! 3. **Observability** — a real run reports non-zero counters for
+//!    every stage.
+
+use align_core::Seq;
+use genasm_pipeline::{
+    run_pipeline, AlignRecord, Backend, CpuBackend, PipelineConfig, PipelineError, ReadInput,
+};
+use mapper::{CandidateParams, MinimizerIndex};
+use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+/// Deterministic synthetic workload: (reference, named reads).
+fn workload(genome_len: usize, n_reads: usize, read_len: usize) -> (Seq, Vec<(String, Seq)>) {
+    let genome = Genome::generate(&GenomeConfig::human_like(genome_len, 77));
+    let reads = simulate_reads(
+        &genome,
+        &ReadConfig {
+            count: n_reads,
+            length: read_len,
+            errors: ErrorModel::pacbio_clr(0.08),
+            rc_fraction: 0.5,
+            seed: 1234,
+        },
+    );
+    let named = reads
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("read{i}"), r.seq))
+        .collect();
+    (genome.seq, named)
+}
+
+/// Drive the pipeline over an in-memory read list, collecting output.
+fn run_stream(
+    reads: &[(String, Seq)],
+    reference: &Seq,
+    backend: &dyn Backend,
+    cfg: &PipelineConfig,
+) -> (String, genasm_pipeline::PipelineMetrics) {
+    let stream = reads.iter().map(|(name, seq)| {
+        Ok::<_, std::convert::Infallible>(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+    });
+    let mut buf = String::new();
+    let metrics = run_pipeline(stream, "ref", reference, backend, cfg, |rec| {
+        buf.push_str(&rec.to_tsv());
+        buf.push('\n');
+        Ok(())
+    })
+    .expect("pipeline run failed");
+    (buf, metrics)
+}
+
+/// The existing one-shot path: generate every candidate, align the
+/// whole batch with the Rayon CPU batch aligner, print per read.
+fn one_shot_cpu(reads: &[(String, Seq)], reference: &Seq, params: &CandidateParams) -> String {
+    let index = MinimizerIndex::build(reference);
+    let backend = CpuBackend::improved();
+    let mut out = String::new();
+    for (i, (name, seq)) in reads.iter().enumerate() {
+        let tasks = mapper::candidates_for_read(i as u32, seq, reference, &index, params);
+        let alns = backend.align_batch(&tasks).unwrap();
+        let mut rows: Vec<AlignRecord> = tasks
+            .iter()
+            .zip(&alns)
+            .map(|(t, a)| {
+                AlignRecord::new(
+                    name,
+                    seq.len(),
+                    "ref",
+                    t.ref_pos,
+                    t.target.len(),
+                    a.as_ref().expect("k = W cannot fail"),
+                )
+            })
+            .collect();
+        rows.sort_by_cached_key(AlignRecord::sort_key);
+        for r in &rows {
+            out.push_str(&r.to_tsv());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn output_is_identical_across_batching_geometry_and_matches_one_shot() {
+    let (reference, reads) = workload(60_000, 12, 800);
+    let params = CandidateParams::default();
+    let expected = one_shot_cpu(&reads, &reference, &params);
+    assert!(!expected.is_empty(), "workload produced no alignments");
+
+    let backend = CpuBackend::improved();
+    // batch_bases = 1 degenerates to one task per batch; 1 MiB puts
+    // the whole workload in one or two batches.
+    for batch_bases in [1usize, 4 * 1024, 1024 * 1024] {
+        for queue_depth in [1usize, 8] {
+            for dispatchers in [1usize, 3] {
+                let cfg = PipelineConfig {
+                    batch_bases,
+                    queue_depth,
+                    dispatchers,
+                    params,
+                };
+                let (got, metrics) = run_stream(&reads, &reference, &backend, &cfg);
+                assert_eq!(
+                    got, expected,
+                    "diverged at batch_bases={batch_bases} queue_depth={queue_depth} \
+                     dispatchers={dispatchers}"
+                );
+                assert_eq!(metrics.records_out as usize, expected.lines().count());
+                if batch_bases == 1 {
+                    // Degenerate batching really happened: one task per batch.
+                    assert_eq!(metrics.batches, metrics.tasks_generated);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn output_is_independent_of_rayon_thread_count() {
+    let (reference, reads) = workload(40_000, 6, 700);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        batch_bases: 8 * 1024,
+        queue_depth: 2,
+        dispatchers: 2,
+        ..PipelineConfig::default()
+    };
+    let (many, _) = run_stream(&reads, &reference, &backend, &cfg);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .unwrap();
+    let (single, _) = run_stream(&reads, &reference, &backend, &cfg);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+    assert_eq!(single, many, "1-thread output diverged from many-thread");
+}
+
+#[test]
+fn resident_memory_is_bounded_by_queue_capacity_not_workload_size() {
+    // Workload far larger than the queue capacity: 150 reads stream
+    // through a pipeline configured to hold ~one 2 KB batch per stage.
+    let (reference, reads) = workload(50_000, 150, 500);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        batch_bases: 2 * 1024,
+        queue_depth: 1,
+        dispatchers: 1,
+        params: CandidateParams::default(),
+    };
+    let (out, metrics) = run_stream(&reads, &reference, &backend, &cfg);
+    assert!(!out.is_empty());
+
+    let bound = cfg.resident_bases_bound(metrics.max_task_bases as usize) as u64;
+    assert!(
+        metrics.max_inflight_bases <= bound,
+        "peak {} bases in flight exceeds the configured bound {}",
+        metrics.max_inflight_bases,
+        bound
+    );
+    // The bound is meaningful: the workload is much larger than it.
+    assert!(
+        metrics.task_bases > 4 * bound,
+        "workload ({} bases) must dwarf the residency bound ({bound}) for this test \
+         to demonstrate streaming",
+        metrics.task_bases
+    );
+    // The task queue never exceeded its weight capacity by more than
+    // one oversized admission.
+    assert!(
+        metrics.task_queue.high_water
+            <= (metrics.task_queue.capacity as u64) + metrics.max_task_bases,
+        "task queue high-water {} vs capacity {}",
+        metrics.task_queue.high_water,
+        metrics.task_queue.capacity
+    );
+}
+
+#[test]
+fn metrics_report_every_stage() {
+    let (reference, reads) = workload(40_000, 8, 600);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        batch_bases: 4 * 1024,
+        queue_depth: 4,
+        dispatchers: 1,
+        params: CandidateParams::default(),
+    };
+    let (out, m) = run_stream(&reads, &reference, &backend, &cfg);
+
+    assert_eq!(m.reads_in, 8);
+    assert!(m.reads_mapped > 0, "no read mapped");
+    assert!(m.tasks_generated > 0);
+    assert!(m.task_bases > 0);
+    assert!(m.query_bases > 0);
+    assert!(m.batches > 0);
+    assert_eq!(m.batch_tasks, m.tasks_generated);
+    assert_eq!(m.batch_bases, m.task_bases);
+    assert_eq!(m.records_out as usize, out.lines().count());
+    assert!(m.records_out > 0);
+    // Histogram totals the dispatched batches.
+    assert_eq!(m.batch_size_hist.iter().sum::<u64>(), m.batches);
+    // Queues saw traffic.
+    assert_eq!(m.task_queue.pushed, m.tasks_generated);
+    assert_eq!(m.batch_queue.pushed, m.batches);
+    assert_eq!(m.result_queue.pushed, m.batches);
+    assert!(m.task_queue.high_water > 0);
+    // Every stage did measurable work.
+    assert!(m.mapper_busy.as_nanos() > 0, "mapper busy time is zero");
+    assert!(
+        m.scheduler_busy.as_nanos() > 0,
+        "scheduler busy time is zero"
+    );
+    assert!(m.backend_busy.as_nanos() > 0, "backend busy time is zero");
+    assert!(m.sink_busy.as_nanos() > 0, "sink busy time is zero");
+    assert!(m.wall.as_nanos() > 0);
+    assert!(m.backend_utilization() > 0.0);
+    assert!(m.query_bases_per_sec() > 0.0);
+    // Nothing is left in flight after a clean finish.
+    assert!(m.max_inflight_tasks >= 1);
+    let summary = m.summary();
+    assert!(summary.contains("batches"), "{summary}");
+}
+
+#[test]
+fn input_errors_propagate_and_unwind_cleanly() {
+    let (reference, reads) = workload(30_000, 3, 500);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig::default();
+    let stream = reads
+        .iter()
+        .map(|(name, seq)| {
+            Ok(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+        })
+        .chain(std::iter::once(Err("disk on fire")));
+    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |_| Ok(()))
+        .expect_err("input error must fail the run");
+    match err {
+        PipelineError::Input(msg) => assert!(msg.contains("disk on fire"), "{msg}"),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn sink_errors_propagate_and_unwind_cleanly() {
+    let (reference, reads) = workload(30_000, 3, 500);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        batch_bases: 1, // many small batches keep upstream stages busy
+        queue_depth: 1,
+        ..PipelineConfig::default()
+    };
+    let stream = reads.iter().map(|(name, seq)| {
+        Ok::<_, std::convert::Infallible>(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+    });
+    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |_| {
+        Err(std::io::Error::other("broken pipe"))
+    })
+    .expect_err("sink error must fail the run");
+    match err {
+        PipelineError::Sink(e) => assert!(e.to_string().contains("broken pipe")),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn backend_errors_mid_run_unwind_without_panicking_or_partial_reads() {
+    /// Fails every batch after the first: later batches strand in the
+    /// reorder buffer and the current read is left incomplete — the
+    /// abort path must surface the backend error, not a panic or a
+    /// partially emitted read.
+    struct FlakyBackend {
+        inner: CpuBackend,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+    impl Backend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn align_batch(
+            &self,
+            tasks: &[align_core::AlignTask],
+        ) -> Result<Vec<Option<align_core::Alignment>>, genasm_pipeline::BackendError> {
+            if self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                >= 1
+            {
+                return Err(genasm_pipeline::BackendError {
+                    backend: "flaky",
+                    reason: "injected failure".to_string(),
+                });
+            }
+            self.inner.align_batch(tasks)
+        }
+    }
+
+    let (reference, reads) = workload(40_000, 10, 600);
+    let backend = FlakyBackend {
+        inner: CpuBackend::improved(),
+        calls: std::sync::atomic::AtomicUsize::new(0),
+    };
+    let cfg = PipelineConfig {
+        batch_bases: 2 * 1024, // several batches, so reads span the failure
+        queue_depth: 2,
+        dispatchers: 2,
+        ..PipelineConfig::default()
+    };
+    let stream = reads.iter().map(|(name, seq)| {
+        Ok::<_, std::convert::Infallible>(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+    });
+    let mut emitted: Vec<String> = Vec::new();
+    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |rec| {
+        emitted.push(rec.qname.clone());
+        Ok(())
+    })
+    .expect_err("injected backend failure must fail the run");
+    match err {
+        PipelineError::Backend(e) => assert!(e.to_string().contains("injected failure")),
+        other => panic!("unexpected error {other}"),
+    }
+    // Any records that did get out are whole reads in input order
+    // (never a partially reported read).
+    let expected = one_shot_cpu(&reads, &reference, &CandidateParams::default());
+    let mut expected_per_read: Vec<(String, usize)> = Vec::new();
+    for line in expected.lines() {
+        let name = line.split('\t').next().unwrap().to_string();
+        match expected_per_read.last_mut() {
+            Some((n, c)) if *n == name => *c += 1,
+            _ => expected_per_read.push((name, 1)),
+        }
+    }
+    let mut got_per_read: Vec<(String, usize)> = Vec::new();
+    for name in &emitted {
+        match got_per_read.last_mut() {
+            Some((n, c)) if n == name => *c += 1,
+            _ => got_per_read.push((name.clone(), 1)),
+        }
+    }
+    assert!(
+        got_per_read.len() <= expected_per_read.len(),
+        "more reads than the workload has"
+    );
+    for (got, want) in got_per_read.iter().zip(&expected_per_read) {
+        assert_eq!(got, want, "partial read emitted on the abort path");
+    }
+}
+
+#[test]
+fn empty_input_completes_with_zero_records() {
+    let (reference, _) = workload(30_000, 1, 500);
+    let backend = CpuBackend::improved();
+    let stream = std::iter::empty::<Result<ReadInput, std::convert::Infallible>>();
+    let metrics = run_pipeline(
+        stream,
+        "ref",
+        &reference,
+        &backend,
+        &PipelineConfig::default(),
+        |_| Ok(()),
+    )
+    .unwrap();
+    assert_eq!(metrics.reads_in, 0);
+    assert_eq!(metrics.records_out, 0);
+    assert_eq!(metrics.batches, 0);
+}

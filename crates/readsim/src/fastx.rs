@@ -80,101 +80,178 @@ impl core::fmt::Display for FastxError {
 
 impl std::error::Error for FastxError {}
 
-/// Parse FASTA or FASTQ (auto-detected from the first byte).
-pub fn read_fastx<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
-    let mut lines = reader.lines().enumerate();
-    let mut records = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
+/// A streaming FASTA/FASTQ parser: an iterator yielding one record at
+/// a time without ever materializing the whole file.
+///
+/// This is what the alignment pipeline consumes — a 100 GB FASTQ
+/// streams through in constant memory, with backpressure from the
+/// pipeline's bounded queues deciding how fast the file is read.
+/// [`read_fastx`] is a thin collect-everything wrapper for callers that
+/// do want the whole file.
+///
+/// Formats are auto-detected per record from the first byte (`>` FASTA,
+/// `@` FASTQ). CRLF line endings are accepted. Iteration ends at the
+/// first error; continuing after an `Err` yields `None`.
+pub struct FastxReader<R: BufRead> {
+    reader: R,
+    /// Reusable line buffer (one allocation for the whole stream).
+    buf: String,
+    /// 1-based number of the line currently in `buf`.
+    lineno: usize,
+    /// `buf` holds a header line the previous record looked ahead to.
+    pending: bool,
+    /// Stream exhausted or poisoned by an error.
+    done: bool,
+}
 
-    loop {
-        let (lineno, line) = match pending.take() {
-            Some(x) => x,
-            None => match lines.next() {
-                Some((i, l)) => (i, l?),
-                None => break,
-            },
-        };
-        let line = line.trim_end();
-        if line.is_empty() {
-            continue;
+impl<R: BufRead> FastxReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> FastxReader<R> {
+        FastxReader {
+            reader,
+            buf: String::new(),
+            lineno: 0,
+            pending: false,
+            done: false,
         }
-        match line.as_bytes()[0] {
-            b'>' => {
-                let name = header_name(&line[1..]);
-                let mut seq = Seq::new();
-                // Collect sequence lines until the next header.
-                for (i, l) in lines.by_ref() {
-                    let l = l?;
-                    let t = l.trim_end();
-                    if t.starts_with('>') || t.starts_with('@') {
-                        pending = Some((i, l));
-                        break;
-                    }
-                    append_seq(&mut seq, t, i + 1)?;
-                }
-                records.push(FastxRecord {
-                    name,
-                    seq,
-                    qual: None,
-                });
+    }
+
+    /// Read the next line into `self.buf` with trailing whitespace
+    /// stripped (covers `\n`, `\r\n`, and stray trailing spaces/tabs,
+    /// like the pre-streaming parser's `trim_end`). Returns false at
+    /// end of file.
+    fn fill_line(&mut self) -> Result<bool, FastxError> {
+        self.buf.clear();
+        if self.reader.read_line(&mut self.buf)? == 0 {
+            return Ok(false);
+        }
+        self.lineno += 1;
+        self.buf.truncate(self.buf.trim_end().len());
+        Ok(true)
+    }
+
+    /// Like [`Self::fill_line`] but a missing line is a parse error
+    /// (used inside a FASTQ record, which must have all four lines).
+    fn require_line(&mut self) -> Result<(), FastxError> {
+        if self.fill_line()? {
+            Ok(())
+        } else {
+            Err(FastxError::Parse {
+                line: self.lineno + 1,
+                reason: "unexpected end of file".to_string(),
+            })
+        }
+    }
+
+    fn parse_fasta(&mut self) -> Result<FastxRecord, FastxError> {
+        let name = header_name(&self.buf[1..]);
+        let mut seq = Seq::new();
+        // Collect sequence lines until the next header or EOF.
+        loop {
+            if !self.fill_line()? {
+                break;
             }
-            b'@' => {
-                let name = header_name(&line[1..]);
-                let (si, seq_line) = next_line(&mut lines, lineno)?;
-                let mut seq = Seq::new();
-                append_seq(&mut seq, seq_line.trim_end(), si + 1)?;
-                let (pi, plus) = next_line(&mut lines, si)?;
-                if !plus.trim_end().starts_with('+') {
-                    return Err(FastxError::Parse {
-                        line: pi + 1,
-                        reason: "expected '+' separator".to_string(),
-                    });
-                }
-                let (qi, qual_line) = next_line(&mut lines, pi)?;
-                let qual_line = qual_line.trim_end();
-                if qual_line.len() != seq.len() {
-                    return Err(FastxError::Parse {
-                        line: qi + 1,
-                        reason: format!(
-                            "quality length {} != sequence length {}",
-                            qual_line.len(),
-                            seq.len()
-                        ),
-                    });
-                }
-                let qual = qual_line.bytes().map(|b| b.saturating_sub(33)).collect();
-                records.push(FastxRecord {
-                    name,
-                    seq,
-                    qual: Some(qual),
-                });
+            if self.buf.starts_with('>') || self.buf.starts_with('@') {
+                self.pending = true;
+                break;
             }
-            _ => {
-                return Err(FastxError::Parse {
-                    line: lineno + 1,
-                    reason: format!("unexpected record start {:?}", &line[..line.len().min(8)]),
-                })
+            append_seq(&mut seq, &self.buf, self.lineno)?;
+        }
+        Ok(FastxRecord {
+            name,
+            seq,
+            qual: None,
+        })
+    }
+
+    fn parse_fastq(&mut self) -> Result<FastxRecord, FastxError> {
+        let name = header_name(&self.buf[1..]);
+        self.require_line()?;
+        let mut seq = Seq::new();
+        append_seq(&mut seq, &self.buf, self.lineno)?;
+        self.require_line()?;
+        if !self.buf.starts_with('+') {
+            return Err(FastxError::Parse {
+                line: self.lineno,
+                reason: "expected '+' separator".to_string(),
+            });
+        }
+        self.require_line()?;
+        if self.buf.len() != seq.len() {
+            return Err(FastxError::Parse {
+                line: self.lineno,
+                reason: format!(
+                    "quality length {} != sequence length {}",
+                    self.buf.len(),
+                    seq.len()
+                ),
+            });
+        }
+        let qual = self.buf.bytes().map(|b| b.saturating_sub(33)).collect();
+        Ok(FastxRecord {
+            name,
+            seq,
+            qual: Some(qual),
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for FastxReader<R> {
+    type Item = Result<FastxRecord, FastxError>;
+
+    fn next(&mut self) -> Option<Result<FastxRecord, FastxError>> {
+        if self.done {
+            return None;
+        }
+        let step = || -> Result<Option<FastxRecord>, FastxError> {
+            // Find the next record header (skipping blank separators).
+            loop {
+                if self.pending {
+                    self.pending = false;
+                } else if !self.fill_line()? {
+                    return Ok(None);
+                }
+                if !self.buf.is_empty() {
+                    break;
+                }
+            }
+            match self.buf.as_bytes()[0] {
+                b'>' => self.parse_fasta().map(Some),
+                b'@' => self.parse_fastq().map(Some),
+                _ => Err(FastxError::Parse {
+                    line: self.lineno,
+                    reason: format!(
+                        "unexpected record start {:?}",
+                        &self.buf[..self.buf.len().min(8)]
+                    ),
+                }),
+            }
+        };
+        // The closure borrows self; run it via an immediate call.
+        let mut step = step;
+        match step() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
             }
         }
     }
-    Ok(records)
+}
+
+/// Parse FASTA or FASTQ (auto-detected from the first byte) into a
+/// fully materialized record list. Streaming consumers should iterate
+/// a [`FastxReader`] instead.
+pub fn read_fastx<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
+    FastxReader::new(reader).collect()
 }
 
 fn header_name(s: &str) -> String {
     s.split_whitespace().next().unwrap_or("").to_string()
-}
-
-fn next_line(
-    lines: &mut impl Iterator<Item = (usize, io::Result<String>)>,
-    after: usize,
-) -> Result<(usize, String), FastxError> {
-    match lines.next() {
-        Some((i, l)) => Ok((i, l?)),
-        None => Err(FastxError::Parse {
-            line: after + 2,
-            reason: "unexpected end of file".to_string(),
-        }),
-    }
 }
 
 fn append_seq(seq: &mut Seq, line: &str, lineno: usize) -> Result<(), FastxError> {
@@ -361,5 +438,112 @@ mod tests {
         assert!(read_fastx(Cursor::new(b"\n\n".as_slice()))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn crlf_input_parses_like_lf() {
+        let lf = b">ref desc\nACGT\nGGCC\n@r1\nACGTAC\n+\nIIIIII\n";
+        let crlf = b">ref desc\r\nACGT\r\nGGCC\r\n@r1\r\nACGTAC\r\n+\r\nIIIIII\r\n";
+        let a = read_fastx(Cursor::new(&lf[..])).unwrap();
+        let b = read_fastx(Cursor::new(&crlf[..])).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b[0].name, "ref");
+        assert_eq!(b[0].seq.len(), 8);
+        assert_eq!(b[1].qual.as_ref().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn trailing_spaces_and_tabs_are_tolerated() {
+        // The pre-streaming parser trim_end()ed every line; files with
+        // stray trailing whitespace must keep parsing.
+        let input = b">ref \nACGT  \n@r1\t\nGGCC \n+ \nIIII  \n";
+        let parsed = read_fastx(Cursor::new(&input[..])).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].seq.len(), 4);
+        assert_eq!(parsed[1].qual.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn crlf_error_lines_are_still_accurate() {
+        let input = b">ref\r\nACGT\r\nACNT\r\n";
+        match read_fastx(Cursor::new(&input[..])).unwrap_err() {
+            FastxError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_reader_yields_one_record_at_a_time() {
+        let input = b">a\nACGT\n@b\nGGCC\n+\nIIII\n>c\nTTTT\n";
+        let mut it = FastxReader::new(Cursor::new(&input[..]));
+        assert_eq!(it.next().unwrap().unwrap().name, "a");
+        assert_eq!(it.next().unwrap().unwrap().name, "b");
+        assert_eq!(it.next().unwrap().unwrap().name, "c");
+        assert!(it.next().is_none());
+        assert!(it.next().is_none(), "fused after end");
+    }
+
+    #[test]
+    fn streaming_reader_is_lazy_on_an_endless_source() {
+        /// An infinite FASTQ stream: proof the reader never slurps the
+        /// input (collecting it would hang forever).
+        struct Endless {
+            chunk: &'static [u8],
+            at: usize,
+        }
+        impl std::io::Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(self.chunk.len() - self.at);
+                buf[..n].copy_from_slice(&self.chunk[self.at..self.at + n]);
+                self.at = (self.at + n) % self.chunk.len();
+                Ok(n)
+            }
+        }
+        let src = Endless {
+            chunk: b"@r\nACGTACGT\n+\nIIIIIIII\n",
+            at: 0,
+        };
+        let reader = FastxReader::new(std::io::BufReader::new(src));
+        let first_five: Vec<FastxRecord> = reader.take(5).map(|r| r.unwrap()).collect();
+        assert_eq!(first_five.len(), 5);
+        for r in &first_five {
+            assert_eq!(r.name, "r");
+            assert_eq!(r.seq.len(), 8);
+        }
+    }
+
+    #[test]
+    fn truncated_records_error_through_the_iterator() {
+        // FASTQ cut off after the '+' separator.
+        let mut it = FastxReader::new(Cursor::new(b"@r\nACGT\n+\n".as_slice()));
+        let err = it.next().unwrap().unwrap_err();
+        match err {
+            FastxError::Parse { line, reason } => {
+                assert_eq!(line, 4);
+                assert!(reason.contains("end of file"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(it.next().is_none(), "iterator is poisoned after an error");
+
+        // FASTQ cut off right after the header.
+        let mut it = FastxReader::new(Cursor::new(b"@r\n".as_slice()));
+        assert!(it.next().unwrap().is_err());
+
+        // A FASTA record truncated mid-sequence still yields what it
+        // has (headers delimit FASTA records, so EOF ends the record).
+        let mut it = FastxReader::new(Cursor::new(b">a\nACGT".as_slice()));
+        assert_eq!(it.next().unwrap().unwrap().seq.len(), 4);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn read_fastx_matches_streaming_collect() {
+        let input = b">ref\nACGT\nACGT\n@read\nGGCC\n+\nIIII\n";
+        let collected = read_fastx(Cursor::new(&input[..])).unwrap();
+        let streamed: Vec<FastxRecord> = FastxReader::new(Cursor::new(&input[..]))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(collected, streamed);
     }
 }

@@ -15,6 +15,8 @@ pub mod fastx;
 pub mod genome;
 pub mod reads;
 
-pub use fastx::{read_fastx, reads_to_records, write_fasta, write_fastq, FastxError, FastxRecord};
+pub use fastx::{
+    read_fastx, reads_to_records, write_fasta, write_fastq, FastxError, FastxReader, FastxRecord,
+};
 pub use genome::{Genome, GenomeConfig, RepeatFamily};
 pub use reads::{simulate_reads, ErrorModel, ReadConfig, SimRead};

@@ -20,11 +20,69 @@ pub mod prelude {
 /// length).
 const CHUNK: usize = 8;
 
+/// Global worker-count override installed by [`ThreadPoolBuilder::
+/// build_global`]; 0 means "use all available cores".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads used for parallel iteration.
 pub fn current_num_threads() -> usize {
+    effective_threads(CONFIGURED_THREADS.load(Ordering::Relaxed))
+}
+
+/// Resolve a configured thread count: 0 falls back to the machine's
+/// available parallelism.
+fn effective_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]. The shim's global
+/// configuration can never actually fail; the type exists so callers
+/// written against real rayon compile unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("could not configure the global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Offline stand-in for rayon's `ThreadPoolBuilder`, supporting the
+/// one configuration the suite needs: sizing the global pool.
+///
+/// Divergence from real rayon: `build_global` here simply (re)sets the
+/// worker count used by subsequent parallel iterations — calling it
+/// twice reconfigures instead of erroring, because the shim spawns
+/// scoped workers per batch rather than keeping a resident pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all cores).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Use `n` worker threads; 0 means all available cores.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// `.par_iter()` on slice-like containers.
@@ -257,6 +315,26 @@ mod tests {
         let inits = INITS.load(Ordering::Relaxed);
         assert!(inits <= current_num_threads(), "{inits} inits");
         assert!(inits >= 1);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_all_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    fn build_global_with_default_is_a_no_op() {
+        // Asserting a *changed* global count here would race with the
+        // other tests in this binary (they compare against
+        // current_num_threads); the CLI integration tests exercise a
+        // real override in their own process instead.
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
     }
 
     #[test]
