@@ -113,12 +113,19 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
             n
         })
     });
-    for (label, batch_bases, queue_depth) in [("64k-d8", 64 * 1024, 8), ("4k-d1", 4 * 1024, 1)] {
+    for (label, batch_bases, queue_depth, shards) in [
+        ("64k-d8", 64 * 1024, 8, 1),
+        ("4k-d1", 4 * 1024, 1, 1),
+        // Sharded candidate generation: same output, fan-out cost/gain.
+        ("64k-d8-s4", 64 * 1024, 8, 4),
+    ] {
         let cfg = PipelineConfig {
             batch_bases,
             queue_depth,
             dispatchers: 1,
+            shards,
             params,
+            ..PipelineConfig::default()
         };
         group.bench_function(BenchmarkId::new("streaming", label), |b| {
             b.iter(|| {

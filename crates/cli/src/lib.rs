@@ -30,7 +30,7 @@ use genasm_pipeline::{
     AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, PipelineConfig,
     ReadInput,
 };
-use mapper::{CandidateParams, MinimizerIndex};
+use mapper::{CandidateParams, MinimizerIndex, ShardedIndex};
 use readsim::{
     read_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq, ErrorModel,
     FastxReader, FastxRecord, Genome, GenomeConfig, ReadConfig,
@@ -139,9 +139,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 pub const USAGE: &str = "usage:
   genasm simulate --genome-len N --reads N --read-len N [--error R] [--seed S] --ref FILE --out FILE
   genasm map      --ref FILE --reads FILE [--max-per-read N] [--threads N]
-  genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N] [--threads N]
+  genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
+                  [--threads N] [--shards N] [--shard-overlap BASES]
   genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
-                  [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N] [--metrics on]
+                  [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N]
+                  [--shards N] [--shard-overlap BASES] [--metrics on]
   genasm filter   --pattern SEQ --text FILE [-k N]";
 
 fn io_err(e: std::io::Error) -> CliError {
@@ -221,6 +223,17 @@ fn candidate_params(flags: &Flags) -> Result<CandidateParams, CliError> {
         max_per_read,
         ..CandidateParams::default()
     })
+}
+
+/// `--shards N` / `--shard-overlap BASES` for `align` and `pipeline`.
+/// Defaults (1 shard, 256-base overlap) reproduce the unsharded path.
+fn shard_params(flags: &Flags) -> Result<(usize, usize), CliError> {
+    let shards: usize = flags.num("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::usage("--shards must be at least 1"));
+    }
+    let overlap: usize = flags.num("shard-overlap", 256)?;
+    Ok((shards, overlap))
 }
 
 fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
@@ -311,17 +324,18 @@ impl std::str::FromStr for AlignerKind {
 fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let aligner: AlignerKind = flags.get("aligner").unwrap_or("genasm").parse()?;
     let params = candidate_params(flags)?;
+    let (shards, shard_overlap) = shard_params(flags)?;
     configure_threads(flags)?;
     let (ref_name, reference) = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
     let backend = aligner.create();
-    let index = MinimizerIndex::build(&reference);
+    let index = ShardedIndex::build(&reference, shards, shard_overlap);
 
     // Generate all candidates up front (the one-shot shape).
     let mut tasks = Vec::new();
     let mut read_of_task = Vec::new();
     for (i, r) in reads.iter().enumerate() {
-        for t in mapper::candidates_for_read(i as u32, &r.seq, &reference, &index, &params) {
+        for t in index.candidates_for_read(i as u32, &r.seq, &reference, &params) {
             read_of_task.push(i);
             tasks.push(t);
         }
@@ -366,10 +380,13 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .unwrap_or("cpu")
         .parse()
         .map_err(|e| CliError::usage(format!("{e}")))?;
+    let (shards, shard_overlap) = shard_params(flags)?;
     let cfg = PipelineConfig {
         batch_bases: flags.num("batch-bases", 256 * 1024)?,
         queue_depth: flags.num("queue-depth", 8)?,
         dispatchers: flags.num("dispatchers", 1)?,
+        shards,
+        shard_overlap,
         params: candidate_params(flags)?,
     };
     let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");

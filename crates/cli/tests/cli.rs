@@ -324,10 +324,67 @@ fn threads_flag_sizes_the_global_pool() {
 }
 
 #[test]
+fn shard_count_and_overlap_never_change_output() {
+    let dir = tmpdir("shards");
+    let (ref_path, reads_path) = simulate_workload(&dir, 4, 800);
+
+    let golden = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    assert!(!golden.is_empty(), "align produced no records");
+    for shards in ["1", "2", "7"] {
+        for overlap in ["64", "512"] {
+            let sharded_align = run_ok(&[
+                "align",
+                "--ref",
+                &ref_path,
+                "--reads",
+                &reads_path,
+                "--shards",
+                shards,
+                "--shard-overlap",
+                overlap,
+            ]);
+            assert_eq!(
+                sharded_align, golden,
+                "align --shards {shards} --shard-overlap {overlap} diverged"
+            );
+            let sharded_pipeline = run_ok(&[
+                "pipeline",
+                "--ref",
+                &ref_path,
+                "--reads",
+                &reads_path,
+                "--shards",
+                shards,
+                "--shard-overlap",
+                overlap,
+            ]);
+            assert_eq!(
+                sharded_pipeline, golden,
+                "pipeline --shards {shards} --shard-overlap {overlap} diverged"
+            );
+        }
+    }
+
+    let e = run_err(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--shards",
+        "0",
+    ]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--shards"), "{}", e.message);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pipeline_usage_mentions_backends_and_metrics_go_to_stderr() {
     let out = run_ok(&["help"]);
     assert!(out.contains("genasm pipeline"), "{out}");
     assert!(out.contains("--backend"), "{out}");
+    assert!(out.contains("--shards"), "{out}");
     // stdout purity: enabling metrics must not change the records on
     // stdout (the summary goes to stderr).
     let dir = tmpdir("metrics-stdout");

@@ -37,7 +37,26 @@ pub fn hash64(key: u64, mask: u64) -> u64 {
 /// Extract the `(w, k)` minimizers of `seq`.
 ///
 /// Ties within a window keep the rightmost k-mer (robust winnowing).
+/// Sequences shorter than one full window still yield their global
+/// minimum so short sequences stay indexable.
 pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
+    minimizers_impl(seq, w, k, true)
+}
+
+/// Like [`minimizers`], but only emits minimizers selected by *full*
+/// windows of `w` k-mers — no short-sequence fallback.
+///
+/// Shard slices use this: every window of a slice is also a window of
+/// the full reference and selects the same k-mer, so a slice's
+/// full-window minimizers are exactly the reference minimizers whose
+/// selecting window fits in the slice. The fallback would instead
+/// invent minimizers from truncated windows that the unsharded index
+/// does not have, breaking shard-count invariance.
+pub fn minimizers_windowed(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
+    minimizers_impl(seq, w, k, false)
+}
+
+fn minimizers_impl(seq: &Seq, w: usize, k: usize, short_fallback: bool) -> Vec<Minimizer> {
     assert!((1..=31).contains(&k), "k must be in 1..=31");
     assert!(w >= 1, "w must be positive");
     let n = seq.len();
@@ -95,7 +114,7 @@ pub fn minimizers(seq: &Seq, w: usize, k: usize) -> Vec<Minimizer> {
             push_out(&mut out, *deque.front().unwrap(), &hashes);
         }
     }
-    if nk < w && nk > 0 {
+    if nk < w && nk > 0 && short_fallback {
         // Sequence shorter than one full window: keep its global minimum
         // so short sequences are still indexable.
         push_out(&mut out, *deque.front().unwrap(), &hashes);
@@ -128,14 +147,26 @@ impl MinimizerIndex {
 
     /// Build with explicit parameters.
     pub fn build_params(reference: &Seq, w: usize, k: usize, max_occ: usize) -> MinimizerIndex {
+        MinimizerIndex::from_minimizers(minimizers(reference, w, k), w, k, reference.len(), max_occ)
+    }
+
+    /// Build from a precomputed minimizer list (the sharded build path,
+    /// where slices are extracted with [`minimizers_windowed`]).
+    pub fn from_minimizers(
+        ms: Vec<Minimizer>,
+        w: usize,
+        k: usize,
+        ref_len: usize,
+        max_occ: usize,
+    ) -> MinimizerIndex {
         let mut buckets: HashMap<u64, Vec<(u32, bool)>> = HashMap::new();
-        for m in minimizers(reference, w, k) {
+        for m in ms {
             buckets.entry(m.hash).or_default().push((m.pos, m.flipped));
         }
         MinimizerIndex {
             w,
             k,
-            ref_len: reference.len(),
+            ref_len,
             buckets,
             max_occ,
         }
@@ -152,6 +183,19 @@ impl MinimizerIndex {
             Some(v) if v.len() <= self.max_occ => v,
             _ => &[],
         }
+    }
+
+    /// Occurrence list for a hash, **ignoring** the cutoff. Positions
+    /// are ascending (minimizers are extracted left to right). The
+    /// sharded index uses this and applies its own *global* cutoff.
+    pub fn occurrences(&self, hash: u64) -> &[(u32, bool)] {
+        self.buckets.get(&hash).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate every `(hash, occurrences)` bucket, ignoring the cutoff.
+    /// Iteration order is unspecified (callers must not depend on it).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &[(u32, bool)])> {
+        self.buckets.iter().map(|(&h, v)| (h, v.as_slice()))
     }
 }
 

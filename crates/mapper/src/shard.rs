@@ -1,0 +1,489 @@
+//! Sharded reference index with fan-out candidate generation.
+//!
+//! A single [`MinimizerIndex`] is the last monolithic stage in the
+//! streaming pipeline: it is built in one pass over the whole reference
+//! and queried from one thread. [`ShardedIndex`] splits the reference
+//! into `S` fixed-size **overlapping** slices, builds one
+//! `MinimizerIndex` per slice, fans anchor collection out across the
+//! shards, and merges the per-shard hits deterministically (global
+//! coordinate translation, stable sort, overlap dedup) before the
+//! chaining DP runs once over the merged set.
+//!
+//! The load-bearing guarantee is **shard-count invariance**: for any
+//! shard count and any overlap of at least one winnowing window
+//! ([`ShardedIndex::min_overlap`] bases, enforced by the constructor),
+//! the merged anchor stream — and therefore every chain, candidate
+//! task, and output byte downstream — is *identical* to the unsharded
+//! [`MinimizerIndex`] path. Three properties make that hold:
+//!
+//! 1. **Slice minimizers are reference minimizers.** Every full
+//!    winnowing window of a slice is a window of the reference and
+//!    selects the same k-mer, so slices are extracted with
+//!    [`minimizers_windowed`] (no short-sequence fallback, which would
+//!    invent minimizers from truncated windows). With overlap ≥ one
+//!    window span, every reference window fits inside the shard owning
+//!    its start, so the union over shards is the exact reference set.
+//! 2. **The occurrence cutoff is global.** `max_occ` masking must see
+//!    genome-wide occurrence counts, not per-shard counts (a repeat
+//!    spread over shards could slip under a local cutoff). The build
+//!    counts each distinct reference position once — overlap
+//!    duplicates are detected against earlier shards — and lookups
+//!    consult the global count.
+//! 3. **The merge is canonical.** Per-shard anchors are translated to
+//!    global coordinates, concatenated in shard order, sorted by
+//!    `(read_pos, ref_pos, strand)` and deduplicated, which reproduces
+//!    the unsharded anchor order exactly (read minimizers ascend in
+//!    position; bucket hits ascend in reference position).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use align_core::{AlignTask, Seq};
+
+use crate::candidates::{task_from_chain, CandidateParams};
+use crate::chain::{chain_anchors, Anchor};
+use crate::index::{minimizers, minimizers_windowed, MinimizerIndex};
+
+/// One reference shard: a slice `[start, end)` of the reference with
+/// its own minimizer index (positions local to the slice).
+#[derive(Debug)]
+struct Shard {
+    /// Global start of the slice.
+    start: usize,
+    /// Global end of the slice (exclusive; includes the overlap).
+    end: usize,
+    /// Minimizer index over the slice.
+    index: MinimizerIndex,
+    /// Busy time spent collecting anchors in this shard, nanoseconds.
+    busy_ns: AtomicU64,
+    /// Anchors this shard contributed (before overlap dedup).
+    anchors_found: AtomicU64,
+}
+
+impl Shard {
+    /// Does this shard's bucket for `hash` contain global position
+    /// `gpos`? (Bucket positions are ascending, so binary search.)
+    fn contains(&self, hash: u64, gpos: u32) -> bool {
+        let Some(local) = (gpos as usize).checked_sub(self.start) else {
+            return false;
+        };
+        self.index
+            .occurrences(hash)
+            .binary_search_by_key(&(local as u32), |&(p, _)| p)
+            .is_ok()
+    }
+}
+
+/// Telemetry for one shard of a [`ShardedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Global span of the shard's slice.
+    pub start: usize,
+    /// End of the span (exclusive).
+    pub end: usize,
+    /// Time spent collecting anchors in this shard.
+    pub busy: Duration,
+    /// Anchors contributed before the overlap dedup.
+    pub anchors: u64,
+}
+
+/// Telemetry snapshot of a [`ShardedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIndexMetrics {
+    /// Per-shard spans, busy time, and anchor counts.
+    pub shards: Vec<ShardMetrics>,
+    /// Duplicate anchors removed by the overlap merge.
+    pub dup_anchors_merged: u64,
+    /// Effective overlap in bases (after the exactness clamp).
+    pub overlap: usize,
+}
+
+/// A minimizer index split into overlapping reference shards.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    /// Window length in k-mers.
+    pub w: usize,
+    /// k-mer length.
+    pub k: usize,
+    /// Reference length.
+    pub ref_len: usize,
+    /// Global occurrence cutoff (see [`MinimizerIndex::max_occ`]).
+    pub max_occ: usize,
+    /// Effective overlap between consecutive shards, in bases.
+    pub overlap: usize,
+    shards: Vec<Shard>,
+    /// Genome-wide occurrence count per hash (overlap-deduplicated).
+    counts: HashMap<u64, u32>,
+    /// Duplicate anchors removed by the merge, across all queries.
+    dup_anchors: AtomicU64,
+}
+
+impl ShardedIndex {
+    /// Build with minimap2-ish long-read defaults (`w = 10`, `k = 15`,
+    /// `max_occ = 400`), matching [`MinimizerIndex::build`].
+    pub fn build(reference: &Seq, shards: usize, overlap: usize) -> ShardedIndex {
+        ShardedIndex::build_params(reference, shards, overlap, 10, 15, 400)
+    }
+
+    /// Build with explicit parameters. `shards` is clamped to at least
+    /// 1 and `overlap` to at least `w + k` bases (one winnowing window
+    /// plus slack — below that, windows spanning a shard boundary
+    /// would fit in no shard and anchors would be lost).
+    pub fn build_params(
+        reference: &Seq,
+        shards: usize,
+        overlap: usize,
+        w: usize,
+        k: usize,
+        max_occ: usize,
+    ) -> ShardedIndex {
+        let n = reference.len();
+        let shards = shards.max(1);
+        let overlap = overlap.max(w + k);
+        let slice_len = n.div_ceil(shards).max(1);
+
+        let mut built: Vec<Shard> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + slice_len + overlap).min(n);
+            let slice = reference.slice(start, end - start);
+            // The whole-reference shard keeps the short-sequence
+            // fallback so `shards = 1` is bit-equal to the unsharded
+            // index even on tiny references; every other shard emits
+            // full-window minimizers only (see module docs).
+            let ms = if start == 0 && end == n {
+                minimizers(&slice, w, k)
+            } else {
+                minimizers_windowed(&slice, w, k)
+            };
+            built.push(Shard {
+                start,
+                end,
+                index: MinimizerIndex::from_minimizers(ms, w, k, end - start, max_occ),
+                busy_ns: AtomicU64::new(0),
+                anchors_found: AtomicU64::new(0),
+            });
+            start += slice_len;
+        }
+
+        // Global occurrence counts: each distinct reference position
+        // counts once. A position inside an overlap appears in more
+        // than one shard; it is counted by the first shard that holds
+        // it and skipped when a later shard sees it again.
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for si in 0..built.len() {
+            for (hash, hits) in built[si].index.buckets() {
+                for &(pos, _) in hits {
+                    let gpos = (built[si].start + pos as usize) as u32;
+                    let dup = (0..si)
+                        .rev()
+                        .take_while(|&j| built[j].end > gpos as usize)
+                        .any(|j| built[j].contains(hash, gpos));
+                    if !dup {
+                        *counts.entry(hash).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        ShardedIndex {
+            w,
+            k,
+            ref_len: n,
+            max_occ,
+            overlap,
+            shards: built,
+            counts,
+            dup_anchors: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of reference shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global `[start, end)` span of each shard.
+    pub fn shard_spans(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| (s.start, s.end)).collect()
+    }
+
+    /// Number of distinct indexed minimizer hashes, genome-wide
+    /// (equals [`MinimizerIndex::distinct_minimizers`] of the
+    /// unsharded index over the same reference).
+    pub fn distinct_minimizers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Is this hash masked by the **global** occurrence cutoff?
+    pub fn is_masked(&self, hash: u64) -> bool {
+        self.counts
+            .get(&hash)
+            .is_some_and(|&c| c as usize > self.max_occ)
+    }
+
+    /// Collect the anchors of `read` against every shard and merge
+    /// them into the canonical global anchor stream (identical to
+    /// [`crate::collect_anchors`] against the unsharded index).
+    ///
+    /// Shards are queried concurrently (one worker per shard) when
+    /// there is more than one; the merge is deterministic regardless.
+    pub fn collect_anchors(&self, read: &Seq) -> Vec<Anchor> {
+        // Apply the global occurrence mask once, up front, so the S
+        // shard workers don't repeat the count lookups per minimizer.
+        let mut read_mins = minimizers(read, self.w, self.k);
+        read_mins.retain(|m| !self.is_masked(m.hash));
+        let per_shard: Vec<Vec<Anchor>> = if self.shards.len() <= 1 {
+            self.shards
+                .iter()
+                .map(|s| self.shard_anchors(s, &read_mins))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|s| scope.spawn(|| self.shard_anchors(s, &read_mins)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        let mut anchors: Vec<Anchor> = per_shard.into_iter().flatten().collect();
+        anchors.sort_unstable_by_key(|a| (a.read_pos, a.ref_pos, a.reverse));
+        let before = anchors.len();
+        anchors.dedup();
+        self.dup_anchors
+            .fetch_add((before - anchors.len()) as u64, Ordering::Relaxed);
+        anchors
+    }
+
+    /// One shard's share of the fan-out: scan the read's (already
+    /// mask-filtered) minimizers against the shard index, translating
+    /// hits to global coordinates.
+    fn shard_anchors(&self, shard: &Shard, read_mins: &[crate::Minimizer]) -> Vec<Anchor> {
+        let t0 = Instant::now();
+        let mut out = Vec::new();
+        for m in read_mins {
+            for &(pos, rflip) in shard.index.occurrences(m.hash) {
+                out.push(Anchor {
+                    read_pos: m.pos,
+                    ref_pos: (shard.start + pos as usize) as u32,
+                    reverse: m.flipped != rflip,
+                });
+            }
+        }
+        shard
+            .anchors_found
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        shard
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Map one read through the sharded fan-out: merged anchors, one
+    /// chaining pass, candidate tasks in global coordinates. Output is
+    /// identical to [`crate::candidates_for_read`] on the unsharded
+    /// index for every shard count.
+    pub fn candidates_for_read(
+        &self,
+        read_id: u32,
+        read: &Seq,
+        reference: &Seq,
+        params: &CandidateParams,
+    ) -> Vec<AlignTask> {
+        let anchors = self.collect_anchors(read);
+        let chains = chain_anchors(&anchors, self.k, &params.chain);
+        chains
+            .iter()
+            .take(params.max_per_read)
+            .map(|c| task_from_chain(read_id, read, reference, c, params.flank))
+            .collect()
+    }
+
+    /// Snapshot the per-shard telemetry accumulated so far.
+    pub fn metrics(&self) -> ShardIndexMetrics {
+        ShardIndexMetrics {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardMetrics {
+                    start: s.start,
+                    end: s.end,
+                    busy: Duration::from_nanos(s.busy_ns.load(Ordering::Relaxed)),
+                    anchors: s.anchors_found.load(Ordering::Relaxed),
+                })
+                .collect(),
+            dup_anchors_merged: self.dup_anchors.load(Ordering::Relaxed),
+            overlap: self.overlap,
+        }
+    }
+}
+
+impl ShardedIndex {
+    /// Smallest overlap in bases that preserves shard-count invariance
+    /// for `(w, k)` winnowing parameters;
+    /// [`ShardedIndex::build_params`] clamps to it.
+    pub fn min_overlap(w: usize, k: usize) -> usize {
+        w + k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_anchors;
+
+    fn seq(s: &str) -> Seq {
+        Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    /// Pseudo-random but dependency-free test sequence.
+    fn mixed_seq(len: usize, salt: u64) -> Seq {
+        let mut state = salt | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                align_core::Base::from_code((state >> 33) as u8 & 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_spans_tile_the_reference_with_overlap() {
+        let s = mixed_seq(10_000, 7);
+        let idx = ShardedIndex::build_params(&s, 4, 100, 10, 15, 400);
+        let spans = idx.shard_spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].0, 0);
+        assert_eq!(spans.last().unwrap().1, 10_000);
+        for pair in spans.windows(2) {
+            // Next shard starts before the previous ends (overlap) and
+            // slices advance by a fixed stride.
+            assert!(pair[1].0 < pair[0].1);
+            assert_eq!(pair[1].0 - pair[0].0, 2_500);
+        }
+    }
+
+    #[test]
+    fn overlap_is_clamped_to_exactness_floor() {
+        let s = mixed_seq(5_000, 9);
+        let idx = ShardedIndex::build_params(&s, 3, 0, 10, 15, 400);
+        assert_eq!(idx.overlap, ShardedIndex::min_overlap(10, 15));
+    }
+
+    #[test]
+    fn distinct_minimizers_match_unsharded_index() {
+        let s = mixed_seq(30_000, 3);
+        let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
+        for shards in [1, 2, 3, 5, 8] {
+            let idx = ShardedIndex::build_params(&s, shards, 64, 10, 15, 400);
+            assert_eq!(
+                idx.distinct_minimizers(),
+                flat.distinct_minimizers(),
+                "distinct hash count diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_equal_unsharded_for_every_shard_count() {
+        let s = mixed_seq(20_000, 11);
+        let read = s.slice(4_321, 1_200);
+        let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
+        let expected = collect_anchors(&read, &flat);
+        assert!(!expected.is_empty(), "exact read must anchor");
+        for shards in 1..=8 {
+            let idx = ShardedIndex::build_params(&s, shards, 32, 10, 15, 400);
+            assert_eq!(
+                idx.collect_anchors(&read),
+                expected,
+                "anchor stream diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_duplicates_are_merged_and_counted() {
+        let s = mixed_seq(20_000, 13);
+        // A read straddling the shard boundary at 10_000 hits both
+        // shards' overlap copies of the same positions.
+        let read = s.slice(9_000, 2_000);
+        let idx = ShardedIndex::build_params(&s, 2, 2_000, 10, 15, 400);
+        let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
+        assert_eq!(idx.collect_anchors(&read), collect_anchors(&read, &flat));
+        let m = idx.metrics();
+        assert!(
+            m.dup_anchors_merged > 0,
+            "a 2 kb overlap straddle must produce duplicate hits"
+        );
+        assert_eq!(m.shards.len(), 2);
+        assert!(m.shards.iter().all(|sm| sm.busy.as_nanos() > 0));
+    }
+
+    #[test]
+    fn global_occurrence_cutoff_matches_unsharded_masking() {
+        // Periodic reference: the dominant minimizer occurs far more
+        // often globally than in any single shard, so a *local* cutoff
+        // would unmask what the unsharded index masks.
+        let s = seq(&"ACGTACGTACGTACGTACGTACGT".repeat(50));
+        let flat = MinimizerIndex::build_params(&s, 4, 8, 2);
+        let read = s.slice(100, 300);
+        let expected = collect_anchors(&read, &flat);
+        for shards in [2, 5] {
+            let idx = ShardedIndex::build_params(&s, shards, 64, 4, 8, 2);
+            assert_eq!(
+                idx.collect_anchors(&read),
+                expected,
+                "masking diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_equal_unsharded_tasks() {
+        let s = mixed_seq(40_000, 17);
+        let read = s.slice(12_000, 1_500).reverse_complement();
+        let flat = MinimizerIndex::build(&s);
+        let params = CandidateParams::default();
+        let expected = crate::candidates_for_read(3, &read, &s, &flat, &params);
+        assert!(!expected.is_empty());
+        for shards in [1, 3, 7] {
+            let idx = ShardedIndex::build(&s, shards, 256);
+            assert_eq!(
+                idx.candidates_for_read(3, &read, &s, &params),
+                expected,
+                "candidate tasks diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_reference_survives_many_shards() {
+        // Shorter than one winnowing window: the whole-reference shard
+        // keeps the fallback minimizer; extra shards must not add any.
+        let s = seq("ACGTACGTACGTACGTACG"); // 19 bases < w + k - 1
+        let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
+        let read = s.clone();
+        let expected = collect_anchors(&read, &flat);
+        for shards in [1, 4, 16] {
+            let idx = ShardedIndex::build_params(&s, shards, 64, 10, 15, 400);
+            assert_eq!(idx.collect_anchors(&read), expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_reference_yields_no_shards_and_no_anchors() {
+        let s: Seq = std::iter::empty().collect();
+        let idx = ShardedIndex::build(&s, 4, 64);
+        assert_eq!(idx.num_shards(), 0);
+        assert!(idx.collect_anchors(&mixed_seq(100, 1)).is_empty());
+        assert_eq!(idx.distinct_minimizers(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests of the sharded index: for random references and
+//! reads, the merged candidate stream from [`ShardedIndex`] must equal
+//! the unsharded [`MinimizerIndex`] path — anchors, chains, and tasks —
+//! for every shard count and every overlap at or above the exactness
+//! floor.
+//!
+//! The `#[ignore]`d tests at the bottom sweep the full shard-count ×
+//! overlap grid on larger inputs; CI runs them in a dedicated
+//! `cargo test -- --ignored` job.
+
+use align_core::{Base, Seq};
+use mapper::{collect_anchors, CandidateParams, MinimizerIndex, ShardedIndex};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+/// Mutate `read` with substitutions/indels at `rate` — sharding must
+/// be invariant for noisy reads, not just exact substrings.
+fn mutate(read: &Seq, rate: f64, seed: u64) -> Seq {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<Base> = Vec::with_capacity(read.len() + 16);
+    for i in 0..read.len() {
+        if rng.gen_bool(rate) {
+            match rng.gen_range(0..3) {
+                0 => out.push(Base::from_code(rng.gen_range(0..4))), // substitution
+                1 => {
+                    // insertion
+                    out.push(Base::from_code(read.get_code(i)));
+                    out.push(Base::from_code(rng.gen_range(0..4)));
+                }
+                _ => {} // deletion
+            }
+        } else {
+            out.push(Base::from_code(read.get_code(i)));
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Assert every sharded view of `reference` agrees with the flat index
+/// for `read`: anchor stream and candidate tasks.
+fn assert_equivalent(reference: &Seq, read: &Seq, shards: usize, overlap: usize) {
+    let flat = MinimizerIndex::build(reference);
+    let sharded = ShardedIndex::build(reference, shards, overlap);
+    assert_eq!(
+        sharded.collect_anchors(read),
+        collect_anchors(read, &flat),
+        "anchor stream diverged at shards={shards} overlap={overlap}"
+    );
+    let params = CandidateParams::default();
+    assert_eq!(
+        sharded.candidates_for_read(9, read, reference, &params),
+        mapper::candidates_for_read(9, read, reference, &flat, &params),
+        "candidate tasks diverged at shards={shards} overlap={overlap}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_candidates_equal_unsharded(
+        s in arb_seq(3_000, 8_000),
+        shards in 1usize..=8,
+        overlap in 0usize..400,
+        off_frac in 0.0f64..0.6,
+        rc in proptest::any::<bool>(),
+    ) {
+        let read_len = 700.min(s.len() / 2);
+        let start = ((s.len() - read_len) as f64 * off_frac) as usize;
+        let mut read = s.slice(start, read_len);
+        if rc {
+            read = read.reverse_complement();
+        }
+        assert_equivalent(&s, &read, shards, overlap);
+    }
+
+    #[test]
+    fn sharded_candidates_equal_unsharded_for_noisy_reads(
+        s in arb_seq(4_000, 9_000),
+        shards in 2usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        let read = mutate(&s.slice(s.len() / 4, 900), 0.08, seed);
+        assert_equivalent(&s, &read, shards, 64);
+    }
+
+    #[test]
+    fn global_masking_matches_unsharded(
+        period in 4usize..12,
+        repeats in 40usize..120,
+        shards in 2usize..=6,
+    ) {
+        // Periodic references push repeat hashes over the cutoff
+        // globally while each shard's local count stays under it — the
+        // failure mode a per-shard cutoff would exhibit.
+        let unit: Vec<u8> = (0..period).map(|i| (i * 7 % 4) as u8).collect();
+        let s: Seq = unit
+            .iter()
+            .cycle()
+            .take(period * repeats)
+            .map(|&c| Base::from_code(c))
+            .collect();
+        let flat = MinimizerIndex::build_params(&s, 4, 8, 3);
+        let sharded = ShardedIndex::build_params(&s, shards, 64, 4, 8, 3);
+        let read = s.slice(s.len() / 3, (s.len() / 2).min(400));
+        prop_assert_eq!(
+            sharded.collect_anchors(&read),
+            collect_anchors(&read, &flat)
+        );
+        prop_assert_eq!(sharded.distinct_minimizers(), flat.distinct_minimizers());
+    }
+}
+
+/// Exhaustive grid: shard counts 1..8 × overlaps from the exactness
+/// floor up, over a larger reference and a panel of reads (exact,
+/// reverse-complement, noisy, straddling every shard boundary). Slow;
+/// run with `cargo test -- --ignored` (CI has a dedicated job).
+#[test]
+#[ignore = "slow exhaustive shard/overlap sweep; CI runs it in the --ignored job"]
+fn exhaustive_shard_overlap_grid() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD15C);
+    let reference: Seq = (0..120_000)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
+    let flat = MinimizerIndex::build(&reference);
+    let params = CandidateParams::default();
+    let floor = ShardedIndex::min_overlap(flat.w, flat.k);
+
+    for shards in 1..=8 {
+        for overlap in [floor, 64, 256, 2_048] {
+            let sharded = ShardedIndex::build(&reference, shards, overlap);
+            let spans = sharded.shard_spans();
+            // Read panel: one exact read per shard boundary (straddling
+            // it), plus an RC read and a noisy read per shard.
+            let mut reads: Vec<Seq> = Vec::new();
+            for span in &spans {
+                if span.0 > 0 {
+                    let start = span.0.saturating_sub(500);
+                    reads.push(reference.slice(start, 1_000.min(reference.len() - start)));
+                }
+                let mid = span.0 + (span.1 - span.0) / 2;
+                let len = 800.min(reference.len() - mid);
+                if len > 100 {
+                    reads.push(reference.slice(mid, len).reverse_complement());
+                    reads.push(mutate(
+                        &reference.slice(mid, len),
+                        0.10,
+                        (shards * 1_000 + overlap) as u64,
+                    ));
+                }
+            }
+            for (i, read) in reads.iter().enumerate() {
+                assert_eq!(
+                    sharded.collect_anchors(read),
+                    collect_anchors(read, &flat),
+                    "anchors diverged: shards={shards} overlap={overlap} read={i}"
+                );
+                assert_eq!(
+                    sharded.candidates_for_read(i as u32, read, &reference, &params),
+                    mapper::candidates_for_read(i as u32, read, &reference, &flat, &params),
+                    "tasks diverged: shards={shards} overlap={overlap} read={i}"
+                );
+            }
+        }
+    }
+}
+
+/// Batch-level equivalence on a simulated multi-read workload, sharded
+/// eight ways with the minimum exact overlap.
+#[test]
+#[ignore = "slow batch sweep; CI runs it in the --ignored job"]
+fn batch_candidates_equal_unsharded_at_minimum_overlap() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7_431);
+    let reference: Seq = (0..90_000)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
+    let flat = MinimizerIndex::build(&reference);
+    let sharded = ShardedIndex::build(&reference, 8, ShardedIndex::min_overlap(flat.w, flat.k));
+    let params = CandidateParams::default();
+    for r in 0..40u32 {
+        let start = rng.gen_range(0..reference.len() - 1_200);
+        let mut read = mutate(&reference.slice(start, 1_200), 0.06, r as u64);
+        if r % 2 == 1 {
+            read = read.reverse_complement();
+        }
+        assert_eq!(
+            sharded.candidates_for_read(r, &read, &reference, &params),
+            mapper::candidates_for_read(r, &read, &reference, &flat, &params),
+            "read {r} diverged"
+        );
+    }
+}

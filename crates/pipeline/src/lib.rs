@@ -4,12 +4,14 @@
 //!
 //! ```text
 //!  reads ──► candidate generation ──► batch scheduler ──► backend dispatch ──► ordered sink
-//!  (iter)    (mapper, 1 thread)       (1 thread)          (N threads,          (caller thread,
-//!                │                        │                pluggable Backend)   reorder buffer)
-//!                ▼                        ▼                    │
-//!            task queue ────────────► batch queue ────────► result queue
-//!           (bounded, weighted        (bounded,             (bounded,
-//!            by bases)                 queue_depth)          queue_depth)
+//!  (iter)    (sharded index fan-out     (1 thread)          (N threads,          (caller thread,
+//!             ┌► shard 0 ─┐                 │                pluggable Backend)   reorder buffer)
+//!             ├► shard …  ├─ merge)         ▼                    │
+//!             └► shard S ─┘            batch queue ────────► result queue
+//!                │                     (bounded,             (bounded,
+//!                ▼                      queue_depth)          queue_depth)
+//!            task queue
+//!           (bounded, weighted by bases)
 //! ```
 //!
 //! The paper's evaluation drives GenASM as a one-shot batch: load every
@@ -32,7 +34,15 @@
 //!   path.
 //! * **Observable stages.** [`metrics::PipelineMetrics`] reports
 //!   per-stage busy time and throughput, queue depths, the batch-size
-//!   histogram, backend utilization, and peak in-flight bases.
+//!   histogram, backend utilization, peak in-flight bases, and
+//!   per-shard busy time / merge dedup counts of the sharded index.
+//!
+//! The candidate-generation stage maps each read against a
+//! [`mapper::ShardedIndex`]: the reference is split into
+//! `PipelineConfig::shards` overlapping slices, each with its own
+//! minimizer index, anchors are collected per shard concurrently, and
+//! the merged stream is deterministic — output stays byte-identical
+//! across shard counts and overlap settings.
 //!
 //! Backends implement [`backend::Backend`]; the Rayon CPU batch
 //! aligner, the simulated GPU, and both baselines ship in
@@ -51,7 +61,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use align_core::{Alignment, Seq};
-use mapper::{CandidateParams, MinimizerIndex};
+use mapper::{CandidateParams, ShardedIndex};
 
 pub use backend::{
     Backend, BackendError, BackendKind, CpuBackend, EdlibBackend, GpuSimBackend, Ksw2Backend,
@@ -84,6 +94,15 @@ pub struct PipelineConfig {
     /// Backend dispatch workers. 1 is right for backends that
     /// parallelize internally (CPU/Rayon, GPU); more overlaps batches.
     pub dispatchers: usize,
+    /// Reference shards for the candidate-generation stage: the
+    /// reference index is split into this many overlapping slices and
+    /// anchor collection fans out across them
+    /// ([`mapper::ShardedIndex`]). Output is byte-identical for every
+    /// shard count.
+    pub shards: usize,
+    /// Overlap between consecutive reference shards, in bases (clamped
+    /// up to the exactness floor `w + k` by the index build).
+    pub shard_overlap: usize,
     /// Candidate-generation parameters for the mapper stage.
     pub params: CandidateParams,
 }
@@ -94,6 +113,8 @@ impl Default for PipelineConfig {
             batch_bases: 256 * 1024,
             queue_depth: 8,
             dispatchers: 1,
+            shards: 1,
+            shard_overlap: 256,
             params: CandidateParams::default(),
         }
     }
@@ -186,7 +207,7 @@ where
     F: FnMut(&AlignRecord) -> std::io::Result<()>,
 {
     let wall0 = Instant::now();
-    let index = MinimizerIndex::build(reference);
+    let index = ShardedIndex::build(reference, cfg.shards, cfg.shard_overlap);
     let counters = StageCounters::default();
 
     let task_q: BoundedQueue<(align_core::AlignTask, TaskMeta)> =
@@ -228,13 +249,8 @@ where
                     Some(Ok(r)) => r,
                 };
                 counters.reads_in.fetch_add(1, Ordering::Relaxed);
-                let tasks = mapper::candidates_for_read(
-                    read_seq as u32,
-                    &item.seq,
-                    reference,
-                    &index,
-                    &cfg.params,
-                );
+                let tasks =
+                    index.candidates_for_read(read_seq as u32, &item.seq, reference, &cfg.params);
                 StageCounters::add_ns(&counters.mapper_ns, t0.elapsed());
                 if !tasks.is_empty() {
                     counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
@@ -338,6 +354,7 @@ where
     Ok(PipelineMetrics::snapshot(
         &counters,
         wall0.elapsed(),
+        index.metrics(),
         QueueMetrics {
             capacity: task_q.capacity(),
             pushed: task_q.total_pushed(),

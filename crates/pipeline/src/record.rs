@@ -12,8 +12,64 @@
 //! `identity` is matches / alignment columns ([`Alignment::column_identity`])
 //! printed with four decimals. [`AlignRecord::parse_tsv`] inverts the
 //! formatter (used by tests and any downstream tooling).
+//!
+//! Name columns (`qname`, `tname`) are backslash-escaped on write
+//! (`\t`, `\n`, `\r`, `\\`) so a read name containing a tab or newline
+//! cannot corrupt the row structure; `parse_tsv` unescapes them and
+//! rejects malformed escapes. Names without those characters are
+//! emitted byte-for-byte unchanged, so the escaping is invisible to
+//! the determinism contract.
 
 use align_core::{Alignment, Cigar};
+
+/// Escape a name field for TSV: `\` → `\\`, tab → `\t`, newline →
+/// `\n`, carriage return → `\r`. Ordinary names (no specials) are
+/// returned unchanged.
+fn escape_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains(['\\', '\t', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// Invert [`escape_field`]; rejects dangling or unknown escapes with a
+/// clear error.
+fn unescape_field(s: &str) -> Result<String, String> {
+    if !s.contains('\\') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(format!(
+                    "bad escape sequence '\\{other}' in name field {s:?}"
+                ))
+            }
+            None => return Err(format!("dangling backslash in name field {s:?}")),
+        }
+    }
+    Ok(out)
+}
 
 /// One output row of `align` / `pipeline`.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,13 +126,14 @@ impl AlignRecord {
         )
     }
 
-    /// Format as one TSV row (no trailing newline).
+    /// Format as one TSV row (no trailing newline). Name columns are
+    /// escaped so tabs/newlines in read names cannot break the row.
     pub fn to_tsv(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
-            self.qname,
+            escape_field(&self.qname),
             self.qlen,
-            self.tname,
+            escape_field(&self.tname),
             self.tstart,
             self.tend,
             self.edit_distance,
@@ -101,9 +158,9 @@ impl AlignRecord {
             .parse()
             .map_err(|_| format!("bad identity: {:?}", cols[7]))?;
         Ok(AlignRecord {
-            qname: cols[0].to_string(),
+            qname: unescape_field(cols[0])?,
             qlen: num(1)?,
-            tname: cols[2].to_string(),
+            tname: unescape_field(cols[2])?,
             tstart: num(3)?,
             tend: num(4)?,
             edit_distance: num(5)?,
@@ -154,6 +211,50 @@ mod tests {
         let mut line = AlignRecord::new("r", 4, "t", 0, 4, &aln).to_tsv();
         line = line.replace("4M", "4Q");
         assert!(AlignRecord::parse_tsv(&line).is_err());
+    }
+
+    #[test]
+    fn names_with_tabs_and_spaces_round_trip() {
+        let aln = aligned("ACGTACGT", "ACGAACGT");
+        for name in [
+            "plain name with spaces",
+            "tab\tseparated\tname",
+            "newline\nname",
+            "cr\rname",
+            "back\\slash\\t-literal",
+            "all\t\n\r\\of them",
+        ] {
+            let rec = AlignRecord::new(name, 8, "chr 1\twith tab", 100, 8, &aln);
+            let line = rec.to_tsv();
+            // The row structure survives: still exactly 8 columns, one line.
+            assert_eq!(line.split('\t').count(), 8, "{name:?} broke the row");
+            assert_eq!(line.lines().count(), 1, "{name:?} broke the row");
+            let back = AlignRecord::parse_tsv(&line)
+                .unwrap_or_else(|e| panic!("{name:?} failed to parse back: {e}"));
+            assert_eq!(back.qname, name);
+            assert_eq!(back.tname, "chr 1\twith tab");
+        }
+    }
+
+    #[test]
+    fn plain_names_are_unescaped_bytes() {
+        // The escaping must be invisible for ordinary names (the
+        // determinism contract compares raw output bytes).
+        let aln = aligned("ACGT", "ACGT");
+        let rec = AlignRecord::new("read_1 suffix", 4, "chr1", 0, 4, &aln);
+        assert!(rec.to_tsv().starts_with("read_1 suffix\t4\tchr1\t"));
+    }
+
+    #[test]
+    fn malformed_escapes_are_rejected_with_clear_errors() {
+        let aln = aligned("ACGT", "ACGT");
+        let line = AlignRecord::new("r", 4, "t", 0, 4, &aln).to_tsv();
+        let bad = line.replacen("r\t", "bad\\x\t", 1);
+        let err = AlignRecord::parse_tsv(&bad).unwrap_err();
+        assert!(err.contains("bad escape sequence"), "{err}");
+        let dangling = line.replacen("r\t", "trailing\\\t", 1);
+        let err = AlignRecord::parse_tsv(&dangling).unwrap_err();
+        assert!(err.contains("dangling backslash"), "{err}");
     }
 
     #[test]

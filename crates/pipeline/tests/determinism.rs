@@ -9,6 +9,14 @@
 //!    is far larger than the configured queue capacity.
 //! 3. **Observability** — a real run reports non-zero counters for
 //!    every stage.
+//! 4. **Shard invariance** — sharding the reference index
+//!    (`PipelineConfig::shards`) never changes a single output byte,
+//!    for any shard count × overlap × batching geometry.
+//!
+//! CI runs this suite in a matrix over `GENASM_TEST_SHARDS` (1 and 4);
+//! tests that don't sweep shard counts themselves use that value, so
+//! every determinism property is exercised against a sharded index
+//! too.
 
 use align_core::Seq;
 use genasm_pipeline::{
@@ -16,6 +24,15 @@ use genasm_pipeline::{
 };
 use mapper::{CandidateParams, MinimizerIndex};
 use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+/// Shard count used by tests that don't sweep it themselves; the CI
+/// matrix sets `GENASM_TEST_SHARDS` to re-run the suite sharded.
+fn env_shards() -> usize {
+    std::env::var("GENASM_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 /// Deterministic synthetic workload: (reference, named reads).
 fn workload(genome_len: usize, n_reads: usize, read_len: usize) -> (Seq, Vec<(String, Seq)>) {
@@ -110,7 +127,9 @@ fn output_is_identical_across_batching_geometry_and_matches_one_shot() {
                     batch_bases,
                     queue_depth,
                     dispatchers,
+                    shards: env_shards(),
                     params,
+                    ..PipelineConfig::default()
                 };
                 let (got, metrics) = run_stream(&reads, &reference, &backend, &cfg);
                 assert_eq!(
@@ -128,6 +147,88 @@ fn output_is_identical_across_batching_geometry_and_matches_one_shot() {
     }
 }
 
+/// The golden shard-determinism suite: `shards ∈ {1, 2, 7}` ×
+/// `batch_bases` × `dispatchers`, plus overlap settings, must all be
+/// byte-identical to the unsharded one-shot seed path.
+#[test]
+fn output_is_byte_identical_across_shard_counts_and_overlaps() {
+    let (reference, reads) = workload(60_000, 12, 800);
+    let params = CandidateParams::default();
+    // Golden: the unsharded MinimizerIndex one-shot path (the seed
+    // behaviour this PR must preserve bit-for-bit).
+    let expected = one_shot_cpu(&reads, &reference, &params);
+    assert!(!expected.is_empty(), "workload produced no alignments");
+
+    let backend = CpuBackend::improved();
+    for shards in [1usize, 2, 7] {
+        for batch_bases in [4 * 1024usize, 1024 * 1024] {
+            for dispatchers in [1usize, 3] {
+                let cfg = PipelineConfig {
+                    batch_bases,
+                    dispatchers,
+                    shards,
+                    params,
+                    ..PipelineConfig::default()
+                };
+                let (got, metrics) = run_stream(&reads, &reference, &backend, &cfg);
+                assert_eq!(
+                    got, expected,
+                    "diverged at shards={shards} batch_bases={batch_bases} \
+                     dispatchers={dispatchers}"
+                );
+                assert_eq!(
+                    metrics.shard_index.shards.len(),
+                    shards,
+                    "shard metrics missing at shards={shards}"
+                );
+            }
+        }
+    }
+
+    // Overlap settings (including one below the exactness floor, which
+    // the build clamps) must not change output either.
+    for shard_overlap in [0usize, 40, 999] {
+        let cfg = PipelineConfig {
+            shards: 7,
+            shard_overlap,
+            params,
+            ..PipelineConfig::default()
+        };
+        let (got, _) = run_stream(&reads, &reference, &backend, &cfg);
+        assert_eq!(got, expected, "diverged at shard_overlap={shard_overlap}");
+    }
+}
+
+#[test]
+fn sharded_runs_report_per_shard_metrics() {
+    let (reference, reads) = workload(50_000, 8, 700);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        shards: 4,
+        shard_overlap: 2_048,
+        ..PipelineConfig::default()
+    };
+    let (out, m) = run_stream(&reads, &reference, &backend, &cfg);
+    assert!(!out.is_empty());
+    assert_eq!(m.shard_index.shards.len(), 4);
+    assert_eq!(m.shard_index.overlap, 2_048);
+    for sm in &m.shard_index.shards {
+        assert!(sm.end > sm.start, "degenerate shard span");
+        assert!(sm.busy.as_nanos() > 0, "shard did no work: {sm:?}");
+    }
+    // Consecutive spans overlap, and a fat overlap on a small genome
+    // guarantees the merge saw (and removed) duplicate anchors.
+    for pair in m.shard_index.shards.windows(2) {
+        assert!(pair[1].start < pair[0].end, "shards do not overlap");
+    }
+    assert!(
+        m.shard_index.dup_anchors_merged > 0,
+        "2 kb overlaps on a 50 kb genome must produce duplicate anchors"
+    );
+    // The per-shard telemetry shows up in the --metrics rendering.
+    assert!(m.summary().contains("shards:   4"), "{}", m.summary());
+}
+
 #[test]
 fn output_is_independent_of_rayon_thread_count() {
     let (reference, reads) = workload(40_000, 6, 700);
@@ -136,6 +237,7 @@ fn output_is_independent_of_rayon_thread_count() {
         batch_bases: 8 * 1024,
         queue_depth: 2,
         dispatchers: 2,
+        shards: env_shards(),
         ..PipelineConfig::default()
     };
     let (many, _) = run_stream(&reads, &reference, &backend, &cfg);
@@ -161,7 +263,9 @@ fn resident_memory_is_bounded_by_queue_capacity_not_workload_size() {
         batch_bases: 2 * 1024,
         queue_depth: 1,
         dispatchers: 1,
+        shards: env_shards(),
         params: CandidateParams::default(),
+        ..PipelineConfig::default()
     };
     let (out, metrics) = run_stream(&reads, &reference, &backend, &cfg);
     assert!(!out.is_empty());
@@ -199,7 +303,9 @@ fn metrics_report_every_stage() {
         batch_bases: 4 * 1024,
         queue_depth: 4,
         dispatchers: 1,
+        shards: env_shards(),
         params: CandidateParams::default(),
+        ..PipelineConfig::default()
     };
     let (out, m) = run_stream(&reads, &reference, &backend, &cfg);
 
@@ -220,6 +326,13 @@ fn metrics_report_every_stage() {
     assert_eq!(m.batch_queue.pushed, m.batches);
     assert_eq!(m.result_queue.pushed, m.batches);
     assert!(m.task_queue.high_water > 0);
+    // Shard telemetry matches the configured fan-out.
+    assert_eq!(m.shard_index.shards.len(), env_shards());
+    assert!(m
+        .shard_index
+        .shards
+        .iter()
+        .all(|s| s.busy.as_nanos() > 0 && s.anchors > 0));
     // Every stage did measurable work.
     assert!(m.mapper_busy.as_nanos() > 0, "mapper busy time is zero");
     assert!(
