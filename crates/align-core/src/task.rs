@@ -19,17 +19,28 @@ pub struct AlignTask {
     pub query: Seq,
     /// The target sequence.
     pub target: Seq,
+    /// True when `query` is the reverse complement of the original
+    /// read (the mapper orients queries to the mapping strand; this
+    /// records which strand that was, for reporting only).
+    pub reverse: bool,
 }
 
 impl AlignTask {
-    /// Construct a task.
+    /// Construct a forward-strand task.
     pub fn new(read_id: u32, ref_pos: usize, query: Seq, target: Seq) -> AlignTask {
         AlignTask {
             read_id,
             ref_pos,
             query,
             target,
+            reverse: false,
         }
+    }
+
+    /// Record which strand the query was oriented to.
+    pub fn oriented(mut self, reverse: bool) -> AlignTask {
+        self.reverse = reverse;
+        self
     }
 
     /// Total number of bases involved (used for throughput accounting).

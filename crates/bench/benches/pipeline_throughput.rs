@@ -58,8 +58,10 @@ fn one_shot_records(
             &reads[i].0,
             reads[i].1.len(),
             "ref",
+            reference.len(),
             t.ref_pos,
             t.target.len(),
+            t.reverse,
             a.as_ref().unwrap(),
         ));
     }

@@ -9,31 +9,38 @@
 //! genasm map      --ref ref.fa --reads reads.fq
 //! genasm align    --ref ref.fa --reads reads.fq [--aligner genasm|genasm-base|edlib|ksw2]
 //! genasm pipeline --ref ref.fa --reads reads.fq [--backend cpu|gpu-sim|edlib|ksw2]
+//! genasm serve    --ref ref.fa --listen unix:/tmp/genasm.sock
+//! genasm submit   --to unix:/tmp/genasm.sock --reads reads.fq
+//! genasm ctl      ping|stats|shutdown --to unix:/tmp/genasm.sock
 //! genasm filter   --pattern GATTACA --text ref.fa -k 2
 //! ```
 //!
-//! `map`, `align` and `pipeline` print PAF-like tab-separated records
-//! (one per candidate chain / alignment). `align` is the one-shot batch
-//! path (load everything, align everything); `pipeline` streams the
-//! reads through the bounded-queue pipeline in [`genasm_pipeline`] and
-//! produces **byte-identical output** for the same workload — the
+//! `align` is the one-shot batch path (load everything, align
+//! everything); `pipeline` streams the reads through the bounded-queue
+//! pipeline in [`genasm_pipeline`]; `serve` keeps that pipeline
+//! resident behind a socket ([`genasm_server`]) and `submit` is its
+//! client. All of them emit the same records (`--format tsv|paf`) and
+//! produce **byte-identical output** for the same workload — the
 //! record formatting and per-read ordering live in one place,
 //! [`genasm_pipeline::AlignRecord`]. All subcommands are plain
 //! functions over `Write` so the integration tests drive them without
-//! spawning processes.
+//! spawning processes (`serve` blocks until a client sends
+//! `ctl shutdown`, then drains gracefully).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
 use align_core::Seq;
 use genasm_pipeline::{
-    AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, PipelineConfig,
-    ReadInput,
+    AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, OutputFormat,
+    PipelineConfig, ReadInput, ServiceConfig,
 };
+use genasm_server::client::SubmitOptions;
+use genasm_server::{Endpoint, Server, ServerConfig};
 use mapper::{CandidateParams, MinimizerIndex, ShardedIndex};
 use readsim::{
-    read_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq, ErrorModel,
-    FastxReader, FastxRecord, Genome, GenomeConfig, ReadConfig,
+    read_fastx, read_single_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq,
+    ErrorModel, FastxReader, FastxRecord, Genome, GenomeConfig, ReadConfig,
 };
 
 /// CLI failure: message plus suggested exit code.
@@ -124,6 +131,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "map" => cmd_map(&Flags::parse(rest)?, out),
         "align" => cmd_align(&Flags::parse(rest)?, out),
         "pipeline" => cmd_pipeline(&Flags::parse(rest)?, out),
+        "serve" => cmd_serve(&Flags::parse(rest)?, out),
+        "submit" => cmd_submit(&Flags::parse(rest)?, out),
+        "ctl" => cmd_ctl(rest, out),
         "filter" => cmd_filter(&Flags::parse(rest)?, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -140,11 +150,21 @@ pub const USAGE: &str = "usage:
   genasm simulate --genome-len N --reads N --read-len N [--error R] [--seed S] --ref FILE --out FILE
   genasm map      --ref FILE --reads FILE [--max-per-read N] [--threads N]
   genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
-                  [--threads N] [--shards N] [--shard-overlap BASES]
+                  [--threads N] [--shards N] [--shard-overlap BASES] [--format tsv|paf]
   genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
                   [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N]
-                  [--shards N] [--shard-overlap BASES] [--metrics on]
-  genasm filter   --pattern SEQ --text FILE [-k N]";
+                  [--shards N] [--shard-overlap BASES] [--format tsv|paf] [--metrics on]
+  genasm serve    --ref FILE --listen ENDPOINT [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
+                  [--max-sessions N] [--linger-ms N] [--batch-bases N] [--queue-depth N]
+                  [--dispatchers N] [--max-per-read N] [--threads N] [--shards N]
+                  [--shard-overlap BASES] [--metrics on]
+  genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
+  genasm ctl      ping|stats|shutdown --to ENDPOINT
+  genasm filter   --pattern SEQ --text FILE [-k N]
+
+ENDPOINT is unix:PATH, tcp:HOST:PORT, or HOST:PORT. `serve` runs until a
+client sends `genasm ctl shutdown`; record lines from `submit` are
+byte-identical to `align` on the same reads (status goes to stderr).";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("I/O error: {e}"))
@@ -155,13 +175,14 @@ fn load_fastx(path: &str) -> Result<Vec<FastxRecord>, CliError> {
     read_fastx(BufReader::new(f)).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
+/// Load a reference that must be a single contig. Multi-record FASTA
+/// is rejected with an error naming every extra record — the old
+/// behavior of silently keeping the first contig hid real data loss.
 fn load_reference(path: &str) -> Result<(String, Seq), CliError> {
-    let records = load_fastx(path)?;
-    let first = records
-        .into_iter()
-        .next()
-        .ok_or_else(|| CliError::runtime(format!("{path}: no records")))?;
-    Ok((first.name, first.seq))
+    let f = File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    let rec = read_single_fastx(BufReader::new(f))
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    Ok((rec.name, rec.seq))
 }
 
 /// Apply `--threads N` to the global Rayon pool (0 = all cores). Only
@@ -223,6 +244,15 @@ fn candidate_params(flags: &Flags) -> Result<CandidateParams, CliError> {
         max_per_read,
         ..CandidateParams::default()
     })
+}
+
+/// `--format tsv|paf` (default tsv) for every record-emitting command.
+fn output_format(flags: &Flags) -> Result<OutputFormat, CliError> {
+    flags
+        .get("format")
+        .unwrap_or("tsv")
+        .parse()
+        .map_err(|e| CliError::usage(format!("{e}")))
 }
 
 /// `--shards N` / `--shard-overlap BASES` for `align` and `pipeline`.
@@ -323,6 +353,7 @@ impl std::str::FromStr for AlignerKind {
 /// subcommand must match byte-for-byte.
 fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let aligner: AlignerKind = flags.get("aligner").unwrap_or("genasm").parse()?;
+    let format = output_format(flags)?;
     let params = candidate_params(flags)?;
     let (shards, shard_overlap) = shard_params(flags)?;
     configure_threads(flags)?;
@@ -359,15 +390,17 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             &reads[i].name,
             reads[i].seq.len(),
             &ref_name,
+            reference.len(),
             task.ref_pos,
             task.target.len(),
+            task.reverse,
             aln,
         ));
     }
     for per_read in &mut rows {
         per_read.sort_by_cached_key(AlignRecord::sort_key);
         for row in per_read.iter() {
-            writeln!(out, "{}", row.to_tsv()).map_err(io_err)?;
+            writeln!(out, "{}", format.line(row)).map_err(io_err)?;
         }
     }
     Ok(())
@@ -389,6 +422,7 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         shard_overlap,
         params: candidate_params(flags)?,
     };
+    let format = output_format(flags)?;
     let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
     configure_threads(flags)?;
     let (ref_name, reference) = load_reference(flags.req("ref")?)?;
@@ -410,12 +444,160 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         &reference,
         backend.as_ref(),
         &cfg,
-        |rec| writeln!(out, "{}", rec.to_tsv()),
+        |rec| writeln!(out, "{}", format.line(rec)),
     )
     .map_err(|e| CliError::runtime(e.to_string()))?;
 
     if show_metrics {
         eprint!("{}", metrics.summary());
+    }
+    Ok(())
+}
+
+/// Parse `--to` / `--listen` endpoint specs.
+fn endpoint_flag(flags: &Flags, name: &str) -> Result<Endpoint, CliError> {
+    Endpoint::parse(flags.req(name)?).map_err(CliError::usage)
+}
+
+/// `genasm serve`: load the reference once, start the resident
+/// alignment server, and run until a client sends SHUTDOWN.
+fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let endpoint = endpoint_flag(flags, "listen")?;
+    let default_backend: BackendKind = flags
+        .get("backend")
+        .unwrap_or("cpu")
+        .parse()
+        .map_err(|e| CliError::usage(format!("{e}")))?;
+    let default_format = output_format(flags)?;
+    let (shards, shard_overlap) = shard_params(flags)?;
+    let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
+    configure_threads(flags)?;
+    let service = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: flags.num("batch-bases", 256 * 1024)?,
+            queue_depth: flags.num("queue-depth", 8)?,
+            dispatchers: flags.num("dispatchers", 1)?,
+            shards,
+            shard_overlap,
+            params: candidate_params(flags)?,
+        },
+        max_sessions: flags.num("max-sessions", 64)?,
+        linger: std::time::Duration::from_millis(flags.num("linger-ms", 2)?),
+    };
+    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let server = Server::start(
+        ServerConfig {
+            endpoint,
+            default_backend,
+            default_format,
+            service,
+        },
+        &ref_name,
+        reference,
+    )
+    .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
+    writeln!(out, "# genasm-server listening on {}", server.endpoint()).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    let metrics = server.wait();
+    if show_metrics {
+        eprint!("{}", metrics.summary());
+    }
+    Ok(())
+}
+
+/// Run a protocol conversation: records to `out`, status to stderr.
+/// Nonzero exit when the server reported any error line.
+fn run_submit(
+    endpoint: &Endpoint,
+    reads: Option<std::fs::File>,
+    opts: &SubmitOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut status = std::io::stderr();
+    let reads_sent = reads.is_some();
+    let report =
+        genasm_server::client::submit(endpoint, reads.map(BufReader::new), opts, out, &mut status)
+            .map_err(|e| CliError::runtime(format!("server connection failed: {e}")))?;
+    if report.errors > 0 {
+        return Err(CliError::runtime(format!(
+            "server reported {} error(s); see stderr",
+            report.errors
+        )));
+    }
+    // A session that sent records must end with the server's `# done`
+    // summary; without it the output may be silently truncated (server
+    // died mid-stream) and must not exit 0.
+    if reads_sent && report.done.is_none() {
+        return Err(CliError::runtime(
+            "connection closed before the server reported completion; output may be truncated",
+        ));
+    }
+    Ok(())
+}
+
+/// `genasm submit`: stream a read file to a running server; stdout is
+/// byte-identical to `genasm align` on the same reads.
+fn cmd_submit(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let endpoint = endpoint_flag(flags, "to")?;
+    let opts = SubmitOptions {
+        backend: flags
+            .get("backend")
+            .map(|v| v.parse().map_err(|e| CliError::usage(format!("{e}"))))
+            .transpose()?,
+        format: flags
+            .get("format")
+            .map(|v| v.parse().map_err(|e| CliError::usage(format!("{e}"))))
+            .transpose()?,
+        ..SubmitOptions::default()
+    };
+    let reads_path = flags.req("reads")?;
+    let f = File::open(reads_path)
+        .map_err(|e| CliError::runtime(format!("cannot open {reads_path}: {e}")))?;
+    run_submit(&endpoint, Some(f), &opts, out)
+}
+
+/// `genasm ctl ping|stats|shutdown --to ENDPOINT`: control verbs
+/// against a running server (replies go to stdout).
+fn cmd_ctl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::usage(
+            "ctl needs an action: ping, stats, or shutdown",
+        ));
+    };
+    let opts = match action.as_str() {
+        "ping" => SubmitOptions {
+            ping: true,
+            ..SubmitOptions::default()
+        },
+        "stats" => SubmitOptions {
+            stats: true,
+            ..SubmitOptions::default()
+        },
+        "shutdown" => SubmitOptions {
+            shutdown: true,
+            ..SubmitOptions::default()
+        },
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown ctl action {other:?}; valid actions are ping, stats, shutdown"
+            )))
+        }
+    };
+    let endpoint = endpoint_flag(&Flags::parse(rest)?, "to")?;
+    // Control replies are this command's output: route status to out.
+    let report = genasm_server::client::submit(
+        &endpoint,
+        None::<BufReader<File>>,
+        &opts,
+        &mut std::io::sink(),
+        out,
+    )
+    .map_err(|e| CliError::runtime(format!("server connection failed: {e}")))?;
+    if report.errors > 0 {
+        return Err(CliError::runtime(format!(
+            "server reported {} error(s)",
+            report.errors
+        )));
     }
     Ok(())
 }

@@ -404,6 +404,300 @@ fn pipeline_usage_mentions_backends_and_metrics_go_to_stderr() {
 }
 
 #[test]
+fn format_paf_is_identical_across_align_and_pipeline_and_parses() {
+    let dir = tmpdir("paf-format");
+    let (ref_path, reads_path) = simulate_workload(&dir, 5, 800);
+
+    let align_paf = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--format",
+        "paf",
+    ]);
+    let pipeline_paf = run_ok(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--format",
+        "paf",
+    ]);
+    assert_eq!(align_paf, pipeline_paf, "PAF output diverged across paths");
+    let tsv = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    assert_eq!(
+        align_paf.lines().count(),
+        tsv.lines().count(),
+        "same records, different format"
+    );
+
+    // Golden row-level properties: every PAF row parses back, agrees
+    // with the TSV row on the shared columns, and carries the full
+    // reference length and the mapping strand (which TSV cannot).
+    for (paf_line, tsv_line) in align_paf.lines().zip(tsv.lines()) {
+        let paf = genasm_pipeline::AlignRecord::parse_paf(paf_line)
+            .unwrap_or_else(|e| panic!("unparseable PAF row {paf_line:?}: {e}"));
+        let tsv = genasm_pipeline::AlignRecord::parse_tsv(tsv_line).unwrap();
+        assert_eq!(paf.qname, tsv.qname);
+        assert_eq!(paf.qlen, tsv.qlen);
+        assert_eq!(paf.tstart, tsv.tstart);
+        assert_eq!(paf.tend, tsv.tend);
+        assert_eq!(paf.edit_distance, tsv.edit_distance);
+        assert_eq!(paf.cigar, tsv.cigar);
+        assert_eq!(paf.tsize, 90000, "PAF column 7 is the reference length");
+    }
+    // Strand fidelity in aggregate: the best row of every read agrees
+    // with the strand encoded in its simulated name.
+    let mut best: std::collections::HashMap<String, genasm_pipeline::AlignRecord> =
+        std::collections::HashMap::new();
+    for line in align_paf.lines() {
+        let rec = genasm_pipeline::AlignRecord::parse_paf(line).unwrap();
+        best.entry(rec.qname.clone()).or_insert(rec); // rows are best-first
+    }
+    for (name, rec) in &best {
+        let truth_rev = name.ends_with("_rev");
+        assert_eq!(
+            rec.reverse, truth_rev,
+            "strand column disagrees with simulated truth for {name}"
+        );
+    }
+
+    let e = run_err(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--format",
+        "sam",
+    ]);
+    assert_eq!(e.code, 2);
+    assert!(
+        e.message.contains("'tsv'") && e.message.contains("'paf'"),
+        "{}",
+        e.message
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_record_reference_is_rejected_naming_the_extras() {
+    let dir = tmpdir("multi-ref");
+    let ref_path = dir.join("ref.fa");
+    let recs = vec![
+        readsim::FastxRecord::fasta(
+            "chr1",
+            align_core::Seq::from_ascii(b"ACGTACGTACGT").unwrap(),
+        ),
+        readsim::FastxRecord::fasta(
+            "chr2",
+            align_core::Seq::from_ascii(b"GGCCGGCCGGCC").unwrap(),
+        ),
+        readsim::FastxRecord::fasta(
+            "chr3",
+            align_core::Seq::from_ascii(b"TTTTACGTAAAA").unwrap(),
+        ),
+    ];
+    let f = std::fs::File::create(&ref_path).unwrap();
+    readsim::write_fasta(std::io::BufWriter::new(f), &recs).unwrap();
+    let reads_path = dir.join("reads.fq");
+    std::fs::write(&reads_path, "@r1\nACGTACGT\n+\nIIIIIIII\n").unwrap();
+
+    for cmd in ["align", "pipeline", "map"] {
+        let e = run_err(&[
+            cmd,
+            "--ref",
+            ref_path.to_str().unwrap(),
+            "--reads",
+            reads_path.to_str().unwrap(),
+        ]);
+        assert_eq!(e.code, 1, "{cmd} must fail on a multi-record reference");
+        assert!(
+            e.message.contains("chr2") && e.message.contains("chr3"),
+            "{cmd} error must name the extra records: {}",
+            e.message
+        );
+        assert!(
+            e.message.contains("exactly one"),
+            "{cmd} error must explain the contract: {}",
+            e.message
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Poll `ctl ping` until the server at `endpoint` answers (it starts
+/// on another thread).
+fn await_server(endpoint: &str) {
+    for _ in 0..200 {
+        let args = vec![
+            "ctl".to_string(),
+            "ping".to_string(),
+            "--to".to_string(),
+            endpoint.to_string(),
+        ];
+        let mut out = Vec::new();
+        if genasm_cli::run(&args, &mut out).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("server at {endpoint} never became ready");
+}
+
+#[test]
+fn serve_and_submit_round_trip_matches_align() {
+    let dir = tmpdir("serve");
+    let (ref_path, reads_path) = simulate_workload(&dir, 5, 800);
+    let sock = dir.join("genasm.sock");
+    let endpoint = format!("unix:{}", sock.display());
+
+    // The server runs until `ctl shutdown`; host it on a thread.
+    let serve_args: Vec<String> = [
+        "serve",
+        "--ref",
+        &ref_path,
+        "--listen",
+        &endpoint,
+        "--max-sessions",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server_thread = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        let result = genasm_cli::run(&serve_args, &mut out);
+        (result, String::from_utf8(out).unwrap())
+    });
+    await_server(&endpoint);
+
+    // TSV session == one-shot align, byte for byte.
+    let align_tsv = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    let submit_tsv = run_ok(&["submit", "--to", &endpoint, "--reads", &reads_path]);
+    assert_eq!(submit_tsv, align_tsv, "submit diverged from align (tsv)");
+    assert!(!submit_tsv.is_empty());
+
+    // PAF session == one-shot align --format paf, and per-session
+    // backend selection works over the wire.
+    let align_paf = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--aligner",
+        "edlib",
+        "--format",
+        "paf",
+    ]);
+    let submit_paf = run_ok(&[
+        "submit",
+        "--to",
+        &endpoint,
+        "--reads",
+        &reads_path,
+        "--backend",
+        "edlib",
+        "--format",
+        "paf",
+    ]);
+    assert_eq!(
+        submit_paf, align_paf,
+        "submit diverged from align (paf/edlib)"
+    );
+
+    // stats answers while the server is up.
+    let stats = run_ok(&["ctl", "stats", "--to", &endpoint]);
+    assert!(stats.contains("# stats"), "{stats}");
+
+    // Shut down; the serve thread exits cleanly.
+    run_ok(&["ctl", "shutdown", "--to", &endpoint]);
+    let (result, serve_out) = server_thread.join().unwrap();
+    result.unwrap_or_else(|e| panic!("serve failed: {e}"));
+    assert!(serve_out.contains("listening on"), "{serve_out}");
+
+    // The endpoint is gone: submitting again fails with a runtime error.
+    let e = run_err(&["submit", "--to", &endpoint, "--reads", &reads_path]);
+    assert_eq!(e.code, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_fails_nonzero_when_server_dies_before_done() {
+    // A fake server that speaks just enough protocol to stream one
+    // record and then vanish without the terminal `# done` line.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Read, Write};
+        let (mut s, _) = listener.accept().unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        writeln!(s, "# genasm-server v1 ref=x backend=cpu format=tsv").unwrap();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if r.read_line(&mut line).unwrap() == 0 {
+                return;
+            }
+            if line.trim_end() == "BEGIN" {
+                break;
+            }
+        }
+        writeln!(s, "# ok begin backend=cpu format=tsv").unwrap();
+        // Consume the payload so the client's upload cannot fail, emit
+        // one record, then die without `# done`.
+        let mut sink = Vec::new();
+        r.read_to_end(&mut sink).unwrap();
+        writeln!(s, "r1\t8\tx\t0\t8\t0\t8M\t1.0000").unwrap();
+        s.flush().unwrap();
+    });
+
+    let dir = tmpdir("truncated-stream");
+    let reads_path = dir.join("r.fq");
+    std::fs::write(&reads_path, "@r1\nACGTACGT\n+\nIIIIIIII\n").unwrap();
+    let e = run_err(&[
+        "submit",
+        "--to",
+        &addr.to_string(),
+        "--reads",
+        reads_path.to_str().unwrap(),
+    ]);
+    assert_eq!(e.code, 1);
+    assert!(
+        e.message.contains("truncated"),
+        "truncated stream must be reported: {}",
+        e.message
+    );
+    fake.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ctl_usage_errors() {
+    let e = run_err(&["ctl"]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("ping"), "{}", e.message);
+    let e = run_err(&["ctl", "reboot", "--to", "127.0.0.1:1"]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("reboot"), "{}", e.message);
+    let e = run_err(&["serve", "--ref", "/nope", "--listen", "nonsense"]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("endpoint"), "{}", e.message);
+    let e = run_err(&[
+        "submit",
+        "--to",
+        "unix:/nonexistent.sock",
+        "--reads",
+        "/nope",
+    ]);
+    assert_eq!(e.code, 1);
+}
+
+#[test]
 fn filter_finds_planted_pattern() {
     let dir = tmpdir("filter");
     let ref_path = dir.join("ref.fa");

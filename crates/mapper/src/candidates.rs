@@ -87,7 +87,7 @@ pub fn task_from_chain(
     } else {
         read.clone()
     };
-    AlignTask::new(read_id, start, query, target)
+    AlignTask::new(read_id, start, query, target).oriented(chain.reverse)
 }
 
 /// Map a whole read set into one batch of candidate tasks.

@@ -15,8 +15,13 @@ use align_core::AlignTask;
 /// per-read output without holding whole reads.
 #[derive(Debug, Clone)]
 pub struct TaskMeta {
-    /// 0-based index of the read in the input stream.
+    /// 0-based index of the read in the input stream. In the
+    /// long-lived service this is the *global* submission order across
+    /// sessions (each session's reads keep their relative order).
     pub read_seq: u64,
+    /// Owning session for output routing (0 for the one-shot
+    /// pipeline, which has a single implicit session).
+    pub session: u64,
     /// Read name (shared across the read's tasks).
     pub qname: std::sync::Arc<str>,
     /// Read length in bases.
@@ -27,6 +32,8 @@ pub struct TaskMeta {
     pub tstart: usize,
     /// Window length on the reference.
     pub tlen: usize,
+    /// Strand the task's query was oriented to (for PAF output).
+    pub reverse: bool,
 }
 
 /// A scheduled batch: a contiguous run of tasks plus their metadata.
@@ -77,6 +84,11 @@ impl BatchBuilder {
         }
     }
 
+    /// True when nothing is accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
     /// Flush whatever is accumulated (end of stream).
     pub fn take(&mut self) -> Option<Batch> {
         if self.tasks.is_empty() {
@@ -105,11 +117,13 @@ mod tests {
             AlignTask::new(0, 0, s.clone(), s),
             TaskMeta {
                 read_seq: 0,
+                session: 0,
                 qname: Arc::from("r"),
                 qlen: n,
                 read_tasks: 1,
                 tstart: 0,
                 tlen: n,
+                reverse: false,
             },
         )
     }

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod queue;
 pub mod record;
 pub mod reorder;
+pub mod service;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -70,8 +71,12 @@ pub use backend::{
 pub use batcher::{Batch, BatchBuilder, TaskMeta};
 pub use metrics::{PipelineMetrics, QueueMetrics, StageCounters};
 pub use queue::BoundedQueue;
-pub use record::AlignRecord;
+pub use record::{AlignRecord, OutputFormat, ParseFormatError};
 pub use reorder::ReorderBuffer;
+pub use service::{
+    AdmissionError, PipelineService, ServiceConfig, Session, SessionEvent, SessionMetrics,
+    SessionReceiver, SubmitError,
+};
 
 /// One read entering the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -262,11 +267,13 @@ where
                     let bases = task.bases();
                     let meta = TaskMeta {
                         read_seq,
+                        session: 0,
                         qname: Arc::clone(&qname),
                         qlen,
                         read_tasks,
                         tstart: task.ref_pos,
                         tlen: task.target.len(),
+                        reverse: task.reverse,
                     };
                     counters.task_in(bases);
                     counters
@@ -337,7 +344,14 @@ where
         }
 
         // Stage 4: ordered sink (this thread).
-        sink_result = sink_loop(&result_q, &counters, ref_name, &mut on_record, &error);
+        sink_result = sink_loop(
+            &result_q,
+            &counters,
+            ref_name,
+            reference.len(),
+            &mut on_record,
+            &error,
+        );
         if sink_result.is_err() {
             // Unblock the upstream stages so the scope can join.
             task_q.close();
@@ -384,6 +398,7 @@ fn sink_loop<F>(
     result_q: &BoundedQueue<DoneBatch>,
     counters: &StageCounters,
     ref_name: &str,
+    ref_len: usize,
     on_record: &mut F,
     error: &Mutex<Option<PipelineError>>,
 ) -> Result<(), PipelineError>
@@ -435,8 +450,10 @@ where
                     &meta.qname,
                     meta.qlen,
                     ref_name,
+                    ref_len,
                     meta.tstart,
                     meta.tlen,
+                    meta.reverse,
                     &aln,
                 ));
             }

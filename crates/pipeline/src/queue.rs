@@ -27,6 +27,17 @@ use std::sync::{Condvar, Mutex};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PushError;
 
+/// Outcome of [`BoundedQueue::pop_timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopTimeout<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue stayed empty (and open) for the whole timeout.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
+}
+
 struct State<T> {
     items: VecDeque<(T, usize)>,
     /// Sum of the weights of the queued items.
@@ -88,6 +99,32 @@ impl<T> BoundedQueue<T> {
         drop(st);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Like [`BoundedQueue::pop`] but gives up after `timeout` when the
+    /// queue is empty and still open. The long-lived service's
+    /// scheduler uses this to flush partial batches instead of letting
+    /// them linger while traffic is idle.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> PopTimeout<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some((item, weight)) = st.items.pop_front() {
+                st.used -= weight;
+                drop(st);
+                self.not_full.notify_all();
+                return PopTimeout::Item(item);
+            }
+            if st.closed {
+                return PopTimeout::Closed;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return PopTimeout::TimedOut;
+            }
+            let (guard, _) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
     }
 
     /// Block until an item is available; `None` once the queue is
@@ -184,6 +221,35 @@ mod tests {
         assert!(hw <= 2, "capacity was never exceeded, saw {hw}");
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.push(9, 1).unwrap();
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            PopTimeout::Item(9)
+        );
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            PopTimeout::TimedOut
+        );
+        q.close();
+        assert_eq!(
+            q.pop_timeout(std::time::Duration::from_millis(5)),
+            PopTimeout::Closed
+        );
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(std::time::Duration::from_secs(10)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(3, 1).unwrap();
+        assert_eq!(h.join().unwrap(), PopTimeout::Item(3));
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! The PAF-like output record shared by `genasm align` and
-//! `genasm pipeline`.
+//! The output record shared by `genasm align`, `genasm pipeline`, and
+//! the alignment server.
 //!
-//! Both subcommands must produce *byte-identical* output on the same
-//! workload, so there is exactly one formatter: this one. The row is
-//! tab-separated:
+//! All paths must produce *byte-identical* output on the same
+//! workload, so there is exactly one formatter per format: this
+//! module. The native TSV row is tab-separated:
 //!
 //! ```text
 //! qname  qlen  tname  tstart  tend  edit_distance  cigar  identity
@@ -13,10 +13,19 @@
 //! printed with four decimals. [`AlignRecord::parse_tsv`] inverts the
 //! formatter (used by tests and any downstream tooling).
 //!
+//! [`AlignRecord::to_paf`] renders the same record as a standard PAF
+//! row (minimap2 convention: 12 mandatory columns plus `NM:i:` and
+//! `cg:Z:` tags), selected via [`OutputFormat`] on every front end
+//! (`--format tsv|paf` on the CLI, `SET format` on the server
+//! protocol). [`AlignRecord::parse_paf`] inverts it. Coordinates in
+//! both formats refer to the *oriented* query (the mapper
+//! reverse-complements reverse-strand reads before alignment); the PAF
+//! strand column records which orientation that was.
+//!
 //! Name columns (`qname`, `tname`) are backslash-escaped on write
 //! (`\t`, `\n`, `\r`, `\\`) so a read name containing a tab or newline
-//! cannot corrupt the row structure; `parse_tsv` unescapes them and
-//! rejects malformed escapes. Names without those characters are
+//! cannot corrupt the row structure; the parsers unescape them and
+//! reject malformed escapes. Names without those characters are
 //! emitted byte-for-byte unchanged, so the escaping is invisible to
 //! the determinism contract.
 
@@ -80,10 +89,16 @@ pub struct AlignRecord {
     pub qlen: usize,
     /// Reference name.
     pub tname: String,
+    /// Total reference length in bases (PAF column 7; not part of the
+    /// TSV row, so [`AlignRecord::parse_tsv`] cannot recover it).
+    pub tsize: usize,
     /// Window start on the reference.
     pub tstart: usize,
     /// Window end on the reference (exclusive).
     pub tend: usize,
+    /// True when the aligned query was the reverse complement of the
+    /// original read (PAF strand `-`; not part of the TSV row).
+    pub reverse: bool,
     /// Unit edit distance of the alignment.
     pub edit_distance: usize,
     /// The alignment path.
@@ -94,20 +109,25 @@ pub struct AlignRecord {
 
 impl AlignRecord {
     /// Build a record from an alignment and its task coordinates.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         qname: &str,
         qlen: usize,
         tname: &str,
+        tsize: usize,
         tstart: usize,
         tlen: usize,
+        reverse: bool,
         aln: &Alignment,
     ) -> AlignRecord {
         AlignRecord {
             qname: qname.to_string(),
             qlen,
             tname: tname.to_string(),
+            tsize,
             tstart,
             tend: tstart + tlen,
+            reverse,
             edit_distance: aln.edit_distance,
             identity: aln.column_identity(),
             cigar: aln.cigar.clone(),
@@ -142,7 +162,9 @@ impl AlignRecord {
         )
     }
 
-    /// Parse a row produced by [`AlignRecord::to_tsv`].
+    /// Parse a row produced by [`AlignRecord::to_tsv`]. The TSV row
+    /// does not carry `tsize` or strand, so those come back as `0` and
+    /// forward; use PAF when they matter downstream.
     pub fn parse_tsv(line: &str) -> Result<AlignRecord, String> {
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() != 8 {
@@ -161,14 +183,167 @@ impl AlignRecord {
             qname: unescape_field(cols[0])?,
             qlen: num(1)?,
             tname: unescape_field(cols[2])?,
+            tsize: 0,
             tstart: num(3)?,
             tend: num(4)?,
+            reverse: false,
             edit_distance: num(5)?,
             cigar,
             identity,
         })
     }
+
+    /// Format as one PAF row (no trailing newline), minimap2
+    /// convention: 12 mandatory columns, then `NM:i:` (edit distance)
+    /// and `cg:Z:` (CIGAR) tags. Query coordinates refer to the
+    /// oriented query; the strand column records the orientation.
+    /// Mapping quality is not computed by this suite, so column 12 is
+    /// the PAF "missing" value 255.
+    pub fn to_paf(&self) -> String {
+        let (m, x, i, d) = self.cigar.op_counts();
+        format!(
+            "{}\t{}\t0\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t255\tNM:i:{}\tcg:Z:{}",
+            escape_field(&self.qname),
+            self.qlen,
+            self.cigar.query_len(),
+            if self.reverse { '-' } else { '+' },
+            escape_field(&self.tname),
+            self.tsize,
+            self.tstart,
+            self.tend,
+            m,
+            m + x + i + d,
+            self.edit_distance,
+            self.cigar
+        )
+    }
+
+    /// Parse a row produced by [`AlignRecord::to_paf`]. Requires the
+    /// `cg:Z:` tag (the CIGAR carries the alignment path); `NM:i:`
+    /// falls back to the CIGAR's edit cost when absent.
+    pub fn parse_paf(line: &str) -> Result<AlignRecord, String> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 12 {
+            return Err(format!(
+                "expected at least 12 PAF columns, got {}",
+                cols.len()
+            ));
+        }
+        let num = |i: usize| -> Result<usize, String> {
+            cols[i]
+                .parse()
+                .map_err(|_| format!("bad number in column {}: {:?}", i + 1, cols[i]))
+        };
+        let reverse = match cols[4] {
+            "+" => false,
+            "-" => true,
+            other => return Err(format!("bad strand column: {other:?}")),
+        };
+        let mut cigar = None;
+        let mut nm = None;
+        for tag in &cols[12..] {
+            if let Some(cg) = tag.strip_prefix("cg:Z:") {
+                cigar = Some(Cigar::parse(cg).map_err(|e| format!("bad cg tag: {e}"))?);
+            } else if let Some(v) = tag.strip_prefix("NM:i:") {
+                nm = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad NM tag: {v:?}"))?,
+                );
+            }
+        }
+        let cigar = cigar.ok_or_else(|| "missing cg:Z: tag".to_string())?;
+        let matches = num(9)?;
+        let block = num(10)?;
+        if block == 0 {
+            return Err("zero alignment block length".to_string());
+        }
+        Ok(AlignRecord {
+            qname: unescape_field(cols[0])?,
+            qlen: num(1)?,
+            tname: unescape_field(cols[5])?,
+            tsize: num(6)?,
+            tstart: num(7)?,
+            tend: num(8)?,
+            reverse,
+            edit_distance: nm.unwrap_or_else(|| cigar.edit_cost()),
+            identity: matches as f64 / block as f64,
+            cigar,
+        })
+    }
 }
+
+/// The output formats every front end (CLI `--format`, server
+/// `SET format`) can render an [`AlignRecord`] in. Exactly one
+/// formatter exists per format, so any two paths configured the same
+/// way are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The suite's native 8-column TSV ([`AlignRecord::to_tsv`]).
+    #[default]
+    Tsv,
+    /// Standard PAF with `NM:i:`/`cg:Z:` tags ([`AlignRecord::to_paf`]).
+    Paf,
+}
+
+impl OutputFormat {
+    /// Every format with its CLI/protocol name.
+    pub const ALL: [(OutputFormat, &'static str); 2] =
+        [(OutputFormat::Tsv, "tsv"), (OutputFormat::Paf, "paf")];
+
+    /// Render one record as a line in this format (no newline).
+    pub fn line(&self, rec: &AlignRecord) -> String {
+        match self {
+            OutputFormat::Tsv => rec.to_tsv(),
+            OutputFormat::Paf => rec.to_paf(),
+        }
+    }
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = ParseFormatError;
+
+    fn from_str(s: &str) -> Result<OutputFormat, ParseFormatError> {
+        OutputFormat::ALL
+            .iter()
+            .find(|(_, name)| *name == s)
+            .map(|&(fmt, _)| fmt)
+            .ok_or_else(|| ParseFormatError {
+                given: s.to_string(),
+            })
+    }
+}
+
+impl std::fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (_, name) = OutputFormat::ALL
+            .iter()
+            .find(|(fmt, _)| fmt == self)
+            .expect("every format is in OutputFormat::ALL");
+        f.write_str(name)
+    }
+}
+
+/// Error for an unrecognized output format name; lists the valid ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    /// What the user typed.
+    pub given: String,
+}
+
+impl std::fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown format '{}'; valid formats are ", self.given)?;
+        for (i, (_, name)) in OutputFormat::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "'{name}'")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
 
 #[cfg(test)]
 mod tests {
@@ -181,10 +356,22 @@ mod tests {
         align_core::nw_align(&q, &t)
     }
 
+    /// Shorthand for the tests that don't care about tsize/strand.
+    fn rec(
+        qname: &str,
+        qlen: usize,
+        tname: &str,
+        tstart: usize,
+        tlen: usize,
+        aln: &Alignment,
+    ) -> AlignRecord {
+        AlignRecord::new(qname, qlen, tname, 5_000, tstart, tlen, false, aln)
+    }
+
     #[test]
     fn tsv_round_trip() {
         let aln = aligned("ACGTACGT", "ACGAACGT");
-        let rec = AlignRecord::new("read1", 8, "chr1", 100, 8, &aln);
+        let rec = rec("read1", 8, "chr1", 100, 8, &aln);
         let line = rec.to_tsv();
         let back = AlignRecord::parse_tsv(&line).unwrap();
         assert_eq!(back.qname, "read1");
@@ -200,7 +387,7 @@ mod tests {
     #[test]
     fn identity_formats_with_four_decimals() {
         let aln = aligned("ACGT", "ACGT");
-        let rec = AlignRecord::new("r", 4, "t", 0, 4, &aln);
+        let rec = rec("r", 4, "t", 0, 4, &aln);
         assert!(rec.to_tsv().ends_with("\t1.0000"));
     }
 
@@ -208,7 +395,7 @@ mod tests {
     fn malformed_rows_are_rejected() {
         assert!(AlignRecord::parse_tsv("too\tfew").is_err());
         let aln = aligned("ACGT", "ACGT");
-        let mut line = AlignRecord::new("r", 4, "t", 0, 4, &aln).to_tsv();
+        let mut line = rec("r", 4, "t", 0, 4, &aln).to_tsv();
         line = line.replace("4M", "4Q");
         assert!(AlignRecord::parse_tsv(&line).is_err());
     }
@@ -224,7 +411,7 @@ mod tests {
             "back\\slash\\t-literal",
             "all\t\n\r\\of them",
         ] {
-            let rec = AlignRecord::new(name, 8, "chr 1\twith tab", 100, 8, &aln);
+            let rec = rec(name, 8, "chr 1\twith tab", 100, 8, &aln);
             let line = rec.to_tsv();
             // The row structure survives: still exactly 8 columns, one line.
             assert_eq!(line.split('\t').count(), 8, "{name:?} broke the row");
@@ -241,14 +428,14 @@ mod tests {
         // The escaping must be invisible for ordinary names (the
         // determinism contract compares raw output bytes).
         let aln = aligned("ACGT", "ACGT");
-        let rec = AlignRecord::new("read_1 suffix", 4, "chr1", 0, 4, &aln);
+        let rec = rec("read_1 suffix", 4, "chr1", 0, 4, &aln);
         assert!(rec.to_tsv().starts_with("read_1 suffix\t4\tchr1\t"));
     }
 
     #[test]
     fn malformed_escapes_are_rejected_with_clear_errors() {
         let aln = aligned("ACGT", "ACGT");
-        let line = AlignRecord::new("r", 4, "t", 0, 4, &aln).to_tsv();
+        let line = rec("r", 4, "t", 0, 4, &aln).to_tsv();
         let bad = line.replacen("r\t", "bad\\x\t", 1);
         let err = AlignRecord::parse_tsv(&bad).unwrap_err();
         assert!(err.contains("bad escape sequence"), "{err}");
@@ -258,9 +445,85 @@ mod tests {
     }
 
     #[test]
+    fn paf_round_trip_preserves_every_field() {
+        let aln = aligned("ACGTACGT", "ACGAACGT");
+        for reverse in [false, true] {
+            let rec = AlignRecord::new("read1", 8, "chr1", 90_000, 100, 8, reverse, &aln);
+            let line = rec.to_paf();
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert_eq!(cols.len(), 14, "12 mandatory + NM + cg: {line}");
+            assert_eq!(cols[2], "0", "qstart");
+            assert_eq!(cols[4], if reverse { "-" } else { "+" });
+            assert_eq!(cols[6], "90000", "tsize is PAF column 7");
+            assert_eq!(cols[11], "255", "mapq is the PAF missing value");
+            let back = AlignRecord::parse_paf(&line).unwrap();
+            assert_eq!(back, rec, "PAF round trip must be lossless");
+        }
+    }
+
+    #[test]
+    fn paf_columns_are_cigar_consistent() {
+        let aln = aligned("ACGTACGT", "ACGAACGGT");
+        let rec = AlignRecord::new("r", 8, "t", 500, 10, 9, false, &aln);
+        let cols_line = rec.to_paf();
+        let cols: Vec<&str> = cols_line.split('\t').collect();
+        let (m, x, i, d) = rec.cigar.op_counts();
+        assert_eq!(cols[3], rec.cigar.query_len().to_string(), "qend");
+        assert_eq!(cols[9], m.to_string(), "matches");
+        assert_eq!(cols[10], (m + x + i + d).to_string(), "block length");
+        assert_eq!(cols[12], format!("NM:i:{}", rec.edit_distance));
+        assert_eq!(cols[13], format!("cg:Z:{}", rec.cigar));
+    }
+
+    #[test]
+    fn malformed_paf_rejected_with_clear_errors() {
+        let aln = aligned("ACGT", "ACGT");
+        let good = AlignRecord::new("r", 4, "t", 100, 0, 4, false, &aln).to_paf();
+        assert!(AlignRecord::parse_paf("a\tb\tc")
+            .unwrap_err()
+            .contains("12"));
+        let bad_strand = good.replacen("\t+\t", "\t?\t", 1);
+        assert!(AlignRecord::parse_paf(&bad_strand)
+            .unwrap_err()
+            .contains("strand"));
+        let no_cg = good.replace("cg:Z:", "xx:Z:");
+        assert!(AlignRecord::parse_paf(&no_cg)
+            .unwrap_err()
+            .contains("cg:Z:"));
+    }
+
+    #[test]
+    fn paf_names_are_escaped_like_tsv() {
+        let aln = aligned("ACGTACGT", "ACGAACGT");
+        let rec = AlignRecord::new("tab\tname", 8, "chr\t1", 1_000, 100, 8, true, &aln);
+        let line = rec.to_paf();
+        assert_eq!(line.split('\t').count(), 14, "escaping kept the row intact");
+        let back = AlignRecord::parse_paf(&line).unwrap();
+        assert_eq!(back.qname, "tab\tname");
+        assert_eq!(back.tname, "chr\t1");
+    }
+
+    #[test]
+    fn output_format_parses_and_lists_choices() {
+        use std::str::FromStr;
+        for (fmt, name) in OutputFormat::ALL {
+            assert_eq!(OutputFormat::from_str(name).unwrap(), fmt);
+            assert_eq!(fmt.to_string(), name);
+        }
+        let err = OutputFormat::from_str("sam").unwrap_err().to_string();
+        assert!(err.contains("'sam'"), "{err}");
+        assert!(err.contains("'tsv'") && err.contains("'paf'"), "{err}");
+
+        let aln = aligned("ACGT", "ACGT");
+        let r = rec("r", 4, "t", 0, 4, &aln);
+        assert_eq!(OutputFormat::Tsv.line(&r), r.to_tsv());
+        assert_eq!(OutputFormat::Paf.line(&r), r.to_paf());
+    }
+
+    #[test]
     fn sort_key_orders_best_first() {
-        let good = AlignRecord::new("r", 8, "t", 5, 8, &aligned("ACGTACGT", "ACGTACGT"));
-        let bad = AlignRecord::new("r", 8, "t", 0, 8, &aligned("ACGTACGT", "ACCTACGA"));
+        let good = rec("r", 8, "t", 5, 8, &aligned("ACGTACGT", "ACGTACGT"));
+        let bad = rec("r", 8, "t", 0, 8, &aligned("ACGTACGT", "ACCTACGA"));
         let mut rows = [bad.clone(), good.clone()];
         rows.sort_by_key(AlignRecord::sort_key);
         assert_eq!(rows[0], good);

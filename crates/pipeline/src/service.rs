@@ -1,0 +1,793 @@
+//! The long-lived pipeline service: the batch pipeline of
+//! [`crate::run_pipeline`] restructured as a resident, multi-session
+//! alignment engine.
+//!
+//! ```text
+//!  session A ──┐                                       ┌──► session A rows
+//!  session B ──┼─► shared task queue ─► scheduler ─► dispatchers ─► ordered sink ─┼──► session B rows
+//!  session C ──┘   (bounded, weighted    (per-backend     (N threads,  (global reorder,└──► session C rows
+//!                   by bases)             batches)         any Backend) per-session routing)
+//! ```
+//!
+//! [`run_pipeline`](crate::run_pipeline) spins up stages per call and
+//! tears them down when the read iterator ends. A server cannot afford
+//! that: the reference index must stay hot, and *admission control
+//! must span clients* — ten greedy sessions must share one memory
+//! budget, not multiply it. [`PipelineService`] therefore owns the
+//! stages for its whole lifetime and lets any number of concurrent
+//! [`Session`]s feed the same bounded task queue:
+//!
+//! * **Shared ingest.** [`Session::submit`] runs candidate generation
+//!   on the calling thread (against one shared [`ShardedIndex`]) and
+//!   pushes the read's tasks contiguously into the shared task queue
+//!   under a global sequence number. The queue's weighted capacity is
+//!   the *server-wide* admission valve: when it is full, every
+//!   submitting session blocks, so peak resident bases obey
+//!   [`ServiceConfig::resident_bases_bound`] no matter how many
+//!   clients are connected.
+//! * **Per-session determinism.** Each session has a fixed backend and
+//!   its reads keep their submission order in the global sequence, so
+//!   the sink (global reorder by batch sequence, per-read completion,
+//!   per-read [`AlignRecord::sort_key`] ordering) delivers every
+//!   session's rows in exactly the order — and with exactly the bytes
+//!   — that a one-shot `genasm align` over that session's reads would
+//!   produce.
+//! * **Per-backend batching.** Sessions may pick different backends;
+//!   the scheduler keeps one building batch per backend so a batch is
+//!   never mixed across engines, while batch sequence numbers stay
+//!   globally ordered for the sink's reorder buffer. A partial batch
+//!   is flushed once it is [`ServiceConfig::linger`] old — an *age*
+//!   bound, not an idle bound, so one session's small batch cannot be
+//!   starved by another session's steady traffic to a different
+//!   backend (flush timing never changes output — the pipeline is
+//!   batch-geometry deterministic).
+//! * **Failure isolation.** A task that exceeds its backend's edit
+//!   budget fails *that read for that session*
+//!   ([`SessionEvent::ReadFailed`]); a poisoned batch fails only the
+//!   reads it contained. The service itself keeps running — unlike the
+//!   one-shot pipeline, where the first failure aborts the run.
+//! * **Graceful drain.** [`PipelineService::shutdown`] stops admitting
+//!   sessions, waits for the open ones to finish, drains every queue,
+//!   joins the stages, and returns the final [`PipelineMetrics`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use align_core::{AlignTask, Alignment, Seq};
+use mapper::ShardedIndex;
+
+use crate::backend::{Backend, BackendKind};
+use crate::batcher::{Batch, BatchBuilder, TaskMeta};
+use crate::metrics::{PipelineMetrics, QueueMetrics, StageCounters};
+use crate::queue::{BoundedQueue, PopTimeout};
+use crate::record::AlignRecord;
+use crate::reorder::ReorderBuffer;
+use crate::{PipelineConfig, ReadInput};
+
+/// Tuning for the long-lived service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The shared pipeline geometry (queues, batching, sharding).
+    pub pipeline: PipelineConfig,
+    /// Maximum concurrently open sessions; further
+    /// [`PipelineService::open_session`] calls get
+    /// [`AdmissionError::Busy`]. `0` means unlimited.
+    pub max_sessions: usize,
+    /// Maximum age of a building batch before the scheduler flushes it
+    /// regardless of size (so a lightly-loaded session's batch is
+    /// never starved by other sessions' traffic). Only affects
+    /// latency; output is identical for every value.
+    pub linger: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            pipeline: PipelineConfig::default(),
+            max_sessions: 64,
+            linger: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Server-wide upper bound on bases resident in the service at
+    /// once. Sessions share every queue, so the one-shot bound of
+    /// [`PipelineConfig::resident_bases_bound`] carries over unchanged
+    /// — except that the scheduler keeps one building batch per
+    /// *distinct backend in use* (`active_backends`), each able to
+    /// hold up to a batch target plus one oversized task.
+    pub fn resident_bases_bound(&self, max_task_bases: usize, active_backends: usize) -> usize {
+        let per_batch = self.pipeline.batch_bases + max_task_bases;
+        self.pipeline.resident_bases_bound(max_task_bases)
+            + active_backends.saturating_sub(1) * per_batch
+    }
+}
+
+/// Why [`PipelineService::open_session`] refused a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The service is shutting down and admits no new sessions.
+    Draining,
+    /// The concurrent-session cap is reached.
+    Busy {
+        /// Sessions currently open.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AdmissionError::Draining => write!(f, "service is draining"),
+            AdmissionError::Busy { active, max } => {
+                write!(f, "service is busy: {active} sessions active (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why [`Session::submit`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service's queues closed underneath the session.
+    ServiceStopped,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::ServiceStopped => write!(f, "pipeline service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters for one session, reported in [`SessionEvent::End`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Reads submitted.
+    pub reads_in: u64,
+    /// Reads that produced at least one candidate task.
+    pub reads_mapped: u64,
+    /// Candidate tasks generated.
+    pub tasks: u64,
+    /// Total bases (query + target) across the session's tasks.
+    pub task_bases: u64,
+    /// Alignment records delivered.
+    pub records_out: u64,
+    /// Reads that failed (a task found no alignment in budget).
+    pub reads_failed: u64,
+}
+
+/// What the sink delivers to a session's receiver.
+#[derive(Debug)]
+pub enum SessionEvent {
+    /// One completed read's records, already in deterministic order.
+    Rows(Vec<AlignRecord>),
+    /// A read whose candidates all reported but at least one found no
+    /// alignment within the backend's edit budget; no rows are emitted
+    /// for it (the one-shot `align` path would have errored out).
+    ReadFailed {
+        /// Name of the failed read.
+        read: String,
+    },
+    /// The session is fully drained; always the final event.
+    End(SessionMetrics),
+}
+
+/// Per-session bookkeeping shared between submitters and the sink.
+struct SessionState {
+    tx: Sender<SessionEvent>,
+    /// Mapped reads submitted (reads with ≥ 1 task).
+    mapped_submitted: u64,
+    /// Mapped reads whose rows the sink has delivered.
+    completed: u64,
+    /// The submit side called finish (no more reads coming).
+    finished: bool,
+    metrics: SessionMetrics,
+}
+
+/// Global ingest state: sequence numbering and admission.
+struct Ingest {
+    next_read_seq: u64,
+    next_session: u64,
+    open_sessions: usize,
+    draining: bool,
+}
+
+/// A batch travelling from dispatch to the sink.
+struct SvcDone {
+    seq: u64,
+    metas: Vec<TaskMeta>,
+    alignments: Vec<Option<Alignment>>,
+}
+
+struct Shared {
+    ref_name: String,
+    ref_len: usize,
+    reference: Seq,
+    index: ShardedIndex,
+    cfg: ServiceConfig,
+    backends: Vec<(BackendKind, Box<dyn Backend>)>,
+    task_q: BoundedQueue<(AlignTask, TaskMeta, BackendKind)>,
+    batch_q: BoundedQueue<(Batch, BackendKind)>,
+    result_q: BoundedQueue<SvcDone>,
+    counters: StageCounters,
+    ingest: Mutex<Ingest>,
+    drained_cv: Condvar,
+    sessions: Mutex<HashMap<u64, SessionState>>,
+    live_dispatchers: AtomicU64,
+    backend_errors: AtomicU64,
+    last_backend_error: Mutex<Option<String>>,
+    started: Instant,
+}
+
+/// The resident alignment service. See the module docs for the
+/// architecture; see [`PipelineService::open_session`] for the client
+/// side.
+pub struct PipelineService {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PipelineService {
+    /// Build the index once, spawn the resident stages, and return the
+    /// running service.
+    pub fn start(ref_name: &str, reference: Seq, cfg: ServiceConfig) -> PipelineService {
+        let pcfg = &cfg.pipeline;
+        let index = ShardedIndex::build(&reference, pcfg.shards, pcfg.shard_overlap);
+        let backends: Vec<(BackendKind, Box<dyn Backend>)> = BackendKind::ALL
+            .iter()
+            .map(|&(kind, _)| (kind, kind.create()))
+            .collect();
+        let shared = Arc::new(Shared {
+            ref_name: ref_name.to_string(),
+            ref_len: reference.len(),
+            reference,
+            index,
+            backends,
+            task_q: BoundedQueue::new(pcfg.queue_depth.max(1) * pcfg.batch_bases.max(1)),
+            batch_q: BoundedQueue::new(pcfg.queue_depth.max(1)),
+            result_q: BoundedQueue::new(pcfg.queue_depth.max(1)),
+            counters: StageCounters::default(),
+            ingest: Mutex::new(Ingest {
+                next_read_seq: 0,
+                next_session: 0,
+                open_sessions: 0,
+                draining: false,
+            }),
+            drained_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            live_dispatchers: AtomicU64::new(pcfg.dispatchers.max(1) as u64),
+            backend_errors: AtomicU64::new(0),
+            last_backend_error: Mutex::new(None),
+            started: Instant::now(),
+            cfg,
+        });
+
+        let mut handles = Vec::new();
+        let sh = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || scheduler_loop(&sh)));
+        for _ in 0..shared.cfg.pipeline.dispatchers.max(1) {
+            let sh = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || dispatch_loop(&sh)));
+        }
+        let sh = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || sink_loop(&sh)));
+
+        PipelineService {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The reference name the service aligns against.
+    pub fn ref_name(&self) -> &str {
+        &self.shared.ref_name
+    }
+
+    /// The reference length in bases.
+    pub fn ref_len(&self) -> usize {
+        self.shared.ref_len
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.ingest.lock().unwrap().open_sessions
+    }
+
+    /// True once [`PipelineService::shutdown`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.ingest.lock().unwrap().draining
+    }
+
+    /// Batches poisoned by a backend error so far (their reads fail
+    /// individually; the service keeps running).
+    pub fn backend_errors(&self) -> u64 {
+        self.shared.backend_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent backend error message, if any.
+    pub fn last_backend_error(&self) -> Option<String> {
+        self.shared.last_backend_error.lock().unwrap().clone()
+    }
+
+    /// Open a session. Admission control: fails while draining or when
+    /// [`ServiceConfig::max_sessions`] sessions are already open. The
+    /// returned halves are independent — submit from one thread while
+    /// another drains the receiver.
+    pub fn open_session(
+        &self,
+        backend: BackendKind,
+    ) -> Result<(Session, SessionReceiver), AdmissionError> {
+        let id = {
+            let mut ing = self.shared.ingest.lock().unwrap();
+            if ing.draining {
+                return Err(AdmissionError::Draining);
+            }
+            let max = self.shared.cfg.max_sessions;
+            if max > 0 && ing.open_sessions >= max {
+                return Err(AdmissionError::Busy {
+                    active: ing.open_sessions,
+                    max,
+                });
+            }
+            ing.open_sessions += 1;
+            let id = ing.next_session;
+            ing.next_session += 1;
+            id
+        };
+        let (tx, rx) = channel();
+        self.shared.sessions.lock().unwrap().insert(
+            id,
+            SessionState {
+                tx,
+                mapped_submitted: 0,
+                completed: 0,
+                finished: false,
+                metrics: SessionMetrics::default(),
+            },
+        );
+        Ok((
+            Session {
+                shared: Arc::clone(&self.shared),
+                id,
+                backend,
+                local_reads: 0,
+                closed: false,
+            },
+            SessionReceiver { rx },
+        ))
+    }
+
+    /// Live service-wide metrics snapshot (the counters keep running;
+    /// `wall` is the service uptime).
+    pub fn metrics(&self) -> PipelineMetrics {
+        let sh = &self.shared;
+        PipelineMetrics::snapshot(
+            &sh.counters,
+            sh.started.elapsed(),
+            sh.index.metrics(),
+            QueueMetrics {
+                capacity: sh.task_q.capacity(),
+                pushed: sh.task_q.total_pushed(),
+                high_water: sh.task_q.high_water(),
+            },
+            QueueMetrics {
+                capacity: sh.batch_q.capacity(),
+                pushed: sh.batch_q.total_pushed(),
+                high_water: sh.batch_q.high_water(),
+            },
+            QueueMetrics {
+                capacity: sh.result_q.capacity(),
+                pushed: sh.result_q.total_pushed(),
+                high_water: sh.result_q.high_water(),
+            },
+        )
+    }
+
+    /// Stop admitting new sessions immediately (open ones keep
+    /// running). [`PipelineService::shutdown`] implies this; calling
+    /// it first lets a server refuse work the moment a shutdown is
+    /// *requested*, before the drain itself begins.
+    pub fn begin_drain(&self) {
+        self.shared.ingest.lock().unwrap().draining = true;
+    }
+
+    /// Graceful drain: refuse new sessions, wait for open sessions to
+    /// finish, flush and close every queue, join the stages, and
+    /// return the final metrics. Idempotent — later calls just return
+    /// a fresh snapshot.
+    pub fn shutdown(&self) -> PipelineMetrics {
+        {
+            let mut ing = self.shared.ingest.lock().unwrap();
+            ing.draining = true;
+            while ing.open_sessions > 0 {
+                ing = self.shared.drained_cv.wait(ing).unwrap();
+            }
+        }
+        self.shared.task_q.close();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for PipelineService {
+    fn drop(&mut self) {
+        // Close the queues so stage threads exit even if the owner
+        // never called shutdown; detached sessions will see
+        // `SubmitError::ServiceStopped`.
+        self.shared.task_q.close();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The submitting half of a session. Dropping without
+/// [`Session::finish`] finishes it implicitly.
+pub struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    backend: BackendKind,
+    local_reads: u64,
+    closed: bool,
+}
+
+impl Session {
+    /// The service-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The backend this session's tasks are dispatched to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Map one read and push its candidate tasks into the shared
+    /// pipeline. Blocks while the task queue is full (the server-wide
+    /// admission valve). Returns the number of tasks generated (0 =
+    /// unmapped read; it completes immediately with no rows).
+    pub fn submit(&mut self, read: ReadInput) -> Result<usize, SubmitError> {
+        let sh = &self.shared;
+        let t0 = Instant::now();
+        let tasks = sh.index.candidates_for_read(
+            self.local_reads as u32,
+            &read.seq,
+            &sh.reference,
+            &sh.cfg.pipeline.params,
+        );
+        self.local_reads += 1;
+        StageCounters::add_ns(&sh.counters.mapper_ns, t0.elapsed());
+        sh.counters.reads_in.fetch_add(1, Ordering::Relaxed);
+        if !tasks.is_empty() {
+            sh.counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = tasks.len();
+        let total_bases: usize = tasks.iter().map(AlignTask::bases).sum();
+        {
+            let mut reg = sh.sessions.lock().unwrap();
+            let st = reg.get_mut(&self.id).expect("open session is registered");
+            st.metrics.reads_in += 1;
+            if n > 0 {
+                st.metrics.reads_mapped += 1;
+                st.metrics.tasks += n as u64;
+                st.metrics.task_bases += total_bases as u64;
+                // Counted before the push so the sink can never observe
+                // completed > mapped_submitted.
+                st.mapped_submitted += 1;
+            }
+        }
+        if n == 0 {
+            return Ok(0);
+        }
+        let qname: Arc<str> = Arc::from(read.name.as_str());
+        let qlen = read.seq.len();
+        // Hold the ingest lock across all pushes: a read's tasks must
+        // be contiguous in the shared task stream (the sink's per-read
+        // accumulation depends on it), and the global read sequence
+        // must match push order. Backpressure from a full task queue
+        // therefore stalls every submitting session — that is the
+        // shared admission control working as intended.
+        let mut ing = sh.ingest.lock().unwrap();
+        let read_seq = ing.next_read_seq;
+        ing.next_read_seq += 1;
+        for task in tasks {
+            let bases = task.bases();
+            let meta = TaskMeta {
+                read_seq,
+                session: self.id,
+                qname: Arc::clone(&qname),
+                qlen,
+                read_tasks: n as u32,
+                tstart: task.ref_pos,
+                tlen: task.target.len(),
+                reverse: task.reverse,
+            };
+            sh.counters.task_in(bases);
+            sh.counters
+                .query_bases
+                .fetch_add(task.query.len() as u64, Ordering::Relaxed);
+            if sh.task_q.push((task, meta, self.backend), bases).is_err() {
+                return Err(SubmitError::ServiceStopped);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Declare the session finished: once its in-flight reads drain,
+    /// the receiver gets [`SessionEvent::End`] and the session slot is
+    /// released for admission.
+    pub fn finish(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let sh = &self.shared;
+        {
+            let mut reg = sh.sessions.lock().unwrap();
+            if let Some(st) = reg.get_mut(&self.id) {
+                st.finished = true;
+                if st.completed == st.mapped_submitted {
+                    let st = reg.remove(&self.id).unwrap();
+                    let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
+                }
+            }
+        }
+        let mut ing = sh.ingest.lock().unwrap();
+        ing.open_sessions -= 1;
+        drop(ing);
+        sh.drained_cv.notify_all();
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+/// The receiving half of a session: completed reads stream out in
+/// submission order, closed by [`SessionEvent::End`].
+pub struct SessionReceiver {
+    rx: Receiver<SessionEvent>,
+}
+
+impl SessionReceiver {
+    /// Next event; `None` if the service died before the session ended
+    /// (after [`SessionEvent::End`] this also returns `None`).
+    pub fn recv(&self) -> Option<SessionEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Like [`SessionReceiver::recv`] with a deadline; `None` on
+    /// timeout or service death.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<SessionEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Iterate events until `End` (inclusive) or service death.
+    pub fn iter(&self) -> impl Iterator<Item = SessionEvent> + '_ {
+        self.rx.iter()
+    }
+}
+
+/// One per-backend building batch in the scheduler: the shared
+/// [`BatchBuilder`] accumulation rules plus an age stamp for the
+/// linger flush. Batch sequence numbers are assigned globally at
+/// dispatch so the sink's reorder buffer sees one ordered stream.
+struct Slot {
+    kind: BackendKind,
+    builder: BatchBuilder,
+    /// When the oldest task of the building batch arrived.
+    since: Instant,
+}
+
+/// Hand one finished batch to the dispatchers; false when the batch
+/// queue closed (service shutting down).
+fn dispatch_batch(sh: &Shared, kind: BackendKind, mut batch: Batch, next_seq: &mut u64) -> bool {
+    batch.seq = *next_seq;
+    *next_seq += 1;
+    sh.counters.batch_dispatched(batch.tasks.len(), batch.bases);
+    sh.batch_q.push((batch, kind), 1).is_ok()
+}
+
+fn scheduler_loop(sh: &Shared) {
+    let target = sh.cfg.pipeline.batch_bases.max(1);
+    // A zero linger would busy-spin pop_timeout on an idle queue.
+    let linger = sh.cfg.linger.max(Duration::from_millis(1));
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut next_seq: u64 = 0;
+    loop {
+        match sh.task_q.pop_timeout(linger) {
+            PopTimeout::Item((task, meta, kind)) => {
+                let t0 = Instant::now();
+                let idx = match slots.iter().position(|s| s.kind == kind) {
+                    Some(i) => i,
+                    None => {
+                        slots.push(Slot {
+                            kind,
+                            builder: BatchBuilder::new(target),
+                            since: Instant::now(),
+                        });
+                        slots.len() - 1
+                    }
+                };
+                let slot = &mut slots[idx];
+                if slot.builder.is_empty() {
+                    slot.since = Instant::now();
+                }
+                let flushed = slot.builder.push(task, meta);
+                StageCounters::add_ns(&sh.counters.scheduler_ns, t0.elapsed());
+                if let Some(batch) = flushed {
+                    if !dispatch_batch(sh, kind, batch, &mut next_seq) {
+                        return;
+                    }
+                }
+            }
+            PopTimeout::TimedOut => {}
+            PopTimeout::Closed => break,
+        }
+        // Age-based flush on every iteration: a partial batch waits at
+        // most `linger` even while *other* backends' steady traffic
+        // keeps the queue from ever going idle — one slow session must
+        // not be starved by another's throughput. Flush timing never
+        // changes output (batch-geometry determinism).
+        for slot in &mut slots {
+            if !slot.builder.is_empty() && slot.since.elapsed() >= linger {
+                if let Some(batch) = slot.builder.take() {
+                    if !dispatch_batch(sh, slot.kind, batch, &mut next_seq) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    for slot in &mut slots {
+        if let Some(batch) = slot.builder.take() {
+            if !dispatch_batch(sh, slot.kind, batch, &mut next_seq) {
+                return;
+            }
+        }
+    }
+    sh.batch_q.close();
+}
+
+fn dispatch_loop(sh: &Shared) {
+    while let Some((batch, kind)) = sh.batch_q.pop() {
+        let t0 = Instant::now();
+        let backend = sh
+            .backends
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, b)| b.as_ref())
+            .expect("every BackendKind is instantiated at start");
+        let alignments = match backend.align_batch(&batch.tasks) {
+            Ok(a) => a,
+            Err(e) => {
+                // Poisoned batch: fail its reads individually, keep
+                // serving everyone else.
+                sh.backend_errors.fetch_add(1, Ordering::Relaxed);
+                *sh.last_backend_error.lock().unwrap() = Some(e.to_string());
+                batch.tasks.iter().map(|_| None).collect()
+            }
+        };
+        StageCounters::add_ns(&sh.counters.backend_ns, t0.elapsed());
+        let done = SvcDone {
+            seq: batch.seq,
+            metas: batch.metas,
+            alignments,
+        };
+        if sh.result_q.push(done, 1).is_err() {
+            return;
+        }
+    }
+    if sh.live_dispatchers.fetch_sub(1, Ordering::AcqRel) == 1 {
+        sh.result_q.close();
+    }
+}
+
+/// A read whose tasks are still arriving at the sink.
+struct ReadAcc {
+    session: u64,
+    qname: Arc<str>,
+    expected: u32,
+    got: u32,
+    rows: Vec<AlignRecord>,
+    failed: bool,
+}
+
+/// Deliver one completed read to its session and update completion
+/// accounting (possibly emitting the session's `End`).
+fn finalize_read(sh: &Shared, acc: ReadAcc) {
+    let mut reg = sh.sessions.lock().unwrap();
+    let Some(st) = reg.get_mut(&acc.session) else {
+        return; // receiver side vanished; nothing to deliver to
+    };
+    st.completed += 1;
+    if acc.failed {
+        st.metrics.reads_failed += 1;
+        let _ = st.tx.send(SessionEvent::ReadFailed {
+            read: acc.qname.to_string(),
+        });
+    } else {
+        let mut rows = acc.rows;
+        rows.sort_by_cached_key(AlignRecord::sort_key);
+        st.metrics.records_out += rows.len() as u64;
+        sh.counters
+            .records_out
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        let _ = st.tx.send(SessionEvent::Rows(rows));
+    }
+    if st.finished && st.completed == st.mapped_submitted {
+        let st = reg.remove(&acc.session).unwrap();
+        let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
+    }
+}
+
+fn sink_loop(sh: &Shared) {
+    let mut reorder: ReorderBuffer<SvcDone> = ReorderBuffer::new();
+    // Keyed by global read sequence: with per-backend batches, another
+    // backend's batch can land between two batches carrying one read's
+    // tasks, so (unlike the one-shot sink) a single "current read"
+    // accumulator is not enough. Reads still *complete* in per-session
+    // submission order — one session means one backend, so its tasks
+    // flow FIFO through one building batch.
+    let mut accs: HashMap<u64, ReadAcc> = HashMap::new();
+    while let Some(done) = sh.result_q.pop() {
+        for batch in reorder.push(done.seq, done) {
+            let t0 = Instant::now();
+            for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
+                sh.counters.task_out(meta.qlen + meta.tlen);
+                let acc = accs.entry(meta.read_seq).or_insert_with(|| ReadAcc {
+                    session: meta.session,
+                    qname: Arc::clone(&meta.qname),
+                    expected: meta.read_tasks,
+                    got: 0,
+                    rows: Vec::with_capacity(meta.read_tasks as usize),
+                    failed: false,
+                });
+                match aln {
+                    Some(aln) => acc.rows.push(AlignRecord::new(
+                        &meta.qname,
+                        meta.qlen,
+                        &sh.ref_name,
+                        sh.ref_len,
+                        meta.tstart,
+                        meta.tlen,
+                        meta.reverse,
+                        &aln,
+                    )),
+                    None => acc.failed = true,
+                }
+                acc.got += 1;
+                if acc.got == acc.expected {
+                    let acc = accs.remove(&meta.read_seq).unwrap();
+                    finalize_read(sh, acc);
+                }
+            }
+            StageCounters::add_ns(&sh.counters.sink_ns, t0.elapsed());
+        }
+    }
+    debug_assert!(reorder.is_empty(), "reorder buffer drained at shutdown");
+    debug_assert!(accs.is_empty(), "no partial reads left at shutdown");
+}

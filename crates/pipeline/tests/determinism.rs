@@ -95,8 +95,10 @@ fn one_shot_cpu(reads: &[(String, Seq)], reference: &Seq, params: &CandidatePara
                     name,
                     seq.len(),
                     "ref",
+                    reference.len(),
                     t.ref_pos,
                     t.target.len(),
+                    t.reverse,
                     a.as_ref().expect("k = W cannot fail"),
                 )
             })

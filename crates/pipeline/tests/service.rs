@@ -1,0 +1,497 @@
+//! Properties of the long-lived [`PipelineService`]:
+//!
+//! 1. **Per-session determinism** — every concurrent session's output
+//!    is byte-identical to a one-shot [`run_pipeline`] (itself proven
+//!    byte-identical to `genasm align`) over that session's reads,
+//!    for any interleaving of sessions and mix of backends.
+//! 2. **Server-wide bounded memory** — peak resident bases across all
+//!    sessions stay within [`ServiceConfig::resident_bases_bound`].
+//! 3. **Admission control** — the session cap and the draining state
+//!    refuse new sessions with typed errors.
+//! 4. **Graceful drain** — shutdown waits for in-flight sessions,
+//!    delivers every row, then refuses new work.
+
+use std::sync::Arc;
+
+use align_core::Seq;
+use genasm_pipeline::{
+    run_pipeline, AdmissionError, BackendKind, PipelineConfig, PipelineService, ReadInput,
+    ServiceConfig, SessionEvent,
+};
+use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+/// Deterministic synthetic workload: (reference, named reads).
+/// `n_reads == 0` returns just the reference (callers simulate their
+/// own per-session read sets).
+fn workload(genome_len: usize, n_reads: usize, read_len: usize, seed: u64) -> WorkloadData {
+    let genome = Genome::generate(&GenomeConfig::human_like(genome_len, 77));
+    let named = if n_reads == 0 {
+        Vec::new()
+    } else {
+        simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: n_reads,
+                length: read_len,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed,
+            },
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("s{seed}read{i}"), r.seq))
+        .collect()
+    };
+    WorkloadData {
+        reference: genome.seq,
+        reads: named,
+    }
+}
+
+struct WorkloadData {
+    reference: Seq,
+    reads: Vec<(String, Seq)>,
+}
+
+/// The golden expectation: one-shot pipeline output over these reads
+/// (byte-identical to `genasm align` by the determinism suite).
+fn one_shot(
+    reads: &[(String, Seq)],
+    reference: &Seq,
+    backend: BackendKind,
+    ref_name: &str,
+) -> String {
+    let stream = reads.iter().map(|(name, seq)| {
+        Ok::<_, std::convert::Infallible>(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+    });
+    let mut buf = String::new();
+    run_pipeline(
+        stream,
+        ref_name,
+        reference,
+        backend.create().as_ref(),
+        &PipelineConfig::default(),
+        |rec| {
+            buf.push_str(&rec.to_tsv());
+            buf.push('\n');
+            Ok(())
+        },
+    )
+    .expect("one-shot pipeline failed");
+    buf
+}
+
+/// Drive one service session over `reads`, collecting TSV output and
+/// the end-of-session metrics.
+fn run_session(
+    service: &PipelineService,
+    backend: BackendKind,
+    reads: &[(String, Seq)],
+) -> (String, genasm_pipeline::SessionMetrics) {
+    let (mut session, receiver) = service.open_session(backend).expect("admission");
+    for (name, seq) in reads {
+        session
+            .submit(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+            .expect("submit");
+    }
+    session.finish();
+    let mut out = String::new();
+    let mut metrics = None;
+    while let Some(event) = receiver.recv() {
+        match event {
+            SessionEvent::Rows(rows) => {
+                for r in &rows {
+                    out.push_str(&r.to_tsv());
+                    out.push('\n');
+                }
+            }
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::End(m) => {
+                metrics = Some(m);
+                break;
+            }
+        }
+    }
+    (out, metrics.expect("End event delivered"))
+}
+
+#[test]
+fn single_session_matches_one_shot_pipeline() {
+    let w = workload(80_000, 6, 900, 11);
+    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu, "ref");
+    assert!(!expected.is_empty());
+
+    let service = PipelineService::start("ref", w.reference.clone(), ServiceConfig::default());
+    let (got, m) = run_session(&service, BackendKind::Cpu, &w.reads);
+    assert_eq!(got, expected, "session output diverged from one-shot");
+    assert_eq!(m.reads_in, 6);
+    assert_eq!(m.records_out as usize, expected.lines().count());
+    assert_eq!(m.reads_failed, 0);
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_each_match_one_shot_across_backends() {
+    // Four interleaved sessions with distinct read sets and a mix of
+    // backends, hammering the shared queues from four threads at once.
+    let base = workload(90_000, 0, 0, 1);
+    let reference = base.reference;
+    let sessions: Vec<(BackendKind, Vec<(String, Seq)>)> = [
+        (BackendKind::Cpu, 21u64),
+        (BackendKind::Edlib, 22),
+        (BackendKind::Cpu, 23),
+        (BackendKind::Ksw2, 24),
+    ]
+    .iter()
+    .map(|&(backend, seed)| {
+        let genome = Genome {
+            seq: reference.clone(),
+            planted: Vec::new(),
+        };
+        let reads = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: 5,
+                length: 700,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed,
+            },
+        );
+        let named = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("s{seed}read{i}"), r.seq))
+            .collect();
+        (backend, named)
+    })
+    .collect();
+
+    let expected: Vec<String> = sessions
+        .iter()
+        .map(|(backend, reads)| one_shot(reads, &reference, *backend, "ref"))
+        .collect();
+
+    // Small batches so sessions genuinely interleave inside shared
+    // batches and the per-backend builders.
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 4 * 1024,
+            queue_depth: 4,
+            dispatchers: 2,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(PipelineService::start("ref", reference.clone(), cfg));
+    let outputs: Vec<(String, genasm_pipeline::SessionMetrics)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|(backend, reads)| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || run_session(&service, *backend, reads))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, ((got, m), want)) in outputs.iter().zip(&expected).enumerate() {
+        assert!(!want.is_empty(), "session {i} produced nothing");
+        assert_eq!(got, want, "session {i} diverged from one-shot output");
+        assert_eq!(m.reads_in, 5, "session {i}");
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.reads_in, 20);
+    assert_eq!(
+        metrics.records_out as usize,
+        expected.iter().map(|e| e.lines().count()).sum::<usize>()
+    );
+}
+
+#[test]
+fn server_wide_residency_stays_within_the_configured_bound() {
+    // Three greedy sessions, tiny queues: the shared task queue must
+    // cap resident bases across *all* sessions together.
+    let w = workload(70_000, 0, 0, 2);
+    let reference = w.reference;
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 2 * 1024,
+            queue_depth: 2,
+            dispatchers: 1,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(PipelineService::start(
+        "ref",
+        reference.clone(),
+        cfg.clone(),
+    ));
+    std::thread::scope(|scope| {
+        for seed in [31u64, 32, 33] {
+            let service = Arc::clone(&service);
+            let reference = reference.clone();
+            scope.spawn(move || {
+                let genome = Genome {
+                    seq: reference,
+                    planted: Vec::new(),
+                };
+                let reads = simulate_reads(
+                    &genome,
+                    &ReadConfig {
+                        count: 20,
+                        length: 600,
+                        errors: ErrorModel::pacbio_clr(0.08),
+                        rc_fraction: 0.5,
+                        seed,
+                    },
+                );
+                let named: Vec<(String, Seq)> = reads
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| (format!("s{seed}r{i}"), r.seq))
+                    .collect();
+                run_session(&service, BackendKind::Cpu, &named)
+            });
+        }
+    });
+    let metrics = service.shutdown();
+    assert_eq!(metrics.reads_in, 60);
+    let bound = cfg.resident_bases_bound(metrics.max_task_bases as usize, 1);
+    assert!(
+        metrics.max_inflight_bases as usize <= bound,
+        "peak {} bases exceeded the server-wide bound {bound} \
+         (max task {} bases)",
+        metrics.max_inflight_bases,
+        metrics.max_task_bases
+    );
+    // The workload is far larger than the bound, so the cap really bit.
+    assert!(
+        metrics.task_bases > bound as u64,
+        "workload too small to exercise the bound: {} <= {bound}",
+        metrics.task_bases
+    );
+}
+
+#[test]
+fn session_cap_refuses_with_busy() {
+    let w = workload(30_000, 0, 0, 3);
+    let cfg = ServiceConfig {
+        max_sessions: 2,
+        ..ServiceConfig::default()
+    };
+    let service = PipelineService::start("ref", w.reference, cfg);
+    let a = service.open_session(BackendKind::Cpu).unwrap();
+    let b = service.open_session(BackendKind::Cpu).unwrap();
+    match service.open_session(BackendKind::Cpu) {
+        Err(AdmissionError::Busy { active, max }) => {
+            assert_eq!((active, max), (2, 2));
+        }
+        other => panic!("expected Busy, got {:?}", other.err()),
+    }
+    drop(a);
+    // A released slot is immediately reusable.
+    let c = service.open_session(BackendKind::Cpu).unwrap();
+    drop(b);
+    drop(c);
+    service.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_sessions_and_refuses_new_ones() {
+    let w = workload(80_000, 5, 800, 4);
+    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu, "ref");
+    let service = Arc::new(PipelineService::start(
+        "ref",
+        w.reference.clone(),
+        ServiceConfig::default(),
+    ));
+
+    let (mut session, receiver) = service.open_session(BackendKind::Cpu).unwrap();
+    for (name, seq) in &w.reads {
+        session
+            .submit(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+            .unwrap();
+    }
+
+    // Shutdown from another thread: it must block on the open session.
+    let svc = Arc::clone(&service);
+    let shutdown_thread = std::thread::spawn(move || svc.shutdown());
+    while !service.is_draining() {
+        std::thread::yield_now();
+    }
+    match service.open_session(BackendKind::Cpu) {
+        Err(AdmissionError::Draining) => {}
+        other => panic!("expected Draining, got {:?}", other.err()),
+    }
+
+    // The in-flight session still completes with full, correct output.
+    session.finish();
+    let mut got = String::new();
+    let mut ended = false;
+    while let Some(event) = receiver.recv() {
+        match event {
+            SessionEvent::Rows(rows) => {
+                for r in &rows {
+                    got.push_str(&r.to_tsv());
+                    got.push('\n');
+                }
+            }
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::End(_) => {
+                ended = true;
+                break;
+            }
+        }
+    }
+    assert!(ended, "drain must deliver the End event");
+    assert_eq!(got, expected, "drained session lost or reordered rows");
+
+    let metrics = shutdown_thread.join().unwrap();
+    assert_eq!(metrics.records_out as usize, expected.lines().count());
+    match service.open_session(BackendKind::Cpu) {
+        Err(AdmissionError::Draining) => {}
+        other => panic!("post-shutdown admission must fail, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn lightly_loaded_session_is_not_starved_by_steady_traffic() {
+    // Session A submits one small read to `cpu` while session B keeps
+    // a steady task stream flowing to `edlib` with gaps shorter than
+    // the linger. The batch target is unreachable, so A's rows can
+    // only be released by the *age*-based linger flush — an idle-only
+    // flush would starve A for as long as B keeps talking.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let w = workload(60_000, 1, 600, 6);
+    let reference = w.reference.clone();
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 1 << 30, // never reached: only the linger can flush
+            ..PipelineConfig::default()
+        },
+        linger: std::time::Duration::from_millis(50),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(PipelineService::start("ref", reference.clone(), cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let b_service = Arc::clone(&service);
+    let b_stop = Arc::clone(&stop);
+    let b_reference = reference.clone();
+    let b_thread = std::thread::spawn(move || {
+        let genome = Genome {
+            seq: b_reference,
+            planted: Vec::new(),
+        };
+        let reads = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: 40,
+                length: 400,
+                errors: ErrorModel::pacbio_clr(0.05),
+                rc_fraction: 0.5,
+                seed: 61,
+            },
+        );
+        let (mut session, receiver) = b_service.open_session(BackendKind::Edlib).unwrap();
+        let mut i = 0usize;
+        while !b_stop.load(Ordering::Relaxed) {
+            let r = &reads[i % reads.len()];
+            session
+                .submit(ReadInput {
+                    name: format!("b{i}"),
+                    seq: r.seq.clone(),
+                })
+                .unwrap();
+            i += 1;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        session.finish();
+        while let Some(event) = receiver.recv() {
+            if matches!(event, SessionEvent::End(_)) {
+                break;
+            }
+        }
+    });
+
+    // Give B a head start so its traffic is flowing when A submits.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let (mut a_session, a_receiver) = service.open_session(BackendKind::Cpu).unwrap();
+    let (name, seq) = &w.reads[0];
+    a_session
+        .submit(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+        .unwrap();
+    a_session.finish();
+    let mut got_rows = false;
+    let deadline = std::time::Duration::from_secs(20);
+    loop {
+        match a_receiver.recv_timeout(deadline) {
+            Some(SessionEvent::Rows(rows)) => got_rows = !rows.is_empty(),
+            Some(SessionEvent::ReadFailed { read }) => panic!("read {read} failed"),
+            Some(SessionEvent::End(_)) => break,
+            None => panic!("session A starved: no event within {deadline:?} while B streams"),
+        }
+    }
+    assert!(got_rows, "session A's read produced no rows");
+
+    stop.store(true, Ordering::Relaxed);
+    b_thread.join().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn unmapped_reads_complete_without_rows() {
+    let w = workload(40_000, 2, 700, 5);
+    let service = PipelineService::start("ref", w.reference, ServiceConfig::default());
+    let (mut session, receiver) = service.open_session(BackendKind::Cpu).unwrap();
+    // An empty read can never anchor: it completes instantly.
+    let n = session
+        .submit(ReadInput {
+            name: "empty".to_string(),
+            seq: Seq::new(),
+        })
+        .unwrap();
+    assert_eq!(n, 0, "empty read must generate no tasks");
+    for (name, seq) in &w.reads {
+        session
+            .submit(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+            .unwrap();
+    }
+    session.finish();
+    let mut metrics = None;
+    let mut rows = 0usize;
+    while let Some(event) = receiver.recv() {
+        match event {
+            SessionEvent::Rows(r) => rows += r.len(),
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::End(m) => {
+                metrics = Some(m);
+                break;
+            }
+        }
+    }
+    let m = metrics.unwrap();
+    assert_eq!(m.reads_in, 3);
+    assert_eq!(m.reads_mapped, 2, "the empty read is unmapped");
+    assert_eq!(m.records_out as usize, rows);
+    assert!(rows > 0);
+    service.shutdown();
+}

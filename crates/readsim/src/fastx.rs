@@ -60,6 +60,16 @@ pub enum FastxError {
     },
     /// A sequence character the aligners cannot represent.
     BadBase(AlignError),
+    /// [`read_single_fastx`] found no records at all.
+    NoRecords,
+    /// [`read_single_fastx`] found more than one record.
+    MultiRecord {
+        /// Name of the first record (the one a silent loader would
+        /// have kept).
+        first: String,
+        /// Names of every additional record.
+        extra: Vec<String>,
+    },
 }
 
 impl From<io::Error> for FastxError {
@@ -74,6 +84,20 @@ impl core::fmt::Display for FastxError {
             FastxError::Io(e) => write!(f, "I/O error: {e}"),
             FastxError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
             FastxError::BadBase(e) => write!(f, "{e}"),
+            FastxError::NoRecords => write!(f, "no records"),
+            FastxError::MultiRecord { first, extra } => write!(
+                f,
+                "expected exactly one record but found {}: after {:?} also {}; \
+                 multi-contig references are not supported yet — split the file \
+                 or pass a single-contig reference",
+                extra.len() + 1,
+                first,
+                extra
+                    .iter()
+                    .map(|n| format!("{n:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         }
     }
 }
@@ -248,6 +272,27 @@ impl<R: BufRead> Iterator for FastxReader<R> {
 /// a [`FastxReader`] instead.
 pub fn read_fastx<R: BufRead>(reader: R) -> Result<Vec<FastxRecord>, FastxError> {
     FastxReader::new(reader).collect()
+}
+
+/// Parse a file that must contain exactly one record (e.g. a
+/// single-contig reference). Zero records or more than one is an
+/// error; the multi-record error names every extra record so callers
+/// can say precisely what to split instead of silently truncating to
+/// the first contig.
+pub fn read_single_fastx<R: BufRead>(reader: R) -> Result<FastxRecord, FastxError> {
+    let mut it = FastxReader::new(reader);
+    let first = it.next().transpose()?.ok_or(FastxError::NoRecords)?;
+    let mut extra = Vec::new();
+    for rec in it {
+        extra.push(rec?.name);
+    }
+    if !extra.is_empty() {
+        return Err(FastxError::MultiRecord {
+            first: first.name,
+            extra,
+        });
+    }
+    Ok(first)
 }
 
 fn header_name(s: &str) -> String {
@@ -430,6 +475,34 @@ mod tests {
         let parsed = read_fastx(Cursor::new(buf)).unwrap();
         assert_eq!(parsed.len(), 3);
         assert_eq!(parsed[0].seq, reads[0].seq);
+    }
+
+    #[test]
+    fn single_record_loader_accepts_exactly_one() {
+        let rec = read_single_fastx(Cursor::new(b">chr1\nACGT\nGGCC\n".as_slice())).unwrap();
+        assert_eq!(rec.name, "chr1");
+        assert_eq!(rec.seq.len(), 8);
+
+        match read_single_fastx(Cursor::new(b"".as_slice())).unwrap_err() {
+            FastxError::NoRecords => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_record_input_is_rejected_naming_the_extras() {
+        let input = b">chr1\nACGT\n>chr2\nGGCC\n>chr3\nTTTT\n";
+        let err = read_single_fastx(Cursor::new(&input[..])).unwrap_err();
+        match &err {
+            FastxError::MultiRecord { first, extra } => {
+                assert_eq!(first, "chr1");
+                assert_eq!(extra, &["chr2".to_string(), "chr3".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("chr2") && msg.contains("chr3"), "{msg}");
+        assert!(msg.contains("exactly one"), "{msg}");
     }
 
     #[test]

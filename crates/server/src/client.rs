@@ -1,0 +1,155 @@
+//! The protocol client behind `genasm submit` / `genasm ctl` (and the
+//! test suites).
+//!
+//! [`submit`] speaks the whole protocol over one connection: preamble
+//! verbs, `BEGIN`, raw record bytes, half-close, then the response.
+//! Record lines go to `out` verbatim — so a client's stdout is
+//! byte-identical to `genasm align` on the same reads — and every
+//! `# `-prefixed status line goes to `status`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::endpoint::{connect, Endpoint};
+use crate::protocol::{DONE_PREFIX, ERR_PREFIX, STATUS_PREFIX};
+use genasm_pipeline::{BackendKind, OutputFormat};
+
+/// What to ask of the server.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// `SET backend …` before `BEGIN` (server default otherwise).
+    pub backend: Option<BackendKind>,
+    /// `SET format …` before `BEGIN` (server default otherwise).
+    pub format: Option<OutputFormat>,
+    /// Send `PING` (liveness probe) in the preamble.
+    pub ping: bool,
+    /// Send `STATS` in the preamble.
+    pub stats: bool,
+    /// Send `SHUTDOWN` and return (no records are sent).
+    pub shutdown: bool,
+}
+
+/// What came back.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitReport {
+    /// Record lines forwarded to `out`.
+    pub records: u64,
+    /// `# err …` lines seen (verb failures, failed reads, admission).
+    pub errors: u64,
+    /// The final `# done …` line, when a session ran to completion.
+    pub done: Option<String>,
+}
+
+/// Run one protocol conversation. `reads` supplies the raw FASTA/FASTQ
+/// bytes to stream after `BEGIN`; pass `None` for verb-only
+/// conversations (ping/stats/shutdown).
+pub fn submit<R: Read>(
+    endpoint: &Endpoint,
+    reads: Option<R>,
+    opts: &SubmitOptions,
+    out: &mut dyn Write,
+    status: &mut dyn Write,
+) -> io::Result<SubmitReport> {
+    let conn = connect(endpoint)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    let mut report = SubmitReport::default();
+
+    let read_status_line = |reader: &mut BufReader<_>,
+                            report: &mut SubmitReport,
+                            status: &mut dyn Write|
+     -> io::Result<String> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-handshake",
+            ));
+        }
+        let line = line.trim_end().to_string();
+        if line.starts_with(ERR_PREFIX) {
+            report.errors += 1;
+        }
+        writeln!(status, "{line}")?;
+        Ok(line)
+    };
+
+    // Greeting.
+    read_status_line(&mut reader, &mut report, status)?;
+
+    let verb = |writer: &mut BufWriter<_>,
+                reader: &mut BufReader<_>,
+                report: &mut SubmitReport,
+                status: &mut dyn Write,
+                line: &str|
+     -> io::Result<String> {
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        read_status_line(reader, report, status)
+    };
+
+    if opts.ping {
+        verb(&mut writer, &mut reader, &mut report, status, "PING")?;
+    }
+    if opts.stats {
+        verb(&mut writer, &mut reader, &mut report, status, "STATS")?;
+    }
+    if opts.shutdown {
+        verb(&mut writer, &mut reader, &mut report, status, "SHUTDOWN")?;
+        return Ok(report);
+    }
+    if let Some(backend) = opts.backend {
+        let line = format!("SET backend {backend}");
+        verb(&mut writer, &mut reader, &mut report, status, &line)?;
+    }
+    if let Some(format) = opts.format {
+        let line = format!("SET format {format}");
+        verb(&mut writer, &mut reader, &mut report, status, &line)?;
+    }
+    let Some(mut reads) = reads else {
+        return Ok(report); // verb-only conversation
+    };
+    let begin_reply = verb(&mut writer, &mut reader, &mut report, status, "BEGIN")?;
+    if begin_reply.starts_with(ERR_PREFIX) {
+        return Ok(report); // admission refused; server closes
+    }
+
+    // Stream the payload, then half-close: that is the end-of-records
+    // framing. The server streams rows back the whole time; they wait
+    // in socket buffers until the drain loop below. An upload error is
+    // tolerated, not propagated: it usually means the server aborted
+    // the session (e.g. a parse error) and its diagnostic — plus any
+    // rows already produced — is waiting on the read side; bailing out
+    // here would throw that away for a bare "broken pipe".
+    let upload: io::Result<()> = (|| {
+        io::copy(&mut reads, &mut writer)?;
+        writer.flush()?;
+        writer.get_ref().shutdown_write()
+    })();
+    if upload.is_err() {
+        report.errors += 1;
+        writeln!(status, "# err upload interrupted; draining server response")?;
+    }
+
+    // Drain the response until the server closes the connection.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end();
+        if trimmed.starts_with(STATUS_PREFIX) {
+            if trimmed.starts_with(ERR_PREFIX) {
+                report.errors += 1;
+            }
+            if trimmed.starts_with(DONE_PREFIX) {
+                report.done = Some(trimmed.to_string());
+            }
+            writeln!(status, "{trimmed}")?;
+        } else {
+            report.records += 1;
+            writeln!(out, "{trimmed}")?;
+        }
+    }
+    Ok(report)
+}

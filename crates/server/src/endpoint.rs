@@ -1,0 +1,211 @@
+//! Listen/connect endpoints: TCP or Unix-domain sockets behind one
+//! seam, so the server, the client, and the tests are transport
+//! agnostic.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Where the server listens / the client connects.
+///
+/// Parsed from `unix:PATH`, `tcp:HOST:PORT`, or a bare `HOST:PORT`
+/// (treated as TCP). A TCP port of 0 binds an ephemeral port; the
+/// server reports the resolved endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP address (`host:port`).
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse an endpoint spec.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".to_string());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        let addr = s.strip_prefix("tcp:").unwrap_or(s);
+        if addr.contains(':') {
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(format!(
+                "bad endpoint {s:?}: expected unix:PATH, tcp:HOST:PORT, or HOST:PORT"
+            ))
+        }
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A bound listening socket.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Bind, returning the listener and the *resolved* endpoint (TCP
+    /// port 0 becomes the actual port). A stale Unix socket file at
+    /// the path is removed first — the server owns its socket path.
+    pub(crate) fn bind(ep: &Endpoint) -> io::Result<(Listener, Endpoint)> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let actual = Endpoint::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), actual))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                Ok((Listener::Unix(l), ep.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// One accepted or dialled connection.
+pub enum Conn {
+    /// A TCP stream.
+    Tcp(TcpStream),
+    /// A Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// Dial an endpoint.
+pub fn connect(ep: &Endpoint) -> io::Result<Conn> {
+    match ep {
+        Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix sockets are not supported on this platform",
+        )),
+    }
+}
+
+impl Conn {
+    /// A second handle to the same socket (separate read/write sides).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    /// Half-close the write side: the peer's reader sees EOF while the
+    /// read side stays open. This is the protocol's end-of-records
+    /// framing.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(Shutdown::Write),
+        }
+    }
+
+    /// Half-close the read side: a thread blocked reading this socket
+    /// sees EOF, while writes continue to flow. The server uses this
+    /// at shutdown to unblock idle connections without truncating
+    /// their in-flight responses.
+    pub fn shutdown_read(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Read),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(Shutdown::Read),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:4321").unwrap(),
+            Endpoint::Tcp("127.0.0.1:4321".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:0").unwrap(),
+            Endpoint::Tcp("127.0.0.1:0".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/g.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/g.sock"))
+        );
+        assert!(Endpoint::parse("nonsense").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn endpoint_display_round_trips() {
+        for spec in ["tcp:127.0.0.1:80", "unix:/tmp/x.sock"] {
+            let ep = Endpoint::parse(spec).unwrap();
+            assert_eq!(ep.to_string(), spec);
+            assert_eq!(Endpoint::parse(&ep.to_string()).unwrap(), ep);
+        }
+    }
+}

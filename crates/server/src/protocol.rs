@@ -1,0 +1,123 @@
+//! The line-delimited wire protocol.
+//!
+//! One connection = one session. All traffic is UTF-8 lines.
+//!
+//! **Client → server.** A preamble of control verbs, then `BEGIN`,
+//! then raw FASTA/FASTQ records, terminated by half-closing the write
+//! side of the socket (there is no in-band terminator, so record
+//! payloads can never collide with protocol framing):
+//!
+//! ```text
+//! SET backend cpu|gpu-sim|edlib|ksw2          pick this session's backend
+//! SET format tsv|paf                          pick this session's output format
+//! PING                                        liveness probe
+//! STATS                                       one-line server-wide counters
+//! SHUTDOWN                                    ask the server to drain and exit
+//! BEGIN                                       end of preamble, records follow
+//! ```
+//!
+//! **Server → client.** Status lines are prefixed `# ` so they can
+//! never be confused with records; every verb gets exactly one reply
+//! (`# ok …`, `# pong`, `# stats …`, or `# err …`). After `BEGIN`, the
+//! response stream carries alignment records (bare TSV/PAF lines,
+//! byte-identical to `genasm align` on the same reads), interleaved
+//! with `# err read …` lines for failed reads, and ends with
+//! `# done …` followed by the server closing the connection.
+
+use genasm_pipeline::{BackendKind, OutputFormat};
+
+/// Prefix of every non-record line the server emits.
+pub const STATUS_PREFIX: &str = "# ";
+
+/// Prefix of error status lines.
+pub const ERR_PREFIX: &str = "# err";
+
+/// Prefix of the final per-session summary line.
+pub const DONE_PREFIX: &str = "# done";
+
+/// A parsed client control verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// `SET backend <kind>`.
+    SetBackend(BackendKind),
+    /// `SET format <fmt>`.
+    SetFormat(OutputFormat),
+    /// `BEGIN` — records follow.
+    Begin,
+    /// `PING`.
+    Ping,
+    /// `STATS`.
+    Stats,
+    /// `SHUTDOWN` — drain and exit.
+    Shutdown,
+}
+
+/// Parse one preamble line.
+pub fn parse_verb(line: &str) -> Result<Verb, String> {
+    let mut it = line.split_whitespace();
+    let word = it.next().unwrap_or("");
+    let verb = match word {
+        "BEGIN" => Verb::Begin,
+        "PING" => Verb::Ping,
+        "STATS" => Verb::Stats,
+        "SHUTDOWN" => Verb::Shutdown,
+        "SET" => {
+            let key = it.next().ok_or("SET needs a key and a value")?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("SET {key} needs a value"))?;
+            match key {
+                "backend" => Verb::SetBackend(value.parse().map_err(|e| format!("{e}"))?),
+                "format" => Verb::SetFormat(value.parse().map_err(|e| format!("{e}"))?),
+                other => {
+                    return Err(format!(
+                        "unknown setting {other:?}; valid settings are 'backend', 'format'"
+                    ))
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown verb {other:?}; valid verbs are SET, BEGIN, PING, STATS, SHUTDOWN"
+            ))
+        }
+    };
+    if let Some(junk) = it.next() {
+        return Err(format!("unexpected trailing argument {junk:?}"));
+    }
+    Ok(verb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_verb("BEGIN").unwrap(), Verb::Begin);
+        assert_eq!(parse_verb("PING").unwrap(), Verb::Ping);
+        assert_eq!(parse_verb("STATS").unwrap(), Verb::Stats);
+        assert_eq!(parse_verb("SHUTDOWN").unwrap(), Verb::Shutdown);
+        assert_eq!(
+            parse_verb("SET backend edlib").unwrap(),
+            Verb::SetBackend(BackendKind::Edlib)
+        );
+        assert_eq!(
+            parse_verb("SET format paf").unwrap(),
+            Verb::SetFormat(OutputFormat::Paf)
+        );
+    }
+
+    #[test]
+    fn bad_verbs_are_described() {
+        assert!(parse_verb("FROBNICATE").unwrap_err().contains("FROBNICATE"));
+        assert!(parse_verb("SET").unwrap_err().contains("key"));
+        assert!(parse_verb("SET backend").unwrap_err().contains("value"));
+        let e = parse_verb("SET backend tpu").unwrap_err();
+        assert!(e.contains("'cpu'") && e.contains("'gpu-sim'"), "{e}");
+        let e = parse_verb("SET format sam").unwrap_err();
+        assert!(e.contains("'tsv'") && e.contains("'paf'"), "{e}");
+        assert!(parse_verb("SET color blue").unwrap_err().contains("color"));
+        assert!(parse_verb("BEGIN now").unwrap_err().contains("trailing"));
+    }
+}

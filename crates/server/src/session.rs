@@ -1,0 +1,189 @@
+//! Per-connection protocol handler.
+//!
+//! Each accepted connection runs on its own thread: a verb loop until
+//! `BEGIN`, then the streaming phase — the connection thread parses
+//! FASTA/FASTQ records off the socket and submits them to the shared
+//! [`genasm_pipeline::PipelineService`], while a writer thread drains
+//! the session's events back to the client. The two halves are
+//! independent, so responses stream while the client is still
+//! uploading, and on the *upload* side the pipeline's backpressure (a
+//! full shared task queue blocks `submit`, which stops this thread
+//! reading the socket) propagates to the client's TCP window. The
+//! *response* side is deliberately not backpressured: the sink must
+//! never block on one slow client (it would stall every session), so
+//! a session's completed records buffer in its unbounded event channel
+//! until the writer catches up — bounded by that session's total
+//! output, not by `resident_bases_bound`, which covers task sequences
+//! only. Per-session output caps are a ROADMAP follow-up.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+
+use genasm_pipeline::{AdmissionError, OutputFormat, ReadInput, SessionEvent, SessionReceiver};
+use readsim::FastxReader;
+
+use crate::endpoint::Conn;
+use crate::protocol::{parse_verb, Verb};
+use crate::ServerShared;
+
+/// What the connection asked of the server beyond its own session.
+pub(crate) enum ConnOutcome {
+    /// Plain session (or verb-only connection).
+    Done,
+    /// The client sent `SHUTDOWN`: drain and exit.
+    ShutdownRequested,
+}
+
+/// Serve one connection to completion.
+pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutcome> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    let mut backend = srv.default_backend;
+    let mut format = srv.default_format;
+
+    writeln!(
+        writer,
+        "# genasm-server v1 ref={} backend={backend} format={format}",
+        srv.service.ref_name()
+    )?;
+    writer.flush()?;
+
+    // Verb loop: one reply per line, until BEGIN or EOF.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(ConnOutcome::Done); // client left without a session
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_verb(trimmed) {
+            Err(msg) => writeln!(writer, "# err {msg}")?,
+            Ok(Verb::SetBackend(kind)) => {
+                backend = kind;
+                writeln!(writer, "# ok backend {backend}")?;
+            }
+            Ok(Verb::SetFormat(fmt)) => {
+                format = fmt;
+                writeln!(writer, "# ok format {format}")?;
+            }
+            Ok(Verb::Ping) => writeln!(writer, "# pong")?,
+            Ok(Verb::Stats) => {
+                let m = srv.service.metrics();
+                writeln!(
+                    writer,
+                    "# stats sessions={} reads_in={} mapped={} tasks={} records_out={} \
+                     inflight_bases_peak={} backend_errors={} uptime_ms={}",
+                    srv.service.active_sessions(),
+                    m.reads_in,
+                    m.reads_mapped,
+                    m.tasks_generated,
+                    m.records_out,
+                    m.max_inflight_bases,
+                    srv.service.backend_errors(),
+                    m.wall.as_millis()
+                )?;
+            }
+            Ok(Verb::Shutdown) => {
+                writeln!(writer, "# ok draining")?;
+                writer.flush()?;
+                return Ok(ConnOutcome::ShutdownRequested);
+            }
+            Ok(Verb::Begin) => break,
+        }
+        writer.flush()?;
+    }
+
+    // Streaming phase: admission, then records in / rows out.
+    let (mut session, receiver) = match srv.service.open_session(backend) {
+        Ok(pair) => pair,
+        Err(e @ AdmissionError::Draining) | Err(e @ AdmissionError::Busy { .. }) => {
+            writeln!(writer, "# err {e}")?;
+            writer.flush()?;
+            return Ok(ConnOutcome::Done);
+        }
+    };
+    writeln!(writer, "# ok begin backend={backend} format={format}")?;
+    writer.flush()?;
+
+    // The input-error slot: set by this thread *before* finish(), read
+    // by the writer thread *at* the End event — so the error line is
+    // emitted before `# done`, keeping the documented framing (the
+    // response always ends with `# done`, then the connection closes).
+    let input_err: std::sync::Arc<std::sync::Mutex<Option<String>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    let err_slot = std::sync::Arc::clone(&input_err);
+    let writer_thread =
+        std::thread::spawn(move || drain_events(receiver, writer, format, &err_slot));
+
+    // Parse records off the socket until the client half-closes.
+    for rec in FastxReader::new(&mut reader) {
+        match rec {
+            Ok(r) => {
+                let read = ReadInput {
+                    name: r.name,
+                    seq: r.seq,
+                };
+                if session.submit(read).is_err() {
+                    *input_err.lock().unwrap() = Some("pipeline service stopped".to_string());
+                    break;
+                }
+            }
+            Err(e) => {
+                *input_err.lock().unwrap() = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    session.finish();
+
+    let mut writer = writer_thread
+        .join()
+        .expect("session writer thread panicked")?;
+    writer.flush()?;
+    Ok(ConnOutcome::Done)
+}
+
+/// Drain session events to the client until `End` (which always closes
+/// the response: any input error is written just before `# done`).
+fn drain_events(
+    receiver: SessionReceiver,
+    mut writer: BufWriter<Conn>,
+    format: OutputFormat,
+    input_err: &std::sync::Mutex<Option<String>>,
+) -> io::Result<BufWriter<Conn>> {
+    while let Some(event) = receiver.recv() {
+        match event {
+            SessionEvent::Rows(rows) => {
+                for row in &rows {
+                    writeln!(writer, "{}", format.line(row))?;
+                }
+                writer.flush()?;
+            }
+            SessionEvent::ReadFailed { read } => {
+                writeln!(
+                    writer,
+                    "# err read {read}: no alignment within the edit budget"
+                )?;
+                writer.flush()?;
+            }
+            SessionEvent::End(m) => {
+                // End is sent only after the conn thread called
+                // finish(), which happens after it stored any input
+                // error — safe to read the slot here.
+                if let Some(msg) = input_err.lock().unwrap().take() {
+                    writeln!(writer, "# err input: {msg}")?;
+                }
+                writeln!(
+                    writer,
+                    "# done reads={} mapped={} tasks={} records={} failed={}",
+                    m.reads_in, m.reads_mapped, m.tasks, m.records_out, m.reads_failed
+                )?;
+                writer.flush()?;
+                break;
+            }
+        }
+    }
+    Ok(writer)
+}

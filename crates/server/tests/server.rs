@@ -1,0 +1,533 @@
+//! End-to-end socket tests of the alignment server:
+//!
+//! * every client's record stream is byte-identical to the one-shot
+//!   pipeline (≡ `genasm align`) over that client's reads — including
+//!   N clients at once, mixed formats, and mixed backends;
+//! * the control verbs (PING/STATS/SET/SHUTDOWN) behave;
+//! * graceful drain finishes in-flight sessions, rejects new ones,
+//!   and shuts the listener down.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+
+use align_core::Seq;
+use genasm_pipeline::{
+    run_pipeline, BackendKind, OutputFormat, PipelineConfig, ReadInput, ServiceConfig,
+};
+use genasm_server::client::{submit, SubmitOptions};
+use genasm_server::{connect, Endpoint, Server, ServerConfig};
+use readsim::{
+    simulate_reads, write_fastq, ErrorModel, FastxRecord, Genome, GenomeConfig, ReadConfig,
+};
+
+/// A deterministic reference plus helper to cut per-client read sets.
+struct Fixture {
+    reference: Seq,
+}
+
+impl Fixture {
+    fn new(genome_len: usize) -> Fixture {
+        let genome = Genome::generate(&GenomeConfig::human_like(genome_len, 77));
+        Fixture {
+            reference: genome.seq,
+        }
+    }
+
+    /// Simulate `count` reads with a per-client seed.
+    fn reads(&self, count: usize, read_len: usize, seed: u64) -> Vec<(String, Seq)> {
+        let genome = Genome {
+            seq: self.reference.clone(),
+            planted: Vec::new(),
+        };
+        simulate_reads(
+            &genome,
+            &ReadConfig {
+                count,
+                length: read_len,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed,
+            },
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("c{seed}read{i}"), r.seq))
+        .collect()
+    }
+
+    /// The golden expectation for one client's reads.
+    fn expected(&self, reads: &[(String, Seq)], backend: BackendKind, fmt: OutputFormat) -> String {
+        let stream = reads.iter().map(|(name, seq)| {
+            Ok::<_, std::convert::Infallible>(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+        });
+        let mut buf = String::new();
+        run_pipeline(
+            stream,
+            "ref",
+            &self.reference,
+            backend.create().as_ref(),
+            &PipelineConfig::default(),
+            |rec| {
+                buf.push_str(&fmt.line(rec));
+                buf.push('\n');
+                Ok(())
+            },
+        )
+        .expect("one-shot pipeline failed");
+        buf
+    }
+
+    fn start_server(&self, service: ServiceConfig) -> Server {
+        Server::start(
+            ServerConfig {
+                endpoint: Endpoint::parse("127.0.0.1:0").unwrap(),
+                default_backend: BackendKind::Cpu,
+                default_format: OutputFormat::Tsv,
+                service,
+            },
+            "ref",
+            self.reference.clone(),
+        )
+        .expect("server start")
+    }
+}
+
+/// Render reads as FASTQ bytes (what a client streams after BEGIN).
+fn fastq_bytes(reads: &[(String, Seq)]) -> Vec<u8> {
+    let records: Vec<FastxRecord> = reads
+        .iter()
+        .map(|(name, seq)| FastxRecord::fastq(name, seq.clone(), vec![40; seq.len()]))
+        .collect();
+    let mut buf = Vec::new();
+    write_fastq(&mut buf, &records).unwrap();
+    buf
+}
+
+/// Drive one full client conversation; returns (records, status).
+fn run_client(
+    endpoint: &Endpoint,
+    reads: &[(String, Seq)],
+    opts: &SubmitOptions,
+) -> (String, String) {
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        endpoint,
+        Some(Cursor::new(fastq_bytes(reads))),
+        opts,
+        &mut out,
+        &mut status,
+    )
+    .expect("submit failed");
+    assert_eq!(
+        report.errors,
+        0,
+        "status:\n{}",
+        String::from_utf8_lossy(&status)
+    );
+    assert!(report.done.is_some(), "missing # done line");
+    (
+        String::from_utf8(out).unwrap(),
+        String::from_utf8(status).unwrap(),
+    )
+}
+
+#[test]
+fn tcp_session_is_byte_identical_to_one_shot() {
+    let fx = Fixture::new(80_000);
+    let reads = fx.reads(5, 800, 1);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    assert!(!expected.is_empty());
+
+    let server = fx.start_server(ServiceConfig::default());
+    let (got, status) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
+    assert_eq!(got, expected, "socket session diverged from one-shot");
+    assert!(status.contains("# done reads=5"), "{status}");
+
+    server.request_shutdown();
+    let metrics = server.wait();
+    assert_eq!(metrics.reads_in, 5);
+}
+
+#[test]
+fn paf_format_and_backend_are_session_scoped() {
+    let fx = Fixture::new(70_000);
+    let reads_a = fx.reads(4, 700, 2);
+    let reads_b = fx.reads(4, 700, 3);
+    let want_a = fx.expected(&reads_a, BackendKind::Edlib, OutputFormat::Paf);
+    let want_b = fx.expected(&reads_b, BackendKind::Cpu, OutputFormat::Tsv);
+
+    let server = fx.start_server(ServiceConfig::default());
+    let (got_a, status_a) = run_client(
+        server.endpoint(),
+        &reads_a,
+        &SubmitOptions {
+            backend: Some(BackendKind::Edlib),
+            format: Some(OutputFormat::Paf),
+            ..SubmitOptions::default()
+        },
+    );
+    let (got_b, _) = run_client(server.endpoint(), &reads_b, &SubmitOptions::default());
+    assert_eq!(got_a, want_a, "PAF/edlib session diverged");
+    assert_eq!(got_b, want_b, "default session diverged");
+    assert!(status_a.contains("# ok backend edlib"), "{status_a}");
+    assert!(status_a.contains("# ok format paf"), "{status_a}");
+    // PAF rows parse back and carry strand + reference length.
+    let mut strands = std::collections::HashSet::new();
+    for line in got_a.lines() {
+        let rec = genasm_pipeline::AlignRecord::parse_paf(line).unwrap();
+        assert_eq!(rec.tsize, fx.reference.len());
+        strands.insert(rec.reverse);
+    }
+    assert_eq!(strands.len(), 2, "rc_fraction 0.5 should hit both strands");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn concurrent_clients_each_get_one_shot_bytes() {
+    let fx = Fixture::new(90_000);
+    let clients: Vec<(BackendKind, Vec<(String, Seq)>)> = vec![
+        (BackendKind::Cpu, fx.reads(4, 650, 11)),
+        (BackendKind::Cpu, fx.reads(4, 650, 12)),
+        (BackendKind::Edlib, fx.reads(4, 650, 13)),
+        (BackendKind::Ksw2, fx.reads(4, 650, 14)),
+        (BackendKind::Cpu, fx.reads(4, 650, 15)),
+    ];
+    let expected: Vec<String> = clients
+        .iter()
+        .map(|(b, r)| fx.expected(r, *b, OutputFormat::Tsv))
+        .collect();
+
+    // Tight batching so the sessions truly share batches in flight.
+    let server = fx.start_server(ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 4 * 1024,
+            queue_depth: 4,
+            dispatchers: 2,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let endpoint = server.endpoint().clone();
+    let outputs: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .map(|(backend, reads)| {
+                let endpoint = endpoint.clone();
+                let backend = *backend;
+                scope.spawn(move || {
+                    run_client(
+                        &endpoint,
+                        reads,
+                        &SubmitOptions {
+                            backend: Some(backend),
+                            ..SubmitOptions::default()
+                        },
+                    )
+                    .0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, (got, want)) in outputs.iter().zip(&expected).enumerate() {
+        assert!(!want.is_empty(), "client {i} expected nothing?");
+        assert_eq!(got, want, "client {i} diverged from one-shot output");
+    }
+
+    server.request_shutdown();
+    let metrics = server.wait();
+    assert_eq!(metrics.reads_in, 20);
+}
+
+#[test]
+fn control_verbs_ping_stats_and_errors() {
+    let fx = Fixture::new(40_000);
+    let server = fx.start_server(ServiceConfig::default());
+
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        server.endpoint(),
+        None::<Cursor<Vec<u8>>>,
+        &SubmitOptions {
+            ping: true,
+            stats: true,
+            ..SubmitOptions::default()
+        },
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    let status = String::from_utf8(status).unwrap();
+    assert_eq!(report.errors, 0, "{status}");
+    assert!(status.contains("# genasm-server v1 ref=ref"), "{status}");
+    assert!(status.contains("# pong"), "{status}");
+    assert!(status.contains("# stats sessions=0"), "{status}");
+    assert!(out.is_empty(), "verb-only conversation emitted records");
+
+    // Raw conversation: bad verbs and bad settings get described errors
+    // without killing the connection.
+    let conn = connect(server.endpoint()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    writeln!(writer, "FROBNICATE").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("# err") && line.contains("FROBNICATE"),
+        "{line}"
+    );
+    writeln!(writer, "SET backend tpu").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("'cpu'"),
+        "bad backend must list choices: {line}"
+    );
+    writeln!(writer, "PING").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "# pong", "connection survived the errors");
+    // Close both halves before wait(): the server joins this
+    // connection's thread, which is blocked reading from us.
+    drop(writer);
+    drop(reader);
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_verb_drains_in_flight_sessions_and_rejects_new_ones() {
+    let fx = Fixture::new(80_000);
+    let reads = fx.reads(5, 800, 21);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    let server = fx.start_server(ServiceConfig::default());
+    let endpoint = server.endpoint().clone();
+
+    // Client A: open a session and send half the records, keeping the
+    // stream open.
+    let conn = connect(&endpoint).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    writeln!(writer, "BEGIN").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("# ok begin"), "{line}");
+    let payload = fastq_bytes(&reads);
+    let half = payload.len() / 2;
+    writer.write_all(&payload[..half]).unwrap();
+    writer.flush().unwrap();
+
+    // Ask for shutdown from a second connection.
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        &endpoint,
+        None::<Cursor<Vec<u8>>>,
+        &SubmitOptions {
+            shutdown: true,
+            ..SubmitOptions::default()
+        },
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    assert_eq!(report.errors, 0);
+    assert!(String::from_utf8_lossy(&status).contains("# ok draining"));
+
+    // While A is still in flight, a new session must be refused.
+    let service = server.service();
+    while !service.is_draining() {
+        std::thread::yield_now();
+    }
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        &endpoint,
+        Some(Cursor::new(fastq_bytes(&fx.reads(1, 500, 99)))),
+        &SubmitOptions::default(),
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    assert!(report.errors > 0, "draining server accepted a new session");
+    assert!(
+        String::from_utf8_lossy(&status).contains("draining"),
+        "{}",
+        String::from_utf8_lossy(&status)
+    );
+    assert!(out.is_empty());
+
+    // Client A finishes: its full output must still arrive, then done.
+    writer.write_all(&payload[half..]).unwrap();
+    writer.flush().unwrap();
+    writer.shutdown_write().unwrap();
+    let mut got = String::new();
+    let mut done = None;
+    for line in reader.lines() {
+        let line = line.unwrap();
+        if line.starts_with("# done") {
+            done = Some(line);
+        } else if !line.starts_with("# ") {
+            got.push_str(&line);
+            got.push('\n');
+        }
+    }
+    assert_eq!(got, expected, "drained session lost rows");
+    assert!(done.unwrap().contains("reads=5"));
+
+    // The server exits cleanly and the port stops answering.
+    let metrics = server.wait();
+    assert_eq!(metrics.reads_in, 5);
+    assert!(connect(&endpoint).is_err(), "listener still accepting");
+}
+
+#[test]
+fn input_errors_are_reported_before_done() {
+    // A malformed record mid-stream: the server must keep the framing
+    // contract — `# err input: …` comes *before* the final `# done`,
+    // which is always the last line.
+    let fx = Fixture::new(40_000);
+    let server = fx.start_server(ServiceConfig::default());
+    let conn = connect(server.endpoint()).unwrap();
+    let reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut lines = reader.lines();
+    lines.next().unwrap().unwrap(); // greeting
+    writeln!(writer, "BEGIN").unwrap();
+    assert!(lines.next().unwrap().unwrap().starts_with("# ok begin"));
+    // One valid (tiny, unmapped) record, then garbage.
+    writer
+        .write_all(b"@r1\nACGT\n+\nIIII\nGARBAGE LINE\n")
+        .unwrap();
+    writer.flush().unwrap();
+    writer.shutdown_write().unwrap();
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let err_at = rest
+        .iter()
+        .position(|l| l.starts_with("# err input:"))
+        .unwrap_or_else(|| panic!("no input error reported: {rest:?}"));
+    let done_at = rest
+        .iter()
+        .position(|l| l.starts_with("# done"))
+        .unwrap_or_else(|| panic!("no done line: {rest:?}"));
+    assert!(err_at < done_at, "error must precede done: {rest:?}");
+    assert_eq!(done_at, rest.len() - 1, "done must be last: {rest:?}");
+    assert!(rest[done_at].contains("reads=1"), "{rest:?}");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn idle_connection_does_not_block_shutdown() {
+    let fx = Fixture::new(30_000);
+    let server = fx.start_server(ServiceConfig::default());
+
+    // A client that connects, reads the greeting, and then just sits
+    // there — no verbs, no session, no disconnect.
+    let conn = connect(server.endpoint()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("# genasm-server"), "{line}");
+
+    server.request_shutdown();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        tx.send(server.wait()).ok();
+    });
+    let metrics = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("wait() hung on an idle verb-phase connection");
+    assert_eq!(metrics.reads_in, 0);
+    drop(reader);
+    drop(conn);
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    let fx = Fixture::new(50_000);
+    let reads = fx.reads(3, 600, 31);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    let path = std::env::temp_dir().join(format!("genasm-server-test-{}.sock", std::process::id()));
+    let server = Server::start(
+        ServerConfig {
+            endpoint: Endpoint::Unix(path.clone()),
+            default_backend: BackendKind::Cpu,
+            default_format: OutputFormat::Tsv,
+            service: ServiceConfig::default(),
+        },
+        "ref",
+        fx.reference.clone(),
+    )
+    .expect("unix server start");
+    let (got, _) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
+    assert_eq!(got, expected);
+    server.request_shutdown();
+    server.wait();
+    assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn session_cap_rejects_over_admission() {
+    let fx = Fixture::new(40_000);
+    let server = fx.start_server(ServiceConfig {
+        max_sessions: 1,
+        ..ServiceConfig::default()
+    });
+    let endpoint = server.endpoint().clone();
+
+    // Occupy the only slot with a held-open session.
+    let conn = connect(&endpoint).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    writeln!(writer, "BEGIN").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("# ok begin"), "{line}");
+
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        &endpoint,
+        Some(Cursor::new(fastq_bytes(&fx.reads(1, 500, 41)))),
+        &SubmitOptions::default(),
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    assert!(report.errors > 0, "cap of 1 admitted a second session");
+    assert!(
+        String::from_utf8_lossy(&status).contains("busy"),
+        "{}",
+        String::from_utf8_lossy(&status)
+    );
+
+    // Release the slot; admission recovers.
+    writer.shutdown_write().unwrap();
+    let mut drained = String::new();
+    for l in reader.lines() {
+        drained.push_str(&l.unwrap());
+    }
+    assert!(drained.contains("# done"));
+    let reads = fx.reads(1, 500, 42);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    let (got, _) = run_client(&endpoint, &reads, &SubmitOptions::default());
+    assert_eq!(got, expected);
+
+    server.request_shutdown();
+    server.wait();
+}
