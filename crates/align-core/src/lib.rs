@@ -16,6 +16,8 @@
 //!   and accuracy experiments.
 //! * [`task`] — batch containers describing candidate (read, reference)
 //!   pairs flowing from the mapper into the aligners.
+//! * [`reference`] — multi-contig references ([`Reference`]): named
+//!   contigs with the global-coordinate layout the sharded index uses.
 //!
 //! The crate is deliberately dependency-light; anything random or
 //! parallel lives in the crates that need it.
@@ -23,12 +25,14 @@
 pub mod alignment;
 pub mod cigar;
 pub mod nw;
+pub mod reference;
 pub mod seq;
 pub mod task;
 
 pub use alignment::{Alignment, GlobalAligner, ReusableAligner};
 pub use cigar::{Cigar, CigarOp};
 pub use nw::{banded_nw_distance, doubling_nw_distance, nw_align, nw_distance};
+pub use reference::{Contig, Reference};
 pub use seq::{Base, Seq};
 pub use task::{AlignTask, TaskBatch};
 

@@ -13,7 +13,11 @@ use crate::seq::Seq;
 pub struct AlignTask {
     /// Identifier of the read this task came from.
     pub read_id: u32,
-    /// Start of the target slice on the reference (for reporting only).
+    /// Index of the reference contig the target slice was cut from
+    /// (for reporting only; 0 for single-contig references).
+    pub contig: u32,
+    /// Start of the target slice on its contig, in contig-local
+    /// coordinates (for reporting only).
     pub ref_pos: usize,
     /// The query sequence.
     pub query: Seq,
@@ -26,10 +30,11 @@ pub struct AlignTask {
 }
 
 impl AlignTask {
-    /// Construct a forward-strand task.
+    /// Construct a forward-strand task on contig 0.
     pub fn new(read_id: u32, ref_pos: usize, query: Seq, target: Seq) -> AlignTask {
         AlignTask {
             read_id,
+            contig: 0,
             ref_pos,
             query,
             target,
@@ -40,6 +45,12 @@ impl AlignTask {
     /// Record which strand the query was oriented to.
     pub fn oriented(mut self, reverse: bool) -> AlignTask {
         self.reverse = reverse;
+        self
+    }
+
+    /// Record which contig the target slice belongs to.
+    pub fn in_contig(mut self, contig: u32) -> AlignTask {
+        self.contig = contig;
         self
     }
 

@@ -86,10 +86,16 @@ fn streaming_records(
         })
     });
     let mut n = 0usize;
-    run_pipeline(stream, "ref", reference, &backend, cfg, |_| {
-        n += 1;
-        Ok(())
-    })
+    run_pipeline(
+        stream,
+        align_core::Reference::single("ref", reference.clone()),
+        &backend,
+        cfg,
+        |_| {
+            n += 1;
+            Ok(())
+        },
+    )
     .unwrap();
     n
 }

@@ -1,0 +1,184 @@
+//! Pinned perf-trajectory benchmark for CI.
+//!
+//! Runs one short, fully pinned `pipeline_throughput`-style
+//! configuration (deterministic multi-contig workload, fixed pipeline
+//! geometry) through every backend and writes `BENCH_pipeline.json`:
+//! reads/s, aligned query bases/s, record counts, and the peak
+//! resident task bases per backend, plus the shard-local reference
+//! residency. CI uploads the file as an artifact on every push, so
+//! the numbers accumulate into a throughput trajectory over the
+//! repository's history. The job fails only if this binary errors —
+//! absolute numbers vary with runner hardware and are archived, not
+//! asserted.
+//!
+//! Usage: `perf-trajectory [OUTPUT_PATH]` (default
+//! `BENCH_pipeline.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use align_core::Reference;
+use genasm_pipeline::{run_pipeline, BackendKind, PipelineConfig, ReadInput};
+use mapper::CandidateParams;
+use readsim::{contig_lengths, simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+
+/// Everything about the workload and geometry is pinned: two runs of
+/// this binary on the same machine measure the same work.
+const GENOME_LEN: usize = 150_000;
+const CONTIGS: usize = 3;
+const READS: usize = 24;
+const READ_LEN: usize = 1_000;
+const SEED: u64 = 99;
+const BATCH_BASES: usize = 64 * 1024;
+const QUEUE_DEPTH: usize = 8;
+const SHARDS: usize = 4;
+
+fn workload() -> (Reference, Vec<(String, align_core::Seq)>) {
+    let lens = contig_lengths(GENOME_LEN, CONTIGS);
+    let mut reference = Reference::new();
+    let mut reads = Vec::new();
+    for (ci, &len) in lens.iter().enumerate() {
+        let genome = Genome::generate(&GenomeConfig::human_like(len, SEED + ci as u64));
+        reference.push(&format!("chr{}", ci + 1), genome.seq.clone());
+        for (i, r) in simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: READS / CONTIGS,
+                length: READ_LEN,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed: SEED ^ (ci as u64) << 8,
+            },
+        )
+        .into_iter()
+        .enumerate()
+        {
+            reads.push((format!("c{ci}r{i}"), r.seq));
+        }
+    }
+    (reference, reads)
+}
+
+struct BackendRow {
+    name: &'static str,
+    wall_s: f64,
+    reads_per_sec: f64,
+    query_bases_per_sec: f64,
+    records: u64,
+    peak_resident_task_bases: u64,
+    resident_reference_bytes: usize,
+}
+
+fn run_backend(
+    kind: BackendKind,
+    name: &'static str,
+    reference: &Reference,
+    reads: &[(String, align_core::Seq)],
+) -> Result<BackendRow, String> {
+    let backend = kind.create();
+    let cfg = PipelineConfig {
+        batch_bases: BATCH_BASES,
+        queue_depth: QUEUE_DEPTH,
+        dispatchers: 1,
+        shards: SHARDS,
+        shard_overlap: 256,
+        params: CandidateParams::default(),
+    };
+    let run = || {
+        let stream = reads.iter().map(|(n, s)| {
+            Ok::<_, std::convert::Infallible>(ReadInput {
+                name: n.clone(),
+                seq: s.clone(),
+            })
+        });
+        run_pipeline(
+            stream,
+            reference.clone(),
+            backend.as_ref(),
+            &cfg,
+            |_| Ok(()),
+        )
+        .map_err(|e| format!("backend {name}: {e}"))
+    };
+    run()?; // warm-up: allocators, thread pools, branch caches
+    let t0 = Instant::now();
+    let metrics = run()?;
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    Ok(BackendRow {
+        name,
+        wall_s: wall,
+        reads_per_sec: metrics.reads_in as f64 / wall,
+        query_bases_per_sec: metrics.query_bases as f64 / wall,
+        records: metrics.records_out,
+        peak_resident_task_bases: metrics.max_inflight_bases,
+        resident_reference_bytes: metrics.shard_index.reference_bytes,
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let (reference, reads) = workload();
+    let total_len = reference.total_len();
+
+    let mut rows = Vec::new();
+    for (kind, name) in BackendKind::ALL {
+        match run_backend(kind, name, &reference, &reads) {
+            Ok(row) => {
+                eprintln!(
+                    "perf-trajectory: {name}: {:.0} reads/s, {:.0} query bases/s, \
+                     peak {} resident task bases",
+                    row.reads_per_sec, row.query_bases_per_sec, row.peak_resident_task_bases
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("perf-trajectory: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"genasm-bench-pipeline/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"genome_len\": {GENOME_LEN}, \"contigs\": {CONTIGS}, \
+         \"total_len\": {total_len}, \"reads\": {}, \"read_len\": {READ_LEN}, \
+         \"seed\": {SEED}}},",
+        reads.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"batch_bases\": {BATCH_BASES}, \"queue_depth\": {QUEUE_DEPTH}, \
+         \"shards\": {SHARDS}, \"dispatchers\": 1}},"
+    );
+    let _ = writeln!(json, "  \"backends\": {{");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"wall_s\": {:.6}, \"reads_per_sec\": {:.2}, \
+             \"query_bases_per_sec\": {:.2}, \"records\": {}, \
+             \"peak_resident_task_bases\": {}, \"resident_reference_bytes\": {}}}{}",
+            r.name,
+            r.wall_s,
+            r.reads_per_sec,
+            r.query_bases_per_sec,
+            r.records,
+            r.peak_resident_task_bases,
+            r.resident_reference_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf-trajectory: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("perf-trajectory: wrote {out_path}");
+}

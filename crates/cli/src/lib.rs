@@ -30,17 +30,18 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
-use align_core::Seq;
+use align_core::{Reference, Seq};
 use genasm_pipeline::{
     AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, OutputFormat,
     PipelineConfig, ReadInput, ServiceConfig,
 };
 use genasm_server::client::SubmitOptions;
 use genasm_server::{Endpoint, Server, ServerConfig};
-use mapper::{CandidateParams, MinimizerIndex, ShardedIndex};
+use mapper::{CandidateParams, ShardedIndex};
 use readsim::{
-    read_fastx, read_single_fastx, reads_to_records, simulate_reads, write_fasta, write_fastq,
-    ErrorModel, FastxReader, FastxRecord, Genome, GenomeConfig, ReadConfig,
+    contig_lengths, read_fastx, read_multi_fastx, read_single_fastx, reads_to_records,
+    simulate_reads, write_fasta, write_fastq, ErrorModel, FastxReader, FastxRecord, Genome,
+    GenomeConfig, ReadConfig,
 };
 
 /// CLI failure: message plus suggested exit code.
@@ -147,8 +148,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// The usage text.
 pub const USAGE: &str = "usage:
-  genasm simulate --genome-len N --reads N --read-len N [--error R] [--seed S] --ref FILE --out FILE
-  genasm map      --ref FILE --reads FILE [--max-per-read N] [--threads N]
+  genasm simulate --genome-len N --reads N --read-len N [--contigs N] [--error R] [--seed S]
+                  --ref FILE --out FILE
+  genasm map      --ref FILE --reads FILE [--max-per-read N] [--threads N] [--shards N]
+                  [--shard-overlap BASES]
   genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
                   [--threads N] [--shards N] [--shard-overlap BASES] [--format tsv|paf]
   genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
@@ -164,7 +167,9 @@ pub const USAGE: &str = "usage:
 
 ENDPOINT is unix:PATH, tcp:HOST:PORT, or HOST:PORT. `serve` runs until a
 client sends `genasm ctl shutdown`; record lines from `submit` are
-byte-identical to `align` on the same reads (status goes to stderr).";
+byte-identical to `align` on the same reads (status goes to stderr).
+References may be multi-contig FASTA: records report contig names and
+contig-local coordinates, and shards never straddle contig boundaries.";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("I/O error: {e}"))
@@ -175,10 +180,18 @@ fn load_fastx(path: &str) -> Result<Vec<FastxRecord>, CliError> {
     read_fastx(BufReader::new(f)).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
-/// Load a reference that must be a single contig. Multi-record FASTA
-/// is rejected with an error naming every extra record — the old
-/// behavior of silently keeping the first contig hid real data loss.
-fn load_reference(path: &str) -> Result<(String, Seq), CliError> {
+/// Load a (possibly multi-contig) reference: every FASTA record
+/// becomes one named contig. Zero records or duplicate contig names
+/// are errors.
+fn load_reference(path: &str) -> Result<Reference, CliError> {
+    let f = File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+    read_multi_fastx(BufReader::new(f)).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+/// Load an input that must be a single sequence (the `filter` text).
+/// Multi-record FASTA is rejected with an error naming every extra
+/// record.
+fn load_single_sequence(path: &str) -> Result<(String, Seq), CliError> {
     let f = File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
     let rec = read_single_fastx(BufReader::new(f))
         .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
@@ -205,34 +218,99 @@ fn cmd_simulate(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let read_len: usize = flags.num("read-len", 5_000)?;
     let error: f64 = flags.num("error", 0.10)?;
     let seed: u64 = flags.num("seed", 42)?;
+    let contigs: usize = flags.num("contigs", 1)?;
+    if contigs == 0 {
+        return Err(CliError::usage("--contigs must be at least 1"));
+    }
     let ref_path = flags.req("ref")?;
     let out_path = flags.req("out")?;
 
-    let genome = Genome::generate(&GenomeConfig::human_like(genome_len, seed));
-    let reads = simulate_reads(
-        &genome,
-        &ReadConfig {
-            count: n_reads,
-            length: read_len,
-            errors: ErrorModel::pacbio_clr(error),
-            rc_fraction: 0.5,
-            seed: seed ^ 0x5eed,
-        },
-    );
+    if contigs == 1 {
+        // The historical single-contig shape, byte-for-byte.
+        let genome = Genome::generate(&GenomeConfig::human_like(genome_len, seed));
+        let reads = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: n_reads,
+                length: read_len,
+                errors: ErrorModel::pacbio_clr(error),
+                rc_fraction: 0.5,
+                seed: seed ^ 0x5eed,
+            },
+        );
+        let f = File::create(ref_path).map_err(io_err)?;
+        write_fasta(
+            BufWriter::new(f),
+            &[FastxRecord::fasta("synthetic_ref", genome.seq.clone())],
+        )
+        .map_err(io_err)?;
+        let f = File::create(out_path).map_err(io_err)?;
+        write_fastq(BufWriter::new(f), &reads_to_records(&reads)).map_err(io_err)?;
+        writeln!(
+            out,
+            "wrote {} bp reference to {ref_path} and {} reads to {out_path}",
+            genome.seq.len(),
+            reads.len()
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
 
+    // Multi-contig: deliberately *unequal* contig sizes (real
+    // assemblies are skewed), one independent genome per contig,
+    // reads drawn round-robin so adjacent reads hit different
+    // contigs. Read names encode the source contig and truth
+    // coordinates so downstream tests can check contig fidelity.
+    let lens = contig_lengths(genome_len, contigs);
+    let mut ref_records = Vec::with_capacity(contigs);
+    let mut pools = Vec::with_capacity(contigs);
+    for (ci, &len) in lens.iter().enumerate() {
+        if len < 2 * read_len + 2 {
+            return Err(CliError::usage(format!(
+                "contig {} would be {len} bases — too short for {read_len} bp reads; \
+                 raise --genome-len or lower --contigs/--read-len",
+                ci + 1
+            )));
+        }
+        let name = format!("chr{}", ci + 1);
+        let genome = Genome::generate(&GenomeConfig::human_like(len, seed + ci as u64 * 7919));
+        let reads = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: n_reads.div_ceil(contigs),
+                length: read_len,
+                errors: ErrorModel::pacbio_clr(error),
+                rc_fraction: 0.5,
+                seed: (seed ^ 0x5eed) + ci as u64,
+            },
+        );
+        ref_records.push(FastxRecord::fasta(&name, genome.seq.clone()));
+        pools.push((name, reads));
+    }
+    let mut read_records = Vec::with_capacity(n_reads);
+    let mut cursors = vec![0usize; contigs];
+    for i in 0..n_reads {
+        let ci = i % contigs;
+        let (name, pool) = &pools[ci];
+        let r = &pool[cursors[ci]];
+        cursors[ci] += 1;
+        let rname = format!(
+            "read{i}_{name}_pos{}_{}_{}",
+            r.true_start,
+            r.true_end,
+            if r.reverse { "rev" } else { "fwd" }
+        );
+        read_records.push(FastxRecord::fastq(&rname, r.seq.clone(), r.qual.clone()));
+    }
     let f = File::create(ref_path).map_err(io_err)?;
-    write_fasta(
-        BufWriter::new(f),
-        &[FastxRecord::fasta("synthetic_ref", genome.seq.clone())],
-    )
-    .map_err(io_err)?;
+    write_fasta(BufWriter::new(f), &ref_records).map_err(io_err)?;
     let f = File::create(out_path).map_err(io_err)?;
-    write_fastq(BufWriter::new(f), &reads_to_records(&reads)).map_err(io_err)?;
+    write_fastq(BufWriter::new(f), &read_records).map_err(io_err)?;
     writeln!(
         out,
-        "wrote {} bp reference to {ref_path} and {} reads to {out_path}",
-        genome.seq.len(),
-        reads.len()
+        "wrote {} bp reference ({contigs} contigs) to {ref_path} and {} reads to {out_path}",
+        lens.iter().sum::<usize>(),
+        read_records.len()
     )
     .map_err(io_err)?;
     Ok(())
@@ -267,16 +345,18 @@ fn shard_params(flags: &Flags) -> Result<(usize, usize), CliError> {
 }
 
 fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
-    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reference = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
     let params = candidate_params(flags)?;
+    let (shards, shard_overlap) = shard_params(flags)?;
     configure_threads(flags)?;
-    let index = MinimizerIndex::build(&reference);
+    let index = ShardedIndex::build(reference, shards, shard_overlap);
     for r in &reads {
-        let anchors = mapper::collect_anchors(&r.seq, &index);
-        let chains = mapper::chain_anchors(&anchors, index.k, &params.chain);
-        for c in chains.iter().take(params.max_per_read) {
+        let chains = index.chains_for_read(&r.seq, &params.chain);
+        for (contig, c) in chains.iter().take(params.max_per_read) {
             // PAF-like: qname qlen qstart qend strand tname tlen tstart tend score anchors
+            // tname/tlen/tstart/tend are the *contig* and contig-local
+            // coordinates.
             writeln!(
                 out,
                 "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.0}\t{}",
@@ -285,8 +365,8 @@ fn cmd_map(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
                 c.read_start,
                 c.read_end,
                 if c.reverse { '-' } else { '+' },
-                ref_name,
-                reference.len(),
+                index.contig_name(*contig),
+                index.contig_len(*contig),
                 c.ref_start,
                 c.ref_end,
                 c.score,
@@ -357,16 +437,18 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let params = candidate_params(flags)?;
     let (shards, shard_overlap) = shard_params(flags)?;
     configure_threads(flags)?;
-    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reference = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
     let backend = aligner.create();
-    let index = ShardedIndex::build(&reference, shards, shard_overlap);
+    // The build consumes the reference: candidate windows are cut from
+    // the index's shard-local storage.
+    let index = ShardedIndex::build(reference, shards, shard_overlap);
 
     // Generate all candidates up front (the one-shot shape).
     let mut tasks = Vec::new();
     let mut read_of_task = Vec::new();
     for (i, r) in reads.iter().enumerate() {
-        for t in index.candidates_for_read(i as u32, &r.seq, &reference, &params) {
+        for t in index.candidates_for_read(i as u32, &r.seq, &params) {
             read_of_task.push(i);
             tasks.push(t);
         }
@@ -389,8 +471,8 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         rows[i].push(AlignRecord::new(
             &reads[i].name,
             reads[i].seq.len(),
-            &ref_name,
-            reference.len(),
+            index.contig_name(task.contig),
+            index.contig_len(task.contig),
             task.ref_pos,
             task.target.len(),
             task.reverse,
@@ -425,7 +507,7 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let format = output_format(flags)?;
     let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
     configure_threads(flags)?;
-    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reference = load_reference(flags.req("ref")?)?;
     let reads_path = flags.req("reads")?;
     let backend = backend.create();
 
@@ -438,14 +520,9 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         })
     });
 
-    let metrics = genasm_pipeline::run_pipeline(
-        stream,
-        &ref_name,
-        &reference,
-        backend.as_ref(),
-        &cfg,
-        |rec| writeln!(out, "{}", format.line(rec)),
-    )
+    let metrics = genasm_pipeline::run_pipeline(stream, reference, backend.as_ref(), &cfg, |rec| {
+        writeln!(out, "{}", format.line(rec))
+    })
     .map_err(|e| CliError::runtime(e.to_string()))?;
 
     if show_metrics {
@@ -484,7 +561,8 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         max_sessions: flags.num("max-sessions", 64)?,
         linger: std::time::Duration::from_millis(flags.num("linger-ms", 2)?),
     };
-    let (ref_name, reference) = load_reference(flags.req("ref")?)?;
+    let reference = load_reference(flags.req("ref")?)?;
+    let ref_label = reference.label();
     let server = Server::start(
         ServerConfig {
             endpoint,
@@ -492,7 +570,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             default_format,
             service,
         },
-        &ref_name,
+        &ref_label,
         reference,
     )
     .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
@@ -608,7 +686,7 @@ fn cmd_filter(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     if pattern.is_empty() || pattern.len() > 64 {
         return Err(CliError::usage("--pattern must be 1..=64 bases"));
     }
-    let (_, text) = load_reference(flags.req("text")?)?;
+    let (_, text) = load_single_sequence(flags.req("text")?)?;
     let k: usize = flags.num("k", 2)?;
     for occ in genasm_core::filter_occurrences(&pattern, &text, k) {
         writeln!(out, "{}\t{}", occ.end, occ.edits).map_err(io_err)?;

@@ -483,9 +483,209 @@ fn format_paf_is_identical_across_align_and_pipeline_and_parses() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Simulate a 3-contig workload (unequal contig sizes) into `dir`.
+fn simulate_multi_contig_workload(
+    dir: &std::path::Path,
+    reads: usize,
+    read_len: usize,
+) -> (String, String) {
+    let ref_path = dir.join("ref.fa").to_str().unwrap().to_string();
+    let reads_path = dir.join("reads.fq").to_str().unwrap().to_string();
+    let out = run_ok(&[
+        "simulate",
+        "--genome-len",
+        "150000",
+        "--contigs",
+        "3",
+        "--reads",
+        &reads.to_string(),
+        "--read-len",
+        &read_len.to_string(),
+        "--error",
+        "0.08",
+        "--seed",
+        "13",
+        "--ref",
+        &ref_path,
+        "--out",
+        &reads_path,
+    ]);
+    assert!(out.contains("3 contigs"), "{out}");
+    (ref_path, reads_path)
+}
+
+/// The end-to-end multi-contig acceptance test: a 3-contig FASTA
+/// aligns through `align` and `pipeline` with byte-identical output
+/// across shard counts {1, 2, 7}, contig names and contig-local
+/// coordinates in TSV, and the *contig* length (not the whole
+/// reference) as PAF column 7 — with unequal contig sizes so a
+/// whole-reference length could never masquerade as a contig length.
 #[test]
-fn multi_record_reference_is_rejected_naming_the_extras() {
-    let dir = tmpdir("multi-ref");
+fn multi_contig_reference_aligns_end_to_end_and_is_shard_invariant() {
+    let dir = tmpdir("multi-contig");
+    let (ref_path, reads_path) = simulate_multi_contig_workload(&dir, 6, 900);
+
+    // Contig identities straight from the written FASTA.
+    let reference = {
+        let f = std::fs::File::open(&ref_path).unwrap();
+        readsim::read_multi_fastx(std::io::BufReader::new(f)).unwrap()
+    };
+    assert_eq!(reference.num_contigs(), 3);
+    let lens: Vec<usize> = reference.contigs().iter().map(|c| c.len()).collect();
+    assert!(
+        lens[0] < lens[1] && lens[1] < lens[2],
+        "contig sizes must be unequal: {lens:?}"
+    );
+
+    let golden = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    assert!(!golden.is_empty(), "multi-contig align produced no records");
+    for shards in ["1", "2", "7"] {
+        let a = run_ok(&[
+            "align",
+            "--ref",
+            &ref_path,
+            "--reads",
+            &reads_path,
+            "--shards",
+            shards,
+        ]);
+        assert_eq!(a, golden, "align --shards {shards} diverged");
+        let p = run_ok(&[
+            "pipeline",
+            "--ref",
+            &ref_path,
+            "--reads",
+            &reads_path,
+            "--shards",
+            shards,
+        ]);
+        assert_eq!(p, golden, "pipeline --shards {shards} diverged");
+    }
+
+    // TSV rows name real contigs and stay inside them; the read name
+    // encodes the source contig, and the best row must land on it.
+    let mut best: std::collections::HashMap<String, genasm_pipeline::AlignRecord> =
+        std::collections::HashMap::new();
+    for line in golden.lines() {
+        let rec = genasm_pipeline::AlignRecord::parse_tsv(line).unwrap();
+        let contig = reference
+            .contigs()
+            .iter()
+            .find(|c| *c.name == rec.tname)
+            .unwrap_or_else(|| panic!("unknown contig {:?} in {line}", rec.tname));
+        assert!(
+            rec.tend <= contig.len(),
+            "row leaks past its contig: {line}"
+        );
+        best.entry(rec.qname.clone()).or_insert(rec); // rows are best-first
+    }
+    assert_eq!(best.len(), 6, "every read must produce rows");
+    for (name, rec) in &best {
+        let truth_contig = name.split('_').nth(1).unwrap();
+        assert_eq!(
+            rec.tname, truth_contig,
+            "best row of {name} on the wrong contig"
+        );
+    }
+
+    // PAF column 7 is the contig length, per row (the bugfix this PR
+    // ships): parse every row and cross-check against the FASTA.
+    let paf = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--format",
+        "paf",
+    ]);
+    assert_eq!(paf.lines().count(), golden.lines().count());
+    for line in paf.lines() {
+        let rec = genasm_pipeline::AlignRecord::parse_paf(line).unwrap();
+        let contig = reference
+            .contigs()
+            .iter()
+            .find(|c| *c.name == rec.tname)
+            .unwrap();
+        assert_eq!(
+            rec.tsize,
+            contig.len(),
+            "PAF column 7 must be the contig length: {line}"
+        );
+        assert_ne!(rec.tsize, reference.total_len());
+    }
+
+    // `map` reports contig names and contig-local chain coordinates.
+    let map_out = run_ok(&["map", "--ref", &ref_path, "--reads", &reads_path]);
+    for row in map_out.lines() {
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols.len(), 11, "bad map row: {row}");
+        let contig = reference
+            .contigs()
+            .iter()
+            .find(|c| &*c.name == cols[5])
+            .unwrap_or_else(|| panic!("map row names unknown contig: {row}"));
+        assert_eq!(cols[6], contig.len().to_string(), "map tlen column");
+        let tend: usize = cols[8].parse().unwrap();
+        assert!(tend <= contig.len(), "map chain leaks past contig: {row}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_contig_serve_and_submit_match_align() {
+    let dir = tmpdir("multi-contig-serve");
+    let (ref_path, reads_path) = simulate_multi_contig_workload(&dir, 4, 700);
+    let sock = dir.join("genasm-mc.sock");
+    let endpoint = format!("unix:{}", sock.display());
+
+    let serve_args: Vec<String> = [
+        "serve", "--ref", &ref_path, "--listen", &endpoint, "--shards", "4",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server_thread = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        let result = genasm_cli::run(&serve_args, &mut out);
+        (result, String::from_utf8(out).unwrap())
+    });
+    await_server(&endpoint);
+
+    let align_paf = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--format",
+        "paf",
+    ]);
+    let submit_paf = run_ok(&[
+        "submit",
+        "--to",
+        &endpoint,
+        "--reads",
+        &reads_path,
+        "--format",
+        "paf",
+    ]);
+    assert_eq!(
+        submit_paf, align_paf,
+        "multi-contig submit diverged from align"
+    );
+    let stats = run_ok(&["ctl", "stats", "--to", &endpoint]);
+    assert!(stats.contains("contigs=3"), "{stats}");
+
+    run_ok(&["ctl", "shutdown", "--to", &endpoint]);
+    let (result, _) = server_thread.join().unwrap();
+    result.unwrap_or_else(|e| panic!("serve failed: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn filter_still_requires_a_single_sequence_and_duplicates_are_rejected() {
+    let dir = tmpdir("multi-ref-errors");
     let ref_path = dir.join("ref.fa");
     let recs = vec![
         readsim::FastxRecord::fasta(
@@ -496,33 +696,39 @@ fn multi_record_reference_is_rejected_naming_the_extras() {
             "chr2",
             align_core::Seq::from_ascii(b"GGCCGGCCGGCC").unwrap(),
         ),
-        readsim::FastxRecord::fasta(
-            "chr3",
-            align_core::Seq::from_ascii(b"TTTTACGTAAAA").unwrap(),
-        ),
     ];
     let f = std::fs::File::create(&ref_path).unwrap();
     readsim::write_fasta(std::io::BufWriter::new(f), &recs).unwrap();
+
+    // `filter` searches one sequence; multi-record input is still an
+    // error naming the extras.
+    let e = run_err(&[
+        "filter",
+        "--pattern",
+        "ACGT",
+        "--text",
+        ref_path.to_str().unwrap(),
+    ]);
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("chr2"), "{}", e.message);
+
+    // Duplicate contig names poison the whole reference.
+    let dup_path = dir.join("dup.fa");
+    std::fs::write(&dup_path, ">chr1\nACGTACGT\n>chr1\nGGCCGGCC\n").unwrap();
     let reads_path = dir.join("reads.fq");
     std::fs::write(&reads_path, "@r1\nACGTACGT\n+\nIIIIIIII\n").unwrap();
-
     for cmd in ["align", "pipeline", "map"] {
         let e = run_err(&[
             cmd,
             "--ref",
-            ref_path.to_str().unwrap(),
+            dup_path.to_str().unwrap(),
             "--reads",
             reads_path.to_str().unwrap(),
         ]);
-        assert_eq!(e.code, 1, "{cmd} must fail on a multi-record reference");
+        assert_eq!(e.code, 1, "{cmd} must reject duplicate contig names");
         assert!(
-            e.message.contains("chr2") && e.message.contains("chr3"),
-            "{cmd} error must name the extra records: {}",
-            e.message
-        );
-        assert!(
-            e.message.contains("exactly one"),
-            "{cmd} error must explain the contract: {}",
+            e.message.contains("duplicate contig name"),
+            "{cmd}: {}",
             e.message
         );
     }

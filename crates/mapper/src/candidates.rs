@@ -58,6 +58,27 @@ pub fn candidates_for_read(
         .collect()
 }
 
+/// Project a chain to its reference window `[start, end)`, clamped to
+/// `[0, limit)` (the owning contig's length): extend the covered ref
+/// interval by the uncovered read prefix/suffix on the proper sides.
+///
+/// The window start must be offset-free: GenASM's greedy window
+/// pipeline (like the paper's) aligns from the candidate position,
+/// and a leading pad creates many cost-equal garbage paths that can
+/// derail its first-window lock-on. Anchors give the start exactly;
+/// the flank goes on the trailing side only, where it merely costs
+/// every aligner the same run of deletions.
+pub fn chain_window(chain: &Chain, read_len: usize, limit: usize, flank: usize) -> (usize, usize) {
+    let (pre, post) = if chain.reverse {
+        (read_len - chain.read_end, chain.read_start)
+    } else {
+        (chain.read_start, read_len - chain.read_end)
+    };
+    let start = chain.ref_start.saturating_sub(pre);
+    let end = (chain.ref_end + post + flank).min(limit);
+    (start, end)
+}
+
 /// Project a chain to a reference window and build the task.
 pub fn task_from_chain(
     read_id: u32,
@@ -66,21 +87,7 @@ pub fn task_from_chain(
     chain: &Chain,
     flank: usize,
 ) -> AlignTask {
-    // Project the full read through the chain: extend the covered ref
-    // interval by the uncovered read prefix/suffix on the proper sides.
-    let (pre, post) = if chain.reverse {
-        (read.len() - chain.read_end, chain.read_start)
-    } else {
-        (chain.read_start, read.len() - chain.read_end)
-    };
-    // The window start must be offset-free: GenASM's greedy window
-    // pipeline (like the paper's) aligns from the candidate position,
-    // and a leading pad creates many cost-equal garbage paths that can
-    // derail its first-window lock-on. Anchors give the start exactly;
-    // the flank goes on the trailing side only, where it merely costs
-    // every aligner the same run of deletions.
-    let start = chain.ref_start.saturating_sub(pre);
-    let end = (chain.ref_end + post + flank).min(reference.len());
+    let (start, end) = chain_window(chain, read.len(), reference.len(), flank);
     let target = reference.slice(start, end - start);
     let query = if chain.reverse {
         read.reverse_complement()

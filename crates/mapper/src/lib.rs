@@ -10,17 +10,21 @@
 //! minimizers, a chaining DP with minimap2's gap cost, no primary-chain
 //! filtering, and flanked reference windows ready for global alignment.
 //!
-//! For genome-scale references, [`shard`] splits the reference into
-//! overlapping slices with one `MinimizerIndex` each and fans anchor
-//! collection out across the shards; the merged candidate stream is
-//! guaranteed identical to the unsharded path for every shard count.
+//! For genome-scale, multi-contig references, [`shard`] splits the
+//! reference into overlapping slices — never straddling a contig
+//! boundary — with one `MinimizerIndex` *and the only copy of the
+//! slice's bases* each, and fans anchor collection out across a
+//! persistent pool of per-shard workers; the merged candidate stream
+//! is guaranteed identical for every shard count.
 
 pub mod candidates;
 pub mod chain;
 pub mod index;
 pub mod shard;
 
-pub use candidates::{candidates_for_read, generate_batch, task_from_chain, CandidateParams};
+pub use candidates::{
+    candidates_for_read, chain_window, generate_batch, task_from_chain, CandidateParams,
+};
 pub use chain::{chain_anchors, collect_anchors, Anchor, Chain, ChainParams};
 pub use index::{hash64, minimizers, minimizers_windowed, Minimizer, MinimizerIndex};
 pub use shard::{ShardIndexMetrics, ShardMetrics, ShardedIndex};

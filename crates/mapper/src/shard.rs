@@ -1,59 +1,90 @@
-//! Sharded reference index with fan-out candidate generation.
+//! Contig-aware sharded reference index with shard-local sequence
+//! storage and a persistent per-shard worker pool.
 //!
 //! A single [`MinimizerIndex`] is the last monolithic stage in the
-//! streaming pipeline: it is built in one pass over the whole reference
-//! and queried from one thread. [`ShardedIndex`] splits the reference
-//! into `S` fixed-size **overlapping** slices, builds one
-//! `MinimizerIndex` per slice, fans anchor collection out across the
-//! shards, and merges the per-shard hits deterministically (global
-//! coordinate translation, stable sort, overlap dedup) before the
-//! chaining DP runs once over the merged set.
+//! streaming pipeline: it is built in one pass over one sequence and
+//! queried from one thread. [`ShardedIndex`] splits a multi-contig
+//! [`Reference`] into overlapping slices — **never straddling a contig
+//! boundary** — builds one `MinimizerIndex` per slice, fans anchor
+//! collection out across a persistent pool of per-shard workers, and
+//! merges the per-shard hits deterministically (global coordinate
+//! translation, stable sort, overlap dedup) before the chaining DP
+//! runs per contig over the merged set.
+//!
+//! **Shard-local residency.** Each shard owns the only copy of its
+//! slice of the reference (`tile + overlap` bases). The build consumes
+//! the [`Reference`] and drops every contig sequence after slicing it,
+//! so no monolithic reference `Seq` survives the build — candidate
+//! windows are stitched from shard-local storage
+//! ([`ShardedIndex::window`]), and total resident reference bytes are
+//! `Σ (tile + overlap)` ([`ShardedIndex::resident_reference_bytes`]).
 //!
 //! The load-bearing guarantee is **shard-count invariance**: for any
 //! shard count and any overlap of at least one winnowing window
 //! ([`ShardedIndex::min_overlap`] bases, enforced by the constructor),
 //! the merged anchor stream — and therefore every chain, candidate
-//! task, and output byte downstream — is *identical* to the unsharded
-//! [`MinimizerIndex`] path. Three properties make that hold:
+//! task, and output byte downstream — is *identical* for every shard
+//! count (and, on a single contig, identical to the unsharded
+//! [`MinimizerIndex`] path). Three properties make that hold:
 //!
-//! 1. **Slice minimizers are reference minimizers.** Every full
-//!    winnowing window of a slice is a window of the reference and
-//!    selects the same k-mer, so slices are extracted with
-//!    [`minimizers_windowed`] (no short-sequence fallback, which would
-//!    invent minimizers from truncated windows). With overlap ≥ one
-//!    window span, every reference window fits inside the shard owning
-//!    its start, so the union over shards is the exact reference set.
+//! 1. **Slice minimizers are contig minimizers.** Every full winnowing
+//!    window of a slice is a window of its contig and selects the same
+//!    k-mer, so slices are extracted with [`minimizers_windowed`] (no
+//!    short-sequence fallback, which would invent minimizers from
+//!    truncated windows). With overlap ≥ one window span, every contig
+//!    window fits inside the shard owning its start, so the union over
+//!    shards is the exact per-contig set. A shard that covers its
+//!    *whole* contig keeps the fallback so short contigs stay
+//!    indexable — and such a contig is never split, so the rule is
+//!    shard-count invariant.
 //! 2. **The occurrence cutoff is global.** `max_occ` masking must see
-//!    genome-wide occurrence counts, not per-shard counts (a repeat
-//!    spread over shards could slip under a local cutoff). The build
-//!    counts each distinct reference position once — overlap
-//!    duplicates are detected against earlier shards — and lookups
-//!    consult the global count.
+//!    genome-wide occurrence counts across every contig, not per-shard
+//!    counts (a repeat spread over shards or contigs could slip under
+//!    a local cutoff). The build counts each distinct reference
+//!    position once — overlap duplicates are detected against earlier
+//!    shards — and lookups consult the global count.
 //! 3. **The merge is canonical.** Per-shard anchors are translated to
 //!    global coordinates, concatenated in shard order, sorted by
 //!    `(read_pos, ref_pos, strand)` and deduplicated, which reproduces
 //!    the unsharded anchor order exactly (read minimizers ascend in
-//!    position; bucket hits ascend in reference position).
+//!    position; bucket hits ascend in reference position). Chaining
+//!    then runs per contig (a chain can never span two contigs) and
+//!    chains merge by score with contig order as the stable tiebreak.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use align_core::{AlignTask, Seq};
+use align_core::{AlignTask, Reference, Seq};
 
-use crate::candidates::{task_from_chain, CandidateParams};
-use crate::chain::{chain_anchors, Anchor};
+use crate::candidates::{chain_window, CandidateParams};
+use crate::chain::{chain_anchors, Anchor, Chain, ChainParams};
 use crate::index::{minimizers, minimizers_windowed, MinimizerIndex};
 
-/// One reference shard: a slice `[start, end)` of the reference with
-/// its own minimizer index (positions local to the slice).
+/// One reference shard: a slice of a single contig with its own
+/// minimizer index and the only copy of the slice's bases.
+///
+/// The shard *owns* the contig-local tile `[tile_start, tile_end)` and
+/// *stores* `[tile_start, tile_start + slice.len())` — the tile plus
+/// up to `overlap` trailing bases (clamped to the contig end).
 #[derive(Debug)]
 struct Shard {
-    /// Global start of the slice.
+    /// Index of the contig this shard slices.
+    contig: u32,
+    /// Global start of the stored slice.
     start: usize,
-    /// Global end of the slice (exclusive; includes the overlap).
+    /// Global end of the stored slice (exclusive; includes overlap).
     end: usize,
-    /// Minimizer index over the slice.
+    /// Contig-local start of the ownership tile (== slice start).
+    tile_start: usize,
+    /// Contig-local end of the ownership tile (exclusive, no overlap).
+    tile_end: usize,
+    /// The shard-local reference bases (tile + overlap).
+    slice: Seq,
+    /// Minimizer index over the slice (positions local to the slice).
     index: MinimizerIndex,
     /// Busy time spent collecting anchors in this shard, nanoseconds.
     busy_ns: AtomicU64,
@@ -75,9 +106,111 @@ impl Shard {
     }
 }
 
+/// One shard's share of the fan-out: scan the read's (already
+/// mask-filtered) minimizers against the shard index, translating hits
+/// to global coordinates.
+fn shard_anchors(shard: &Shard, read_mins: &[crate::Minimizer]) -> Vec<Anchor> {
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    for m in read_mins {
+        for &(pos, rflip) in shard.index.occurrences(m.hash) {
+            out.push(Anchor {
+                read_pos: m.pos,
+                ref_pos: (shard.start + pos as usize) as u32,
+                reverse: m.flipped != rflip,
+            });
+        }
+    }
+    shard
+        .anchors_found
+        .fetch_add(out.len() as u64, Ordering::Relaxed);
+    shard
+        .busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// One anchor-collection request handed to a shard worker.
+struct Job {
+    /// The read's mask-filtered minimizers, shared across all shards.
+    mins: Arc<Vec<crate::Minimizer>>,
+    /// Where the worker sends `(shard index, anchors)`.
+    reply: mpsc::Sender<(usize, Vec<Anchor>)>,
+}
+
+/// A minimal MPSC job queue (`Mutex` + `Condvar`) feeding one shard
+/// worker. `std::sync::mpsc::Sender` is not `Sync` on all supported
+/// toolchains, and the index must be shareable across session threads,
+/// so the submit side is a plain `&self` method here.
+struct JobChan {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobChan {
+    fn new() -> JobChan {
+        JobChan {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn send(&self, job: Job) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(!st.1, "send after close");
+        st.0.push_back(job);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn recv(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.0.pop_front() {
+                return Some(job);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The persistent per-shard worker pool: one thread per shard, alive
+/// for the index's lifetime, fed by a per-shard [`JobChan`]. Replaces
+/// the per-read `thread::scope` spawn of the original fan-out — short
+/// reads no longer pay a thread spawn/join per shard per read.
+struct Pool {
+    chans: Vec<Arc<JobChan>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Pool({} workers)", self.handles.len())
+    }
+}
+
+/// One contig's identity inside the index: the sequence itself lives
+/// only in the shard slices.
+#[derive(Debug, Clone)]
+struct ContigMeta {
+    name: Arc<str>,
+    offset: usize,
+    len: usize,
+}
+
 /// Telemetry for one shard of a [`ShardedIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMetrics {
+    /// Index of the contig this shard slices.
+    pub contig: u32,
     /// Global span of the shard's slice.
     pub start: usize,
     /// End of the span (exclusive).
@@ -93,84 +226,130 @@ pub struct ShardMetrics {
 pub struct ShardIndexMetrics {
     /// Per-shard spans, busy time, and anchor counts.
     pub shards: Vec<ShardMetrics>,
+    /// Number of reference contigs.
+    pub contigs: usize,
     /// Duplicate anchors removed by the overlap merge.
     pub dup_anchors_merged: u64,
     /// Effective overlap in bases (after the exactness clamp).
     pub overlap: usize,
+    /// Resident shard-local reference storage, in packed bytes
+    /// (the monolithic reference is dropped at build).
+    pub reference_bytes: usize,
 }
 
-/// A minimizer index split into overlapping reference shards.
+/// A minimizer index split into overlapping, contig-aware reference
+/// shards that own their slice of the reference.
 #[derive(Debug)]
 pub struct ShardedIndex {
     /// Window length in k-mers.
     pub w: usize,
     /// k-mer length.
     pub k: usize,
-    /// Reference length.
-    pub ref_len: usize,
     /// Global occurrence cutoff (see [`MinimizerIndex::max_occ`]).
     pub max_occ: usize,
     /// Effective overlap between consecutive shards, in bases.
     pub overlap: usize,
-    shards: Vec<Shard>,
-    /// Genome-wide occurrence count per hash (overlap-deduplicated).
+    contigs: Vec<ContigMeta>,
+    /// `contig_shards[c]` is the range of shard indices slicing contig
+    /// `c` (shards are laid out contig by contig, in order).
+    contig_shards: Vec<std::ops::Range<usize>>,
+    shards: Arc<Vec<Shard>>,
+    /// Genome-wide occurrence count per hash (overlap-deduplicated,
+    /// across every contig).
     counts: HashMap<u64, u32>,
     /// Duplicate anchors removed by the merge, across all queries.
     dup_anchors: AtomicU64,
+    pool: Option<Pool>,
 }
 
 impl ShardedIndex {
     /// Build with minimap2-ish long-read defaults (`w = 10`, `k = 15`,
     /// `max_occ = 400`), matching [`MinimizerIndex::build`].
-    pub fn build(reference: &Seq, shards: usize, overlap: usize) -> ShardedIndex {
+    pub fn build(reference: Reference, shards: usize, overlap: usize) -> ShardedIndex {
         ShardedIndex::build_params(reference, shards, overlap, 10, 15, 400)
     }
 
-    /// Build with explicit parameters. `shards` is clamped to at least
-    /// 1 and `overlap` to at least `w + k` bases (one winnowing window
-    /// plus slack — below that, windows spanning a shard boundary
-    /// would fit in no shard and anchors would be lost).
+    /// Build with explicit parameters, consuming the reference:
+    /// each contig sequence is dropped once its shards have copied
+    /// their slices, so the only resident reference bytes after the
+    /// build are shard-local.
+    ///
+    /// `shards` is a *target*: the slice stride is `⌈total/shards⌉`
+    /// and every contig is tiled independently at that stride, so
+    /// boundaries never straddle contigs and every non-empty contig
+    /// gets at least one shard (a multi-contig reference can therefore
+    /// have a few more shards than requested). `shards` is clamped to
+    /// at least 1 and `overlap` to at least `w + k` bases (one
+    /// winnowing window plus slack — below that, windows spanning a
+    /// shard boundary would fit in no shard and anchors would be
+    /// lost).
     pub fn build_params(
-        reference: &Seq,
+        reference: Reference,
         shards: usize,
         overlap: usize,
         w: usize,
         k: usize,
         max_occ: usize,
     ) -> ShardedIndex {
-        let n = reference.len();
+        let total = reference.total_len();
         let shards = shards.max(1);
         let overlap = overlap.max(w + k);
-        let slice_len = n.div_ceil(shards).max(1);
+        let slice_len = total.div_ceil(shards).max(1);
 
         let mut built: Vec<Shard> = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + slice_len + overlap).min(n);
-            let slice = reference.slice(start, end - start);
-            // The whole-reference shard keeps the short-sequence
-            // fallback so `shards = 1` is bit-equal to the unsharded
-            // index even on tiny references; every other shard emits
-            // full-window minimizers only (see module docs).
-            let ms = if start == 0 && end == n {
-                minimizers(&slice, w, k)
-            } else {
-                minimizers_windowed(&slice, w, k)
-            };
-            built.push(Shard {
-                start,
-                end,
-                index: MinimizerIndex::from_minimizers(ms, w, k, end - start, max_occ),
-                busy_ns: AtomicU64::new(0),
-                anchors_found: AtomicU64::new(0),
+        let mut contigs: Vec<ContigMeta> = Vec::new();
+        let mut contig_shards: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut offset = 0usize;
+        for (ci, contig) in reference.into_contigs().into_iter().enumerate() {
+            let len = contig.seq.len();
+            let first = built.len();
+            let mut tile_start = 0usize;
+            while tile_start < len {
+                let tile_end = (tile_start + slice_len).min(len);
+                let slice_end = (tile_start + slice_len + overlap).min(len);
+                let slice = contig.seq.slice(tile_start, slice_end - tile_start);
+                // A shard covering its whole contig keeps the
+                // short-sequence winnowing fallback so short contigs
+                // (and `shards = 1` single-contig references) index
+                // bit-identically to the unsharded path; every other
+                // shard emits full-window minimizers only (see module
+                // docs). A contig short enough to need the fallback is
+                // never split, so this is shard-count invariant.
+                let ms = if tile_start == 0 && slice_end == len {
+                    minimizers(&slice, w, k)
+                } else {
+                    minimizers_windowed(&slice, w, k)
+                };
+                built.push(Shard {
+                    contig: ci as u32,
+                    start: offset + tile_start,
+                    end: offset + slice_end,
+                    tile_start,
+                    tile_end,
+                    index: MinimizerIndex::from_minimizers(ms, w, k, slice.len(), max_occ),
+                    slice,
+                    busy_ns: AtomicU64::new(0),
+                    anchors_found: AtomicU64::new(0),
+                });
+                tile_start += slice_len;
+            }
+            contig_shards.push(first..built.len());
+            contigs.push(ContigMeta {
+                name: contig.name,
+                offset,
+                len,
             });
-            start += slice_len;
+            offset += len;
+            // `contig.seq` drops here: from this point on the only
+            // copy of these bases is the shard slices above.
         }
 
         // Global occurrence counts: each distinct reference position
         // counts once. A position inside an overlap appears in more
         // than one shard; it is counted by the first shard that holds
-        // it and skipped when a later shard sees it again.
+        // it and skipped when a later shard sees it again. (Shards of
+        // different contigs never overlap, so the backward walk stops
+        // at the contig boundary by construction.)
         let mut counts: HashMap<u64, u32> = HashMap::new();
         for si in 0..built.len() {
             for (hash, hits) in built[si].index.buckets() {
@@ -187,15 +366,42 @@ impl ShardedIndex {
             }
         }
 
+        let shards_arc = Arc::new(built);
+        // Persistent per-shard workers: worth a thread only when there
+        // is an actual fan-out.
+        let pool = if shards_arc.len() > 1 {
+            let mut chans = Vec::with_capacity(shards_arc.len());
+            let mut handles = Vec::with_capacity(shards_arc.len());
+            for idx in 0..shards_arc.len() {
+                let chan = Arc::new(JobChan::new());
+                let worker_chan = Arc::clone(&chan);
+                let worker_shards = Arc::clone(&shards_arc);
+                handles.push(std::thread::spawn(move || {
+                    while let Some(job) = worker_chan.recv() {
+                        let anchors = shard_anchors(&worker_shards[idx], &job.mins);
+                        // A dropped receiver just means the query was
+                        // abandoned; the worker keeps serving.
+                        let _ = job.reply.send((idx, anchors));
+                    }
+                }));
+                chans.push(chan);
+            }
+            Some(Pool { chans, handles })
+        } else {
+            None
+        };
+
         ShardedIndex {
             w,
             k,
-            ref_len: n,
             max_occ,
             overlap,
-            shards: built,
+            contigs,
+            contig_shards,
+            shards: shards_arc,
             counts,
             dup_anchors: AtomicU64::new(0),
+            pool,
         }
     }
 
@@ -204,14 +410,100 @@ impl ShardedIndex {
         self.shards.len()
     }
 
-    /// Global `[start, end)` span of each shard.
+    /// Global `[start, end)` span of each shard's stored slice.
     pub fn shard_spans(&self) -> Vec<(usize, usize)> {
         self.shards.iter().map(|s| (s.start, s.end)).collect()
     }
 
+    /// Number of reference contigs.
+    pub fn num_contigs(&self) -> usize {
+        self.contigs.len()
+    }
+
+    /// Name of contig `c`.
+    pub fn contig_name(&self, c: u32) -> &str {
+        &self.contigs[c as usize].name
+    }
+
+    /// Shared handle to contig `c`'s name (cheap to clone into
+    /// per-task metadata).
+    pub fn contig_name_shared(&self, c: u32) -> Arc<str> {
+        Arc::clone(&self.contigs[c as usize].name)
+    }
+
+    /// Length of contig `c` in bases.
+    pub fn contig_len(&self, c: u32) -> usize {
+        self.contigs[c as usize].len
+    }
+
+    /// Global start of contig `c`.
+    pub fn contig_offset(&self, c: u32) -> usize {
+        self.contigs[c as usize].offset
+    }
+
+    /// Total reference length across all contigs.
+    pub fn total_len(&self) -> usize {
+        self.contigs.last().map_or(0, |c| c.offset + c.len)
+    }
+
+    /// Map a global position to `(contig, contig-local position)`.
+    /// Empty contigs own no positions.
+    ///
+    /// # Panics
+    /// Panics if `gpos >= total_len()`.
+    pub fn locate(&self, gpos: usize) -> (u32, usize) {
+        assert!(
+            gpos < self.total_len(),
+            "global position {gpos} out of range (total {})",
+            self.total_len()
+        );
+        let i = self.contigs.partition_point(|c| c.offset + c.len <= gpos);
+        (i as u32, gpos - self.contigs[i].offset)
+    }
+
+    /// Packed bytes of shard-local reference storage currently
+    /// resident — the *only* reference bases the index holds (the
+    /// monolithic `Seq`s were consumed by the build).
+    pub fn resident_reference_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.slice.packed_bytes()).sum()
+    }
+
+    /// Copy the window `[start, end)` of contig `c` out of shard-local
+    /// storage. The ownership tiles of a contig's shards partition it,
+    /// so any window — including one spanning several shards — is
+    /// stitched exactly; bytes are identical to slicing the original
+    /// contig.
+    ///
+    /// # Panics
+    /// Panics if `end` exceeds the contig length.
+    pub fn window(&self, c: u32, start: usize, end: usize) -> Seq {
+        assert!(
+            end <= self.contigs[c as usize].len,
+            "window end {end} exceeds contig length {}",
+            self.contigs[c as usize].len
+        );
+        let mut out = Seq::with_capacity(end.saturating_sub(start));
+        for si in self.contig_shards[c as usize].clone() {
+            let sh = &self.shards[si];
+            if sh.tile_end <= start {
+                continue;
+            }
+            if sh.tile_start >= end {
+                break;
+            }
+            let lo = start.max(sh.tile_start);
+            let hi = end.min(sh.tile_end);
+            for p in lo..hi {
+                out.push(sh.slice.get(p - sh.tile_start));
+            }
+        }
+        out
+    }
+
     /// Number of distinct indexed minimizer hashes, genome-wide
-    /// (equals [`MinimizerIndex::distinct_minimizers`] of the
-    /// unsharded index over the same reference).
+    /// (on a single contig this equals
+    /// [`MinimizerIndex::distinct_minimizers`] of the unsharded index
+    /// over the same sequence).
     pub fn distinct_minimizers(&self) -> usize {
         self.counts.len()
     }
@@ -224,33 +516,46 @@ impl ShardedIndex {
     }
 
     /// Collect the anchors of `read` against every shard and merge
-    /// them into the canonical global anchor stream (identical to
-    /// [`crate::collect_anchors`] against the unsharded index).
+    /// them into the canonical global anchor stream (on a single
+    /// contig, identical to [`crate::collect_anchors`] against the
+    /// unsharded index).
     ///
-    /// Shards are queried concurrently (one worker per shard) when
-    /// there is more than one; the merge is deterministic regardless.
+    /// With more than one shard the query fans out to the persistent
+    /// per-shard workers; the merge is deterministic regardless.
     pub fn collect_anchors(&self, read: &Seq) -> Vec<Anchor> {
         // Apply the global occurrence mask once, up front, so the S
         // shard workers don't repeat the count lookups per minimizer.
         let mut read_mins = minimizers(read, self.w, self.k);
         read_mins.retain(|m| !self.is_masked(m.hash));
-        let per_shard: Vec<Vec<Anchor>> = if self.shards.len() <= 1 {
-            self.shards
+        let per_shard: Vec<Vec<Anchor>> = match &self.pool {
+            None => self
+                .shards
                 .iter()
-                .map(|s| self.shard_anchors(s, &read_mins))
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter()
-                    .map(|s| scope.spawn(|| self.shard_anchors(s, &read_mins)))
-                    .collect();
-                handles
+                .map(|s| shard_anchors(s, &read_mins))
+                .collect(),
+            Some(pool) => {
+                let mins = Arc::new(read_mins);
+                let (reply, replies) = mpsc::channel();
+                for chan in &pool.chans {
+                    chan.send(Job {
+                        mins: Arc::clone(&mins),
+                        reply: reply.clone(),
+                    });
+                }
+                drop(reply);
+                let mut slots: Vec<Option<Vec<Anchor>>> =
+                    (0..self.shards.len()).map(|_| None).collect();
+                for _ in 0..self.shards.len() {
+                    let (idx, anchors) = replies.recv().expect("shard worker exited early");
+                    slots[idx] = Some(anchors);
+                }
+                // Flatten in shard order: the reply arrival order is
+                // nondeterministic, the merge is not.
+                slots
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .map(|s| s.expect("every shard replies exactly once"))
                     .collect()
-            })
+            }
         };
         let mut anchors: Vec<Anchor> = per_shard.into_iter().flatten().collect();
         anchors.sort_unstable_by_key(|a| (a.read_pos, a.ref_pos, a.reverse));
@@ -261,47 +566,75 @@ impl ShardedIndex {
         anchors
     }
 
-    /// One shard's share of the fan-out: scan the read's (already
-    /// mask-filtered) minimizers against the shard index, translating
-    /// hits to global coordinates.
-    fn shard_anchors(&self, shard: &Shard, read_mins: &[crate::Minimizer]) -> Vec<Anchor> {
-        let t0 = Instant::now();
-        let mut out = Vec::new();
-        for m in read_mins {
-            for &(pos, rflip) in shard.index.occurrences(m.hash) {
-                out.push(Anchor {
-                    read_pos: m.pos,
-                    ref_pos: (shard.start + pos as usize) as u32,
-                    reverse: m.flipped != rflip,
-                });
-            }
+    /// Chain `read`'s merged anchors, per contig, and return every
+    /// chain as `(contig, chain)` with **contig-local** coordinates,
+    /// best score first (contig order breaks score ties, stably).
+    /// A chain never spans two contigs.
+    pub fn chains_for_read(&self, read: &Seq, params: &ChainParams) -> Vec<(u32, Chain)> {
+        let anchors = self.collect_anchors(read);
+        let mut merged: Vec<(u32, Chain)> = Vec::new();
+        if self.contigs.len() <= 1 {
+            // Single contig: local == global; skip the partition.
+            merged.extend(
+                chain_anchors(&anchors, self.k, params)
+                    .into_iter()
+                    .map(|c| (0u32, c)),
+            );
+            return merged; // chain_anchors already sorts by score
         }
-        shard
-            .anchors_found
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        shard
-            .busy_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        out
+        let mut per_contig: Vec<Vec<Anchor>> = vec![Vec::new(); self.contigs.len()];
+        for a in &anchors {
+            let (ci, local) = self.locate(a.ref_pos as usize);
+            per_contig[ci as usize].push(Anchor {
+                ref_pos: local as u32,
+                ..*a
+            });
+        }
+        for (ci, list) in per_contig.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            merged.extend(
+                chain_anchors(list, self.k, params)
+                    .into_iter()
+                    .map(|c| (ci as u32, c)),
+            );
+        }
+        // Stable: equal scores keep contig order, so the merged chain
+        // list is deterministic and shard-count invariant.
+        merged.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+        merged
     }
 
-    /// Map one read through the sharded fan-out: merged anchors, one
-    /// chaining pass, candidate tasks in global coordinates. Output is
+    /// Map one read through the sharded fan-out: merged anchors,
+    /// per-contig chaining, candidate tasks in contig-local
+    /// coordinates with targets stitched from shard-local storage.
+    /// Output is shard-count invariant, and on a single contig
     /// identical to [`crate::candidates_for_read`] on the unsharded
-    /// index for every shard count.
+    /// index.
     pub fn candidates_for_read(
         &self,
         read_id: u32,
         read: &Seq,
-        reference: &Seq,
         params: &CandidateParams,
     ) -> Vec<AlignTask> {
-        let anchors = self.collect_anchors(read);
-        let chains = chain_anchors(&anchors, self.k, &params.chain);
+        let chains = self.chains_for_read(read, &params.chain);
         chains
             .iter()
             .take(params.max_per_read)
-            .map(|c| task_from_chain(read_id, read, reference, c, params.flank))
+            .map(|(ci, chain)| {
+                let limit = self.contigs[*ci as usize].len;
+                let (start, end) = chain_window(chain, read.len(), limit, params.flank);
+                let target = self.window(*ci, start, end);
+                let query = if chain.reverse {
+                    read.reverse_complement()
+                } else {
+                    read.clone()
+                };
+                AlignTask::new(read_id, start, query, target)
+                    .oriented(chain.reverse)
+                    .in_contig(*ci)
+            })
             .collect()
     }
 
@@ -312,24 +645,38 @@ impl ShardedIndex {
                 .shards
                 .iter()
                 .map(|s| ShardMetrics {
+                    contig: s.contig,
                     start: s.start,
                     end: s.end,
                     busy: Duration::from_nanos(s.busy_ns.load(Ordering::Relaxed)),
                     anchors: s.anchors_found.load(Ordering::Relaxed),
                 })
                 .collect(),
+            contigs: self.contigs.len(),
             dup_anchors_merged: self.dup_anchors.load(Ordering::Relaxed),
             overlap: self.overlap,
+            reference_bytes: self.resident_reference_bytes(),
         }
     }
-}
 
-impl ShardedIndex {
     /// Smallest overlap in bases that preserves shard-count invariance
     /// for `(w, k)` winnowing parameters;
     /// [`ShardedIndex::build_params`] clamps to it.
     pub fn min_overlap(w: usize, k: usize) -> usize {
         w + k
+    }
+}
+
+impl Drop for ShardedIndex {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            for chan in &pool.chans {
+                chan.close();
+            }
+            for h in pool.handles {
+                let _ = h.join();
+            }
+        }
     }
 }
 
@@ -340,6 +687,12 @@ mod tests {
 
     fn seq(s: &str) -> Seq {
         Seq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    /// Wrap a sequence as the single-contig reference the legacy tests
+    /// exercise.
+    fn single(s: &Seq) -> Reference {
+        Reference::single("ref", s.clone())
     }
 
     /// Pseudo-random but dependency-free test sequence.
@@ -358,7 +711,7 @@ mod tests {
     #[test]
     fn shard_spans_tile_the_reference_with_overlap() {
         let s = mixed_seq(10_000, 7);
-        let idx = ShardedIndex::build_params(&s, 4, 100, 10, 15, 400);
+        let idx = ShardedIndex::build_params(single(&s), 4, 100, 10, 15, 400);
         let spans = idx.shard_spans();
         assert_eq!(spans.len(), 4);
         assert_eq!(spans[0].0, 0);
@@ -374,7 +727,7 @@ mod tests {
     #[test]
     fn overlap_is_clamped_to_exactness_floor() {
         let s = mixed_seq(5_000, 9);
-        let idx = ShardedIndex::build_params(&s, 3, 0, 10, 15, 400);
+        let idx = ShardedIndex::build_params(single(&s), 3, 0, 10, 15, 400);
         assert_eq!(idx.overlap, ShardedIndex::min_overlap(10, 15));
     }
 
@@ -383,7 +736,7 @@ mod tests {
         let s = mixed_seq(30_000, 3);
         let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
         for shards in [1, 2, 3, 5, 8] {
-            let idx = ShardedIndex::build_params(&s, shards, 64, 10, 15, 400);
+            let idx = ShardedIndex::build_params(single(&s), shards, 64, 10, 15, 400);
             assert_eq!(
                 idx.distinct_minimizers(),
                 flat.distinct_minimizers(),
@@ -400,7 +753,7 @@ mod tests {
         let expected = collect_anchors(&read, &flat);
         assert!(!expected.is_empty(), "exact read must anchor");
         for shards in 1..=8 {
-            let idx = ShardedIndex::build_params(&s, shards, 32, 10, 15, 400);
+            let idx = ShardedIndex::build_params(single(&s), shards, 32, 10, 15, 400);
             assert_eq!(
                 idx.collect_anchors(&read),
                 expected,
@@ -415,7 +768,7 @@ mod tests {
         // A read straddling the shard boundary at 10_000 hits both
         // shards' overlap copies of the same positions.
         let read = s.slice(9_000, 2_000);
-        let idx = ShardedIndex::build_params(&s, 2, 2_000, 10, 15, 400);
+        let idx = ShardedIndex::build_params(single(&s), 2, 2_000, 10, 15, 400);
         let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
         assert_eq!(idx.collect_anchors(&read), collect_anchors(&read, &flat));
         let m = idx.metrics();
@@ -424,6 +777,7 @@ mod tests {
             "a 2 kb overlap straddle must produce duplicate hits"
         );
         assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.contigs, 1);
         assert!(m.shards.iter().all(|sm| sm.busy.as_nanos() > 0));
     }
 
@@ -437,7 +791,7 @@ mod tests {
         let read = s.slice(100, 300);
         let expected = collect_anchors(&read, &flat);
         for shards in [2, 5] {
-            let idx = ShardedIndex::build_params(&s, shards, 64, 4, 8, 2);
+            let idx = ShardedIndex::build_params(single(&s), shards, 64, 4, 8, 2);
             assert_eq!(
                 idx.collect_anchors(&read),
                 expected,
@@ -455,9 +809,9 @@ mod tests {
         let expected = crate::candidates_for_read(3, &read, &s, &flat, &params);
         assert!(!expected.is_empty());
         for shards in [1, 3, 7] {
-            let idx = ShardedIndex::build(&s, shards, 256);
+            let idx = ShardedIndex::build(single(&s), shards, 256);
             assert_eq!(
-                idx.candidates_for_read(3, &read, &s, &params),
+                idx.candidates_for_read(3, &read, &params),
                 expected,
                 "candidate tasks diverged at {shards} shards"
             );
@@ -466,24 +820,224 @@ mod tests {
 
     #[test]
     fn tiny_reference_survives_many_shards() {
-        // Shorter than one winnowing window: the whole-reference shard
+        // Shorter than one winnowing window: the whole-contig shard
         // keeps the fallback minimizer; extra shards must not add any.
         let s = seq("ACGTACGTACGTACGTACG"); // 19 bases < w + k - 1
         let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
         let read = s.clone();
         let expected = collect_anchors(&read, &flat);
         for shards in [1, 4, 16] {
-            let idx = ShardedIndex::build_params(&s, shards, 64, 10, 15, 400);
+            let idx = ShardedIndex::build_params(single(&s), shards, 64, 10, 15, 400);
             assert_eq!(idx.collect_anchors(&read), expected, "{shards} shards");
         }
     }
 
     #[test]
     fn empty_reference_yields_no_shards_and_no_anchors() {
-        let s: Seq = std::iter::empty().collect();
-        let idx = ShardedIndex::build(&s, 4, 64);
+        let idx = ShardedIndex::build(Reference::new(), 4, 64);
         assert_eq!(idx.num_shards(), 0);
         assert!(idx.collect_anchors(&mixed_seq(100, 1)).is_empty());
         assert_eq!(idx.distinct_minimizers(), 0);
+        assert_eq!(idx.total_len(), 0);
+
+        let empty_contig = ShardedIndex::build(Reference::single("ref", Seq::new()), 4, 64);
+        assert_eq!(empty_contig.num_shards(), 0);
+        assert!(empty_contig.collect_anchors(&mixed_seq(100, 1)).is_empty());
+    }
+
+    // ---- multi-contig behaviour ----
+
+    /// A 3-contig reference with deliberately unequal contig sizes.
+    fn multi(salt: u64) -> Reference {
+        let mut r = Reference::new();
+        r.push("chrA", mixed_seq(12_000, salt));
+        r.push("chrB", mixed_seq(30_000, salt ^ 0xBEEF));
+        r.push("chrC", mixed_seq(5_000, salt ^ 0xCAFE));
+        r
+    }
+
+    #[test]
+    fn shards_never_straddle_contig_boundaries() {
+        for shards in [1, 2, 4, 7, 13] {
+            let idx = ShardedIndex::build(multi(21), shards, 128);
+            assert_eq!(idx.num_contigs(), 3);
+            // Every non-empty contig has at least one shard, and every
+            // shard's stored span lies inside exactly one contig.
+            let m = idx.metrics();
+            let mut seen = [false; 3];
+            for sm in &m.shards {
+                let off = idx.contig_offset(sm.contig);
+                let len = idx.contig_len(sm.contig);
+                assert!(
+                    sm.start >= off && sm.end <= off + len,
+                    "shard [{}, {}) leaks outside contig {} [{off}, {})",
+                    sm.start,
+                    sm.end,
+                    sm.contig,
+                    off + len
+                );
+                seen[sm.contig as usize] = true;
+            }
+            assert_eq!(seen, [true; 3], "a contig got no shard at {shards}");
+        }
+    }
+
+    #[test]
+    fn multi_contig_anchors_are_invariant_across_shard_counts() {
+        let read = {
+            let r = multi(33);
+            // Straddle nothing: cut from the middle of chrB.
+            r.contig(1).seq.slice(10_000, 1_200)
+        };
+        let baseline = ShardedIndex::build(multi(33), 1, 64).collect_anchors(&read);
+        assert!(!baseline.is_empty(), "exact read must anchor");
+        for shards in [2, 3, 7, 12] {
+            let idx = ShardedIndex::build(multi(33), shards, 64);
+            assert_eq!(
+                idx.collect_anchors(&read),
+                baseline,
+                "anchors diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_contig_candidates_are_invariant_and_contig_correct() {
+        let r = multi(55);
+        let read = r.contig(2).seq.slice(1_000, 1_400).reverse_complement();
+        let params = CandidateParams::default();
+        let baseline = ShardedIndex::build(multi(55), 1, 64).candidates_for_read(5, &read, &params);
+        assert!(!baseline.is_empty(), "read must map");
+        assert_eq!(baseline[0].contig, 2, "best candidate on the wrong contig");
+        assert!(
+            baseline[0].ref_pos.abs_diff(1_000) <= 200,
+            "contig-local window start {} far from truth 1000",
+            baseline[0].ref_pos
+        );
+        for shards in [2, 5, 9] {
+            let idx = ShardedIndex::build(multi(55), shards, 64);
+            assert_eq!(
+                idx.candidates_for_read(5, &read, &params),
+                baseline,
+                "tasks diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn chains_never_span_contigs() {
+        // Adversarial: chrA's tail and chrB's head are the *same*
+        // sequence, so anchors land immediately on both sides of the
+        // boundary — close enough in global coordinates that a
+        // boundary-blind chaining DP (max_gap 5000) would fuse them.
+        let shared = mixed_seq(3_000, 77);
+        let mut r = Reference::new();
+        let mut a = mixed_seq(9_000, 1).to_bases();
+        a.extend(shared.iter());
+        r.push("chrA", a.into_iter().collect());
+        let mut b = shared.to_bases();
+        b.extend(mixed_seq(9_000, 2).iter());
+        r.push("chrB", b.into_iter().collect());
+
+        // A read covering the shared block maps to both contigs.
+        let read = shared.slice(500, 2_000);
+        let idx = ShardedIndex::build(r, 4, 64);
+        let chains = idx.chains_for_read(&read, &crate::ChainParams::default());
+        assert!(chains.len() >= 2, "shared block must chain on both contigs");
+        for (ci, c) in &chains {
+            let len = idx.contig_len(*ci);
+            assert!(
+                c.ref_end <= len,
+                "chain [{}, {}) leaks past contig {ci} length {len}",
+                c.ref_start,
+                c.ref_end
+            );
+        }
+        // And the tasks cut from those chains stay inside their contig.
+        for t in idx.candidates_for_read(0, &read, &CandidateParams::default()) {
+            assert!(t.ref_pos + t.target.len() <= idx.contig_len(t.contig));
+        }
+    }
+
+    #[test]
+    fn window_stitches_across_shard_boundaries_exactly() {
+        let r = multi(91);
+        let originals: Vec<Seq> = r.contigs().iter().map(|c| c.seq.clone()).collect();
+        let idx = ShardedIndex::build(r, 6, 64);
+        for (ci, orig) in originals.iter().enumerate() {
+            let len = orig.len();
+            for (start, end) in [
+                (0usize, len),
+                (0, 1),
+                (len - 1, len),
+                (len / 3, 2 * len / 3),
+                (0, len.min(37)),
+            ] {
+                assert_eq!(
+                    idx.window(ci as u32, start, end),
+                    orig.slice(start, end - start),
+                    "window [{start}, {end}) of contig {ci} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_inverts_the_global_layout() {
+        let idx = ShardedIndex::build(multi(13), 3, 64);
+        assert_eq!(idx.locate(0), (0, 0));
+        assert_eq!(idx.locate(11_999), (0, 11_999));
+        assert_eq!(idx.locate(12_000), (1, 0));
+        assert_eq!(idx.locate(41_999), (1, 29_999));
+        assert_eq!(idx.locate(42_000), (2, 0));
+        assert_eq!(idx.locate(46_999), (2, 4_999));
+        assert_eq!(idx.total_len(), 47_000);
+        assert_eq!(idx.contig_name(1), "chrB");
+    }
+
+    #[test]
+    fn persistent_workers_survive_many_queries_and_drop_cleanly() {
+        let s = mixed_seq(20_000, 3);
+        let idx = ShardedIndex::build_params(single(&s), 6, 64, 10, 15, 400);
+        let flat = MinimizerIndex::build_params(&s, 10, 15, 400);
+        // Many sequential queries through the same worker pool must
+        // stay correct (the per-read-spawn version trivially had this;
+        // the pool must too).
+        for i in 0..50 {
+            let read = s.slice((i * 311) % 15_000, 1_000);
+            assert_eq!(
+                idx.collect_anchors(&read),
+                collect_anchors(&read, &flat),
+                "query {i} diverged"
+            );
+        }
+        drop(idx); // Drop joins the worker threads; hangs would fail CI.
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_worker_pool() {
+        let s = mixed_seq(30_000, 5);
+        let idx = std::sync::Arc::new(ShardedIndex::build_params(single(&s), 5, 64, 10, 15, 400));
+        let flat = std::sync::Arc::new(MinimizerIndex::build_params(&s, 10, 15, 400));
+        let s = std::sync::Arc::new(s);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = std::sync::Arc::clone(&idx);
+            let flat = std::sync::Arc::clone(&flat);
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let read = s.slice(((t * 7 + i) * 997) as usize % 25_000, 900);
+                    assert_eq!(
+                        idx.collect_anchors(&read),
+                        collect_anchors(&read, &flat),
+                        "thread {t} query {i} diverged"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -28,9 +28,14 @@ pub struct TaskMeta {
     pub qlen: usize,
     /// How many candidate tasks this read generated in total.
     pub read_tasks: u32,
-    /// Window start on the reference.
+    /// Name of the contig the task's window was cut from (shared with
+    /// the index's contig table).
+    pub tname: std::sync::Arc<str>,
+    /// Length of that contig in bases (PAF column 7).
+    pub tsize: usize,
+    /// Window start on its contig (contig-local coordinates).
     pub tstart: usize,
-    /// Window length on the reference.
+    /// Window length on the contig.
     pub tlen: usize,
     /// Strand the task's query was oriented to (for PAF output).
     pub reverse: bool,
@@ -121,6 +126,8 @@ mod tests {
                 qname: Arc::from("r"),
                 qlen: n,
                 read_tasks: 1,
+                tname: Arc::from("t"),
+                tsize: n,
                 tstart: 0,
                 tlen: n,
                 reverse: false,

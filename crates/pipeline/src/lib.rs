@@ -38,11 +38,16 @@
 //!   per-shard busy time / merge dedup counts of the sharded index.
 //!
 //! The candidate-generation stage maps each read against a
-//! [`mapper::ShardedIndex`]: the reference is split into
-//! `PipelineConfig::shards` overlapping slices, each with its own
-//! minimizer index, anchors are collected per shard concurrently, and
-//! the merged stream is deterministic — output stays byte-identical
-//! across shard counts and overlap settings.
+//! [`mapper::ShardedIndex`] built from a multi-contig
+//! [`align_core::Reference`]: the reference is split into
+//! `PipelineConfig::shards` overlapping slices — never straddling a
+//! contig boundary — each with its own minimizer index *and the only
+//! copy of its slice of the reference* (the monolithic reference is
+//! dropped after the build, so `resident_bases_bound` extends to the
+//! reference itself). Anchors are collected by a persistent pool of
+//! per-shard workers, and the merged stream is deterministic — output
+//! stays byte-identical across shard counts and overlap settings.
+//! Records report contig names and contig-local coordinates.
 //!
 //! Backends implement [`backend::Backend`]; the Rayon CPU batch
 //! aligner, the simulated GPU, and both baselines ship in
@@ -61,7 +66,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use align_core::{Alignment, Seq};
+use align_core::{Alignment, Reference, Seq};
 use mapper::{CandidateParams, ShardedIndex};
 
 pub use backend::{
@@ -195,13 +200,17 @@ struct DoneBatch {
 /// Run the pipeline to completion.
 ///
 /// `reads` is consumed incrementally — the whole read set is never
-/// materialized. Records are delivered to `on_record` in deterministic
-/// order (input read order; within a read, best alignment first — see
-/// [`AlignRecord::sort_key`]). Returns the run's [`PipelineMetrics`].
+/// materialized. The `reference` is consumed: the sharded index takes
+/// ownership of the contig sequences and drops everything but its
+/// shard-local slices, so reference residency is bounded by the shard
+/// geometry for the whole run. Records are delivered to `on_record`
+/// in deterministic order (input read order; within a read, best
+/// alignment first — see [`AlignRecord::sort_key`]) and report contig
+/// names and contig-local coordinates. Returns the run's
+/// [`PipelineMetrics`].
 pub fn run_pipeline<I, E, F>(
     reads: I,
-    ref_name: &str,
-    reference: &Seq,
+    reference: Reference,
     backend: &dyn Backend,
     cfg: &PipelineConfig,
     mut on_record: F,
@@ -254,8 +263,7 @@ where
                     Some(Ok(r)) => r,
                 };
                 counters.reads_in.fetch_add(1, Ordering::Relaxed);
-                let tasks =
-                    index.candidates_for_read(read_seq as u32, &item.seq, reference, &cfg.params);
+                let tasks = index.candidates_for_read(read_seq as u32, &item.seq, &cfg.params);
                 StageCounters::add_ns(&counters.mapper_ns, t0.elapsed());
                 if !tasks.is_empty() {
                     counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
@@ -271,6 +279,8 @@ where
                         qname: Arc::clone(&qname),
                         qlen,
                         read_tasks,
+                        tname: index.contig_name_shared(task.contig),
+                        tsize: index.contig_len(task.contig),
                         tstart: task.ref_pos,
                         tlen: task.target.len(),
                         reverse: task.reverse,
@@ -344,14 +354,7 @@ where
         }
 
         // Stage 4: ordered sink (this thread).
-        sink_result = sink_loop(
-            &result_q,
-            &counters,
-            ref_name,
-            reference.len(),
-            &mut on_record,
-            &error,
-        );
+        sink_result = sink_loop(&result_q, &counters, &mut on_record, &error);
         if sink_result.is_err() {
             // Unblock the upstream stages so the scope can join.
             task_q.close();
@@ -397,8 +400,6 @@ struct ReadAcc {
 fn sink_loop<F>(
     result_q: &BoundedQueue<DoneBatch>,
     counters: &StageCounters,
-    ref_name: &str,
-    ref_len: usize,
     on_record: &mut F,
     error: &Mutex<Option<PipelineError>>,
 ) -> Result<(), PipelineError>
@@ -449,8 +450,8 @@ where
                 group.rows.push(AlignRecord::new(
                     &meta.qname,
                     meta.qlen,
-                    ref_name,
-                    ref_len,
+                    &meta.tname,
+                    meta.tsize,
                     meta.tstart,
                     meta.tlen,
                     meta.reverse,

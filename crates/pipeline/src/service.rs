@@ -57,7 +57,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use align_core::{AlignTask, Alignment, Seq};
+use align_core::{AlignTask, Alignment, Reference};
 use mapper::ShardedIndex;
 
 use crate::backend::{Backend, BackendKind};
@@ -213,9 +213,9 @@ struct SvcDone {
 }
 
 struct Shared {
-    ref_name: String,
-    ref_len: usize,
-    reference: Seq,
+    /// Display label for the loaded reference (banner / status lines);
+    /// record contig names come from the index's contig table.
+    ref_label: String,
     index: ShardedIndex,
     cfg: ServiceConfig,
     backends: Vec<(BackendKind, Box<dyn Backend>)>,
@@ -241,19 +241,19 @@ pub struct PipelineService {
 }
 
 impl PipelineService {
-    /// Build the index once, spawn the resident stages, and return the
-    /// running service.
-    pub fn start(ref_name: &str, reference: Seq, cfg: ServiceConfig) -> PipelineService {
+    /// Build the index once — consuming the reference, so the only
+    /// resident reference bytes for the service's whole lifetime are
+    /// the index's shard-local slices — spawn the resident stages, and
+    /// return the running service.
+    pub fn start(ref_label: &str, reference: Reference, cfg: ServiceConfig) -> PipelineService {
         let pcfg = &cfg.pipeline;
-        let index = ShardedIndex::build(&reference, pcfg.shards, pcfg.shard_overlap);
+        let index = ShardedIndex::build(reference, pcfg.shards, pcfg.shard_overlap);
         let backends: Vec<(BackendKind, Box<dyn Backend>)> = BackendKind::ALL
             .iter()
             .map(|&(kind, _)| (kind, kind.create()))
             .collect();
         let shared = Arc::new(Shared {
-            ref_name: ref_name.to_string(),
-            ref_len: reference.len(),
-            reference,
+            ref_label: ref_label.to_string(),
             index,
             backends,
             task_q: BoundedQueue::new(pcfg.queue_depth.max(1) * pcfg.batch_bases.max(1)),
@@ -291,14 +291,19 @@ impl PipelineService {
         }
     }
 
-    /// The reference name the service aligns against.
+    /// Display label of the reference the service aligns against.
     pub fn ref_name(&self) -> &str {
-        &self.shared.ref_name
+        &self.shared.ref_label
     }
 
-    /// The reference length in bases.
+    /// Total reference length in bases, across all contigs.
     pub fn ref_len(&self) -> usize {
-        self.shared.ref_len
+        self.shared.index.total_len()
+    }
+
+    /// Number of contigs in the loaded reference.
+    pub fn ref_contigs(&self) -> usize {
+        self.shared.index.num_contigs()
     }
 
     /// Sessions currently open.
@@ -469,7 +474,6 @@ impl Session {
         let tasks = sh.index.candidates_for_read(
             self.local_reads as u32,
             &read.seq,
-            &sh.reference,
             &sh.cfg.pipeline.params,
         );
         self.local_reads += 1;
@@ -515,6 +519,8 @@ impl Session {
                 qname: Arc::clone(&qname),
                 qlen,
                 read_tasks: n as u32,
+                tname: sh.index.contig_name_shared(task.contig),
+                tsize: sh.index.contig_len(task.contig),
                 tstart: task.ref_pos,
                 tlen: task.target.len(),
                 reverse: task.reverse,
@@ -770,8 +776,8 @@ fn sink_loop(sh: &Shared) {
                     Some(aln) => acc.rows.push(AlignRecord::new(
                         &meta.qname,
                         meta.qlen,
-                        &sh.ref_name,
-                        sh.ref_len,
+                        &meta.tname,
+                        meta.tsize,
                         meta.tstart,
                         meta.tlen,
                         meta.reverse,

@@ -13,17 +13,17 @@
 //!    (`PipelineConfig::shards`) never changes a single output byte,
 //!    for any shard count × overlap × batching geometry.
 //!
-//! CI runs this suite in a matrix over `GENASM_TEST_SHARDS` (1 and 4);
-//! tests that don't sweep shard counts themselves use that value, so
-//! every determinism property is exercised against a sharded index
-//! too.
+//! CI runs this suite in a matrix over `GENASM_TEST_SHARDS` (1 and 4)
+//! × `GENASM_TEST_CONTIGS` (1 and 3); tests that don't sweep those
+//! axes themselves use the env values, so every determinism property
+//! is exercised against a sharded *and* a multi-contig index too.
 
-use align_core::Seq;
+use align_core::{Reference, Seq};
 use genasm_pipeline::{
     run_pipeline, AlignRecord, Backend, CpuBackend, PipelineConfig, PipelineError, ReadInput,
 };
 use mapper::{CandidateParams, MinimizerIndex};
-use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
+use readsim::{contig_lengths, simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
 
 /// Shard count used by tests that don't sweep it themselves; the CI
 /// matrix sets `GENASM_TEST_SHARDS` to re-run the suite sharded.
@@ -34,31 +34,77 @@ fn env_shards() -> usize {
         .unwrap_or(1)
 }
 
-/// Deterministic synthetic workload: (reference, named reads).
-fn workload(genome_len: usize, n_reads: usize, read_len: usize) -> (Seq, Vec<(String, Seq)>) {
-    let genome = Genome::generate(&GenomeConfig::human_like(genome_len, 77));
-    let reads = simulate_reads(
-        &genome,
-        &ReadConfig {
-            count: n_reads,
-            length: read_len,
-            errors: ErrorModel::pacbio_clr(0.08),
-            rc_fraction: 0.5,
-            seed: 1234,
-        },
-    );
-    let named = reads
-        .into_iter()
+/// Contig count used by the workload builder; the CI matrix sets
+/// `GENASM_TEST_CONTIGS` to re-run the whole suite multi-contig.
+fn env_contigs() -> usize {
+    std::env::var("GENASM_TEST_CONTIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Deterministic synthetic workload: (reference, named reads). With
+/// `GENASM_TEST_CONTIGS > 1` the reference splits into that many
+/// unequal contigs (a single contig keeps the historical name `ref`)
+/// and reads are drawn round-robin across contigs.
+fn workload(genome_len: usize, n_reads: usize, read_len: usize) -> (Reference, Vec<(String, Seq)>) {
+    workload_contigs(genome_len, n_reads, read_len, env_contigs())
+}
+
+fn workload_contigs(
+    genome_len: usize,
+    n_reads: usize,
+    read_len: usize,
+    contigs: usize,
+) -> (Reference, Vec<(String, Seq)>) {
+    let lens = contig_lengths(genome_len, contigs);
+    let mut reference = Reference::new();
+    let mut genomes = Vec::new();
+    for (ci, &len) in lens.iter().enumerate() {
+        let genome = Genome::generate(&GenomeConfig::human_like(len, 77 + ci as u64));
+        let name = if contigs == 1 {
+            "ref".to_string()
+        } else {
+            format!("chr{}", ci + 1)
+        };
+        reference.push(&name, genome.seq.clone());
+        genomes.push(genome);
+    }
+    // Per-contig read pools, interleaved round-robin so neighbouring
+    // reads exercise different contigs.
+    let pools: Vec<Vec<readsim::SimRead>> = genomes
+        .iter()
         .enumerate()
-        .map(|(i, r)| (format!("read{i}"), r.seq))
+        .map(|(ci, g)| {
+            simulate_reads(
+                g,
+                &ReadConfig {
+                    count: n_reads.div_ceil(contigs),
+                    length: read_len.min(g.seq.len() / 2 - 1),
+                    errors: ErrorModel::pacbio_clr(0.08),
+                    rc_fraction: 0.5,
+                    seed: 1234 + ci as u64,
+                },
+            )
+        })
         .collect();
-    (genome.seq, named)
+    let mut cursors = vec![0usize; contigs];
+    let named = (0..n_reads)
+        .map(|i| {
+            let ci = i % contigs;
+            let r = &pools[ci][cursors[ci]];
+            cursors[ci] += 1;
+            (format!("read{i}"), r.seq.clone())
+        })
+        .collect();
+    (reference, named)
 }
 
 /// Drive the pipeline over an in-memory read list, collecting output.
 fn run_stream(
     reads: &[(String, Seq)],
-    reference: &Seq,
+    reference: &Reference,
     backend: &dyn Backend,
     cfg: &PipelineConfig,
 ) -> (String, genasm_pipeline::PipelineMetrics) {
@@ -69,7 +115,7 @@ fn run_stream(
         })
     });
     let mut buf = String::new();
-    let metrics = run_pipeline(stream, "ref", reference, backend, cfg, |rec| {
+    let metrics = run_pipeline(stream, reference.clone(), backend, cfg, |rec| {
         buf.push_str(&rec.to_tsv());
         buf.push('\n');
         Ok(())
@@ -78,24 +124,57 @@ fn run_stream(
     (buf, metrics)
 }
 
-/// The existing one-shot path: generate every candidate, align the
-/// whole batch with the Rayon CPU batch aligner, print per read.
-fn one_shot_cpu(reads: &[(String, Seq)], reference: &Seq, params: &CandidateParams) -> String {
-    let index = MinimizerIndex::build(reference);
+/// The one-shot oracle: per-contig flat `MinimizerIndex` seeding and
+/// chaining (no `ShardedIndex` involved), chains merged by score with
+/// contig order as the stable tiebreak, whole batch aligned with the
+/// Rayon CPU batch aligner, printed per read. For one contig this is
+/// exactly the pre-multi-contig seed path.
+fn one_shot_cpu(
+    reads: &[(String, Seq)],
+    reference: &Reference,
+    params: &CandidateParams,
+) -> String {
+    let indexes: Vec<MinimizerIndex> = reference
+        .contigs()
+        .iter()
+        .map(|c| MinimizerIndex::build(&c.seq))
+        .collect();
     let backend = CpuBackend::improved();
     let mut out = String::new();
     for (i, (name, seq)) in reads.iter().enumerate() {
-        let tasks = mapper::candidates_for_read(i as u32, seq, reference, &index, params);
+        let mut merged: Vec<(u32, mapper::Chain)> = Vec::new();
+        for (ci, idx) in indexes.iter().enumerate() {
+            let anchors = mapper::collect_anchors(seq, idx);
+            for chain in mapper::chain_anchors(&anchors, idx.k, &params.chain) {
+                merged.push((ci as u32, chain));
+            }
+        }
+        merged.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+        let tasks: Vec<align_core::AlignTask> = merged
+            .iter()
+            .take(params.max_per_read)
+            .map(|(ci, chain)| {
+                mapper::task_from_chain(
+                    i as u32,
+                    seq,
+                    &reference.contig(*ci as usize).seq,
+                    chain,
+                    params.flank,
+                )
+                .in_contig(*ci)
+            })
+            .collect();
         let alns = backend.align_batch(&tasks).unwrap();
         let mut rows: Vec<AlignRecord> = tasks
             .iter()
             .zip(&alns)
             .map(|(t, a)| {
+                let contig = reference.contig(t.contig as usize);
                 AlignRecord::new(
                     name,
                     seq.len(),
-                    "ref",
-                    reference.len(),
+                    &contig.name,
+                    contig.len(),
                     t.ref_pos,
                     t.target.len(),
                     t.reverse,
@@ -178,11 +257,17 @@ fn output_is_byte_identical_across_shard_counts_and_overlaps() {
                     "diverged at shards={shards} batch_bases={batch_bases} \
                      dispatchers={dispatchers}"
                 );
-                assert_eq!(
-                    metrics.shard_index.shards.len(),
-                    shards,
+                // Contig-aware sharding gives every contig at least one
+                // shard, so the target is exact only for one contig.
+                assert_eq!(metrics.shard_index.contigs, reference.num_contigs());
+                assert!(
+                    metrics.shard_index.shards.len() >= shards.max(reference.num_contigs())
+                        || reference.num_contigs() == 1,
                     "shard metrics missing at shards={shards}"
                 );
+                if reference.num_contigs() == 1 {
+                    assert_eq!(metrics.shard_index.shards.len(), shards);
+                }
             }
         }
     }
@@ -201,9 +286,80 @@ fn output_is_byte_identical_across_shard_counts_and_overlaps() {
     }
 }
 
+/// Multi-contig end-to-end, independent of the CI env axes: a 3-contig
+/// reference with unequal contig sizes must (a) match the per-contig
+/// one-shot oracle, (b) be byte-identical across shard counts 1/2/7,
+/// and (c) report contig names, contig-local coordinates, and the
+/// *contig* length as PAF column 7 in every record.
+#[test]
+fn multi_contig_runs_are_shard_invariant_and_contig_correct() {
+    let (reference, reads) = workload_contigs(90_000, 9, 800, 3);
+    let params = CandidateParams::default();
+    let expected = one_shot_cpu(&reads, &reference, &params);
+    assert!(!expected.is_empty(), "workload produced no alignments");
+
+    let contig_len: std::collections::HashMap<String, usize> = reference
+        .contigs()
+        .iter()
+        .map(|c| (c.name.to_string(), c.len()))
+        .collect();
+    let backend = CpuBackend::improved();
+    let mut recs: Vec<AlignRecord> = Vec::new();
+    for shards in [1usize, 2, 7] {
+        let cfg = PipelineConfig {
+            shards,
+            params,
+            ..PipelineConfig::default()
+        };
+        let stream = reads.iter().map(|(name, seq)| {
+            Ok::<_, std::convert::Infallible>(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+        });
+        let mut buf = String::new();
+        recs.clear();
+        run_pipeline(stream, reference.clone(), &backend, &cfg, |rec| {
+            buf.push_str(&rec.to_tsv());
+            buf.push('\n');
+            recs.push(rec.clone());
+            Ok(())
+        })
+        .expect("pipeline run failed");
+        assert_eq!(buf, expected, "diverged from the oracle at shards={shards}");
+    }
+    // Every record names a real contig, stays inside it, and carries
+    // its length (not the whole-reference length) as PAF column 7.
+    let total: usize = reference.total_len();
+    let mut contigs_hit = std::collections::HashSet::new();
+    for rec in &recs {
+        let len = *contig_len
+            .get(&rec.tname)
+            .unwrap_or_else(|| panic!("unknown contig {:?} in output", rec.tname));
+        assert_eq!(rec.tsize, len, "tsize must be the contig length");
+        assert_ne!(rec.tsize, total, "tsize must not be the whole reference");
+        assert!(rec.tend <= len, "window leaks past contig {:?}", rec.tname);
+        let paf = rec.to_paf();
+        assert_eq!(
+            paf.split('\t').nth(6).unwrap(),
+            len.to_string(),
+            "PAF column 7 must be the contig length: {paf}"
+        );
+        let back = AlignRecord::parse_paf(&paf).expect("PAF round trip");
+        assert_eq!(&back, rec, "PAF round trip lost a field");
+        contigs_hit.insert(rec.tname.clone());
+    }
+    assert!(
+        contigs_hit.len() >= 2,
+        "reads from 3 contigs should hit at least 2, hit {contigs_hit:?}"
+    );
+}
+
 #[test]
 fn sharded_runs_report_per_shard_metrics() {
-    let (reference, reads) = workload(50_000, 8, 700);
+    // Pinned to one contig: the consecutive-span overlap assertions
+    // below only hold within a contig.
+    let (reference, reads) = workload_contigs(50_000, 8, 700, 1);
     let backend = CpuBackend::improved();
     let cfg = PipelineConfig {
         shards: 4,
@@ -328,13 +484,17 @@ fn metrics_report_every_stage() {
     assert_eq!(m.batch_queue.pushed, m.batches);
     assert_eq!(m.result_queue.pushed, m.batches);
     assert!(m.task_queue.high_water > 0);
-    // Shard telemetry matches the configured fan-out.
-    assert_eq!(m.shard_index.shards.len(), env_shards());
-    assert!(m
-        .shard_index
-        .shards
-        .iter()
-        .all(|s| s.busy.as_nanos() > 0 && s.anchors > 0));
+    // Shard telemetry matches the configured fan-out (every contig
+    // gets at least one shard, so multi-contig runs may exceed the
+    // target).
+    assert_eq!(m.shard_index.contigs, env_contigs());
+    if env_contigs() == 1 {
+        assert_eq!(m.shard_index.shards.len(), env_shards());
+    } else {
+        assert!(m.shard_index.shards.len() >= env_shards().max(env_contigs()));
+    }
+    assert!(m.shard_index.reference_bytes > 0);
+    assert!(m.shard_index.shards.iter().all(|s| s.busy.as_nanos() > 0));
     // Every stage did measurable work.
     assert!(m.mapper_busy.as_nanos() > 0, "mapper busy time is zero");
     assert!(
@@ -366,7 +526,7 @@ fn input_errors_propagate_and_unwind_cleanly() {
             })
         })
         .chain(std::iter::once(Err("disk on fire")));
-    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |_| Ok(()))
+    let err = run_pipeline(stream, reference.clone(), &backend, &cfg, |_| Ok(()))
         .expect_err("input error must fail the run");
     match err {
         PipelineError::Input(msg) => assert!(msg.contains("disk on fire"), "{msg}"),
@@ -389,7 +549,7 @@ fn sink_errors_propagate_and_unwind_cleanly() {
             seq: seq.clone(),
         })
     });
-    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |_| {
+    let err = run_pipeline(stream, reference.clone(), &backend, &cfg, |_| {
         Err(std::io::Error::other("broken pipe"))
     })
     .expect_err("sink error must fail the run");
@@ -449,7 +609,7 @@ fn backend_errors_mid_run_unwind_without_panicking_or_partial_reads() {
         })
     });
     let mut emitted: Vec<String> = Vec::new();
-    let err = run_pipeline(stream, "ref", &reference, &backend, &cfg, |rec| {
+    let err = run_pipeline(stream, reference.clone(), &backend, &cfg, |rec| {
         emitted.push(rec.qname.clone());
         Ok(())
     })
@@ -492,8 +652,7 @@ fn empty_input_completes_with_zero_records() {
     let stream = std::iter::empty::<Result<ReadInput, std::convert::Infallible>>();
     let metrics = run_pipeline(
         stream,
-        "ref",
-        &reference,
+        reference,
         &backend,
         &PipelineConfig::default(),
         |_| Ok(()),

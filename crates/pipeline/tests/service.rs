@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use align_core::Seq;
+use align_core::{Reference, Seq};
 use genasm_pipeline::{
     run_pipeline, AdmissionError, BackendKind, PipelineConfig, PipelineService, ReadInput,
     ServiceConfig, SessionEvent,
@@ -22,7 +22,7 @@ use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
 
 /// Deterministic synthetic workload: (reference, named reads).
 /// `n_reads == 0` returns just the reference (callers simulate their
-/// own per-session read sets).
+/// own per-session read sets from `seq`).
 fn workload(genome_len: usize, n_reads: usize, read_len: usize, seed: u64) -> WorkloadData {
     let genome = Genome::generate(&GenomeConfig::human_like(genome_len, 77));
     let named = if n_reads == 0 {
@@ -44,24 +44,22 @@ fn workload(genome_len: usize, n_reads: usize, read_len: usize, seed: u64) -> Wo
         .collect()
     };
     WorkloadData {
-        reference: genome.seq,
+        reference: Reference::single("ref", genome.seq.clone()),
+        seq: genome.seq,
         reads: named,
     }
 }
 
 struct WorkloadData {
-    reference: Seq,
+    reference: Reference,
+    /// The raw contig sequence, for simulating further read sets.
+    seq: Seq,
     reads: Vec<(String, Seq)>,
 }
 
 /// The golden expectation: one-shot pipeline output over these reads
 /// (byte-identical to `genasm align` by the determinism suite).
-fn one_shot(
-    reads: &[(String, Seq)],
-    reference: &Seq,
-    backend: BackendKind,
-    ref_name: &str,
-) -> String {
+fn one_shot(reads: &[(String, Seq)], reference: &Reference, backend: BackendKind) -> String {
     let stream = reads.iter().map(|(name, seq)| {
         Ok::<_, std::convert::Infallible>(ReadInput {
             name: name.clone(),
@@ -71,8 +69,7 @@ fn one_shot(
     let mut buf = String::new();
     run_pipeline(
         stream,
-        ref_name,
-        reference,
+        reference.clone(),
         backend.create().as_ref(),
         &PipelineConfig::default(),
         |rec| {
@@ -125,7 +122,7 @@ fn run_session(
 #[test]
 fn single_session_matches_one_shot_pipeline() {
     let w = workload(80_000, 6, 900, 11);
-    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu, "ref");
+    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu);
     assert!(!expected.is_empty());
 
     let service = PipelineService::start("ref", w.reference.clone(), ServiceConfig::default());
@@ -152,7 +149,7 @@ fn concurrent_sessions_each_match_one_shot_across_backends() {
     .iter()
     .map(|&(backend, seed)| {
         let genome = Genome {
-            seq: reference.clone(),
+            seq: base.seq.clone(),
             planted: Vec::new(),
         };
         let reads = simulate_reads(
@@ -176,7 +173,7 @@ fn concurrent_sessions_each_match_one_shot_across_backends() {
 
     let expected: Vec<String> = sessions
         .iter()
-        .map(|(backend, reads)| one_shot(reads, &reference, *backend, "ref"))
+        .map(|(backend, reads)| one_shot(reads, &reference, *backend))
         .collect();
 
     // Small batches so sessions genuinely interleave inside shared
@@ -221,6 +218,7 @@ fn server_wide_residency_stays_within_the_configured_bound() {
     // cap resident bases across *all* sessions together.
     let w = workload(70_000, 0, 0, 2);
     let reference = w.reference;
+    let raw_seq = w.seq;
     let cfg = ServiceConfig {
         pipeline: PipelineConfig {
             batch_bases: 2 * 1024,
@@ -238,10 +236,10 @@ fn server_wide_residency_stays_within_the_configured_bound() {
     std::thread::scope(|scope| {
         for seed in [31u64, 32, 33] {
             let service = Arc::clone(&service);
-            let reference = reference.clone();
+            let raw_seq = raw_seq.clone();
             scope.spawn(move || {
                 let genome = Genome {
-                    seq: reference,
+                    seq: raw_seq,
                     planted: Vec::new(),
                 };
                 let reads = simulate_reads(
@@ -308,7 +306,7 @@ fn session_cap_refuses_with_busy() {
 #[test]
 fn graceful_drain_finishes_in_flight_sessions_and_refuses_new_ones() {
     let w = workload(80_000, 5, 800, 4);
-    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu, "ref");
+    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu);
     let service = Arc::new(PipelineService::start(
         "ref",
         w.reference.clone(),
@@ -389,10 +387,10 @@ fn lightly_loaded_session_is_not_starved_by_steady_traffic() {
 
     let b_service = Arc::clone(&service);
     let b_stop = Arc::clone(&stop);
-    let b_reference = reference.clone();
+    let b_seq = w.seq.clone();
     let b_thread = std::thread::spawn(move || {
         let genome = Genome {
-            seq: b_reference,
+            seq: b_seq,
             planted: Vec::new(),
         };
         let reads = simulate_reads(
@@ -451,6 +449,68 @@ fn lightly_loaded_session_is_not_starved_by_steady_traffic() {
 
     stop.store(true, Ordering::Relaxed);
     b_thread.join().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn multi_contig_sessions_match_one_shot_and_name_contigs() {
+    // Three unequal contigs; the resident service must serve sessions
+    // byte-identically to the one-shot pipeline and report per-contig
+    // names/lengths in every row.
+    let mut reference = Reference::new();
+    let mut reads: Vec<(String, Seq)> = Vec::new();
+    for (ci, len) in [20_000usize, 45_000, 9_000].iter().enumerate() {
+        let genome = Genome::generate(&GenomeConfig::human_like(*len, 700 + ci as u64));
+        reference.push(&format!("chr{}", ci + 1), genome.seq.clone());
+        for (i, r) in simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: 2,
+                length: 700,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed: 90 + ci as u64,
+            },
+        )
+        .into_iter()
+        .enumerate()
+        {
+            reads.push((format!("c{ci}r{i}"), r.seq));
+        }
+    }
+    let expected = one_shot(&reads, &reference, BackendKind::Cpu);
+    assert!(!expected.is_empty());
+
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            shards: 4,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = PipelineService::start(&reference.label(), reference.clone(), cfg);
+    assert_eq!(service.ref_contigs(), 3);
+    assert_eq!(service.ref_len(), 74_000);
+    let (got, m) = run_session(&service, BackendKind::Cpu, &reads);
+    assert_eq!(got, expected, "multi-contig session diverged from one-shot");
+    assert_eq!(m.reads_failed, 0);
+    // Rows reference real contigs with contig-local coordinates.
+    let names: std::collections::HashSet<String> = reference
+        .contigs()
+        .iter()
+        .map(|c| c.name.to_string())
+        .collect();
+    for line in got.lines() {
+        let rec = genasm_pipeline::AlignRecord::parse_tsv(line).unwrap();
+        assert!(names.contains(&rec.tname), "unknown contig in {line}");
+        let len = reference
+            .contigs()
+            .iter()
+            .find(|c| *c.name == rec.tname)
+            .unwrap()
+            .len();
+        assert!(rec.tend <= len, "row leaks past its contig: {line}");
+    }
     service.shutdown();
 }
 

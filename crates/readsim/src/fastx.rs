@@ -12,7 +12,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use align_core::{AlignError, Seq};
+use align_core::{AlignError, Reference, Seq};
 
 /// One FASTA/FASTQ record.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +60,7 @@ pub enum FastxError {
     },
     /// A sequence character the aligners cannot represent.
     BadBase(AlignError),
-    /// [`read_single_fastx`] found no records at all.
+    /// [`read_single_fastx`] / [`read_multi_fastx`] found no records.
     NoRecords,
     /// [`read_single_fastx`] found more than one record.
     MultiRecord {
@@ -69,6 +69,12 @@ pub enum FastxError {
         first: String,
         /// Names of every additional record.
         extra: Vec<String>,
+    },
+    /// [`read_multi_fastx`] found two records with the same name —
+    /// contig names key the output records, so they must be unique.
+    DuplicateContig {
+        /// The repeated name.
+        name: String,
     },
 }
 
@@ -88,8 +94,7 @@ impl core::fmt::Display for FastxError {
             FastxError::MultiRecord { first, extra } => write!(
                 f,
                 "expected exactly one record but found {}: after {:?} also {}; \
-                 multi-contig references are not supported yet — split the file \
-                 or pass a single-contig reference",
+                 this input must be a single sequence",
                 extra.len() + 1,
                 first,
                 extra
@@ -97,6 +102,11 @@ impl core::fmt::Display for FastxError {
                     .map(|n| format!("{n:?}"))
                     .collect::<Vec<_>>()
                     .join(", ")
+            ),
+            FastxError::DuplicateContig { name } => write!(
+                f,
+                "duplicate contig name {name:?}: contig names key the output \
+                 records and must be unique within a reference"
             ),
         }
     }
@@ -293,6 +303,28 @@ pub fn read_single_fastx<R: BufRead>(reader: R) -> Result<FastxRecord, FastxErro
         });
     }
     Ok(first)
+}
+
+/// Parse a multi-record FASTA/FASTQ file into a multi-contig
+/// [`Reference`]: every record becomes one named contig, in file
+/// order. Zero records or a duplicate contig name is an error.
+/// Qualities, if present, are dropped (references carry none).
+pub fn read_multi_fastx<R: BufRead>(reader: R) -> Result<Reference, FastxError> {
+    let mut reference = Reference::new();
+    // Hashed name check: assemblies can have 100k+ scaffolds, so a
+    // linear scan per record would make loading quadratic.
+    let mut seen = std::collections::HashSet::new();
+    for rec in FastxReader::new(reader) {
+        let rec = rec?;
+        if !seen.insert(rec.name.clone()) {
+            return Err(FastxError::DuplicateContig { name: rec.name });
+        }
+        reference.push(&rec.name, rec.seq);
+    }
+    if reference.is_empty() {
+        return Err(FastxError::NoRecords);
+    }
+    Ok(reference)
 }
 
 fn header_name(s: &str) -> String {
@@ -503,6 +535,40 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("chr2") && msg.contains("chr3"), "{msg}");
         assert!(msg.contains("exactly one"), "{msg}");
+    }
+
+    #[test]
+    fn multi_contig_reference_loads_in_file_order() {
+        let input = b">chr1 primary\nACGTACGT\nACGT\n>chr2\nGGCC\n>chr3\nTT\n";
+        let r = read_multi_fastx(Cursor::new(&input[..])).unwrap();
+        assert_eq!(r.num_contigs(), 3);
+        assert_eq!(&*r.contig(0).name, "chr1");
+        assert_eq!(r.contig(0).len(), 12);
+        assert_eq!(&*r.contig(1).name, "chr2");
+        assert_eq!(r.offset(1), 12);
+        assert_eq!(&*r.contig(2).name, "chr3");
+        assert_eq!(r.total_len(), 18);
+    }
+
+    #[test]
+    fn multi_contig_loader_rejects_duplicates_and_empty_input() {
+        let dup = b">chr1\nACGT\n>chr1\nGGCC\n";
+        match read_multi_fastx(Cursor::new(&dup[..])).unwrap_err() {
+            FastxError::DuplicateContig { name } => assert_eq!(name, "chr1"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_multi_fastx(Cursor::new(b"".as_slice())).unwrap_err() {
+            FastxError::NoRecords => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_contig_loader_drops_fastq_qualities() {
+        let input = b">chr1\nACGT\n@chr2\nGGCC\n+\nIIII\n";
+        let r = read_multi_fastx(Cursor::new(&input[..])).unwrap();
+        assert_eq!(r.num_contigs(), 2);
+        assert_eq!(r.contig(1).len(), 4);
     }
 
     #[test]

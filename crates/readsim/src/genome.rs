@@ -81,6 +81,20 @@ impl GenomeConfig {
     }
 }
 
+/// Split a total reference length into `contigs` deliberately
+/// *unequal* parts (weights `1..=contigs`, remainder to the largest):
+/// multi-contig workloads should never accidentally test only the
+/// equal-sizes case — real assemblies are wildly skewed, and equal
+/// contigs would mask coordinate bugs that cancel out by symmetry.
+pub fn contig_lengths(total: usize, contigs: usize) -> Vec<usize> {
+    let n = contigs.max(1);
+    let weight_sum = n * (n + 1) / 2;
+    let mut lens: Vec<usize> = (1..=n).map(|i| total * i / weight_sum).collect();
+    let assigned: usize = lens.iter().sum();
+    *lens.last_mut().expect("n >= 1") += total - assigned;
+    lens
+}
+
 /// A generated genome plus provenance of the planted repeats.
 #[derive(Debug, Clone)]
 pub struct Genome {
@@ -211,6 +225,17 @@ mod tests {
             ham < 50,
             "planted copies differ in {ham}/500 positions (overlap or bug?)"
         );
+    }
+
+    #[test]
+    fn contig_lengths_sum_and_are_unequal() {
+        for (total, n) in [(120_000usize, 3usize), (90_001, 4), (10, 1), (7, 3)] {
+            let lens = contig_lengths(total, n);
+            assert_eq!(lens.len(), n);
+            assert_eq!(lens.iter().sum::<usize>(), total);
+        }
+        let lens = contig_lengths(120_000, 3);
+        assert!(lens[0] < lens[1] && lens[1] < lens[2], "{lens:?}");
     }
 
     #[test]

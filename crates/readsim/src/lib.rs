@@ -16,8 +16,8 @@ pub mod genome;
 pub mod reads;
 
 pub use fastx::{
-    read_fastx, read_single_fastx, reads_to_records, write_fasta, write_fastq, FastxError,
-    FastxReader, FastxRecord,
+    read_fastx, read_multi_fastx, read_single_fastx, reads_to_records, write_fasta, write_fastq,
+    FastxError, FastxReader, FastxRecord,
 };
-pub use genome::{Genome, GenomeConfig, RepeatFamily};
+pub use genome::{contig_lengths, Genome, GenomeConfig, RepeatFamily};
 pub use reads::{simulate_reads, ErrorModel, ReadConfig, SimRead};

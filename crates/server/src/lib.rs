@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use align_core::Seq;
+use align_core::Reference;
 use genasm_pipeline::{BackendKind, OutputFormat, PipelineMetrics, PipelineService, ServiceConfig};
 
 pub use endpoint::{connect, Conn, Endpoint};
@@ -105,11 +105,13 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the endpoint, start the resident pipeline service, and
+    /// Bind the endpoint, start the resident pipeline service —
+    /// consuming the (possibly multi-contig) reference, whose only
+    /// resident copy becomes the index's shard-local slices — and
     /// begin accepting connections.
-    pub fn start(cfg: ServerConfig, ref_name: &str, reference: Seq) -> io::Result<Server> {
+    pub fn start(cfg: ServerConfig, ref_label: &str, reference: Reference) -> io::Result<Server> {
         let (listener, actual) = endpoint::Listener::bind(&cfg.endpoint)?;
-        let service = PipelineService::start(ref_name, reference, cfg.service);
+        let service = PipelineService::start(ref_label, reference, cfg.service);
         let shared = Arc::new(ServerShared {
             service,
             default_backend: cfg.default_backend,

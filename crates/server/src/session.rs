@@ -73,9 +73,10 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
                 let m = srv.service.metrics();
                 writeln!(
                     writer,
-                    "# stats sessions={} reads_in={} mapped={} tasks={} records_out={} \
+                    "# stats sessions={} contigs={} reads_in={} mapped={} tasks={} records_out={} \
                      inflight_bases_peak={} backend_errors={} uptime_ms={}",
                     srv.service.active_sessions(),
+                    srv.service.ref_contigs(),
                     m.reads_in,
                     m.reads_mapped,
                     m.tasks_generated,

@@ -9,7 +9,7 @@
 
 use std::io::{BufRead, BufReader, Cursor, Write};
 
-use align_core::Seq;
+use align_core::{Reference, Seq};
 use genasm_pipeline::{
     run_pipeline, BackendKind, OutputFormat, PipelineConfig, ReadInput, ServiceConfig,
 };
@@ -65,8 +65,7 @@ impl Fixture {
         let mut buf = String::new();
         run_pipeline(
             stream,
-            "ref",
-            &self.reference,
+            Reference::single("ref", self.reference.clone()),
             backend.create().as_ref(),
             &PipelineConfig::default(),
             |rec| {
@@ -88,7 +87,7 @@ impl Fixture {
                 service,
             },
             "ref",
-            self.reference.clone(),
+            Reference::single("ref", self.reference.clone()),
         )
         .expect("server start")
     }
@@ -469,7 +468,7 @@ fn unix_socket_round_trip() {
             service: ServiceConfig::default(),
         },
         "ref",
-        fx.reference.clone(),
+        Reference::single("ref", fx.reference.clone()),
     )
     .expect("unix server start");
     let (got, _) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
