@@ -186,11 +186,54 @@ impl Seq {
     /// Copy out the sub-sequence `[start, start+len)`, clamped to the end.
     pub fn slice(&self, start: usize, len: usize) -> Seq {
         let end = (start + len).min(self.len);
-        let mut out = Seq::with_capacity(end.saturating_sub(start));
-        for i in start..end {
-            out.push(self.get(i));
-        }
+        let n = end.saturating_sub(start);
+        let mut out = Seq::with_capacity(n);
+        out.extend_from(self, start, n);
         out
+    }
+
+    /// Append `other[start, start+len)` (clamped to `other`'s end) to
+    /// this sequence, copying whole packed bytes instead of one base at
+    /// a time. When the source range is misaligned relative to the
+    /// destination, each output byte is assembled from the two source
+    /// bytes that straddle it.
+    pub fn extend_from(&mut self, other: &Seq, start: usize, len: usize) {
+        let end = start.saturating_add(len).min(other.len);
+        if start >= end {
+            return;
+        }
+        let mut p = start;
+        // Bring the destination to a byte boundary (at most 3 pushes).
+        while p < end && !self.len.is_multiple_of(4) {
+            self.push(other.get(p));
+            p += 1;
+        }
+        // Bulk copy: one output byte per 4 source bases.
+        let shift = (p % 4) * 2;
+        if shift == 0 {
+            let nbytes = (end - p) / 4;
+            self.packed
+                .extend_from_slice(&other.packed[p / 4..p / 4 + nbytes]);
+            self.len += nbytes * 4;
+            p += nbytes * 4;
+        } else {
+            while p + 4 <= end {
+                let b = p / 4;
+                // Bases p..p+4 span source bytes b and b+1; base p+3
+                // lives in byte b+1 and p+3 < other.len, so b+1 is in
+                // bounds. Overshifted high bits of byte b+1 drop out.
+                self.packed
+                    .push((other.packed[b] >> shift) | (other.packed[b + 1] << (8 - shift)));
+                self.len += 4;
+                p += 4;
+            }
+        }
+        // Tail of fewer than 4 bases keeps the invariant that unused
+        // high bits of the last byte are zero.
+        while p < end {
+            self.push(other.get(p));
+            p += 1;
+        }
     }
 
     /// Reverse of this sequence (not complemented).
@@ -388,5 +431,100 @@ mod tests {
         let dbg = format!("{long:?}");
         assert!(dbg.contains("len=100"));
         assert!(dbg.contains('…'));
+    }
+
+    /// Reference implementation: the per-base copy `slice` used to be.
+    fn naive_slice(s: &Seq, start: usize, len: usize) -> Seq {
+        let end = (start + len).min(s.len());
+        let mut out = Seq::new();
+        for i in start..end.max(start) {
+            out.push(s.get(i));
+        }
+        out
+    }
+
+    #[test]
+    fn packed_slice_matches_naive_at_every_phase() {
+        // 37 bases: last packed byte is partial, exercising the tail.
+        let text = b"ACGTACGTTTGGCCAATGCATGCATACGGTACATGCA";
+        let s = Seq::from_ascii(text).unwrap();
+        for start in 0..=s.len() {
+            for len in 0..=s.len() + 2 {
+                let fast = s.slice(start, len);
+                let naive = naive_slice(&s, start, len);
+                assert_eq!(fast, naive, "start={start} len={len}");
+                assert_eq!(fast.to_ascii(), naive.to_ascii());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_appends_at_every_destination_phase() {
+        let src = Seq::from_ascii(b"TGCATGCATGCAT").unwrap();
+        for dst_len in 0..5 {
+            for start in 0..src.len() {
+                let mut dst = Seq::from_bases(&vec![Base::G; dst_len]);
+                let mut expect = dst.clone();
+                dst.extend_from(&src, start, src.len());
+                for i in start..src.len() {
+                    expect.push(src.get(i));
+                }
+                assert_eq!(dst, expect, "dst_len={dst_len} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_pushes_compose_with_packed_copies() {
+        // Interleave per-base pushes and bulk appends; the unused-high-
+        // bits invariant of the last byte must survive each transition.
+        let src = Seq::from_ascii(b"ACGTACGTACGTACGTACGT").unwrap();
+        let mut s = Seq::new();
+        s.push(Base::T);
+        s.extend_from(&src, 3, 9);
+        s.push(Base::A);
+        s.extend_from(&src, 0, 20);
+        assert_eq!(s.to_string(), format!("TTACGTACGTA{src}"));
+    }
+
+    #[test]
+    fn extend_from_clamps_and_handles_empty_ranges() {
+        let src = Seq::from_ascii(b"ACGT").unwrap();
+        let mut s = Seq::new();
+        s.extend_from(&src, 4, 10); // start at end: no-op
+        s.extend_from(&src, 9, 1); // start past end: no-op
+        s.extend_from(&src, 2, 0); // empty: no-op
+        assert!(s.is_empty());
+        s.extend_from(&src, 2, usize::MAX); // clamped, no overflow
+        assert_eq!(s.to_string(), "GT");
+    }
+}
+
+#[cfg(test)]
+mod slice_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
+        proptest::collection::vec(0u8..4, 0..=max_len)
+            .prop_map(|codes| codes.iter().map(|&c| Base::from_code(c)).collect())
+    }
+
+    proptest! {
+        /// The packed-word `slice` is observationally identical to a
+        /// per-base copy for every (start, len), including ranges that
+        /// run past the end and start beyond the sequence.
+        #[test]
+        fn slice_equals_per_base_copy(s in arb_seq(300), start in 0usize..320, len in 0usize..320) {
+            let end = (start + len).min(s.len());
+            let mut naive = Seq::new();
+            for i in start..end.max(start) {
+                naive.push(s.get(i));
+            }
+            let fast = s.slice(start, len);
+            prop_assert_eq!(&fast, &naive);
+            prop_assert_eq!(fast.to_ascii(), naive.to_ascii());
+            prop_assert_eq!(fast.packed_bytes(), naive.packed_bytes());
+        }
     }
 }

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genasm_core::bitvec::PatternMask;
-use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats};
+use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats, MIN_HINT_K};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -54,6 +54,74 @@ fn bench_window(c: &mut Criterion) {
                 },
             );
         }
+    }
+    group.finish();
+
+    // Banded vs full-budget sweeps. Three variants per error weight:
+    // `exhaustive` disables early termination, so every d-row up to k
+    // is swept (the cost the band caps on windows that never fire the
+    // solution bit); `full` runs the complete engine at k = w;
+    // `banded` adds a tight band sized to the planted error weight.
+    // All three report the same d_star — the band and the early stop
+    // only bound the row sweep, never the word values — so the ratios
+    // are pure row-sweep savings. The hopeless case measures the O(1)
+    // pre-flight abandon (pattern longer than text + k: no row is
+    // ever computed).
+    let mut group = c.benchmark_group("A1_window_banded");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &errors in &[0usize, 4, 16, 48] {
+        let (pm, trev) = window_inputs(errors, 5);
+        let full = GenAsmConfig::improved();
+        let exhaustive = GenAsmConfig {
+            improvements: Improvements {
+                early_term: false,
+                ..Improvements::ALL
+            },
+            ..full
+        };
+        let tight_k = (errors + 8).clamp(MIN_HINT_K, full.k);
+        let banded = GenAsmConfig { k: tight_k, ..full };
+        for (label, cfg) in [
+            ("exhaustive", &exhaustive),
+            ("full", &full),
+            ("banded", &banded),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{errors}err")),
+                &(&pm, &trev),
+                |b, (pm, trev)| {
+                    b.iter(|| {
+                        let mut stats = MemStats::new();
+                        genasm_core::align_window_fresh(pm, trev, cfg, 40, false, &mut stats)
+                            .expect("window")
+                            .d_star
+                    })
+                },
+            );
+        }
+    }
+    {
+        // 64-base pattern against an 8-base text at k = 40: the window
+        // needs at least 56 deletions, so the engine rejects it before
+        // allocating or sweeping anything.
+        let (pm, _) = window_inputs(0, 5);
+        let trev: Vec<u8> = vec![0u8; 8];
+        let cfg = GenAsmConfig {
+            k: 40,
+            ..GenAsmConfig::improved()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("hopeless", "abandon"),
+            &(&pm, &trev),
+            |b, (pm, trev)| {
+                b.iter(|| {
+                    let mut stats = MemStats::new();
+                    genasm_core::align_window_fresh(pm, trev, &cfg, 40, false, &mut stats).is_err()
+                })
+            },
+        );
     }
     group.finish();
 

@@ -67,6 +67,9 @@ struct BackendRow {
     records: u64,
     peak_resident_task_bases: u64,
     resident_reference_bytes: usize,
+    /// Window-engine counters (band sweep, early termination, rescues)
+    /// for backends that expose them; baselines report `None`.
+    engine: Option<genasm_core::MemStats>,
 }
 
 fn run_backend(
@@ -75,7 +78,6 @@ fn run_backend(
     reference: &Reference,
     reads: &[(String, align_core::Seq)],
 ) -> Result<BackendRow, String> {
-    let backend = kind.create();
     let cfg = PipelineConfig {
         batch_bases: BATCH_BASES,
         queue_depth: QUEUE_DEPTH,
@@ -84,25 +86,22 @@ fn run_backend(
         shard_overlap: 256,
         params: CandidateParams::default(),
     };
-    let run = || {
+    // A fresh backend per pass keeps the cumulative window-engine
+    // counters scoped to exactly one workload traversal.
+    let run = |backend: &dyn genasm_pipeline::Backend| {
         let stream = reads.iter().map(|(n, s)| {
             Ok::<_, std::convert::Infallible>(ReadInput {
                 name: n.clone(),
                 seq: s.clone(),
             })
         });
-        run_pipeline(
-            stream,
-            reference.clone(),
-            backend.as_ref(),
-            &cfg,
-            |_| Ok(()),
-        )
-        .map_err(|e| format!("backend {name}: {e}"))
+        run_pipeline(stream, reference.clone(), backend, &cfg, |_| Ok(()))
+            .map_err(|e| format!("backend {name}: {e}"))
     };
-    run()?; // warm-up: allocators, thread pools, branch caches
+    run(kind.create().as_ref())?; // warm-up: allocators, thread pools, branch caches
+    let backend = kind.create();
     let t0 = Instant::now();
-    let metrics = run()?;
+    let metrics = run(backend.as_ref())?;
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
     Ok(BackendRow {
         name,
@@ -112,6 +111,7 @@ fn run_backend(
         records: metrics.records_out,
         peak_resident_task_bases: metrics.max_inflight_bases,
         resident_reference_bytes: metrics.shard_index.reference_bytes,
+        engine: metrics.engine,
     })
 }
 
@@ -142,7 +142,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"genasm-bench-pipeline/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"genasm-bench-pipeline/v2\",");
     let _ = writeln!(
         json,
         "  \"workload\": {{\"genome_len\": {GENOME_LEN}, \"contigs\": {CONTIGS}, \
@@ -157,11 +157,29 @@ fn main() {
     );
     let _ = writeln!(json, "  \"backends\": {{");
     for (i, r) in rows.iter().enumerate() {
+        // Window-engine counters ride along per backend so the band
+        // sweep's effect (rows swept, cells skipped, rescues) is part
+        // of the archived trajectory, not just wall-clock.
+        let engine = match &r.engine {
+            Some(e) => format!(
+                "{{\"windows\": {}, \"rows_computed\": {}, \
+                 \"windows_early_terminated\": {}, \"windows_rescued\": {}, \
+                 \"band_cells_skipped\": {}, \"peak_band_rows\": {}}}",
+                e.windows,
+                e.rows_computed,
+                e.windows_early_terminated,
+                e.windows_rescued,
+                e.band_cells_skipped,
+                e.peak_band_rows
+            ),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             json,
             "    \"{}\": {{\"wall_s\": {:.6}, \"reads_per_sec\": {:.2}, \
              \"query_bases_per_sec\": {:.2}, \"records\": {}, \
-             \"peak_resident_task_bases\": {}, \"resident_reference_bytes\": {}}}{}",
+             \"peak_resident_task_bases\": {}, \"resident_reference_bytes\": {}, \
+             \"window_engine\": {}}}{}",
             r.name,
             r.wall_s,
             r.reads_per_sec,
@@ -169,6 +187,7 @@ fn main() {
             r.records,
             r.peak_resident_task_bases,
             r.resident_reference_bytes,
+            engine,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -32,6 +32,32 @@
 //!   `cut = max(0, n - keep - 1)` is therefore unreachable and is never
 //!   stored. Final windows walk until the pattern is consumed, so their
 //!   cut is 0.
+//!
+//! ## Where the band lives (and where it cannot)
+//!
+//! The engine's *sound* band is the **`d` (error) dimension**: `cfg.k`
+//! only bounds the row loop — it never enters a bitvector value — so
+//! running a window at a tight `k` produces bit-identical rows, the
+//! same `d*`, and the same traceback whenever `d* <= k`, and a clean
+//! [`AlignError::NoAlignment`] otherwise. The hinted driver
+//! ([`crate::window::align_with_workspace_hinted`]) exploits exactly
+//! this: mapper-derived edit bounds shrink the row sweep, and a failed
+//! tight run is *rescued* by rerunning at the full budget, preserving
+//! bit-identity with the unbanded engine by construction. Two cheap
+//! exits ride along: the **infeasibility pre-flight** (a window whose
+//! pattern outruns `n + k` can never fire the solution bit, so it is
+//! abandoned before any row — hopeless windows cost O(1)), and the
+//! per-row counters feeding [`MemStats::band_cells_skipped`] /
+//! [`MemStats::peak_band_rows`].
+//!
+//! Banding the *text-column* dimension, by contrast, is unsound here:
+//! the single-word Bitap row has horizontal free propagation (the
+//! shifted-in active bit 0 encodes the free text prefix), so column
+//! activity reaches every column once `d >= m - n`, and dropping
+//! conservatively-dead columns can still flip a traceback edge pick —
+//! violating the same-ops invariant. The per-row `(first, len)` storage
+//! in [`TbTable`] generalizes DENT's cut mechanically, but the engine
+//! drives it at the uniform provably-safe cut.
 
 use align_core::{AlignError, CigarOp};
 
@@ -91,6 +117,17 @@ pub fn align_window(
     let n = ws.text_rev.len();
     assert!(n >= 1, "empty text window");
     assert!(keep >= 1, "keep must be positive");
+    // Infeasibility pre-flight: a solution consumes every pattern char
+    // via a text-consuming diagonal step or a 1-edit insertion, so it
+    // needs `m <= n + d*`. When even the full budget cannot bridge the
+    // length gap the window is hopeless — abandon it before computing
+    // a single row (O(1), not O(k·n)). This only fires under tight
+    // per-window edit bounds; `k = w >= m` windows always pass.
+    if ws.pm.len() > n + cfg.k {
+        ws.stats.windows_early_terminated += 1;
+        ws.stats.band_cells_skipped += ((cfg.k + 1) * n) as u64;
+        return Err(AlignError::NoAlignment);
+    }
     let wpe = cfg.words_per_entry();
     let cut = if final_window || !cfg.improvements.dent {
         0
@@ -117,40 +154,51 @@ pub fn align_window(
 
     for d in 0..=cfg.k {
         table.begin_row();
+        // Tight row kernels: the whole row is computed into `cur_row`
+        // with running `cur_prev`/`below_prev` registers and no
+        // per-cell bookkeeping; accounting and table stores follow in
+        // bulk with totals identical to the former per-cell counting.
         let mut cur_prev = init_row(d);
-        let below_init = if d > 0 { init_row(d - 1) } else { 0 };
-        for i in 0..n {
-            let pmv = pm.get(text_rev[i]);
-            let val = if d == 0 {
-                step_row0(cur_prev, pmv)
-            } else {
-                let below_prev = if i == 0 {
-                    below_init
-                } else {
-                    stats.scratch_loads += 1;
-                    prev_row[i - 1]
-                };
-                stats.scratch_loads += 1;
-                let below_cur = prev_row[i];
-                step_row(below_prev, below_cur, cur_prev, pmv)
-            };
-            stats.cells_computed += 1;
-            stats.scratch_stores += 1;
-            cur_row[i] = val;
-            if i >= cut {
-                if wpe == 1 {
-                    table.push_entry(&[val], stats);
-                } else if d == 0 {
-                    // Row 0 has only match edges; the other slots are
-                    // inactive (all ones).
-                    table.push_entry(&[val, !0, !0, !0], stats);
-                } else {
-                    let below_prev = if i == 0 { below_init } else { prev_row[i - 1] };
-                    let edges = step_row_edges(below_prev, prev_row[i], cur_prev, pmv);
-                    table.push_entry(&edges, stats);
-                }
+        if d == 0 {
+            for i in 0..n {
+                let val = step_row0(cur_prev, pm.get(text_rev[i]));
+                cur_row[i] = val;
+                cur_prev = val;
             }
-            cur_prev = val;
+        } else {
+            let mut below_prev = init_row(d - 1);
+            for i in 0..n {
+                let below_cur = prev_row[i];
+                let val = step_row(below_prev, below_cur, cur_prev, pm.get(text_rev[i]));
+                cur_row[i] = val;
+                below_prev = below_cur;
+                cur_prev = val;
+            }
+        }
+        // Every cell stores once; rows d > 0 load `prev_row[i]` once
+        // per cell plus `prev_row[i-1]` for each i > 0.
+        stats.cells_computed += n as u64;
+        stats.scratch_stores += n as u64;
+        if d > 0 {
+            stats.scratch_loads += (2 * n - 1) as u64;
+        }
+        if wpe == 1 {
+            table.push_row_compressed(&cur_row[cut..n], stats);
+        } else if d == 0 {
+            // Row 0 has only match edges; the other slots are inactive
+            // (all ones).
+            for &word in &cur_row[cut..n] {
+                table.push_entry(&[word, !0, !0, !0], stats);
+            }
+        } else {
+            let below_init = init_row(d - 1);
+            let cur_init = init_row(d);
+            for i in cut..n {
+                let below_prev = if i == 0 { below_init } else { prev_row[i - 1] };
+                let cur_prev = if i == 0 { cur_init } else { cur_row[i - 1] };
+                let edges = step_row_edges(below_prev, prev_row[i], cur_prev, pm.get(text_rev[i]));
+                table.push_entry(&edges, stats);
+            }
         }
         if d_star.is_none() && cur_row[n - 1] & solution == 0 {
             d_star = Some(d);
@@ -164,7 +212,14 @@ pub fn align_window(
 
     let d_star = d_star.ok_or(AlignError::NoAlignment)?;
     stats.windows += 1;
-    stats.rows_computed += table.rows() as u64;
+    let rows = table.rows() as u64;
+    stats.rows_computed += rows;
+    stats.peak_band_rows = stats.peak_band_rows.max(rows);
+    let full_rows = cfg.k as u64 + 1;
+    if rows < full_rows {
+        stats.windows_early_terminated += 1;
+        stats.band_cells_skipped += (full_rows - rows) * n as u64;
+    }
     table.account_footprint(stats);
 
     let (q_consumed, t_consumed) =
@@ -190,8 +245,11 @@ pub fn align_window_fresh(
 ) -> Result<WindowResult, AlignError> {
     let mut ws = AlignWorkspace::new();
     ws.set_window_raw(pm.clone(), text_rev);
-    let summary = align_window(&mut ws, cfg, keep, final_window)?;
+    let result = align_window(&mut ws, cfg, keep, final_window);
+    // Merge even on failure: abandoned windows report their pre-flight
+    // and band counters too.
     stats.merge(&ws.stats);
+    let summary = result?;
     Ok(WindowResult {
         d_star: summary.d_star,
         ops: ws.ops.clone(),
@@ -499,6 +557,38 @@ mod tests {
         assert_eq!(s_imp.rows_computed, 1); // exact match: only row 0
         assert_eq!(s_base.rows_computed, 65); // k+1 rows, always
         assert!(s_base.table_words > 24 * s_imp.table_words);
+    }
+
+    #[test]
+    fn infeasible_window_is_abandoned_before_any_row() {
+        // m = 16 > n + k = 3 + 4: no path can consume the pattern, so
+        // the pre-flight must reject without computing a single cell.
+        let q = seq("ACGTACGTACGTACGT");
+        let t = seq("ACG");
+        let pm = PatternMask::new_reversed_window(&q, 0, q.len());
+        let trev = rev_codes(&t);
+        let mut cfg = GenAsmConfig::improved();
+        cfg.k = 4;
+        let mut stats = MemStats::new();
+        let err = align_window_fresh(&pm, &trev, &cfg, q.len(), true, &mut stats).unwrap_err();
+        assert_eq!(err, AlignError::NoAlignment);
+        assert_eq!(stats.cells_computed, 0, "pre-flight must skip all rows");
+        assert_eq!(stats.rows_computed, 0);
+        assert_eq!(stats.windows_early_terminated, 1);
+        assert_eq!(stats.band_cells_skipped, 5 * 3);
+    }
+
+    #[test]
+    fn band_counters_track_early_termination() {
+        let (_, s_imp) = align_once("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", &cfg_improved());
+        // Exact match, k = 64: row 0 fires, 64 rows of 16 cells skipped.
+        assert_eq!(s_imp.windows_early_terminated, 1);
+        assert_eq!(s_imp.band_cells_skipped, 64 * 16);
+        assert_eq!(s_imp.peak_band_rows, 1);
+        let (_, s_base) = align_once("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", &cfg_baseline());
+        assert_eq!(s_base.windows_early_terminated, 0);
+        assert_eq!(s_base.band_cells_skipped, 0);
+        assert_eq!(s_base.peak_band_rows, 65);
     }
 
     #[test]

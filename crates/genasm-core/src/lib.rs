@@ -18,6 +18,17 @@
 //! counters between [`GenAsmConfig::baseline`] and
 //! [`GenAsmConfig::improved`] runs.
 //!
+//! On top of the paper's improvements, the window engine is **banded in
+//! the error dimension**: [`align_with_workspace_hinted`] accepts a
+//! per-alignment edit bound (derived by the mapper from chain quality)
+//! that caps each window's row sweep, an infeasibility pre-flight
+//! abandons hopeless windows in O(1), and a too-tight bound falls back
+//! to a full-budget *rescue* rerun — so accepted alignments are always
+//! bit-identical to the unbanded engine (see [`engine`] for why the
+//! `d` dimension is the sound place to band, and [`MemStats`] for the
+//! `band_cells_skipped` / `windows_rescued` / `peak_band_rows`
+//! observability counters).
+//!
 //! The row recurrence in [`bitvec`] is shared with the GPU kernels in
 //! the `genasm-gpu` crate, so CPU and (simulated) GPU results cannot
 //! drift apart.
@@ -91,5 +102,5 @@ pub use filter::{
     filter_distance, filter_distance_with, filter_occurrences, filter_occurrences_with, Occurrence,
 };
 pub use stats::MemStats;
-pub use window::{align_with_stats, align_with_workspace};
+pub use window::{align_with_stats, align_with_workspace, align_with_workspace_hinted, MIN_HINT_K};
 pub use workspace::{AlignWorkspace, CapacitySignature};

@@ -34,6 +34,22 @@ pub struct MemStats {
     pub scratch_stores: u64,
     /// Word loads from the rolling scratch rows of the distance pass.
     pub scratch_loads: u64,
+    /// DP cells *not* evaluated relative to the full `(k+1) × n` sweep
+    /// of each window's configured edit budget. Early termination, the
+    /// infeasibility pre-flight, and tight per-window edit bounds all
+    /// contribute (see `crate::window::align_with_workspace_hinted`).
+    pub band_cells_skipped: u64,
+    /// Windows whose error-row loop stopped before the full budget:
+    /// the solution bit fired early, or the pre-flight proved the
+    /// window hopeless before any row was computed.
+    pub windows_early_terminated: u64,
+    /// Hinted alignments whose tight edit band came up empty and were
+    /// rerun at the full `k` (the rescue path; each rescue reruns the
+    /// whole alignment, so results stay bit-identical to unbanded).
+    pub windows_rescued: u64,
+    /// Widest error band actually computed for any single window, in
+    /// rows of the `d` dimension. **Max-merged**, not summed.
+    pub peak_band_rows: u64,
 }
 
 impl MemStats {
@@ -83,6 +99,10 @@ impl MemStats {
         self.table_loads += other.table_loads;
         self.scratch_stores += other.scratch_stores;
         self.scratch_loads += other.scratch_loads;
+        self.band_cells_skipped += other.band_cells_skipped;
+        self.windows_early_terminated += other.windows_early_terminated;
+        self.windows_rescued += other.windows_rescued;
+        self.peak_band_rows = self.peak_band_rows.max(other.peak_band_rows);
     }
 
     /// Footprint reduction factor of `self` (baseline) over `improved`.
@@ -126,6 +146,7 @@ mod tests {
             table_loads: 10,
             scratch_stores: 64,
             scratch_loads: 64,
+            ..MemStats::default()
         };
         let b = a;
         a.merge(&b);
@@ -133,6 +154,29 @@ mod tests {
         assert_eq!(a.table_words, 80);
         assert_eq!(a.table_accesses(), 100);
         assert_eq!(a.total_accesses(), 356);
+    }
+
+    #[test]
+    fn merge_sums_band_counters_but_maxes_peak() {
+        let mut a = MemStats {
+            band_cells_skipped: 100,
+            windows_early_terminated: 2,
+            windows_rescued: 1,
+            peak_band_rows: 5,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            band_cells_skipped: 50,
+            windows_early_terminated: 3,
+            windows_rescued: 0,
+            peak_band_rows: 9,
+            ..MemStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.band_cells_skipped, 150);
+        assert_eq!(a.windows_early_terminated, 5);
+        assert_eq!(a.windows_rescued, 1);
+        assert_eq!(a.peak_band_rows, 9, "peak is a high-water mark");
     }
 
     #[test]

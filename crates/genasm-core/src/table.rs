@@ -13,15 +13,34 @@
 //!
 //! Early termination manifests simply as the table containing fewer rows.
 //!
+//! ## Band-local rows
+//!
+//! Rows carry their own `(first column, stored length)` metadata rather
+//! than one table-wide cut, so each row stores exactly its live band:
+//! [`TbTable::begin_row_at`] opens a row at any first column, and
+//! [`TbTable::load`] checks the *per-row* bounds (an out-of-band read
+//! panics — that is a traceback bug, never a data condition). The
+//! engine currently drives every row at the uniform DENT cut — the only
+//! bound that is provably traceback-safe for this single-word Bitap
+//! formulation (a pure-insertion walk prefix can reach any row at
+//! column `n-2`, so per-row *upper* bounds tighter than `n` are
+//! unsound, and column activity cannot shrink the lower bound beyond
+//! the DENT argument without risking a changed edge pick). The band
+//! that *is* sound to narrow is the `d` dimension, which the hinted
+//! window driver exploits (see
+//! [`crate::window::align_with_workspace_hinted`]).
+//!
 //! ## Arena layout and reuse
 //!
-//! Entries live in a single flat `Vec<u64>` arena with per-row start
-//! offsets — no per-row `Vec`s, so a traceback step costs one offset
+//! Entries live in a single flat `Vec<u64>` arena with per-row
+//! metadata — no per-row `Vec`s, so a traceback step costs one offset
 //! lookup instead of a double pointer chase, and the whole table can be
 //! **reused across windows**: [`TbTable::reset`] reshapes the table for
-//! the next window while keeping both buffers' capacity. After a few
-//! windows of warm-up, filling the table performs no heap allocation
-//! (this is what [`crate::workspace::AlignWorkspace`] relies on).
+//! the next window while keeping both buffers' capacity, at a cost
+//! proportional to the rows actually written, not the window's
+//! worst-case size. After a few windows of warm-up, filling the table
+//! performs no heap allocation (this is what
+//! [`crate::workspace::AlignWorkspace`] relies on).
 //!
 //! Every word moved in or out of the table is counted in [`MemStats`],
 //! because the table traffic is precisely what experiments E8/E9 ratio.
@@ -40,6 +59,18 @@ pub mod slot {
     pub const INS: usize = 3;
 }
 
+/// Placement of one stored row inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Word offset of the row's first entry in the arena.
+    offset: usize,
+    /// First text column the row stores.
+    first: usize,
+    /// Stored columns (entries), so the row covers
+    /// `first .. first + len`.
+    len: usize,
+}
+
 /// The materialized DP table of one window.
 #[derive(Debug, Clone)]
 pub struct TbTable {
@@ -48,27 +79,28 @@ pub struct TbTable {
     cut: usize,
     /// Flat entry arena: rows are appended back to back.
     words: Vec<u64>,
-    /// Start offset of each stored row within `words`.
-    row_offsets: Vec<usize>,
+    /// Placement of each stored row within `words`.
+    rows: Vec<RowMeta>,
 }
 
 impl TbTable {
-    /// Create an empty table for `n` text columns, storing columns
-    /// `cut..n` of each row at `words_per_entry` words per entry.
+    /// Create an empty table for `n` text columns whose rows default to
+    /// storing columns `cut..n`, at `words_per_entry` words per entry.
     pub fn new(words_per_entry: usize, n: usize, cut: usize) -> TbTable {
         let mut t = TbTable {
             words_per_entry: 1,
             n: 0,
             cut: 0,
             words: Vec::new(),
-            row_offsets: Vec::new(),
+            rows: Vec::new(),
         };
         t.reset(words_per_entry, n, cut);
         t
     }
 
     /// Reshape for the next window, retaining the arena's capacity.
-    /// Equivalent to `*self = TbTable::new(..)` without the allocation.
+    /// Equivalent to `*self = TbTable::new(..)` without the allocation;
+    /// costs O(1) regardless of how much the previous window stored.
     pub fn reset(&mut self, words_per_entry: usize, n: usize, cut: usize) {
         assert!(words_per_entry == 1 || words_per_entry == 4);
         assert!(
@@ -79,7 +111,7 @@ impl TbTable {
         self.n = n;
         self.cut = cut;
         self.words.clear();
-        self.row_offsets.clear();
+        self.rows.clear();
     }
 
     /// Words stored per entry (1 = compressed, 4 = edge vectors).
@@ -89,7 +121,7 @@ impl TbTable {
 
     /// Number of stored rows (`d* + 1` with early termination).
     pub fn rows(&self) -> usize {
-        self.row_offsets.len()
+        self.rows.len()
     }
 
     /// Number of text columns the window had.
@@ -97,9 +129,15 @@ impl TbTable {
         self.n
     }
 
-    /// First stored column.
+    /// Default first stored column of a row (the uniform DENT cut).
     pub fn cut(&self) -> usize {
         self.cut
+    }
+
+    /// Stored band of row `d` as `(first column, one-past-last)`.
+    pub fn row_band(&self, d: usize) -> (usize, usize) {
+        let r = self.rows[d];
+        (r.first, r.first + r.len)
     }
 
     /// Total stored words (the footprint experiment E8 measures).
@@ -113,10 +151,22 @@ impl TbTable {
         self.words.capacity()
     }
 
-    /// Begin a new row; returns its index.
+    /// Begin a new row at the table's default cut; returns its index.
     pub fn begin_row(&mut self) -> usize {
-        self.row_offsets.push(self.words.len());
-        self.row_offsets.len() - 1
+        self.begin_row_at(self.cut)
+    }
+
+    /// Begin a new row whose first stored column is `first`; returns
+    /// its index. This is the band-local generalization of the DENT
+    /// cut: each row may store a different span of columns.
+    pub fn begin_row_at(&mut self, first: usize) -> usize {
+        debug_assert!(first < self.n || self.n == 0);
+        self.rows.push(RowMeta {
+            offset: self.words.len(),
+            first,
+            len: 0,
+        });
+        self.rows.len() - 1
     }
 
     /// Append the entry for the next column of the row under
@@ -124,29 +174,49 @@ impl TbTable {
     #[inline]
     pub fn push_entry(&mut self, words: &[u64], stats: &mut MemStats) {
         debug_assert_eq!(words.len(), self.words_per_entry);
-        debug_assert!(!self.row_offsets.is_empty(), "begin_row before push_entry");
+        debug_assert!(!self.rows.is_empty(), "begin_row before push_entry");
         self.words.extend_from_slice(words);
+        self.rows.last_mut().expect("open row").len += 1;
         stats.table_stores += self.words_per_entry as u64;
+    }
+
+    /// Append a whole run of compressed entries to the row under
+    /// construction in one copy (the engine's bulk row store; identical
+    /// arena contents and store accounting to per-entry pushes).
+    #[inline]
+    pub fn push_row_compressed(&mut self, vals: &[u64], stats: &mut MemStats) {
+        debug_assert_eq!(self.words_per_entry, 1, "bulk store is compressed-only");
+        debug_assert!(!self.rows.is_empty(), "begin_row before push");
+        self.words.extend_from_slice(vals);
+        self.rows.last_mut().expect("open row").len += vals.len();
+        stats.table_stores += vals.len() as u64;
     }
 
     /// Load one word of entry `(d, i)`. `slot` must be 0 for compressed
     /// tables, or one of [`slot`] for 4-word tables.
     ///
     /// # Panics
-    /// Panics if the entry was pruned (column below the cut) or never
-    /// computed — both indicate a traceback bug, not a data condition.
+    /// Panics if the entry lies outside row `d`'s stored band or was
+    /// never computed — both indicate a traceback bug, not a data
+    /// condition.
     #[inline]
     pub fn load(&self, d: usize, i: usize, slot: usize, stats: &mut MemStats) -> u64 {
         debug_assert!(slot < self.words_per_entry);
+        let row = self.rows[d];
         assert!(
-            i >= self.cut,
-            "traceback read column {i} below the DENT cut {} (DENT unsoundness)",
-            self.cut
+            i >= row.first,
+            "traceback read column {i} below the stored band start {} of row {d} \
+             (DENT unsoundness)",
+            row.first
         );
-        assert!(i < self.n, "column {i} out of range {}", self.n);
-        let base = self.row_offsets[d];
+        assert!(
+            i < row.first + row.len,
+            "traceback read column {i} past the stored band end {} of row {d} \
+             (band unsoundness)",
+            row.first + row.len
+        );
         stats.table_loads += 1;
-        self.words[base + (i - self.cut) * self.words_per_entry + slot]
+        self.words[row.offset + (i - row.first) * self.words_per_entry + slot]
     }
 
     /// Finalize: record the footprint high-water mark into `stats`.
@@ -195,6 +265,27 @@ mod tests {
     }
 
     #[test]
+    fn bulk_row_store_matches_per_entry_pushes() {
+        let mut s1 = MemStats::new();
+        let mut s2 = MemStats::new();
+        let mut a = TbTable::new(1, 5, 2);
+        let mut b = TbTable::new(1, 5, 2);
+        a.begin_row();
+        for v in [7u64, 8, 9] {
+            a.push_entry(&[v], &mut s1);
+        }
+        b.begin_row();
+        b.push_row_compressed(&[7, 8, 9], &mut s2);
+        assert_eq!(s1.table_stores, s2.table_stores);
+        assert_eq!(a.footprint_words(), b.footprint_words());
+        for i in 2..5 {
+            assert_eq!(a.load(0, i, 0, &mut s1), b.load(0, i, 0, &mut s2));
+        }
+        assert_eq!(a.row_band(0), (2, 5));
+        assert_eq!(b.row_band(0), (2, 5));
+    }
+
+    #[test]
     #[should_panic(expected = "DENT unsoundness")]
     fn reading_pruned_column_panics() {
         let mut stats = MemStats::new();
@@ -203,6 +294,34 @@ mod tests {
         t.push_entry(&[1], &mut stats);
         t.push_entry(&[2], &mut stats);
         let _ = t.load(0, 1, 0, &mut stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "band unsoundness")]
+    fn reading_past_the_band_end_panics() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 8, 0);
+        // A band-local row covering columns 2..4 only.
+        t.begin_row_at(2);
+        t.push_entry(&[1], &mut stats);
+        t.push_entry(&[2], &mut stats);
+        assert_eq!(t.row_band(0), (2, 4));
+        let _ = t.load(0, 4, 0, &mut stats);
+    }
+
+    #[test]
+    fn rows_can_store_different_bands() {
+        let mut stats = MemStats::new();
+        let mut t = TbTable::new(1, 8, 0);
+        t.begin_row_at(0);
+        t.push_row_compressed(&[1, 2, 3], &mut stats); // columns 0..3
+        t.begin_row_at(4);
+        t.push_row_compressed(&[40, 50], &mut stats); // columns 4..6
+        assert_eq!(t.row_band(0), (0, 3));
+        assert_eq!(t.row_band(1), (4, 6));
+        assert_eq!(t.load(0, 2, 0, &mut stats), 3);
+        assert_eq!(t.load(1, 4, 0, &mut stats), 40);
+        assert_eq!(t.footprint_words(), 5);
     }
 
     #[test]

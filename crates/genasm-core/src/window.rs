@@ -7,6 +7,23 @@
 //! re-anchored at the committed position. The final window commits its
 //! whole traceback and closes the alignment with explicit indels if one
 //! sequence runs out before the other.
+//!
+//! ## Edit-bound hints and the rescue path
+//!
+//! [`align_with_workspace_hinted`] accepts a per-alignment *edit bound
+//! hint* (derived upstream from chain score / anchor coverage — see
+//! `mapper`). A hint below the configured `k` runs the whole greedy
+//! window pipeline at a tight budget `k' = clamp(hint, MIN_HINT_K, k)`:
+//! every window sweeps at most `k' + 1` error rows instead of `k + 1`,
+//! and hopeless windows are abandoned by the engine's pre-flight. Since
+//! `k` never enters a bitvector value, a tight run that succeeds is
+//! **bit-identical** to the full-budget run (same `d*` per window, same
+//! ops). If any window exceeds the tight budget the driver *rescues*:
+//! it reruns the entire alignment at the full `k`, which *is* the
+//! unbanded computation — so accepted alignments are bit-identical to
+//! the unhinted engine by construction, with no conservative-band
+//! correctness argument needed. Instrumentation accumulates across both
+//! attempts; rescues are counted in [`MemStats::windows_rescued`].
 
 use align_core::{AlignError, Alignment, Cigar, CigarOp, Seq};
 
@@ -14,6 +31,11 @@ use crate::config::GenAsmConfig;
 use crate::engine::align_window;
 use crate::stats::MemStats;
 use crate::workspace::AlignWorkspace;
+
+/// Floor applied to edit-bound hints: running below this buys little
+/// (row 0 always runs) and makes spurious rescues likelier on noisy
+/// hint estimates.
+pub const MIN_HINT_K: usize = 8;
 
 /// Align `query` against `target` end-to-end with the windowed GenASM
 /// pipeline, borrowing all scratch state from `ws`.
@@ -25,6 +47,50 @@ pub fn align_with_workspace(
     query: &Seq,
     target: &Seq,
     cfg: &GenAsmConfig,
+    ws: &mut AlignWorkspace,
+) -> Result<Alignment, AlignError> {
+    drive(query, target, cfg, None, ws)
+}
+
+/// [`align_with_workspace`] with an optional per-alignment edit bound:
+/// `max_edits` caps the per-window error-row sweep at
+/// `clamp(max_edits, MIN_HINT_K, cfg.k)`. Too-tight hints are safe —
+/// the driver falls back to a full-`k` rerun (the rescue path), so the
+/// result is always bit-identical to the unhinted call; only the work
+/// done (and the [`MemStats`] accounting of it) differs.
+pub fn align_with_workspace_hinted(
+    query: &Seq,
+    target: &Seq,
+    cfg: &GenAsmConfig,
+    max_edits: Option<usize>,
+    ws: &mut AlignWorkspace,
+) -> Result<Alignment, AlignError> {
+    if let Some(hint) = max_edits {
+        let kt = hint.max(MIN_HINT_K).min(cfg.k);
+        if kt < cfg.k {
+            let tight = GenAsmConfig { k: kt, ..*cfg };
+            match drive(query, target, &tight, Some(cfg.k), ws) {
+                Err(AlignError::NoAlignment) => {
+                    // The band came up empty somewhere mid-pipeline;
+                    // rerun everything at the full budget. That rerun
+                    // is exactly the unbanded computation.
+                    ws.stats.windows_rescued += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+    drive(query, target, cfg, None, ws)
+}
+
+/// The greedy window pipeline at one fixed budget. `full_k` is the
+/// configured budget when `cfg.k` is a tightened hint (used only to
+/// account the skipped rows); `None` when running unbanded.
+fn drive(
+    query: &Seq,
+    target: &Seq,
+    cfg: &GenAsmConfig,
+    full_k: Option<usize>,
     ws: &mut AlignWorkspace,
 ) -> Result<Alignment, AlignError> {
     cfg.validate();
@@ -50,6 +116,12 @@ pub fn align_with_workspace(
 
         ws.set_window(query, qpos, m, target, tpos, n);
         let res = align_window(ws, cfg, keep, final_window)?;
+        if let Some(fk) = full_k {
+            // Rows `cfg.k+1 ..= fk` of this window were never swept:
+            // that is the hint's contribution on top of whatever the
+            // engine skipped within the tight budget.
+            ws.stats.band_cells_skipped += ((fk - cfg.k) * n) as u64;
+        }
         debug_assert!(
             res.q_consumed + res.t_consumed > 0,
             "window made no progress (W={}, O={})",
@@ -212,6 +284,71 @@ mod tests {
             align_with_stats(&q, &t, &cfg, &mut s).unwrap_err(),
             AlignError::NoAlignment
         );
+    }
+
+    #[test]
+    fn tight_hint_is_bit_identical_and_skips_rows() {
+        // A few scattered errors: a tight hint must reproduce the
+        // unhinted CIGAR exactly while sweeping far fewer rows. Use the
+        // baseline config (no early termination) so the row savings are
+        // attributable to the hint alone.
+        let mut bases: Vec<u8> = "ACGTTGCA".repeat(38).into_bytes();
+        bases[17] = b'A';
+        bases[130] = b'C';
+        let q = seq(std::str::from_utf8(&bases).unwrap());
+        let t = seq(&"ACGTTGCA".repeat(38));
+        let cfg = GenAsmConfig::baseline();
+        let mut ws1 = AlignWorkspace::new();
+        let a = align_with_workspace(&q, &t, &cfg, &mut ws1).unwrap();
+        let mut ws2 = AlignWorkspace::new();
+        let b = align_with_workspace_hinted(&q, &t, &cfg, Some(4), &mut ws2).unwrap();
+        assert_eq!(a.cigar, b.cigar, "hint must not change the output");
+        assert_eq!(ws2.stats.windows_rescued, 0, "generous hint, no rescue");
+        assert_eq!(ws1.stats.windows, ws2.stats.windows);
+        // Hint 4 clamps to MIN_HINT_K = 8: 9 rows per window, not 65.
+        assert_eq!(
+            ws2.stats.rows_computed,
+            9 * ws2.stats.windows,
+            "tight budget must bound the row sweep"
+        );
+        assert!(ws2.stats.rows_computed < ws1.stats.rows_computed / 5);
+        assert_eq!(
+            ws2.stats.band_cells_skipped,
+            ws1.stats.cells_computed - ws2.stats.cells_computed,
+            "skipped cells must account exactly for the saved work"
+        );
+    }
+
+    #[test]
+    fn too_tight_hint_rescues_to_the_unhinted_result() {
+        // All-mismatch input: every window needs ~W edits, far beyond
+        // any clamped hint, so the tight attempt fails and the driver
+        // must fall back to the full budget and still match unhinted.
+        let q = seq(&"A".repeat(100));
+        let t = seq(&"T".repeat(100));
+        let cfg = GenAsmConfig::improved();
+        let mut ws1 = AlignWorkspace::new();
+        let a = align_with_workspace(&q, &t, &cfg, &mut ws1).unwrap();
+        let mut ws2 = AlignWorkspace::new();
+        let b = align_with_workspace_hinted(&q, &t, &cfg, Some(1), &mut ws2).unwrap();
+        assert_eq!(a.cigar, b.cigar, "rescue must reproduce the unhinted run");
+        assert_eq!(ws2.stats.windows_rescued, 1);
+        assert!(
+            ws2.stats.cells_computed > ws1.stats.cells_computed,
+            "the failed tight attempt costs extra work on top of the rescue"
+        );
+    }
+
+    #[test]
+    fn hint_at_or_above_k_is_a_plain_run() {
+        let q = seq(&"ACGTTGCA".repeat(20));
+        let cfg = GenAsmConfig::improved();
+        let mut ws1 = AlignWorkspace::new();
+        let a = align_with_workspace(&q, &q, &cfg, &mut ws1).unwrap();
+        let mut ws2 = AlignWorkspace::new();
+        let b = align_with_workspace_hinted(&q, &q, &cfg, Some(cfg.k), &mut ws2).unwrap();
+        assert_eq!(a.cigar, b.cigar);
+        assert_eq!(ws1.stats, ws2.stats, "hint >= k must change nothing");
     }
 
     #[test]

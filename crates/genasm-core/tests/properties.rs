@@ -12,7 +12,7 @@
 //! 5. instrumentation sanity: improved footprint ≤ baseline footprint.
 
 use align_core::{nw_distance, Base, Seq};
-use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats};
+use genasm_core::{AlignWorkspace, GenAsmConfig, Improvements, MemStats, MIN_HINT_K};
 use proptest::prelude::*;
 
 fn arb_seq(max_len: usize) -> impl Strategy<Value = Seq> {
@@ -153,6 +153,94 @@ proptest! {
                 "reuse changed the instrumentation under {}", improvements.label());
         }
     }
+
+    #[test]
+    fn hinted_driver_is_bit_identical_for_any_hint(
+        (q, t) in arb_mutated_pair(250, 16),
+        improvements_idx in 0usize..8,
+        hint_sel in 0usize..4,
+    ) {
+        // The edit-bound hint must never change the accepted alignment,
+        // only the work done to find it: a tight band either succeeds
+        // with the same answer (banding in d is sound — the band only
+        // bounds the row loop, never the word values) or fails and the
+        // full-budget rescue reproduces the unhinted run exactly. Check
+        // every improvement combination against hints covering all the
+        // regimes: none, far too tight (forces rescue), the exact band
+        // edge, and the full budget.
+        let improvements = Improvements::all_combinations()[improvements_idx];
+        let cfg = GenAsmConfig { improvements, ..GenAsmConfig::improved() };
+        let (reference, reference_stats) = align(&q, &t, &cfg);
+        let hint = match hint_sel {
+            0 => None,
+            1 => Some(1),                       // clamps to MIN_HINT_K; rescues when too tight
+            2 => Some(reference.edit_distance), // band edge
+            _ => Some(cfg.w),                   // full budget: hint is a no-op
+        };
+        let mut ws = AlignWorkspace::new();
+        let hinted = genasm_core::align_with_workspace_hinted(&q, &t, &cfg, hint, &mut ws)
+            .expect("k=W cannot fail");
+        let hinted_stats = ws.take_stats();
+        prop_assert_eq!(&hinted.cigar, &reference.cigar,
+            "hint {:?} changed the alignment under {}", hint, improvements.label());
+        prop_assert_eq!(hinted.edit_distance, reference.edit_distance);
+        // The hinted run does at least the reference's windows (plus
+        // any windows the abandoned tight attempt burned before a
+        // rescue), and it only ever rescues when a hint was given.
+        prop_assert!(hinted_stats.windows >= reference_stats.windows,
+            "hint {:?} lost windows under {}", hint, improvements.label());
+        if hint.is_none() {
+            prop_assert_eq!(hinted_stats.windows_rescued, 0);
+        }
+    }
+}
+
+/// Adversarial band-edge case: a single window whose true distance d*
+/// is strictly above `MIN_HINT_K`. A hint of exactly d* runs the band
+/// at its edge and must succeed without rescue; a hint of d* - 1 must
+/// fail the tight run, rescue at the full budget, and still report the
+/// identical alignment.
+#[test]
+fn hint_at_exact_band_edge_succeeds_and_one_below_rescues() {
+    let q: Seq = (0..64).map(|i| Base::from_code((i % 4) as u8)).collect();
+    let mut bases: Vec<Base> = q.iter().collect();
+    for i in 0..12 {
+        let pos = i * 5;
+        bases[pos] = Base::from_code((bases[pos].code() + 2) % 4);
+    }
+    let t: Seq = bases.into_iter().collect();
+    let cfg = GenAsmConfig::improved();
+    let (reference, _) = align(&q, &t, &cfg);
+    let d_star = reference.edit_distance;
+    assert_eq!(
+        d_star,
+        nw_distance(&q, &t),
+        "planted substitutions are optimal"
+    );
+    assert!(
+        d_star > MIN_HINT_K,
+        "band edge case needs d* = {d_star} > MIN_HINT_K = {MIN_HINT_K}"
+    );
+
+    let mut ws = AlignWorkspace::new();
+
+    // Exact band edge: the solution bit fires on the band's last row.
+    let at_edge = genasm_core::align_with_workspace_hinted(&q, &t, &cfg, Some(d_star), &mut ws)
+        .expect("k=W cannot fail");
+    let at_edge_stats = ws.take_stats();
+    assert_eq!(at_edge.cigar, reference.cigar);
+    assert_eq!(
+        at_edge_stats.windows_rescued, 0,
+        "edge hint must not rescue"
+    );
+
+    // One below the edge: the tight run cannot see the solution row.
+    let below = genasm_core::align_with_workspace_hinted(&q, &t, &cfg, Some(d_star - 1), &mut ws)
+        .expect("k=W cannot fail");
+    let below_stats = ws.take_stats();
+    assert_eq!(below.cigar, reference.cigar);
+    assert_eq!(below.edit_distance, d_star);
+    assert_eq!(below_stats.windows_rescued, 1, "one-below hint must rescue");
 }
 
 /// Satellite acceptance test: a single workspace reused across 100+

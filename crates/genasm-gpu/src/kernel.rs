@@ -21,10 +21,16 @@
 //!   DP store and every traceback load pays DRAM latency and bandwidth.
 //!
 //! That asymmetry is the paper's central GPU claim (experiment E7).
+//!
+//! Like the CPU driver, the kernel honours a task's `max_edits` hint:
+//! the block first runs the whole pipeline at the tightened budget
+//! `clamp(hint, MIN_HINT_K, k)` (fewer row groups per window, global
+//! staging sized to the band) and, if any window exceeds it, reruns at
+//! the full `k` — so hinted results are bit-identical to unhinted ones.
 
 use align_core::{Alignment, Cigar, CigarOp};
 use genasm_core::bitvec::{init_row, step_row, step_row0, step_row_edges, PatternMask};
-use genasm_core::GenAsmConfig;
+use genasm_core::{GenAsmConfig, MIN_HINT_K};
 use gpu_sim::{BlockCtx, GlobalBuf, Kernel, SharedBuf, SimError};
 
 /// Threads per row-group (and per block).
@@ -94,13 +100,18 @@ pub struct GpuAlignment {
     /// The alignment (identical to the CPU result by construction;
     /// property-tested in `tests/gpu_vs_cpu.rs`).
     pub alignment: Alignment,
-    /// Windows processed.
+    /// Windows processed in the accepted run (a rescued block's failed
+    /// tight attempt is not counted here, only its device-time charge).
     pub windows: u32,
-    /// Error rows computed, summed over windows.
+    /// Error rows computed in the accepted run, summed over windows.
     pub rows_computed: u64,
     /// Windows whose table spilled from shared to global memory
     /// (improved kernel only; rare high-error final windows).
     pub spilled_windows: u32,
+    /// True when the task's edit-bound hint was too tight and the block
+    /// reran the whole pipeline at the full `k` (results stay
+    /// bit-identical to an unhinted run by construction).
+    pub rescued: bool,
 }
 
 /// The GenASM kernel; flavour chosen by `cfg.improvements`. Launch it
@@ -152,7 +163,9 @@ impl Kernel for GenAsmKernel {
         // Stream the 2-bit packed input windows in.
         ctx.charge_global_stream(((query.len() + target.len()) / 4 + 2) as u64);
 
-        // Static shared allocations, reused across windows.
+        // Static shared allocations, reused across windows (and, for
+        // hinted blocks, across the tight attempt and its rescue). The
+        // table is sized for the full `k` so a rescue never re-allocates.
         let wpe = cfg.words_per_entry();
         let static_table_words = if wpe == 1 {
             if cfg.improvements.dent {
@@ -163,135 +176,200 @@ impl Kernel for GenAsmKernel {
         } else {
             0
         };
-        let mut shared_table = if static_table_words > 0 {
-            Some(ctx.shared_alloc(static_table_words)?)
-        } else {
-            None
-        };
-        let mut boundary = ctx.shared_alloc(cfg.w)?;
-        let mut boundary_next = ctx.shared_alloc(cfg.w)?;
-        let mut diag_a = ctx.shared_alloc(ROW_GROUP)?;
-        let mut diag_b = ctx.shared_alloc(ROW_GROUP)?;
-        let mut diag_c = ctx.shared_alloc(ROW_GROUP)?;
-
-        let mut cigar = Cigar::new();
-        let mut qpos = 0usize;
-        let mut tpos = 0usize;
-        let mut windows = 0u32;
-        let mut rows_total = 0u64;
-        let mut spilled = 0u32;
-
-        loop {
-            let qrem = query.len() - qpos;
-            let trem = target.len() - tpos;
-            if qrem == 0 {
-                cigar.push_run(trem as u32, CigarOp::Del);
-                break;
-            }
-            if trem == 0 {
-                cigar.push_run(qrem as u32, CigarOp::Ins);
-                break;
-            }
-            let m = qrem.min(cfg.w);
-            let n = trem.min(cfg.w);
-            let final_window = m == qrem && n == trem;
-            let keep = if final_window { m } else { cfg.keep() };
-            let cut = if final_window || !cfg.improvements.dent {
-                0
+        let mut sh = BlockShared {
+            table: if static_table_words > 0 {
+                Some(ctx.shared_alloc(static_table_words)?)
             } else {
-                n.saturating_sub(keep + 1)
-            };
-            let cols = n - cut;
+                None
+            },
+            boundary: ctx.shared_alloc(cfg.w)?,
+            boundary_next: ctx.shared_alloc(cfg.w)?,
+            diag_a: ctx.shared_alloc(ROW_GROUP)?,
+            diag_b: ctx.shared_alloc(ROW_GROUP)?,
+            diag_c: ctx.shared_alloc(ROW_GROUP)?,
+        };
 
-            let pm = PatternMask::new_reversed_window(query, qpos, m);
-            ws.text_rev.clear();
-            ws.text_rev
-                .extend((0..n).rev().map(|i| target.get_code(tpos + i)));
-
-            // Pick storage: start in the static shared table when one
-            // exists; if early termination turns out to need more rows
-            // than it can hold (possible on high-error final windows,
-            // whose column count exceeds the static non-final shape),
-            // the window restarts in global memory.
-            let needs_worst = (cfg.k + 1) * cols * wpe;
-            let mut table = match shared_table.take() {
-                Some(buf) => TableMem::Shared(buf),
-                None => TableMem::Global(ctx.global_alloc(needs_worst)),
-            };
-
-            let mut win = {
-                let io = WindowIo {
-                    table: &mut table,
-                    boundary: &mut boundary,
-                    boundary_next: &mut boundary_next,
-                    diag_a: &mut diag_a,
-                    diag_b: &mut diag_b,
-                    diag_c: &mut diag_c,
-                };
-                window_on_device(
-                    ctx,
-                    io,
-                    &pm,
-                    &ws.text_rev,
-                    cfg,
-                    cut,
-                    keep,
-                    final_window,
-                    &mut ws.ops,
-                )?
-            };
-            if win.is_none() {
-                // Spill: redo this window with the table in DRAM.
-                spilled += 1;
-                let mut global = TableMem::Global(ctx.global_alloc(needs_worst));
-                let io = WindowIo {
-                    table: &mut global,
-                    boundary: &mut boundary,
-                    boundary_next: &mut boundary_next,
-                    diag_a: &mut diag_a,
-                    diag_b: &mut diag_b,
-                    diag_c: &mut diag_c,
-                };
-                win = window_on_device(
-                    ctx,
-                    io,
-                    &pm,
-                    &ws.text_rev,
-                    cfg,
-                    cut,
-                    keep,
-                    final_window,
-                    &mut ws.ops,
-                )?;
+        // The task's edit-bound hint caps the per-window row sweep, the
+        // same way the CPU driver's hinted path does. A tight run that
+        // succeeds is bit-identical to the full run (the budget never
+        // enters a bitvector value); one that fails is rerun at the
+        // full `k`, which *is* the unhinted computation.
+        let k_eff = match task.max_edits {
+            Some(h) => (h as usize).max(MIN_HINT_K).min(cfg.k),
+            None => cfg.k,
+        };
+        if k_eff < cfg.k {
+            let tight = GenAsmConfig { k: k_eff, ..*cfg };
+            match pipeline_on_device(ctx, query, target, &tight, &mut sh, ws) {
+                Err(SimError::KernelFailed { .. }) => {
+                    // Rescue: the failed attempt's device-time charges
+                    // stay on the books (that work really happened).
+                    let mut g = pipeline_on_device(ctx, query, target, cfg, &mut sh, ws)?;
+                    g.rescued = true;
+                    Ok(g)
+                }
+                other => other,
             }
-            let win = win.expect("global table cannot run out of capacity");
-            if let TableMem::Shared(buf) = table {
-                shared_table = Some(buf);
-            }
-
-            windows += 1;
-            rows_total += win.rows as u64;
-            for &op in &ws.ops {
-                cigar.push(op);
-            }
-            qpos += win.qc;
-            tpos += win.tc;
-            if final_window {
-                let leftover = target.len() - tpos;
-                cigar.push_run(leftover as u32, CigarOp::Del);
-                break;
-            }
+        } else {
+            pipeline_on_device(ctx, query, target, cfg, &mut sh, ws)
         }
-
-        // Stream the CIGAR out.
-        ctx.charge_global_stream(cigar.runs().len() as u64 * 5 + 8);
-        Ok(GpuAlignment {
-            alignment: Alignment::from_cigar(cigar),
-            windows,
-            rows_computed: rows_total,
-            spilled_windows: spilled,
-        })
     }
+}
+
+/// The per-block shared-memory allocations, bundled so the greedy
+/// pipeline can run more than once per block (hinted attempt + rescue).
+struct BlockShared {
+    table: Option<SharedBuf>,
+    boundary: SharedBuf,
+    boundary_next: SharedBuf,
+    diag_a: SharedBuf,
+    diag_b: SharedBuf,
+    diag_c: SharedBuf,
+}
+
+/// The whole greedy window pipeline for one task at one fixed budget
+/// (`cfg.k` is the effective budget; tightened for hinted attempts).
+fn pipeline_on_device(
+    ctx: &mut BlockCtx,
+    query: &align_core::Seq,
+    target: &align_core::Seq,
+    cfg: &GenAsmConfig,
+    sh: &mut BlockShared,
+    ws: &mut KernelWorkspace,
+) -> Result<GpuAlignment, SimError> {
+    let wpe = cfg.words_per_entry();
+    let mut cigar = Cigar::new();
+    let mut qpos = 0usize;
+    let mut tpos = 0usize;
+    let mut windows = 0u32;
+    let mut rows_total = 0u64;
+    let mut spilled = 0u32;
+
+    loop {
+        let qrem = query.len() - qpos;
+        let trem = target.len() - tpos;
+        if qrem == 0 {
+            cigar.push_run(trem as u32, CigarOp::Del);
+            break;
+        }
+        if trem == 0 {
+            cigar.push_run(qrem as u32, CigarOp::Ins);
+            break;
+        }
+        let m = qrem.min(cfg.w);
+        let n = trem.min(cfg.w);
+        // Infeasibility pre-flight: a solution needs `m <= n + d`, so a
+        // hopeless window is abandoned before any row is swept (O(1)
+        // instead of O(k·n); mirrors the CPU engine's pre-flight).
+        if m > n + cfg.k {
+            return Err(SimError::KernelFailed {
+                reason: format!("window needs more than k={} edits", cfg.k),
+            });
+        }
+        let final_window = m == qrem && n == trem;
+        let keep = if final_window { m } else { cfg.keep() };
+        let cut = if final_window || !cfg.improvements.dent {
+            0
+        } else {
+            n.saturating_sub(keep + 1)
+        };
+        let cols = n - cut;
+
+        let pm = PatternMask::new_reversed_window(query, qpos, m);
+        ws.text_rev.clear();
+        ws.text_rev
+            .extend((0..n).rev().map(|i| target.get_code(tpos + i)));
+
+        // Pick storage: start in the static shared table when one
+        // exists; if early termination turns out to need more rows
+        // than it can hold (possible on high-error final windows,
+        // whose column count exceeds the static non-final shape),
+        // the window restarts in global memory. Global staging is
+        // sized to the *effective* band, not the configured worst
+        // case, so tight hinted attempts stage less DRAM.
+        let needs_worst = (cfg.k + 1) * cols * wpe;
+        let mut table = match sh.table.take() {
+            Some(buf) => TableMem::Shared(buf),
+            None => TableMem::Global(ctx.global_alloc(needs_worst)),
+        };
+
+        let first = {
+            let io = WindowIo {
+                table: &mut table,
+                boundary: &mut sh.boundary,
+                boundary_next: &mut sh.boundary_next,
+                diag_a: &mut sh.diag_a,
+                diag_b: &mut sh.diag_b,
+                diag_c: &mut sh.diag_c,
+            };
+            window_on_device(
+                ctx,
+                io,
+                &pm,
+                &ws.text_rev,
+                cfg,
+                cut,
+                keep,
+                final_window,
+                &mut ws.ops,
+            )
+        };
+        // Return the static shared table before any early exit: a
+        // budget failure here must leave it available to the rescue
+        // rerun, not drop it.
+        if let TableMem::Shared(buf) = table {
+            sh.table = Some(buf);
+        }
+        let mut win = first?;
+        if win.is_none() {
+            // Spill: redo this window with the table in DRAM.
+            spilled += 1;
+            let mut global = TableMem::Global(ctx.global_alloc(needs_worst));
+            let io = WindowIo {
+                table: &mut global,
+                boundary: &mut sh.boundary,
+                boundary_next: &mut sh.boundary_next,
+                diag_a: &mut sh.diag_a,
+                diag_b: &mut sh.diag_b,
+                diag_c: &mut sh.diag_c,
+            };
+            win = window_on_device(
+                ctx,
+                io,
+                &pm,
+                &ws.text_rev,
+                cfg,
+                cut,
+                keep,
+                final_window,
+                &mut ws.ops,
+            )?;
+        }
+        let win = win.expect("global table cannot run out of capacity");
+
+        windows += 1;
+        rows_total += win.rows as u64;
+        for &op in &ws.ops {
+            cigar.push(op);
+        }
+        qpos += win.qc;
+        tpos += win.tc;
+        if final_window {
+            let leftover = target.len() - tpos;
+            cigar.push_run(leftover as u32, CigarOp::Del);
+            break;
+        }
+    }
+
+    // Stream the CIGAR out.
+    ctx.charge_global_stream(cigar.runs().len() as u64 * 5 + 8);
+    Ok(GpuAlignment {
+        alignment: Alignment::from_cigar(cigar),
+        windows,
+        rows_computed: rows_total,
+        spilled_windows: spilled,
+        rescued: false,
+    })
 }
 
 struct WindowIo<'a> {

@@ -60,7 +60,7 @@ use std::time::{Duration, Instant};
 
 use align_core::{AlignTask, Reference, Seq};
 
-use crate::candidates::{chain_window, CandidateParams};
+use crate::candidates::{chain_window, edit_bound_hint, CandidateParams};
 use crate::chain::{chain_anchors, Anchor, Chain, ChainParams};
 use crate::index::{minimizers, minimizers_windowed, MinimizerIndex};
 
@@ -493,9 +493,9 @@ impl ShardedIndex {
             }
             let lo = start.max(sh.tile_start);
             let hi = end.min(sh.tile_end);
-            for p in lo..hi {
-                out.push(sh.slice.get(p - sh.tile_start));
-            }
+            // Packed-word append: copies whole 2-bit-packed bytes with
+            // boundary masking instead of one base at a time.
+            out.extend_from(&sh.slice, lo - sh.tile_start, hi - lo);
         }
         out
     }
@@ -631,9 +631,15 @@ impl ShardedIndex {
                 } else {
                     read.clone()
                 };
+                // Same estimator as the unsharded path: chain scores,
+                // spans, and window lengths are shard-count invariant,
+                // so the hint is too (the invariance tests compare
+                // whole tasks, hint included).
+                let hint = edit_bound_hint(chain, read.len(), target.len());
                 AlignTask::new(read_id, start, query, target)
                     .oriented(chain.reverse)
                     .in_contig(*ci)
+                    .with_edit_bound(hint)
             })
             .collect()
     }

@@ -10,8 +10,11 @@
 //! composition — that is what makes pipeline output independent of
 //! batch geometry.
 
+use std::sync::Mutex;
+
 use align_core::{AlignTask, Alignment};
 use baselines::{Ksw2Aligner, MyersAligner};
+use genasm_core::MemStats;
 use genasm_cpu::{align_batch_genasm, align_batch_reusing, CpuBatchAligner};
 use genasm_gpu::GpuAligner;
 use gpu_sim::Device;
@@ -24,6 +27,16 @@ pub trait Backend: Send + Sync {
     /// Align every task; entry `i` is the alignment of `tasks[i]` or
     /// `None` when the task exceeded the aligner's edit budget.
     fn align_batch(&self, tasks: &[AlignTask]) -> Result<Vec<Option<Alignment>>, BackendError>;
+
+    /// Engine instrumentation accumulated across every batch this
+    /// backend instance has aligned so far (cumulative, like the other
+    /// pipeline counters), if the backend collects any. The pipeline
+    /// pulls this after the dispatch stages join and surfaces it in
+    /// [`crate::PipelineMetrics`]. Backends without GenASM-style
+    /// counters (the baselines) return `None`.
+    fn engine_stats(&self) -> Option<MemStats> {
+        None
+    }
 }
 
 /// A backend failed in a way that poisons the whole batch.
@@ -47,6 +60,7 @@ impl std::error::Error for BackendError {}
 pub struct CpuBackend {
     aligner: CpuBatchAligner,
     name: &'static str,
+    stats: Mutex<MemStats>,
 }
 
 impl CpuBackend {
@@ -55,6 +69,7 @@ impl CpuBackend {
         CpuBackend {
             aligner: CpuBatchAligner::improved(),
             name: "cpu",
+            stats: Mutex::new(MemStats::new()),
         }
     }
 
@@ -63,6 +78,7 @@ impl CpuBackend {
         CpuBackend {
             aligner: CpuBatchAligner::baseline(),
             name: "cpu-base",
+            stats: Mutex::new(MemStats::new()),
         }
     }
 }
@@ -73,13 +89,23 @@ impl Backend for CpuBackend {
     }
 
     fn align_batch(&self, tasks: &[AlignTask]) -> Result<Vec<Option<Alignment>>, BackendError> {
-        Ok(align_batch_genasm(tasks, &self.aligner.cfg).alignments)
+        let res = align_batch_genasm(tasks, &self.aligner.cfg);
+        self.stats
+            .lock()
+            .expect("stats mutex poisoned")
+            .merge(&res.stats);
+        Ok(res.alignments)
+    }
+
+    fn engine_stats(&self) -> Option<MemStats> {
+        Some(*self.stats.lock().expect("stats mutex poisoned"))
     }
 }
 
 /// The simulated-GPU GenASM kernel (one block per task).
 pub struct GpuSimBackend {
     gpu: GpuAligner,
+    stats: Mutex<MemStats>,
 }
 
 impl GpuSimBackend {
@@ -87,12 +113,27 @@ impl GpuSimBackend {
     pub fn a6000() -> GpuSimBackend {
         GpuSimBackend {
             gpu: GpuAligner::improved(Device::a6000()),
+            stats: Mutex::new(MemStats::new()),
         }
     }
 
     /// Any configured GPU aligner.
     pub fn new(gpu: GpuAligner) -> GpuSimBackend {
-        GpuSimBackend { gpu }
+        GpuSimBackend {
+            gpu,
+            stats: Mutex::new(MemStats::new()),
+        }
+    }
+
+    /// Fold per-task kernel outputs into the window/band counters the
+    /// kernel reports (a subset of the CPU engine's instrumentation).
+    fn absorb(&self, results: &[genasm_gpu::GpuAlignment]) {
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        for r in results {
+            s.windows += r.windows as u64;
+            s.rows_computed += r.rows_computed;
+            s.windows_rescued += r.rescued as u64;
+        }
     }
 }
 
@@ -103,11 +144,14 @@ impl Backend for GpuSimBackend {
 
     fn align_batch(&self, tasks: &[AlignTask]) -> Result<Vec<Option<Alignment>>, BackendError> {
         match self.gpu.align_batch(tasks) {
-            Ok(report) => Ok(report
-                .results
-                .into_iter()
-                .map(|r| Some(r.alignment))
-                .collect()),
+            Ok(report) => {
+                self.absorb(&report.results);
+                Ok(report
+                    .results
+                    .into_iter()
+                    .map(|r| Some(r.alignment))
+                    .collect())
+            }
             // A data-dependent failure (edit budget exhausted) poisons
             // the whole simulated launch; retry task-by-task so the
             // Backend contract holds — only the offending tasks become
@@ -117,7 +161,10 @@ impl Backend for GpuSimBackend {
             Err(gpu_sim::SimError::KernelFailed { .. }) => tasks
                 .iter()
                 .map(|t| match self.gpu.align_batch(core::slice::from_ref(t)) {
-                    Ok(report) => Ok(report.results.into_iter().next().map(|r| r.alignment)),
+                    Ok(report) => {
+                        self.absorb(&report.results);
+                        Ok(report.results.into_iter().next().map(|r| r.alignment))
+                    }
                     Err(gpu_sim::SimError::KernelFailed { .. }) => Ok(None),
                     Err(e) => Err(BackendError {
                         backend: "gpu-sim",
@@ -130,6 +177,10 @@ impl Backend for GpuSimBackend {
                 reason: e.to_string(),
             }),
         }
+    }
+
+    fn engine_stats(&self) -> Option<MemStats> {
+        Some(*self.stats.lock().expect("stats mutex poisoned"))
     }
 }
 

@@ -387,6 +387,9 @@ where
             pushed: result_q.total_pushed(),
             high_water: result_q.high_water(),
         },
+        // Drained once, after every dispatcher has joined, so the
+        // snapshot sees the full run's engine instrumentation.
+        backend.engine_stats(),
     ))
 }
 

@@ -398,6 +398,19 @@ impl PipelineService {
                 pushed: sh.result_q.total_pushed(),
                 high_water: sh.result_q.high_water(),
             },
+            {
+                // Merge engine instrumentation across every resident
+                // backend (sessions may use different ones).
+                let mut engine = genasm_core::MemStats::new();
+                let mut any = false;
+                for (_, b) in &sh.backends {
+                    if let Some(s) = b.engine_stats() {
+                        engine.merge(&s);
+                        any = true;
+                    }
+                }
+                any.then_some(engine)
+            },
         )
     }
 

@@ -508,8 +508,22 @@ fn metrics_report_every_stage() {
     assert!(m.query_bases_per_sec() > 0.0);
     // Nothing is left in flight after a clean finish.
     assert!(m.max_inflight_tasks >= 1);
+    // The CPU backend surfaces its engine instrumentation, including
+    // the error-band counters fed by the mapper's edit-bound hints.
+    let engine = m.engine.expect("CpuBackend must report engine stats");
+    assert!(engine.windows > 0, "no windows counted");
+    assert!(engine.rows_computed > 0);
+    assert!(
+        engine.peak_band_rows > 0,
+        "peak band width must be recorded"
+    );
+    assert!(
+        engine.band_cells_skipped > 0,
+        "hinted low-error reads must skip band cells"
+    );
     let summary = m.summary();
     assert!(summary.contains("batches"), "{summary}");
+    assert!(summary.contains("band:"), "{summary}");
 }
 
 #[test]
