@@ -100,6 +100,76 @@ fn streaming_records(
     n
 }
 
+/// Streaming run that returns the full metrics snapshot (for the
+/// telemetry-overhead measurements, which want the registry exercised
+/// end to end, including exposition rendering).
+fn streaming_metrics(
+    reads: &[(String, align_core::Seq)],
+    reference: &align_core::Seq,
+    cfg: &PipelineConfig,
+) -> genasm_pipeline::PipelineMetrics {
+    let backend = CpuBackend::improved();
+    let stream = reads.iter().map(|(name, seq)| {
+        Ok::<_, std::convert::Infallible>(ReadInput {
+            name: name.clone(),
+            seq: seq.clone(),
+        })
+    });
+    run_pipeline(
+        stream,
+        align_core::Reference::single("ref", reference.clone()),
+        &backend,
+        cfg,
+        |_| Ok(()),
+    )
+    .unwrap()
+}
+
+/// Telemetry overhead: the same streaming workload with telemetry
+/// passive (counters always run — this is the baseline), with the
+/// full JSON exposition rendered on top, and with a Chrome trace
+/// recorder attached (events serialized to `io::sink`, so the cost
+/// measured is formatting + the recorder mutex, not disk).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use genasm_pipeline::TraceRecorder;
+    use std::sync::Arc;
+
+    let (reference, reads) = workload();
+    let cfg = PipelineConfig {
+        batch_bases: 64 * 1024,
+        queue_depth: 8,
+        ..PipelineConfig::default()
+    };
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("off", |b| {
+        b.iter(|| streaming_metrics(&reads, &reference, &cfg).records_out)
+    });
+    group.bench_function("json_render", |b| {
+        b.iter(|| {
+            let m = streaming_metrics(&reads, &reference, &cfg);
+            (m.to_json().len(), m.to_prometheus().len())
+        })
+    });
+    group.bench_function("traced", |b| {
+        b.iter(|| {
+            let trace = Arc::new(TraceRecorder::to_writer(Box::new(std::io::sink())));
+            let traced_cfg = PipelineConfig {
+                trace: Some(Arc::clone(&trace)),
+                ..cfg.clone()
+            };
+            let m = streaming_metrics(&reads, &reference, &traced_cfg);
+            trace.finish().unwrap();
+            m.records_out
+        })
+    });
+    group.finish();
+}
+
 fn bench_pipeline_throughput(c: &mut Criterion) {
     let (reference, reads) = workload();
     let params = CandidateParams::default();
@@ -146,5 +216,5 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_throughput);
+criterion_group!(benches, bench_pipeline_throughput, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -70,6 +70,13 @@ struct BackendRow {
     /// Window-engine counters (band sweep, early termination, rescues)
     /// for backends that expose them; baselines report `None`.
     engine: Option<genasm_core::MemStats>,
+    /// Per-read end-to-end latency percentiles (ns), from the
+    /// telemetry registry's log-bucketed histogram (quantiles are
+    /// bucket upper bounds, ≤2× error).
+    read_latency: genasm_pipeline::HistogramSnapshot,
+    /// Task-queue wait percentiles (ns): time tasks sat in the shared
+    /// bounded queue before a batch builder picked them up.
+    task_queue_wait: genasm_pipeline::HistogramSnapshot,
 }
 
 fn run_backend(
@@ -85,6 +92,7 @@ fn run_backend(
         shards: SHARDS,
         shard_overlap: 256,
         params: CandidateParams::default(),
+        trace: None,
     };
     // A fresh backend per pass keeps the cumulative window-engine
     // counters scoped to exactly one workload traversal.
@@ -112,6 +120,8 @@ fn run_backend(
         peak_resident_task_bases: metrics.max_inflight_bases,
         resident_reference_bytes: metrics.shard_index.reference_bytes,
         engine: metrics.engine,
+        read_latency: metrics.read_latency.clone(),
+        task_queue_wait: metrics.task_queue_wait.clone(),
     })
 }
 
@@ -142,7 +152,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"genasm-bench-pipeline/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"genasm-bench-pipeline/v3\",");
     let _ = writeln!(
         json,
         "  \"workload\": {{\"genome_len\": {GENOME_LEN}, \"contigs\": {CONTIGS}, \
@@ -174,12 +184,24 @@ fn main() {
             ),
             None => "null".to_string(),
         };
+        // v3: latency percentiles from the telemetry histograms.
+        // Quantiles are power-of-two bucket upper bounds, so they are
+        // stable run-to-run on the same hardware class even though
+        // exact nanosecond values jitter.
+        let latency = format!(
+            "{{\"read_p50_ns\": {}, \"read_p90_ns\": {}, \"read_p99_ns\": {}, \
+             \"task_queue_wait_p99_ns\": {}}}",
+            r.read_latency.p50(),
+            r.read_latency.p90(),
+            r.read_latency.p99(),
+            r.task_queue_wait.p99()
+        );
         let _ = writeln!(
             json,
             "    \"{}\": {{\"wall_s\": {:.6}, \"reads_per_sec\": {:.2}, \
              \"query_bases_per_sec\": {:.2}, \"records\": {}, \
              \"peak_resident_task_bases\": {}, \"resident_reference_bytes\": {}, \
-             \"window_engine\": {}}}{}",
+             \"window_engine\": {}, \"latency\": {}}}{}",
             r.name,
             r.wall_s,
             r.reads_per_sec,
@@ -188,6 +210,7 @@ fn main() {
             r.peak_resident_task_bases,
             r.resident_reference_bytes,
             engine,
+            latency,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -11,7 +11,7 @@
 //! genasm pipeline --ref ref.fa --reads reads.fq [--backend cpu|gpu-sim|edlib|ksw2]
 //! genasm serve    --ref ref.fa --listen unix:/tmp/genasm.sock
 //! genasm submit   --to unix:/tmp/genasm.sock --reads reads.fq
-//! genasm ctl      ping|stats|shutdown --to unix:/tmp/genasm.sock
+//! genasm ctl      ping|stats|stats-json|stats-prom|shutdown --to unix:/tmp/genasm.sock
 //! genasm filter   --pattern GATTACA --text ref.fa -k 2
 //! ```
 //!
@@ -33,7 +33,7 @@ use std::io::{BufReader, BufWriter, Write};
 use align_core::{Reference, Seq};
 use genasm_pipeline::{
     AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, OutputFormat,
-    PipelineConfig, ReadInput, ServiceConfig,
+    PipelineConfig, PipelineMetrics, ReadInput, ServiceConfig, TraceRecorder,
 };
 use genasm_server::client::SubmitOptions;
 use genasm_server::{Endpoint, Server, ServerConfig};
@@ -156,20 +156,25 @@ pub const USAGE: &str = "usage:
                   [--threads N] [--shards N] [--shard-overlap BASES] [--format tsv|paf]
   genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
                   [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N]
-                  [--shards N] [--shard-overlap BASES] [--format tsv|paf] [--metrics on]
+                  [--shards N] [--shard-overlap BASES] [--format tsv|paf]
+                  [--metrics on|json] [--trace FILE]
   genasm serve    --ref FILE --listen ENDPOINT [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
                   [--max-sessions N] [--linger-ms N] [--batch-bases N] [--queue-depth N]
                   [--dispatchers N] [--max-per-read N] [--threads N] [--shards N]
-                  [--shard-overlap BASES] [--metrics on]
+                  [--shard-overlap BASES] [--metrics on|json] [--trace FILE]
   genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
-  genasm ctl      ping|stats|shutdown --to ENDPOINT
+  genasm ctl      ping|stats|stats-json|stats-prom|shutdown --to ENDPOINT
   genasm filter   --pattern SEQ --text FILE [-k N]
 
 ENDPOINT is unix:PATH, tcp:HOST:PORT, or HOST:PORT. `serve` runs until a
 client sends `genasm ctl shutdown`; record lines from `submit` are
 byte-identical to `align` on the same reads (status goes to stderr).
 References may be multi-contig FASTA: records report contig names and
-contig-local coordinates, and shards never straddle contig boundaries.";
+contig-local coordinates, and shards never straddle contig boundaries.
+`--metrics json` prints a single-line machine-readable snapshot to
+stderr; `--trace FILE` records a Chrome trace-event timeline (open in
+Perfetto or about://tracing). `ctl stats-json` / `ctl stats-prom` print
+a live server snapshot as JSON / Prometheus text on stdout.";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("I/O error: {e}"))
@@ -331,6 +336,54 @@ fn output_format(flags: &Flags) -> Result<OutputFormat, CliError> {
         .unwrap_or("tsv")
         .parse()
         .map_err(|e| CliError::usage(format!("{e}")))
+}
+
+/// `--metrics off|on|json` for `pipeline` and `serve`. Any value other
+/// than `off` or `json` keeps the historical behaviour (human-readable
+/// summary). Both go to stderr, so stdout stays byte-identical with
+/// and without metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Off,
+    Summary,
+    Json,
+}
+
+fn metrics_mode(flags: &Flags) -> MetricsMode {
+    match flags.get("metrics") {
+        None | Some("off") => MetricsMode::Off,
+        Some("json") => MetricsMode::Json,
+        Some(_) => MetricsMode::Summary,
+    }
+}
+
+fn emit_metrics(mode: MetricsMode, metrics: &PipelineMetrics) {
+    match mode {
+        MetricsMode::Off => {}
+        MetricsMode::Summary => eprint!("{}", metrics.summary()),
+        MetricsMode::Json => eprintln!("{}", metrics.to_json()),
+    }
+}
+
+/// `--trace FILE`: record a Chrome trace-event JSON timeline of the
+/// run. Returns `None` when the flag is absent (zero overhead).
+fn trace_recorder(flags: &Flags) -> Result<Option<std::sync::Arc<TraceRecorder>>, CliError> {
+    match flags.get("trace") {
+        None => Ok(None),
+        Some(path) => TraceRecorder::create(std::path::Path::new(path))
+            .map(|t| Some(std::sync::Arc::new(t)))
+            .map_err(|e| CliError::runtime(format!("cannot create trace file {path}: {e}"))),
+    }
+}
+
+/// Close out a `--trace` file: write the closing bracket and flush, so
+/// the file is loadable in `about://tracing` / Perfetto.
+fn finish_trace(trace: &Option<std::sync::Arc<TraceRecorder>>) -> Result<(), CliError> {
+    if let Some(t) = trace {
+        t.finish()
+            .map_err(|e| CliError::runtime(format!("cannot finalize trace file: {e}")))?;
+    }
+    Ok(())
 }
 
 /// `--shards N` / `--shard-overlap BASES` for `align` and `pipeline`.
@@ -496,6 +549,7 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .parse()
         .map_err(|e| CliError::usage(format!("{e}")))?;
     let (shards, shard_overlap) = shard_params(flags)?;
+    let trace = trace_recorder(flags)?;
     let cfg = PipelineConfig {
         batch_bases: flags.num("batch-bases", 256 * 1024)?,
         queue_depth: flags.num("queue-depth", 8)?,
@@ -503,9 +557,10 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         shards,
         shard_overlap,
         params: candidate_params(flags)?,
+        trace: trace.clone(),
     };
     let format = output_format(flags)?;
-    let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
+    let metrics_out = metrics_mode(flags);
     configure_threads(flags)?;
     let reference = load_reference(flags.req("ref")?)?;
     let reads_path = flags.req("reads")?;
@@ -525,9 +580,8 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     })
     .map_err(|e| CliError::runtime(e.to_string()))?;
 
-    if show_metrics {
-        eprint!("{}", metrics.summary());
-    }
+    finish_trace(&trace)?;
+    emit_metrics(metrics_out, &metrics);
     Ok(())
 }
 
@@ -547,7 +601,8 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::usage(format!("{e}")))?;
     let default_format = output_format(flags)?;
     let (shards, shard_overlap) = shard_params(flags)?;
-    let show_metrics = flags.get("metrics").is_some_and(|v| v != "off");
+    let metrics_out = metrics_mode(flags);
+    let trace = trace_recorder(flags)?;
     configure_threads(flags)?;
     let service = ServiceConfig {
         pipeline: PipelineConfig {
@@ -557,6 +612,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             shards,
             shard_overlap,
             params: candidate_params(flags)?,
+            trace: trace.clone(),
         },
         max_sessions: flags.num("max-sessions", 64)?,
         linger: std::time::Duration::from_millis(flags.num("linger-ms", 2)?),
@@ -577,9 +633,8 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "# genasm-server listening on {}", server.endpoint()).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     let metrics = server.wait();
-    if show_metrics {
-        eprint!("{}", metrics.summary());
-    }
+    finish_trace(&trace)?;
+    emit_metrics(metrics_out, &metrics);
     Ok(())
 }
 
@@ -651,26 +706,68 @@ fn cmd_ctl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             stats: true,
             ..SubmitOptions::default()
         },
+        "stats-json" => SubmitOptions {
+            stats_json: true,
+            ..SubmitOptions::default()
+        },
+        "stats-prom" => SubmitOptions {
+            stats_prom: true,
+            ..SubmitOptions::default()
+        },
         "shutdown" => SubmitOptions {
             shutdown: true,
             ..SubmitOptions::default()
         },
         other => {
             return Err(CliError::usage(format!(
-                "unknown ctl action {other:?}; valid actions are ping, stats, shutdown"
+                "unknown ctl action {other:?}; valid actions are ping, stats, \
+                 stats-json, stats-prom, shutdown"
             )))
         }
     };
     let endpoint = endpoint_flag(&Flags::parse(rest)?, "to")?;
-    // Control replies are this command's output: route status to out.
-    let report = genasm_server::client::submit(
-        &endpoint,
-        None::<BufReader<File>>,
-        &opts,
-        &mut std::io::sink(),
-        out,
-    )
+    // Control replies are this command's output. `stats-json` and
+    // `stats-prom` are machine-readable: the protocol chatter goes to
+    // stderr and only the bare payload lands on stdout, so the output
+    // pipes straight into `python -m json.tool` or a Prometheus
+    // scraper without stripping prefixes.
+    let machine = opts.stats_json || opts.stats_prom;
+    let mut status_buf = Vec::new();
+    let report = if machine {
+        genasm_server::client::submit(
+            &endpoint,
+            None::<BufReader<File>>,
+            &opts,
+            &mut std::io::sink(),
+            &mut status_buf,
+        )
+    } else {
+        genasm_server::client::submit(
+            &endpoint,
+            None::<BufReader<File>>,
+            &opts,
+            &mut std::io::sink(),
+            out,
+        )
+    }
     .map_err(|e| CliError::runtime(format!("server connection failed: {e}")))?;
+    if machine {
+        std::io::stderr().write_all(&status_buf).map_err(io_err)?;
+        let payload = report
+            .stats_json
+            .as_deref()
+            .or(report.stats_prom.as_deref());
+        match payload {
+            Some(p) => {
+                write!(out, "{}{}", p, if p.ends_with('\n') { "" } else { "\n" }).map_err(io_err)?
+            }
+            None => {
+                return Err(CliError::runtime(
+                    "server did not return a stats payload; see stderr",
+                ))
+            }
+        }
+    }
     if report.errors > 0 {
         return Err(CliError::runtime(format!(
             "server reported {} error(s)",

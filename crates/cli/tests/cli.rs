@@ -938,3 +938,91 @@ fn bad_pattern_rejected() {
     let e = run_err(&["filter", "--pattern", "ACGN", "--text", "/nonexistent"]);
     assert_eq!(e.code, 2);
 }
+
+#[test]
+fn trace_flag_writes_chrome_trace_and_never_changes_records() {
+    let dir = tmpdir("trace");
+    let (ref_path, reads_path) = simulate_workload(&dir, 5, 800);
+    let trace_path = dir.join("pipeline.trace.json");
+    let trace = trace_path.to_str().unwrap();
+
+    let plain = run_ok(&["pipeline", "--ref", &ref_path, "--reads", &reads_path]);
+    // `--metrics json` goes to stderr, so stdout must stay identical.
+    let traced = run_ok(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--trace",
+        trace,
+        "--metrics",
+        "json",
+    ]);
+    assert_eq!(traced, plain, "tracing changed the record stream");
+
+    // The trace is a loadable Chrome trace-event array with the
+    // expected span kinds and thread-name metadata.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.trim_start().starts_with('['), "{text}");
+    assert!(text.trim_end().ends_with(']'), "not finalized: {text}");
+    assert!(text.contains("\"ph\":\"M\""), "no thread names");
+    assert!(text.contains("\"name\":\"read\""), "no read spans");
+    assert!(text.contains("\"name\":\"execute\""), "no execute spans");
+
+    // An unwritable trace path fails up front with a runtime error.
+    let e = run_err(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--trace",
+        dir.join("no-such-dir/t.json").to_str().unwrap(),
+    ]);
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("trace"), "{e}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ctl_stats_json_and_prom_print_bare_payloads() {
+    let dir = tmpdir("ctl-stats");
+    let (ref_path, reads_path) = simulate_workload(&dir, 4, 700);
+    let sock = dir.join("genasm.sock");
+    let endpoint = format!("unix:{}", sock.display());
+
+    let serve_args: Vec<String> = ["serve", "--ref", &ref_path, "--listen", &endpoint]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let server_thread = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        genasm_cli::run(&serve_args, &mut out)
+    });
+    await_server(&endpoint);
+    let _ = run_ok(&["submit", "--to", &endpoint, "--reads", &reads_path]);
+
+    // stats-json: stdout is the bare JSON object, no `# ` prefixes.
+    let json = run_ok(&["ctl", "stats-json", "--to", &endpoint]);
+    assert!(
+        json.starts_with("{\"schema\":\"genasm-stats/v1\""),
+        "{json}"
+    );
+    assert!(!json.contains("# stats-json"), "prefix leaked: {json}");
+    assert!(json.contains("\"reads_in\":4"), "{json}");
+
+    // stats-prom: bare exposition lines.
+    let prom = run_ok(&["ctl", "stats-prom", "--to", &endpoint]);
+    assert!(prom.contains("genasm_reads_in_total 4"), "{prom}");
+    assert!(!prom.contains("# prom"), "prefix leaked: {prom}");
+
+    // The line format gained the band counters.
+    let stats = run_ok(&["ctl", "stats", "--to", &endpoint]);
+    assert!(stats.contains("windows="), "{stats}");
+    assert!(stats.contains("band_skipped="), "{stats}");
+
+    run_ok(&["ctl", "shutdown", "--to", &endpoint]);
+    server_thread.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -105,6 +105,30 @@ impl MemStats {
         self.peak_band_rows = self.peak_band_rows.max(other.peak_band_rows);
     }
 
+    /// Single-line JSON object with every counter (used by the
+    /// pipeline's machine-readable metrics expositions).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"windows\":{},\"rows_computed\":{},\"cells_computed\":{},\
+             \"table_words\":{},\"table_stores\":{},\"table_loads\":{},\
+             \"scratch_stores\":{},\"scratch_loads\":{},\
+             \"band_cells_skipped\":{},\"windows_early_terminated\":{},\
+             \"windows_rescued\":{},\"peak_band_rows\":{}}}",
+            self.windows,
+            self.rows_computed,
+            self.cells_computed,
+            self.table_words,
+            self.table_stores,
+            self.table_loads,
+            self.scratch_stores,
+            self.scratch_loads,
+            self.band_cells_skipped,
+            self.windows_early_terminated,
+            self.windows_rescued,
+            self.peak_band_rows
+        )
+    }
+
     /// Footprint reduction factor of `self` (baseline) over `improved`.
     pub fn footprint_reduction_vs(&self, improved: &MemStats) -> f64 {
         ratio(self.table_words as f64, improved.table_words as f64)
@@ -195,6 +219,21 @@ mod tests {
         };
         assert!((base.footprint_reduction_vs(&imp) - 24.0).abs() < 1e-9);
         assert!((base.access_reduction_vs(&imp) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_lists_all_counters() {
+        let s = MemStats {
+            windows: 3,
+            band_cells_skipped: 12,
+            peak_band_rows: 7,
+            ..MemStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"windows\":3"), "{j}");
+        assert!(j.contains("\"band_cells_skipped\":12"), "{j}");
+        assert!(j.contains("\"peak_band_rows\":7"), "{j}");
     }
 
     #[test]

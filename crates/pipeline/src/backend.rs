@@ -30,9 +30,18 @@ pub trait Backend: Send + Sync {
 
     /// Engine instrumentation accumulated across every batch this
     /// backend instance has aligned so far (cumulative, like the other
-    /// pipeline counters), if the backend collects any. The pipeline
-    /// pulls this after the dispatch stages join and surfaces it in
-    /// [`crate::PipelineMetrics`]. Backends without GenASM-style
+    /// pipeline counters), if the backend collects any, surfaced in
+    /// [`crate::PipelineMetrics`]. The one-shot pipeline pulls this
+    /// after the dispatch stages join; the resident service may call
+    /// it *at any moment of a live run*
+    /// ([`crate::PipelineService::metrics`] merges it across
+    /// backends), so implementations must be **batch-atomic**: stats
+    /// are merged into the accumulator under a lock, once per
+    /// completed batch, and a concurrent reader sees either all of a
+    /// batch's counts or none of them — never a partial merge. Two
+    /// consecutive snapshots are therefore field-by-field monotonic
+    /// (including `peak_band_rows`, a max-merged high-water mark,
+    /// which is non-decreasing). Backends without GenASM-style
     /// counters (the baselines) return `None`.
     fn engine_stats(&self) -> Option<MemStats> {
         None

@@ -9,6 +9,8 @@
 //! contains a contiguous run of tasks, and concatenating batches
 //! `0..n` reconstructs the input stream exactly.
 
+use std::time::Instant;
+
 use align_core::AlignTask;
 
 /// Metadata carried alongside each task so the sink can reassemble
@@ -39,6 +41,12 @@ pub struct TaskMeta {
     pub tlen: usize,
     /// Strand the task's query was oriented to (for PAF output).
     pub reverse: bool,
+    /// When the owning read entered the pipeline (read-latency
+    /// telemetry origin; identical across a read's tasks).
+    pub submitted_at: Instant,
+    /// When this task was pushed onto the task queue (task-queue-wait
+    /// telemetry origin).
+    pub enqueued_at: Instant,
 }
 
 /// A scheduled batch: a contiguous run of tasks plus their metadata.
@@ -52,6 +60,11 @@ pub struct Batch {
     pub metas: Vec<TaskMeta>,
     /// Total bases across `tasks`.
     pub bases: usize,
+    /// When the first task entered the builder (batch-build telemetry).
+    pub build_started: Instant,
+    /// When the batch was flushed — the scheduler dispatch moment, the
+    /// origin for per-backend queue-wait telemetry.
+    pub ready_at: Instant,
 }
 
 /// Accumulates tasks and emits batches at the base target.
@@ -62,6 +75,7 @@ pub struct BatchBuilder {
     tasks: Vec<AlignTask>,
     metas: Vec<TaskMeta>,
     bases: usize,
+    started: Option<Instant>,
 }
 
 impl BatchBuilder {
@@ -73,12 +87,14 @@ impl BatchBuilder {
             tasks: Vec::new(),
             metas: Vec::new(),
             bases: 0,
+            started: None,
         }
     }
 
     /// Add one task; returns the finished batch if this push reached
     /// the target.
     pub fn push(&mut self, task: AlignTask, meta: TaskMeta) -> Option<Batch> {
+        self.started.get_or_insert_with(Instant::now);
         self.bases += task.bases();
         self.tasks.push(task);
         self.metas.push(meta);
@@ -101,11 +117,14 @@ impl BatchBuilder {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        let now = Instant::now();
         Some(Batch {
             seq,
             tasks: std::mem::take(&mut self.tasks),
             metas: std::mem::take(&mut self.metas),
             bases: std::mem::replace(&mut self.bases, 0),
+            build_started: self.started.take().unwrap_or(now),
+            ready_at: now,
         })
     }
 }
@@ -131,6 +150,8 @@ mod tests {
                 tstart: 0,
                 tlen: n,
                 reverse: false,
+                submitted_at: Instant::now(),
+                enqueued_at: Instant::now(),
             },
         )
     }

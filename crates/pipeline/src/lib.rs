@@ -74,13 +74,15 @@ pub use backend::{
     ParseBackendError,
 };
 pub use batcher::{Batch, BatchBuilder, TaskMeta};
-pub use metrics::{PipelineMetrics, QueueMetrics, StageCounters};
+pub use genasm_telemetry::TraceRecorder;
+pub use genasm_telemetry::{HistogramSnapshot, Registry, Snapshot};
+pub use metrics::{BackendLat, BackendMetrics, PipelineMetrics, QueueMetrics, StageCounters};
 pub use queue::BoundedQueue;
 pub use record::{AlignRecord, OutputFormat, ParseFormatError};
 pub use reorder::ReorderBuffer;
 pub use service::{
     AdmissionError, PipelineService, ServiceConfig, Session, SessionEvent, SessionMetrics,
-    SessionReceiver, SubmitError,
+    SessionReceiver, SessionStat, SubmitError,
 };
 
 /// One read entering the pipeline.
@@ -115,6 +117,12 @@ pub struct PipelineConfig {
     pub shard_overlap: usize,
     /// Candidate-generation parameters for the mapper stage.
     pub params: CandidateParams,
+    /// Optional structured trace recorder: when set, every stage
+    /// emits Chrome trace-event spans covering the read lifecycle
+    /// (ingest → batch build → backend queue wait → execute → reorder
+    /// wait → sink). Tracing is passive — it never changes output
+    /// bytes (the determinism suite asserts this).
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for PipelineConfig {
@@ -126,7 +134,38 @@ impl Default for PipelineConfig {
             shards: 1,
             shard_overlap: 256,
             params: CandidateParams::default(),
+            trace: None,
         }
+    }
+}
+
+/// Fixed trace lane (`tid`) assignment shared by the one-shot
+/// pipeline and the resident service, so traces from both render with
+/// the same layout in Perfetto.
+pub(crate) mod tids {
+    /// Per-read end-to-end spans.
+    pub const READS: u64 = 0;
+    /// Read ingest / candidate generation.
+    pub const INGEST: u64 = 1;
+    /// Batch scheduler.
+    pub const SCHED: u64 = 2;
+    /// Ordered sink.
+    pub const SINK: u64 = 3;
+    /// Session lifecycle (service only).
+    pub const SESSION: u64 = 4;
+    /// First backend lane; backend `i` uses `BACKEND0 + i`.
+    pub const BACKEND0: u64 = 8;
+}
+
+/// Emit the lane-name metadata events every trace starts with.
+pub(crate) fn trace_lanes(trace: &TraceRecorder, backends: &[&str]) {
+    trace.thread_name(tids::READS, "reads");
+    trace.thread_name(tids::INGEST, "ingest/map");
+    trace.thread_name(tids::SCHED, "scheduler");
+    trace.thread_name(tids::SINK, "sink");
+    trace.thread_name(tids::SESSION, "sessions");
+    for (i, name) in backends.iter().enumerate() {
+        trace.thread_name(tids::BACKEND0 + i as u64, &format!("backend:{name}"));
     }
 }
 
@@ -195,6 +234,7 @@ struct DoneBatch {
     seq: u64,
     metas: Vec<TaskMeta>,
     alignments: Vec<Option<Alignment>>,
+    completed_at: Instant,
 }
 
 /// Run the pipeline to completion.
@@ -223,6 +263,10 @@ where
     let wall0 = Instant::now();
     let index = ShardedIndex::build(reference, cfg.shards, cfg.shard_overlap);
     let counters = StageCounters::default();
+    let trace = cfg.trace.as_deref();
+    if let Some(t) = trace {
+        trace_lanes(t, &[backend.name()]);
+    }
 
     let task_q: BoundedQueue<(align_core::AlignTask, TaskMeta)> =
         BoundedQueue::new(cfg.queue_depth.max(1) * cfg.batch_bases.max(1));
@@ -262,11 +306,24 @@ where
                     }
                     Some(Ok(r)) => r,
                 };
-                counters.reads_in.fetch_add(1, Ordering::Relaxed);
+                counters.reads_in.inc();
                 let tasks = index.candidates_for_read(read_seq as u32, &item.seq, &cfg.params);
                 StageCounters::add_ns(&counters.mapper_ns, t0.elapsed());
+                if let Some(t) = trace {
+                    t.span(
+                        "map",
+                        "pipeline",
+                        tids::INGEST,
+                        t0,
+                        t0.elapsed(),
+                        &[
+                            ("read", item.name.as_str().into()),
+                            ("tasks", tasks.len().into()),
+                        ],
+                    );
+                }
                 if !tasks.is_empty() {
-                    counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
+                    counters.reads_mapped.inc();
                 }
                 let read_tasks = tasks.len() as u32;
                 let qname: Arc<str> = Arc::from(item.name.as_str());
@@ -284,11 +341,11 @@ where
                         tstart: task.ref_pos,
                         tlen: task.target.len(),
                         reverse: task.reverse,
+                        submitted_at: t0,
+                        enqueued_at: Instant::now(),
                     };
                     counters.task_in(bases);
-                    counters
-                        .query_bases
-                        .fetch_add(task.query.len() as u64, Ordering::Relaxed);
+                    counters.query_bases.add(task.query.len() as u64);
                     if task_q.push((task, meta), bases).is_err() {
                         return; // pipeline is aborting
                     }
@@ -303,10 +360,29 @@ where
             let mut builder = BatchBuilder::new(cfg.batch_bases);
             let dispatch = |batch: Batch| -> Result<(), ()> {
                 counters.batch_dispatched(batch.tasks.len(), batch.bases);
+                let build = batch.ready_at.duration_since(batch.build_started);
+                counters.batch_build_ns.record_duration(build);
+                if let Some(t) = trace {
+                    t.span(
+                        "batch-build",
+                        "pipeline",
+                        tids::SCHED,
+                        batch.build_started,
+                        build,
+                        &[
+                            ("batch", batch.seq.into()),
+                            ("tasks", batch.tasks.len().into()),
+                            ("bases", batch.bases.into()),
+                        ],
+                    );
+                }
                 batch_q.push(batch, 1).map_err(|_| ())
             };
             while let Some((task, meta)) = task_q.pop() {
                 let t0 = Instant::now();
+                counters
+                    .task_queue_wait_ns
+                    .record_duration(t0.duration_since(meta.enqueued_at));
                 let flushed = builder.push(task, meta);
                 StageCounters::add_ns(&counters.scheduler_ns, t0.elapsed());
                 if let Some(batch) = flushed {
@@ -326,8 +402,11 @@ where
         // Stage 3: backend dispatch.
         for _ in 0..dispatchers {
             scope.spawn(|| {
+                let lat = counters.backend_lat(backend.name());
                 while let Some(batch) = batch_q.pop() {
                     let t0 = Instant::now();
+                    let queue_wait = t0.duration_since(batch.ready_at);
+                    lat.queue_wait_ns.record_duration(queue_wait);
                     let alignments = match backend.align_batch(&batch.tasks) {
                         Ok(a) => a,
                         Err(e) => {
@@ -335,11 +414,32 @@ where
                             return;
                         }
                     };
-                    StageCounters::add_ns(&counters.backend_ns, t0.elapsed());
+                    let execute = t0.elapsed();
+                    StageCounters::add_ns(&counters.backend_ns, execute);
+                    lat.execute_ns.record_duration(execute);
+                    lat.batches.inc();
+                    lat.tasks.add(batch.tasks.len() as u64);
+                    if let Some(t) = trace {
+                        let args = [
+                            ("batch", batch.seq.into()),
+                            ("tasks", batch.tasks.len().into()),
+                            ("bases", batch.bases.into()),
+                        ];
+                        t.span(
+                            "queue-wait",
+                            "pipeline",
+                            tids::BACKEND0,
+                            batch.ready_at,
+                            queue_wait,
+                            &args,
+                        );
+                        t.span("execute", "pipeline", tids::BACKEND0, t0, execute, &args);
+                    }
                     let done = DoneBatch {
                         seq: batch.seq,
                         metas: batch.metas,
                         alignments,
+                        completed_at: Instant::now(),
                     };
                     // Task sequences drop here; the sink only needs
                     // metadata and CIGARs.
@@ -354,7 +454,7 @@ where
         }
 
         // Stage 4: ordered sink (this thread).
-        sink_result = sink_loop(&result_q, &counters, &mut on_record, &error);
+        sink_result = sink_loop(&result_q, &counters, &mut on_record, &error, trace);
         if sink_result.is_err() {
             // Unblock the upstream stages so the scope can join.
             task_q.close();
@@ -398,6 +498,8 @@ struct ReadAcc {
     read_seq: u64,
     expected: u32,
     rows: Vec<AlignRecord>,
+    qname: Arc<str>,
+    submitted_at: Instant,
 }
 
 fn sink_loop<F>(
@@ -405,6 +507,7 @@ fn sink_loop<F>(
     counters: &StageCounters,
     on_record: &mut F,
     error: &Mutex<Option<PipelineError>>,
+    trace: Option<&TraceRecorder>,
 ) -> Result<(), PipelineError>
 where
     F: FnMut(&AlignRecord) -> std::io::Result<()>,
@@ -426,7 +529,22 @@ where
                 group.rows.sort_by_cached_key(AlignRecord::sort_key);
                 for row in &group.rows {
                     on_record(row).map_err(PipelineError::Sink)?;
-                    counters.records_out.fetch_add(1, Ordering::Relaxed);
+                    counters.records_out.inc();
+                }
+                let latency = group.submitted_at.elapsed();
+                counters.read_latency_ns.record_duration(latency);
+                if let Some(t) = trace {
+                    t.span(
+                        "read",
+                        "pipeline",
+                        tids::READS,
+                        group.submitted_at,
+                        latency,
+                        &[
+                            ("read", (&*group.qname).into()),
+                            ("records", group.rows.len().into()),
+                        ],
+                    );
                 }
             }
             Ok(())
@@ -435,6 +553,10 @@ where
     while let Some(done) = result_q.pop() {
         for batch in reorder.push(done.seq, done) {
             let t0 = Instant::now();
+            let batch_seq = batch.seq;
+            counters
+                .reorder_wait_ns
+                .record_duration(t0.duration_since(batch.completed_at));
             for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
                 counters.task_out(meta.qlen + meta.tlen);
                 let Some(aln) = aln else {
@@ -449,6 +571,8 @@ where
                     read_seq: meta.read_seq,
                     expected: meta.read_tasks,
                     rows: Vec::with_capacity(meta.read_tasks as usize),
+                    qname: Arc::clone(&meta.qname),
+                    submitted_at: meta.submitted_at,
                 });
                 group.rows.push(AlignRecord::new(
                     &meta.qname,
@@ -462,6 +586,16 @@ where
                 ));
             }
             StageCounters::add_ns(&counters.sink_ns, t0.elapsed());
+            if let Some(t) = trace {
+                t.span(
+                    "sink",
+                    "pipeline",
+                    tids::SINK,
+                    t0,
+                    t0.elapsed(),
+                    &[("batch", batch_seq.into())],
+                );
+            }
         }
     }
     if error.lock().unwrap().is_some() {

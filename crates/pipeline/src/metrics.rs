@@ -1,92 +1,221 @@
 //! Per-stage pipeline telemetry.
 //!
-//! Every stage updates a shared [`StageCounters`] through relaxed
+//! Every stage updates a shared [`StageCounters`] — a set of named
+//! handles into a [`genasm_telemetry::Registry`] — through relaxed
 //! atomics (the numbers are telemetry, not synchronization), and
-//! [`PipelineMetrics`] is the immutable snapshot taken when the run
-//! finishes. Counters answer the three production questions: *where is
-//! the time going* (per-stage busy nanos, backend utilization), *is
-//! batching working* (batch-size histogram, mean bases per batch), and
-//! *is memory bounded* (queue high-waters, peak in-flight bases).
+//! [`PipelineMetrics`] is the immutable snapshot taken on demand: at
+//! the end of a batch run, or live from the resident service while
+//! sessions are in flight. Counters answer the production questions:
+//! *where is the time going* (per-stage busy nanos, backend
+//! utilization, latency histograms), *is batching working*
+//! (batch-size histogram, mean bases per batch), *is memory bounded*
+//! (queue high-waters, peak in-flight bases), and *where do reads
+//! wait* (task-queue wait, backend queue wait, reorder wait).
+//!
+//! # Snapshot ordering contract
+//!
+//! [`StageCounters`] may be snapshotted at any instant of a live run.
+//! The guarantees, in decreasing strength:
+//!
+//! * **Per-field monotonicity.** Every counter and every histogram
+//!   bucket only ever increases, so for two snapshots taken in order
+//!   the earlier is field-by-field `≤` the later
+//!   ([`PipelineMetrics::le_monotonic`] checks exactly this). Gauges
+//!   (`inflight_*`) move both ways and are exempt; their `max_*`
+//!   high-water companions are monotonic.
+//! * **Eventual cross-field consistency.** Fields are updated by
+//!   different stages without a global lock, so relations like
+//!   `reads_mapped ≤ reads_in` or `batch_tasks ≤ tasks_generated`
+//!   hold *at rest* (after [`drain`](crate::PipelineService::drain) or
+//!   run end) but may be transiently off by in-flight updates in a
+//!   mid-run snapshot. Within one histogram, `count == Σ buckets`
+//!   holds in every snapshot by construction; `sum` may lag.
+//! * **Engine stats are batch-atomic.** Backends merge
+//!   [`genasm_core::MemStats`] under a per-backend mutex once per
+//!   completed batch (see [`crate::Backend::engine_stats`]), so a
+//!   snapshot never observes a half-merged batch — the engine
+//!   counters are always a consistent prefix of completed batches.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use genasm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, BUCKETS};
 use mapper::ShardIndexMetrics;
 
-/// Number of power-of-two buckets in the batch-size histogram.
-/// Bucket `i > 0` counts batches with total bases in `[2^(i-1), 2^i)`,
-/// bucket 0 counts empty batches; the last bucket absorbs everything
-/// larger.
+/// Number of power-of-two buckets in the legacy batch-size histogram
+/// view ([`PipelineMetrics::batch_size_hist`]). Bucket `i > 0` counts
+/// batches with total bases in `[2^(i-1), 2^i)`, bucket 0 counts empty
+/// batches; the last bucket absorbs everything larger.
 pub const HIST_BUCKETS: usize = 32;
 
-/// Live counters shared by the pipeline stages.
-#[derive(Debug, Default)]
+/// Latency handles for one backend: batch/task counts plus queue-wait
+/// and execute histograms, all labeled `backend="<name>"` in the
+/// registry.
+#[derive(Debug, Clone)]
+pub struct BackendLat {
+    /// Batches executed by this backend.
+    pub batches: Arc<Counter>,
+    /// Tasks across those batches.
+    pub tasks: Arc<Counter>,
+    /// Nanoseconds each batch waited between scheduler dispatch and
+    /// the backend picking it up.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// Nanoseconds inside `align_batch` per batch.
+    pub execute_ns: Arc<Histogram>,
+}
+
+/// Live counters shared by the pipeline stages: named handles into
+/// one [`Registry`]. Recording is wait-free; see the module docs for
+/// the snapshot ordering contract.
+#[derive(Debug)]
 pub struct StageCounters {
+    registry: Arc<Registry>,
     // Reader / candidate generation.
-    pub reads_in: AtomicU64,
-    pub reads_mapped: AtomicU64,
-    pub tasks_generated: AtomicU64,
-    pub task_bases: AtomicU64,
-    pub query_bases: AtomicU64,
-    pub max_task_bases: AtomicU64,
+    pub reads_in: Arc<Counter>,
+    pub reads_mapped: Arc<Counter>,
+    pub tasks_generated: Arc<Counter>,
+    pub task_bases: Arc<Counter>,
+    pub query_bases: Arc<Counter>,
+    pub max_task_bases: Arc<Gauge>,
     // Scheduler.
-    pub batches: AtomicU64,
-    pub batch_tasks: AtomicU64,
-    pub batch_bases: AtomicU64,
-    pub max_batch_bases: AtomicU64,
-    pub batch_hist: [AtomicU64; HIST_BUCKETS],
+    pub batches: Arc<Counter>,
+    pub batch_tasks: Arc<Counter>,
+    pub batch_bases: Arc<Counter>,
+    pub max_batch_bases: Arc<Gauge>,
+    pub batch_size_bases: Arc<Histogram>,
     // Sink.
-    pub records_out: AtomicU64,
+    pub records_out: Arc<Counter>,
     // Residency (bases inside the pipeline between mapper push and
     // sink consumption).
-    pub inflight_bases: AtomicU64,
-    pub max_inflight_bases: AtomicU64,
-    pub inflight_tasks: AtomicU64,
-    pub max_inflight_tasks: AtomicU64,
+    pub inflight_bases: Arc<Gauge>,
+    pub max_inflight_bases: Arc<Gauge>,
+    pub inflight_tasks: Arc<Gauge>,
+    pub max_inflight_tasks: Arc<Gauge>,
     // Busy time per stage, nanoseconds.
-    pub mapper_ns: AtomicU64,
-    pub scheduler_ns: AtomicU64,
-    pub backend_ns: AtomicU64,
-    pub sink_ns: AtomicU64,
+    pub mapper_ns: Arc<Counter>,
+    pub scheduler_ns: Arc<Counter>,
+    pub backend_ns: Arc<Counter>,
+    pub sink_ns: Arc<Counter>,
+    // Lifecycle latency histograms, nanoseconds.
+    pub read_latency_ns: Arc<Histogram>,
+    pub task_queue_wait_ns: Arc<Histogram>,
+    pub batch_build_ns: Arc<Histogram>,
+    pub reorder_wait_ns: Arc<Histogram>,
+    // Per-backend latency handles, created on first dispatch.
+    backend_lats: Mutex<BTreeMap<String, BackendLat>>,
+}
+
+impl Default for StageCounters {
+    fn default() -> StageCounters {
+        StageCounters::new()
+    }
 }
 
 impl StageCounters {
+    /// Fresh counters over a private registry.
+    pub fn new() -> StageCounters {
+        let registry = Arc::new(Registry::new());
+        StageCounters {
+            reads_in: registry.counter("reads_in"),
+            reads_mapped: registry.counter("reads_mapped"),
+            tasks_generated: registry.counter("tasks_generated"),
+            task_bases: registry.counter("task_bases"),
+            query_bases: registry.counter("query_bases"),
+            max_task_bases: registry.gauge("max_task_bases"),
+            batches: registry.counter("batches"),
+            batch_tasks: registry.counter("batch_tasks"),
+            batch_bases: registry.counter("batch_bases"),
+            max_batch_bases: registry.gauge("max_batch_bases"),
+            batch_size_bases: registry.histogram("batch_size_bases"),
+            records_out: registry.counter("records_out"),
+            inflight_bases: registry.gauge("inflight_bases"),
+            max_inflight_bases: registry.gauge("max_inflight_bases"),
+            inflight_tasks: registry.gauge("inflight_tasks"),
+            max_inflight_tasks: registry.gauge("max_inflight_tasks"),
+            mapper_ns: registry.counter("mapper_busy_ns"),
+            scheduler_ns: registry.counter("scheduler_busy_ns"),
+            backend_ns: registry.counter("backend_busy_ns"),
+            sink_ns: registry.counter("sink_busy_ns"),
+            read_latency_ns: registry.histogram("read_latency_ns"),
+            task_queue_wait_ns: registry.histogram("task_queue_wait_ns"),
+            batch_build_ns: registry.histogram("batch_build_ns"),
+            reorder_wait_ns: registry.histogram("reorder_wait_ns"),
+            backend_lats: Mutex::new(BTreeMap::new()),
+            registry,
+        }
+    }
+
+    /// The backing registry (for raw snapshots and expositions).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Latency handles for backend `name`, registered on first use.
+    pub fn backend_lat(&self, name: &str) -> BackendLat {
+        let mut map = self.backend_lats.lock().expect("backend lat mutex");
+        map.entry(name.to_string())
+            .or_insert_with(|| BackendLat {
+                batches: self
+                    .registry
+                    .labeled_counter("backend_batches", "backend", name),
+                tasks: self
+                    .registry
+                    .labeled_counter("backend_tasks", "backend", name),
+                queue_wait_ns: self.registry.labeled_histogram(
+                    "backend_queue_wait_ns",
+                    "backend",
+                    name,
+                ),
+                execute_ns: self
+                    .registry
+                    .labeled_histogram("backend_execute_ns", "backend", name),
+            })
+            .clone()
+    }
+
     /// Record `n` bases entering the pipeline as one task.
     pub fn task_in(&self, bases: usize) {
-        self.tasks_generated.fetch_add(1, Ordering::Relaxed);
-        self.task_bases.fetch_add(bases as u64, Ordering::Relaxed);
-        self.max_task_bases
-            .fetch_max(bases as u64, Ordering::Relaxed);
-        let now = self
-            .inflight_bases
-            .fetch_add(bases as u64, Ordering::Relaxed)
-            + bases as u64;
-        self.max_inflight_bases.fetch_max(now, Ordering::Relaxed);
-        let tasks = self.inflight_tasks.fetch_add(1, Ordering::Relaxed) + 1;
-        self.max_inflight_tasks.fetch_max(tasks, Ordering::Relaxed);
+        self.tasks_generated.inc();
+        self.task_bases.add(bases as u64);
+        self.max_task_bases.set_max(bases as u64);
+        let now = self.inflight_bases.add(bases as u64);
+        self.max_inflight_bases.set_max(now);
+        let tasks = self.inflight_tasks.add(1);
+        self.max_inflight_tasks.set_max(tasks);
     }
 
     /// Record a task leaving the pipeline (its sequences are dropped).
     pub fn task_out(&self, bases: usize) {
-        self.inflight_bases
-            .fetch_sub(bases as u64, Ordering::Relaxed);
-        self.inflight_tasks.fetch_sub(1, Ordering::Relaxed);
+        self.inflight_bases.sub(bases as u64);
+        self.inflight_tasks.sub(1);
     }
 
     /// Record one dispatched batch.
     pub fn batch_dispatched(&self, tasks: usize, bases: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_tasks.fetch_add(tasks as u64, Ordering::Relaxed);
-        self.batch_bases.fetch_add(bases as u64, Ordering::Relaxed);
-        self.max_batch_bases
-            .fetch_max(bases as u64, Ordering::Relaxed);
-        let bucket = (usize::BITS - bases.leading_zeros()) as usize;
-        self.batch_hist[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_tasks.add(tasks as u64);
+        self.batch_bases.add(bases as u64);
+        self.max_batch_bases.set_max(bases as u64);
+        self.batch_size_bases.record(bases as u64);
     }
 
     /// Add busy time to a stage counter.
-    pub fn add_ns(counter: &AtomicU64, d: Duration) {
-        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    pub fn add_ns(counter: &Counter, d: Duration) {
+        counter.add(d.as_nanos() as u64);
+    }
+
+    fn backend_snapshots(&self) -> Vec<BackendMetrics> {
+        let map = self.backend_lats.lock().expect("backend lat mutex");
+        map.iter()
+            .map(|(name, lat)| BackendMetrics {
+                name: name.clone(),
+                batches: lat.batches.get(),
+                tasks: lat.tasks.get(),
+                queue_wait: lat.queue_wait_ns.snapshot(),
+                execute: lat.execute_ns.snapshot(),
+            })
+            .collect()
     }
 }
 
@@ -101,7 +230,26 @@ pub struct QueueMetrics {
     pub high_water: u64,
 }
 
-/// Immutable snapshot of a finished pipeline run.
+/// Latency snapshot for one backend (name-sorted in
+/// [`PipelineMetrics::backends`]).
+#[derive(Debug, Clone)]
+pub struct BackendMetrics {
+    /// Backend name (e.g. `cpu`, `gpu-sim`).
+    pub name: String,
+    /// Batches executed.
+    pub batches: u64,
+    /// Tasks across those batches.
+    pub tasks: u64,
+    /// Dispatch → pickup wait per batch, nanoseconds.
+    pub queue_wait: HistogramSnapshot,
+    /// `align_batch` time per batch, nanoseconds.
+    pub execute: HistogramSnapshot,
+}
+
+/// Immutable snapshot of a pipeline run: a thin view over the metric
+/// registry plus run-scoped context (queues, shards, engine stats,
+/// wall clock). Taken at run end by `run_pipeline`, or live at any
+/// moment by [`crate::PipelineService::metrics`].
 #[derive(Debug, Clone)]
 pub struct PipelineMetrics {
     /// Reads consumed from the input stream.
@@ -159,6 +307,19 @@ pub struct PipelineMetrics {
     /// counters (`band_cells_skipped`, `windows_early_terminated`,
     /// `windows_rescued`, `peak_band_rows`).
     pub engine: Option<genasm_core::MemStats>,
+    /// Per-read end-to-end latency (submit → last record emitted), ns.
+    pub read_latency: HistogramSnapshot,
+    /// Task wait between mapper push and scheduler pop, ns.
+    pub task_queue_wait: HistogramSnapshot,
+    /// Batch build time (first task in → dispatch), ns.
+    pub batch_build: HistogramSnapshot,
+    /// Result wait between backend completion and sink pickup, ns.
+    pub reorder_wait: HistogramSnapshot,
+    /// Per-backend batch counts and latency histograms, name-sorted.
+    pub backends: Vec<BackendMetrics>,
+    /// Raw registry snapshot backing the fields above (the source for
+    /// [`PipelineMetrics::to_prometheus`] and `le_monotonic`).
+    pub registry: Snapshot,
 }
 
 impl PipelineMetrics {
@@ -184,6 +345,27 @@ impl PipelineMetrics {
             return 0.0;
         }
         self.query_bases as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Check that `self` could be an earlier snapshot of the same
+    /// live pipeline as `later`: every counter and histogram field in
+    /// the registry is `≤` its counterpart, and the engine window
+    /// counter has not gone backwards. Returns the first offending
+    /// metric on failure. See the module docs for what mid-run
+    /// snapshots do and do not guarantee.
+    pub fn le_monotonic(&self, later: &PipelineMetrics) -> Result<(), String> {
+        self.registry.monotonic_le(&later.registry)?;
+        let (a, b) = match (&self.engine, &later.engine) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Ok(()),
+        };
+        if a.windows > b.windows {
+            return Err(format!(
+                "engine.windows went backwards ({} > {})",
+                a.windows, b.windows
+            ));
+        }
+        Ok(())
     }
 
     /// Multi-line human-readable summary (CLI `--metrics` output).
@@ -217,6 +399,32 @@ impl PipelineMetrics {
             "memory:   peak {} tasks / {} bases in flight",
             self.max_inflight_tasks, self.max_inflight_bases
         );
+        if self.read_latency.count > 0 {
+            let fmt = |ns: u64| format!("{:.1?}", Duration::from_nanos(ns));
+            let _ = writeln!(
+                s,
+                "latency:  read p50 {} / p90 {} / p99 {}, task-queue p99 {}, reorder p99 {}",
+                fmt(self.read_latency.p50()),
+                fmt(self.read_latency.p90()),
+                fmt(self.read_latency.p99()),
+                fmt(self.task_queue_wait.p99()),
+                fmt(self.reorder_wait.p99()),
+            );
+        }
+        for b in &self.backends {
+            let fmt = |ns: u64| format!("{:.1?}", Duration::from_nanos(ns));
+            let _ = writeln!(
+                s,
+                "backend:  {} {} batches / {} tasks, queue-wait p50 {} / p99 {}, execute p50 {} / p99 {}",
+                b.name,
+                b.batches,
+                b.tasks,
+                fmt(b.queue_wait.p50()),
+                fmt(b.queue_wait.p99()),
+                fmt(b.execute.p50()),
+                fmt(b.execute.p99()),
+            );
+        }
         if let Some(e) = &self.engine {
             let _ = writeln!(
                 s,
@@ -264,6 +472,190 @@ impl PipelineMetrics {
         s
     }
 
+    /// Single-line machine-readable JSON — a superset of
+    /// [`PipelineMetrics::summary`] (CLI `--metrics json`, server
+    /// `STATS JSON`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"genasm-pipeline-metrics/v1\",\
+             \"reads_in\":{},\"reads_mapped\":{},\"tasks_generated\":{},\
+             \"task_bases\":{},\"query_bases\":{},\"max_task_bases\":{},\
+             \"batches\":{},\"batch_tasks\":{},\"batch_bases\":{},\
+             \"max_batch_bases\":{},\"records_out\":{},\
+             \"max_inflight_bases\":{},\"max_inflight_tasks\":{},\
+             \"wall_ns\":{},\
+             \"query_bases_per_sec\":{},\"backend_utilization\":{}",
+            self.reads_in,
+            self.reads_mapped,
+            self.tasks_generated,
+            self.task_bases,
+            self.query_bases,
+            self.max_task_bases,
+            self.batches,
+            self.batch_tasks,
+            self.batch_bases,
+            self.max_batch_bases,
+            self.records_out,
+            self.max_inflight_bases,
+            self.max_inflight_tasks,
+            self.wall.as_nanos(),
+            genasm_telemetry::json::number(self.query_bases_per_sec()),
+            genasm_telemetry::json::number(self.backend_utilization()),
+        );
+        let _ = write!(
+            s,
+            ",\"busy_ns\":{{\"mapper\":{},\"scheduler\":{},\"backend\":{},\"sink\":{}}}",
+            self.mapper_busy.as_nanos(),
+            self.scheduler_busy.as_nanos(),
+            self.backend_busy.as_nanos(),
+            self.sink_busy.as_nanos()
+        );
+        let queue = |q: &QueueMetrics| {
+            format!(
+                "{{\"capacity\":{},\"pushed\":{},\"high_water\":{}}}",
+                q.capacity, q.pushed, q.high_water
+            )
+        };
+        let _ = write!(
+            s,
+            ",\"queues\":{{\"task\":{},\"batch\":{},\"result\":{}}}",
+            queue(&self.task_queue),
+            queue(&self.batch_queue),
+            queue(&self.result_queue)
+        );
+        let _ = write!(
+            s,
+            ",\"shards\":{{\"count\":{},\"contigs\":{},\"overlap\":{},\
+             \"reference_bytes\":{},\"dup_anchors_merged\":{}}}",
+            self.shard_index.shards.len(),
+            self.shard_index.contigs,
+            self.shard_index.overlap,
+            self.shard_index.reference_bytes,
+            self.shard_index.dup_anchors_merged
+        );
+        match &self.engine {
+            Some(e) => {
+                let _ = write!(s, ",\"engine\":{}", e.to_json());
+            }
+            None => s.push_str(",\"engine\":null"),
+        }
+        let _ = write!(
+            s,
+            ",\"latency\":{{\"read\":{},\"task_queue_wait\":{},\
+             \"batch_build\":{},\"reorder_wait\":{},\"batch_size_bases\":{}}}",
+            self.read_latency.to_json(),
+            self.task_queue_wait.to_json(),
+            self.batch_build.to_json(),
+            self.reorder_wait.to_json(),
+            self.batch_size_snapshot().to_json(),
+        );
+        s.push_str(",\"backends\":{");
+        for (i, b) in self.backends.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"batches\":{},\"tasks\":{},\"queue_wait\":{},\"execute\":{}}}",
+                genasm_telemetry::json::escape(&b.name),
+                b.batches,
+                b.tasks,
+                b.queue_wait.to_json(),
+                b.execute.to_json()
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Prometheus text exposition: every registry metric under the
+    /// `genasm_` prefix, plus run-scoped context (queues, shards,
+    /// engine counters, wall clock) rendered as gauges/counters.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        fn line(out: &mut String, name: &str, kind: &str, v: u64) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let mut out = self.registry.to_prometheus("genasm_");
+        line(
+            &mut out,
+            "genasm_wall_ns",
+            "counter",
+            self.wall.as_nanos() as u64,
+        );
+        for (q, qname) in [
+            (&self.task_queue, "task"),
+            (&self.batch_queue, "batch"),
+            (&self.result_queue, "result"),
+        ] {
+            let _ = writeln!(out, "# TYPE genasm_queue_high_water gauge");
+            let _ = writeln!(
+                out,
+                "genasm_queue_high_water{{queue=\"{qname}\"}} {}",
+                q.high_water
+            );
+            let _ = writeln!(out, "# TYPE genasm_queue_capacity gauge");
+            let _ = writeln!(
+                out,
+                "genasm_queue_capacity{{queue=\"{qname}\"}} {}",
+                q.capacity
+            );
+        }
+        line(
+            &mut out,
+            "genasm_shards",
+            "gauge",
+            self.shard_index.shards.len() as u64,
+        );
+        if let Some(e) = &self.engine {
+            line(
+                &mut out,
+                "genasm_engine_windows_total",
+                "counter",
+                e.windows,
+            );
+            line(
+                &mut out,
+                "genasm_engine_windows_early_terminated_total",
+                "counter",
+                e.windows_early_terminated,
+            );
+            line(
+                &mut out,
+                "genasm_engine_windows_rescued_total",
+                "counter",
+                e.windows_rescued,
+            );
+            line(
+                &mut out,
+                "genasm_engine_band_cells_skipped_total",
+                "counter",
+                e.band_cells_skipped,
+            );
+            line(
+                &mut out,
+                "genasm_engine_peak_band_rows",
+                "gauge",
+                e.peak_band_rows,
+            );
+        }
+        out
+    }
+
+    /// The batch-size histogram as a [`HistogramSnapshot`] (full
+    /// 64-bucket resolution, unlike the legacy 32-bucket
+    /// `batch_size_hist` view).
+    fn batch_size_snapshot(&self) -> HistogramSnapshot {
+        match self.registry.get("batch_size_bases") {
+            Some(genasm_telemetry::MetricValue::Histogram(h)) => h.clone(),
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
     pub(crate) fn snapshot(
         c: &StageCounters,
         wall: Duration,
@@ -273,32 +665,45 @@ impl PipelineMetrics {
         result_queue: QueueMetrics,
         engine: Option<genasm_core::MemStats>,
     ) -> PipelineMetrics {
-        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        // Fold the 64-bucket histogram into the legacy 32-bucket view
+        // (same bucket boundaries; the last legacy bucket absorbs the
+        // tail, exactly as the old fixed array did).
+        let batch_snapshot = c.batch_size_bases.snapshot();
+        let mut batch_size_hist = vec![0u64; HIST_BUCKETS];
+        for (i, &n) in batch_snapshot.buckets.iter().enumerate().take(BUCKETS) {
+            batch_size_hist[i.min(HIST_BUCKETS - 1)] += n;
+        }
         PipelineMetrics {
-            reads_in: ld(&c.reads_in),
-            reads_mapped: ld(&c.reads_mapped),
-            tasks_generated: ld(&c.tasks_generated),
-            task_bases: ld(&c.task_bases),
-            query_bases: ld(&c.query_bases),
-            max_task_bases: ld(&c.max_task_bases),
-            batches: ld(&c.batches),
-            batch_tasks: ld(&c.batch_tasks),
-            batch_bases: ld(&c.batch_bases),
-            max_batch_bases: ld(&c.max_batch_bases),
-            batch_size_hist: c.batch_hist.iter().map(ld).collect(),
-            records_out: ld(&c.records_out),
-            max_inflight_bases: ld(&c.max_inflight_bases),
-            max_inflight_tasks: ld(&c.max_inflight_tasks),
+            reads_in: c.reads_in.get(),
+            reads_mapped: c.reads_mapped.get(),
+            tasks_generated: c.tasks_generated.get(),
+            task_bases: c.task_bases.get(),
+            query_bases: c.query_bases.get(),
+            max_task_bases: c.max_task_bases.get(),
+            batches: c.batches.get(),
+            batch_tasks: c.batch_tasks.get(),
+            batch_bases: c.batch_bases.get(),
+            max_batch_bases: c.max_batch_bases.get(),
+            batch_size_hist,
+            records_out: c.records_out.get(),
+            max_inflight_bases: c.max_inflight_bases.get(),
+            max_inflight_tasks: c.max_inflight_tasks.get(),
             shard_index,
-            mapper_busy: Duration::from_nanos(ld(&c.mapper_ns)),
-            scheduler_busy: Duration::from_nanos(ld(&c.scheduler_ns)),
-            backend_busy: Duration::from_nanos(ld(&c.backend_ns)),
-            sink_busy: Duration::from_nanos(ld(&c.sink_ns)),
+            mapper_busy: Duration::from_nanos(c.mapper_ns.get()),
+            scheduler_busy: Duration::from_nanos(c.scheduler_ns.get()),
+            backend_busy: Duration::from_nanos(c.backend_ns.get()),
+            sink_busy: Duration::from_nanos(c.sink_ns.get()),
             wall,
             task_queue,
             batch_queue,
             result_queue,
             engine,
+            read_latency: c.read_latency_ns.snapshot(),
+            task_queue_wait: c.task_queue_wait_ns.snapshot(),
+            batch_build: c.batch_build_ns.snapshot(),
+            reorder_wait: c.reorder_wait_ns.snapshot(),
+            backends: c.backend_snapshots(),
+            registry: c.registry.snapshot(),
         }
     }
 }
@@ -317,6 +722,14 @@ mod tests {
         }
     }
 
+    fn q1() -> QueueMetrics {
+        QueueMetrics {
+            capacity: 1,
+            pushed: 0,
+            high_water: 0,
+        }
+    }
+
     #[test]
     fn histogram_buckets_by_power_of_two() {
         let c = StageCounters::default();
@@ -329,21 +742,9 @@ mod tests {
             &c,
             Duration::from_secs(1),
             no_shards(),
-            QueueMetrics {
-                capacity: 1,
-                pushed: 0,
-                high_water: 0,
-            },
-            QueueMetrics {
-                capacity: 1,
-                pushed: 0,
-                high_water: 0,
-            },
-            QueueMetrics {
-                capacity: 1,
-                pushed: 0,
-                high_water: 0,
-            },
+            q1(),
+            q1(),
+            q1(),
             None,
         );
         assert_eq!(m.batch_size_hist[0], 1);
@@ -362,21 +763,16 @@ mod tests {
         c.task_in(50);
         c.task_out(100);
         c.task_in(10);
-        let peak = c.max_inflight_bases.load(Ordering::Relaxed);
-        assert_eq!(peak, 150);
-        assert_eq!(c.max_inflight_tasks.load(Ordering::Relaxed), 2);
-        assert_eq!(c.inflight_bases.load(Ordering::Relaxed), 60);
+        assert_eq!(c.max_inflight_bases.get(), 150);
+        assert_eq!(c.max_inflight_tasks.get(), 2);
+        assert_eq!(c.inflight_bases.get(), 60);
     }
 
     #[test]
     fn utilization_is_clamped() {
         let c = StageCounters::default();
         StageCounters::add_ns(&c.backend_ns, Duration::from_secs(10));
-        let q = QueueMetrics {
-            capacity: 1,
-            pushed: 0,
-            high_water: 0,
-        };
+        let q = q1();
         let m = PipelineMetrics::snapshot(&c, Duration::from_secs(2), no_shards(), q, q, q, None);
         assert_eq!(m.backend_utilization(), 1.0);
         assert!(!m.summary().is_empty());
@@ -387,11 +783,7 @@ mod tests {
     #[test]
     fn summary_renders_band_counters_when_present() {
         let c = StageCounters::default();
-        let q = QueueMetrics {
-            capacity: 1,
-            pushed: 0,
-            high_water: 0,
-        };
+        let q = q1();
         let engine = genasm_core::MemStats {
             windows: 10,
             windows_early_terminated: 7,
@@ -420,11 +812,7 @@ mod tests {
     #[test]
     fn summary_reports_shard_telemetry() {
         let c = StageCounters::default();
-        let q = QueueMetrics {
-            capacity: 1,
-            pushed: 0,
-            high_water: 0,
-        };
+        let q = q1();
         let shard_index = ShardIndexMetrics {
             shards: vec![
                 mapper::ShardMetrics {
@@ -455,5 +843,103 @@ mod tests {
         );
         assert!(s.contains("4 duplicate anchors merged"), "{s}");
         assert_eq!(m.shard_index.shards.len(), 2);
+    }
+
+    #[test]
+    fn summary_and_json_render_latency_and_backends() {
+        let c = StageCounters::default();
+        c.read_latency_ns.record(1_000_000);
+        c.task_queue_wait_ns.record(10_000);
+        c.reorder_wait_ns.record(20_000);
+        let lat = c.backend_lat("cpu");
+        lat.batches.inc();
+        lat.tasks.add(8);
+        lat.queue_wait_ns.record(5_000);
+        lat.execute_ns.record(2_000_000);
+        let m = PipelineMetrics::snapshot(
+            &c,
+            Duration::from_secs(1),
+            no_shards(),
+            q1(),
+            q1(),
+            q1(),
+            None,
+        );
+        let s = m.summary();
+        assert!(s.contains("latency:  read p50"), "{s}");
+        assert!(s.contains("backend:  cpu 1 batches / 8 tasks"), "{s}");
+        let j = m.to_json();
+        assert!(
+            j.starts_with("{\"schema\":\"genasm-pipeline-metrics/v1\""),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"backends\":{\"cpu\":{\"batches\":1,\"tasks\":8"),
+            "{j}"
+        );
+        assert!(j.contains("\"engine\":null"), "{j}");
+        assert!(j.contains("\"latency\":{\"read\":{\"count\":1"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_registry_and_context() {
+        let c = StageCounters::default();
+        c.reads_in.add(3);
+        c.backend_lat("cpu").execute_ns.record(100);
+        let m = PipelineMetrics::snapshot(
+            &c,
+            Duration::from_secs(1),
+            no_shards(),
+            q1(),
+            q1(),
+            q1(),
+            Some(genasm_core::MemStats {
+                windows: 2,
+                ..genasm_core::MemStats::default()
+            }),
+        );
+        let p = m.to_prometheus();
+        assert!(p.contains("genasm_reads_in_total 3"), "{p}");
+        assert!(
+            p.contains("genasm_backend_execute_ns_count{backend=\"cpu\"} 1"),
+            "{p}"
+        );
+        assert!(
+            p.contains("genasm_queue_high_water{queue=\"task\"} 0"),
+            "{p}"
+        );
+        assert!(p.contains("genasm_engine_windows_total 2"), "{p}");
+    }
+
+    #[test]
+    fn snapshots_are_monotonic_under_progress() {
+        let c = StageCounters::default();
+        c.task_in(10);
+        c.read_latency_ns.record(100);
+        let a = PipelineMetrics::snapshot(
+            &c,
+            Duration::from_secs(1),
+            no_shards(),
+            q1(),
+            q1(),
+            q1(),
+            None,
+        );
+        c.task_in(20);
+        c.read_latency_ns.record(300);
+        c.records_out.inc();
+        let b = PipelineMetrics::snapshot(
+            &c,
+            Duration::from_secs(2),
+            no_shards(),
+            q1(),
+            q1(),
+            q1(),
+            None,
+        );
+        assert!(a.le_monotonic(&b).is_ok());
+        let err = b.le_monotonic(&a).unwrap_err();
+        assert!(!err.is_empty());
     }
 }

@@ -58,15 +58,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use align_core::{AlignTask, Alignment, Reference};
+use genasm_telemetry::TraceRecorder;
 use mapper::ShardedIndex;
 
 use crate::backend::{Backend, BackendKind};
 use crate::batcher::{Batch, BatchBuilder, TaskMeta};
-use crate::metrics::{PipelineMetrics, QueueMetrics, StageCounters};
+use crate::metrics::{BackendLat, PipelineMetrics, QueueMetrics, StageCounters};
 use crate::queue::{BoundedQueue, PopTimeout};
 use crate::record::AlignRecord;
 use crate::reorder::ReorderBuffer;
-use crate::{PipelineConfig, ReadInput};
+use crate::{tids, trace_lanes, PipelineConfig, ReadInput};
 
 /// Tuning for the long-lived service.
 #[derive(Debug, Clone)]
@@ -188,6 +189,10 @@ pub enum SessionEvent {
 /// Per-session bookkeeping shared between submitters and the sink.
 struct SessionState {
     tx: Sender<SessionEvent>,
+    /// The backend this session dispatches to (status reporting).
+    backend: BackendKind,
+    /// When the session was admitted (session-span telemetry).
+    opened_at: Instant,
     /// Mapped reads submitted (reads with ≥ 1 task).
     mapped_submitted: u64,
     /// Mapped reads whose rows the sink has delivered.
@@ -195,6 +200,18 @@ struct SessionState {
     /// The submit side called finish (no more reads coming).
     finished: bool,
     metrics: SessionMetrics,
+}
+
+/// One open session's identity and counters, reported by
+/// [`PipelineService::session_stats`].
+#[derive(Debug, Clone)]
+pub struct SessionStat {
+    /// Service-assigned session id.
+    pub id: u64,
+    /// The session's backend.
+    pub backend: BackendKind,
+    /// Live counters (monotonic while the session is open).
+    pub metrics: SessionMetrics,
 }
 
 /// Global ingest state: sequence numbering and admission.
@@ -210,6 +227,7 @@ struct SvcDone {
     seq: u64,
     metas: Vec<TaskMeta>,
     alignments: Vec<Option<Alignment>>,
+    completed_at: Instant,
 }
 
 struct Shared {
@@ -230,6 +248,23 @@ struct Shared {
     backend_errors: AtomicU64,
     last_backend_error: Mutex<Option<String>>,
     started: Instant,
+}
+
+impl Shared {
+    fn trace(&self) -> Option<&TraceRecorder> {
+        self.cfg.pipeline.trace.as_deref()
+    }
+
+    /// Trace lane for backend `kind` (stable: index into the resident
+    /// backend table).
+    fn backend_tid(&self, kind: BackendKind) -> u64 {
+        tids::BACKEND0
+            + self
+                .backends
+                .iter()
+                .position(|(k, _)| *k == kind)
+                .unwrap_or(0) as u64
+    }
 }
 
 /// The resident alignment service. See the module docs for the
@@ -274,6 +309,10 @@ impl PipelineService {
             started: Instant::now(),
             cfg,
         });
+        if let Some(t) = shared.trace() {
+            let names: Vec<&str> = BackendKind::ALL.iter().map(|&(_, name)| name).collect();
+            trace_lanes(t, &names);
+        }
 
         let mut handles = Vec::new();
         let sh = Arc::clone(&shared);
@@ -357,6 +396,8 @@ impl PipelineService {
             id,
             SessionState {
                 tx,
+                backend,
+                opened_at: Instant::now(),
                 mapped_submitted: 0,
                 completed: 0,
                 finished: false,
@@ -412,6 +453,84 @@ impl PipelineService {
                 any.then_some(engine)
             },
         )
+    }
+
+    /// Per-session live counters for every open session, id-sorted.
+    pub fn session_stats(&self) -> Vec<SessionStat> {
+        let reg = self.shared.sessions.lock().unwrap();
+        let mut out: Vec<SessionStat> = reg
+            .iter()
+            .map(|(&id, st)| SessionStat {
+                id,
+                backend: st.backend,
+                metrics: st.metrics.clone(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// One-line JSON status document: server state, per-session
+    /// counters, and the full live [`PipelineMetrics`] snapshot
+    /// (server `STATS JSON`).
+    pub fn stats_json(&self) -> String {
+        use std::fmt::Write;
+        let sh = &self.shared;
+        let ing = sh.ingest.lock().unwrap();
+        let (active, draining) = (ing.open_sessions, ing.draining);
+        drop(ing);
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"genasm-stats/v1\",\"server\":{{\"sessions\":{active},\
+             \"draining\":{draining},\"backend_errors\":{},\"uptime_ms\":{},\
+             \"ref\":{{\"label\":\"{}\",\"contigs\":{},\"total_len\":{}}}}}",
+            self.backend_errors(),
+            sh.started.elapsed().as_millis(),
+            genasm_telemetry::json::escape(&sh.ref_label),
+            sh.index.num_contigs(),
+            sh.index.total_len(),
+        );
+        s.push_str(",\"sessions\":[");
+        for (i, st) in self.session_stats().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{},\"backend\":\"{}\",\"reads_in\":{},\"reads_mapped\":{},\
+                 \"tasks\":{},\"task_bases\":{},\"records_out\":{},\"reads_failed\":{}}}",
+                st.id,
+                st.backend,
+                st.metrics.reads_in,
+                st.metrics.reads_mapped,
+                st.metrics.tasks,
+                st.metrics.task_bases,
+                st.metrics.records_out,
+                st.metrics.reads_failed,
+            );
+        }
+        s.push(']');
+        let _ = write!(s, ",\"pipeline\":{}}}", self.metrics().to_json());
+        s
+    }
+
+    /// Prometheus text exposition: the full pipeline registry plus
+    /// server-level series (server `STATS PROM`).
+    pub fn stats_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.metrics().to_prometheus();
+        let _ = writeln!(out, "# TYPE genasm_sessions_active gauge");
+        let _ = writeln!(out, "genasm_sessions_active {}", self.active_sessions());
+        let _ = writeln!(out, "# TYPE genasm_backend_errors_total counter");
+        let _ = writeln!(out, "genasm_backend_errors_total {}", self.backend_errors());
+        let _ = writeln!(out, "# TYPE genasm_uptime_ms gauge");
+        let _ = writeln!(
+            out,
+            "genasm_uptime_ms {}",
+            self.shared.started.elapsed().as_millis()
+        );
+        out
     }
 
     /// Stop admitting new sessions immediately (open ones keep
@@ -491,9 +610,23 @@ impl Session {
         );
         self.local_reads += 1;
         StageCounters::add_ns(&sh.counters.mapper_ns, t0.elapsed());
-        sh.counters.reads_in.fetch_add(1, Ordering::Relaxed);
+        sh.counters.reads_in.inc();
+        if let Some(t) = sh.trace() {
+            t.span(
+                "map",
+                "service",
+                tids::INGEST,
+                t0,
+                t0.elapsed(),
+                &[
+                    ("read", read.name.as_str().into()),
+                    ("session", self.id.into()),
+                    ("tasks", tasks.len().into()),
+                ],
+            );
+        }
         if !tasks.is_empty() {
-            sh.counters.reads_mapped.fetch_add(1, Ordering::Relaxed);
+            sh.counters.reads_mapped.inc();
         }
         let n = tasks.len();
         let total_bases: usize = tasks.iter().map(AlignTask::bases).sum();
@@ -537,11 +670,11 @@ impl Session {
                 tstart: task.ref_pos,
                 tlen: task.target.len(),
                 reverse: task.reverse,
+                submitted_at: t0,
+                enqueued_at: Instant::now(),
             };
             sh.counters.task_in(bases);
-            sh.counters
-                .query_bases
-                .fetch_add(task.query.len() as u64, Ordering::Relaxed);
+            sh.counters.query_bases.add(task.query.len() as u64);
             if sh.task_q.push((task, meta, self.backend), bases).is_err() {
                 return Err(SubmitError::ServiceStopped);
             }
@@ -568,6 +701,7 @@ impl Session {
                 st.finished = true;
                 if st.completed == st.mapped_submitted {
                     let st = reg.remove(&self.id).unwrap();
+                    trace_session_end(sh, self.id, &st);
                     let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
                 }
             }
@@ -627,6 +761,23 @@ fn dispatch_batch(sh: &Shared, kind: BackendKind, mut batch: Batch, next_seq: &m
     batch.seq = *next_seq;
     *next_seq += 1;
     sh.counters.batch_dispatched(batch.tasks.len(), batch.bases);
+    let build = batch.ready_at.duration_since(batch.build_started);
+    sh.counters.batch_build_ns.record_duration(build);
+    if let Some(t) = sh.trace() {
+        t.span(
+            "batch-build",
+            "service",
+            tids::SCHED,
+            batch.build_started,
+            build,
+            &[
+                ("batch", batch.seq.into()),
+                ("backend", kind.to_string().into()),
+                ("tasks", batch.tasks.len().into()),
+                ("bases", batch.bases.into()),
+            ],
+        );
+    }
     sh.batch_q.push((batch, kind), 1).is_ok()
 }
 
@@ -640,6 +791,9 @@ fn scheduler_loop(sh: &Shared) {
         match sh.task_q.pop_timeout(linger) {
             PopTimeout::Item((task, meta, kind)) => {
                 let t0 = Instant::now();
+                sh.counters
+                    .task_queue_wait_ns
+                    .record_duration(t0.duration_since(meta.enqueued_at));
                 let idx = match slots.iter().position(|s| s.kind == kind) {
                     Some(i) => i,
                     None => {
@@ -692,6 +846,7 @@ fn scheduler_loop(sh: &Shared) {
 }
 
 fn dispatch_loop(sh: &Shared) {
+    let mut lats: Vec<(BackendKind, BackendLat)> = Vec::new();
     while let Some((batch, kind)) = sh.batch_q.pop() {
         let t0 = Instant::now();
         let backend = sh
@@ -700,6 +855,16 @@ fn dispatch_loop(sh: &Shared) {
             .find(|(k, _)| *k == kind)
             .map(|(_, b)| b.as_ref())
             .expect("every BackendKind is instantiated at start");
+        let lat_idx = match lats.iter().position(|(k, _)| *k == kind) {
+            Some(i) => i,
+            None => {
+                lats.push((kind, sh.counters.backend_lat(backend.name())));
+                lats.len() - 1
+            }
+        };
+        let lat = &lats[lat_idx].1;
+        let queue_wait = t0.duration_since(batch.ready_at);
+        lat.queue_wait_ns.record_duration(queue_wait);
         let alignments = match backend.align_batch(&batch.tasks) {
             Ok(a) => a,
             Err(e) => {
@@ -710,11 +875,33 @@ fn dispatch_loop(sh: &Shared) {
                 batch.tasks.iter().map(|_| None).collect()
             }
         };
-        StageCounters::add_ns(&sh.counters.backend_ns, t0.elapsed());
+        let execute = t0.elapsed();
+        StageCounters::add_ns(&sh.counters.backend_ns, execute);
+        lat.execute_ns.record_duration(execute);
+        lat.batches.inc();
+        lat.tasks.add(batch.tasks.len() as u64);
+        if let Some(t) = sh.trace() {
+            let tid = sh.backend_tid(kind);
+            let args = [
+                ("batch", batch.seq.into()),
+                ("tasks", batch.tasks.len().into()),
+                ("bases", batch.bases.into()),
+            ];
+            t.span(
+                "queue-wait",
+                "service",
+                tid,
+                batch.ready_at,
+                queue_wait,
+                &args,
+            );
+            t.span("execute", "service", tid, t0, execute, &args);
+        }
         let done = SvcDone {
             seq: batch.seq,
             metas: batch.metas,
             alignments,
+            completed_at: Instant::now(),
         };
         if sh.result_q.push(done, 1).is_err() {
             return;
@@ -733,11 +920,27 @@ struct ReadAcc {
     got: u32,
     rows: Vec<AlignRecord>,
     failed: bool,
+    submitted_at: Instant,
 }
 
 /// Deliver one completed read to its session and update completion
 /// accounting (possibly emitting the session's `End`).
 fn finalize_read(sh: &Shared, acc: ReadAcc) {
+    let latency = acc.submitted_at.elapsed();
+    sh.counters.read_latency_ns.record_duration(latency);
+    if let Some(t) = sh.trace() {
+        t.span(
+            "read",
+            "service",
+            tids::READS,
+            acc.submitted_at,
+            latency,
+            &[
+                ("read", (&*acc.qname).into()),
+                ("session", acc.session.into()),
+            ],
+        );
+    }
     let mut reg = sh.sessions.lock().unwrap();
     let Some(st) = reg.get_mut(&acc.session) else {
         return; // receiver side vanished; nothing to deliver to
@@ -752,14 +955,32 @@ fn finalize_read(sh: &Shared, acc: ReadAcc) {
         let mut rows = acc.rows;
         rows.sort_by_cached_key(AlignRecord::sort_key);
         st.metrics.records_out += rows.len() as u64;
-        sh.counters
-            .records_out
-            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        sh.counters.records_out.add(rows.len() as u64);
         let _ = st.tx.send(SessionEvent::Rows(rows));
     }
     if st.finished && st.completed == st.mapped_submitted {
         let st = reg.remove(&acc.session).unwrap();
+        trace_session_end(sh, acc.session, &st);
         let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
+    }
+}
+
+/// Emit the session-lifecycle span when a session fully drains.
+fn trace_session_end(sh: &Shared, id: u64, st: &SessionState) {
+    if let Some(t) = sh.trace() {
+        t.span(
+            "session",
+            "service",
+            tids::SESSION,
+            st.opened_at,
+            st.opened_at.elapsed(),
+            &[
+                ("session", id.into()),
+                ("backend", st.backend.to_string().into()),
+                ("reads", st.metrics.reads_in.into()),
+                ("records", st.metrics.records_out.into()),
+            ],
+        );
     }
 }
 
@@ -775,6 +996,10 @@ fn sink_loop(sh: &Shared) {
     while let Some(done) = sh.result_q.pop() {
         for batch in reorder.push(done.seq, done) {
             let t0 = Instant::now();
+            let batch_seq = batch.seq;
+            sh.counters
+                .reorder_wait_ns
+                .record_duration(t0.duration_since(batch.completed_at));
             for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
                 sh.counters.task_out(meta.qlen + meta.tlen);
                 let acc = accs.entry(meta.read_seq).or_insert_with(|| ReadAcc {
@@ -784,6 +1009,7 @@ fn sink_loop(sh: &Shared) {
                     got: 0,
                     rows: Vec::with_capacity(meta.read_tasks as usize),
                     failed: false,
+                    submitted_at: meta.submitted_at,
                 });
                 match aln {
                     Some(aln) => acc.rows.push(AlignRecord::new(
@@ -805,6 +1031,16 @@ fn sink_loop(sh: &Shared) {
                 }
             }
             StageCounters::add_ns(&sh.counters.sink_ns, t0.elapsed());
+            if let Some(t) = sh.trace() {
+                t.span(
+                    "sink",
+                    "service",
+                    tids::SINK,
+                    t0,
+                    t0.elapsed(),
+                    &[("batch", batch_seq.into())],
+                );
+            }
         }
     }
     debug_assert!(reorder.is_empty(), "reorder buffer drained at shutdown");

@@ -676,3 +676,96 @@ fn empty_input_completes_with_zero_records() {
     assert_eq!(metrics.records_out, 0);
     assert_eq!(metrics.batches, 0);
 }
+
+/// Telemetry is passive: running the identical workload with a Chrome
+/// trace recorder attached (events serialized, to a sink) and the JSON
+/// expositions rendered never changes a single output byte. This is
+/// the byte-geometry contract of the telemetry layer.
+#[test]
+fn tracing_and_exposition_never_change_output_bytes() {
+    use genasm_pipeline::TraceRecorder;
+    use std::sync::Arc;
+
+    let (reference, reads) = workload(40_000, 8, 600);
+    let backend = CpuBackend::improved();
+    let plain_cfg = PipelineConfig {
+        batch_bases: 8 * 1024,
+        queue_depth: 2,
+        shards: env_shards(),
+        ..PipelineConfig::default()
+    };
+    let (plain, _) = run_stream(&reads, &reference, &backend, &plain_cfg);
+
+    // Shared buffer so the test can also sanity-check the emitted JSON.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())));
+    let trace = Arc::new(TraceRecorder::to_writer(Box::new(buf.clone())));
+    let traced_cfg = PipelineConfig {
+        trace: Some(Arc::clone(&trace)),
+        ..plain_cfg.clone()
+    };
+    let (traced, m) = run_stream(&reads, &reference, &backend, &traced_cfg);
+    trace.finish().unwrap();
+
+    assert_eq!(plain, traced, "tracing changed the output bytes");
+    // Rendering the expositions is also output-neutral by construction
+    // (they only read atomics), but exercise them so a panic or a
+    // malformed rendering fails here rather than in CI's smoke test.
+    assert!(m
+        .to_json()
+        .starts_with("{\"schema\":\"genasm-pipeline-metrics/v1\""));
+    assert!(m.to_prometheus().contains("genasm_reads_in_total 8"));
+    let trace_bytes = buf.0.lock().unwrap().clone();
+    let trace_text = String::from_utf8(trace_bytes).unwrap();
+    assert!(trace_text.trim_start().starts_with('['));
+    assert!(trace_text.trim_end().ends_with(']'));
+    assert!(trace_text.contains("\"name\":\"read\""), "no read spans");
+    assert!(
+        trace_text.contains("\"name\":\"execute\""),
+        "no execute spans"
+    );
+    assert!(trace_text.contains("\"ph\":\"M\""), "no thread metadata");
+}
+
+/// The latency histograms cover the full read lifecycle: every read
+/// gets an end-to-end latency sample, every batch a build-time and a
+/// backend execute sample, and the per-backend breakdown matches the
+/// global batch counters.
+#[test]
+fn latency_histograms_cover_the_read_lifecycle() {
+    let (reference, reads) = workload(40_000, 8, 600);
+    let backend = CpuBackend::improved();
+    let cfg = PipelineConfig {
+        batch_bases: 4 * 1024,
+        queue_depth: 4,
+        shards: env_shards(),
+        ..PipelineConfig::default()
+    };
+    let (_, m) = run_stream(&reads, &reference, &backend, &cfg);
+
+    assert_eq!(m.read_latency.count, m.reads_in, "one sample per read");
+    assert_eq!(m.task_queue_wait.count, m.tasks_generated);
+    assert_eq!(m.batch_build.count, m.batches);
+    assert_eq!(m.reorder_wait.count, m.batches);
+    assert!(m.read_latency.p50() <= m.read_latency.p99());
+    assert!(m.read_latency.sum > 0, "reads cannot take zero time");
+    let be = m
+        .backends
+        .iter()
+        .find(|b| b.name == backend.name())
+        .expect("backend breakdown missing");
+    assert_eq!(be.batches, m.batches);
+    assert_eq!(be.tasks, m.batch_tasks);
+    assert_eq!(be.execute.count, m.batches);
+    assert_eq!(be.queue_wait.count, m.batches);
+}

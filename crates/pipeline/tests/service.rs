@@ -555,3 +555,129 @@ fn unmapped_reads_complete_without_rows() {
     assert!(rows > 0);
     service.shutdown();
 }
+
+/// Snapshot consistency under concurrency (the telemetry layer's
+/// ordering contract): with N interleaved sessions,
+///
+/// * every session's final counters sum exactly to the service-wide
+///   registry counters (no sample is lost or double-counted across
+///   the shared queues),
+/// * a snapshot taken mid-run is field-by-field `<=` the final one
+///   (per-field monotonicity — the contract documented on
+///   `StageCounters`), and
+/// * the machine-readable expositions agree with the live registry.
+#[test]
+fn interleaved_session_counters_sum_to_global_and_snapshots_are_monotonic() {
+    let base = workload(90_000, 0, 0, 1);
+    let reference = base.reference;
+    let session_specs: Vec<(BackendKind, Vec<(String, Seq)>)> = [
+        (BackendKind::Cpu, 41u64),
+        (BackendKind::Edlib, 42),
+        (BackendKind::Cpu, 43),
+        (BackendKind::Ksw2, 44),
+    ]
+    .iter()
+    .map(|&(backend, seed)| {
+        let genome = Genome {
+            seq: base.seq.clone(),
+            planted: Vec::new(),
+        };
+        let named = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: 6,
+                length: 700,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed,
+            },
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("s{seed}read{i}"), r.seq))
+        .collect();
+        (backend, named)
+    })
+    .collect();
+
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 4 * 1024,
+            queue_depth: 4,
+            dispatchers: 2,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(PipelineService::start("ref", reference, cfg));
+
+    // A sampler thread snapshots the live registry while the sessions
+    // hammer it; every snapshot it takes must be `<=` its successor.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (per_session, mid_snapshots) = std::thread::scope(|scope| {
+        let sampler = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut snaps = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    snaps.push(service.metrics());
+                    std::thread::yield_now();
+                }
+                snaps
+            })
+        };
+        let handles: Vec<_> = session_specs
+            .iter()
+            .map(|(backend, reads)| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || run_session(&service, *backend, reads))
+            })
+            .collect();
+        let per_session: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (per_session, sampler.join().unwrap())
+    });
+
+    // Per-session counters sum exactly to the global registry.
+    let global = service.metrics();
+    let sum = |f: fn(&genasm_pipeline::SessionMetrics) -> u64| {
+        per_session.iter().map(|(_, m)| f(m)).sum::<u64>()
+    };
+    assert_eq!(global.reads_in, sum(|m| m.reads_in));
+    assert_eq!(global.reads_mapped, sum(|m| m.reads_mapped));
+    assert_eq!(global.tasks_generated, sum(|m| m.tasks));
+    assert_eq!(global.task_bases, sum(|m| m.task_bases));
+    assert_eq!(global.records_out, sum(|m| m.records_out));
+    assert_eq!(global.read_latency.count, global.reads_in);
+
+    // Every mid-run snapshot is `<=` the final state, and consecutive
+    // snapshots are pairwise monotonic.
+    for (i, snap) in mid_snapshots.iter().enumerate() {
+        snap.le_monotonic(&global)
+            .unwrap_or_else(|e| panic!("snapshot {i} exceeds the final state: {e}"));
+    }
+    for (i, pair) in mid_snapshots.windows(2).enumerate() {
+        pair[0]
+            .le_monotonic(&pair[1])
+            .unwrap_or_else(|e| panic!("snapshots {i}->{} not monotonic: {e}", i + 1));
+    }
+    assert!(!mid_snapshots.is_empty(), "sampler never ran");
+
+    // The expositions render the same registry: spot-check one counter
+    // through all three surfaces.
+    let json = service.stats_json();
+    assert!(
+        json.contains(&format!("\"reads_in\":{}", global.reads_in)),
+        "{json}"
+    );
+    let prom = service.stats_prometheus();
+    assert!(
+        prom.contains(&format!("genasm_reads_in_total {}", global.reads_in)),
+        "{prom}"
+    );
+    // All four sessions ran to completion, so the live per-session
+    // list is empty again (closed sessions drop out of the registry).
+    assert!(service.session_stats().is_empty());
+    service.shutdown();
+}

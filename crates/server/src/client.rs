@@ -24,6 +24,13 @@ pub struct SubmitOptions {
     pub ping: bool,
     /// Send `STATS` in the preamble.
     pub stats: bool,
+    /// Send `STATS JSON` in the preamble (one `# stats-json {…}` reply
+    /// line; the JSON payload is also captured in the report).
+    pub stats_json: bool,
+    /// Send `STATS PROM` in the preamble (a `# prom-begin` / `# prom …`
+    /// / `# prom-end` block; the bare exposition lines are captured in
+    /// the report).
+    pub stats_prom: bool,
     /// Send `SHUTDOWN` and return (no records are sent).
     pub shutdown: bool,
 }
@@ -37,6 +44,11 @@ pub struct SubmitReport {
     pub errors: u64,
     /// The final `# done …` line, when a session ran to completion.
     pub done: Option<String>,
+    /// The JSON payload of a `STATS JSON` reply (prefix stripped).
+    pub stats_json: Option<String>,
+    /// The Prometheus exposition of a `STATS PROM` reply (prefixes
+    /// stripped, one metric line per element).
+    pub stats_prom: Option<String>,
 }
 
 /// Run one protocol conversation. `reads` supplies the raw FASTA/FASTQ
@@ -92,6 +104,32 @@ pub fn submit<R: Read>(
     }
     if opts.stats {
         verb(&mut writer, &mut reader, &mut report, status, "STATS")?;
+    }
+    if opts.stats_json {
+        let reply = verb(&mut writer, &mut reader, &mut report, status, "STATS JSON")?;
+        if let Some(json) = reply.strip_prefix("# stats-json ") {
+            report.stats_json = Some(json.to_string());
+        }
+    }
+    if opts.stats_prom {
+        let first = verb(&mut writer, &mut reader, &mut report, status, "STATS PROM")?;
+        // The exposition is multi-line: `# prom-begin`, one `# prom …`
+        // per metric line, `# prom-end`. An `# err …` reply is a single
+        // line and is already handled by `verb`.
+        if first == "# prom-begin" {
+            let mut body = String::new();
+            loop {
+                let line = read_status_line(&mut reader, &mut report, status)?;
+                if line == "# prom-end" {
+                    break;
+                }
+                if let Some(metric) = line.strip_prefix("# prom ") {
+                    body.push_str(metric);
+                    body.push('\n');
+                }
+            }
+            report.stats_prom = Some(body);
+        }
     }
     if opts.shutdown {
         verb(&mut writer, &mut reader, &mut report, status, "SHUTDOWN")?;

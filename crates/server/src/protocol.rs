@@ -12,6 +12,8 @@
 //! SET format tsv|paf                          pick this session's output format
 //! PING                                        liveness probe
 //! STATS                                       one-line server-wide counters
+//! STATS JSON                                  live registry snapshot as one JSON line
+//! STATS PROM                                  Prometheus text exposition
 //! SHUTDOWN                                    ask the server to drain and exit
 //! BEGIN                                       end of preamble, records follow
 //! ```
@@ -35,6 +37,19 @@ pub const ERR_PREFIX: &str = "# err";
 /// Prefix of the final per-session summary line.
 pub const DONE_PREFIX: &str = "# done";
 
+/// Exposition format of a `STATS` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Bare `STATS`: the classic one-line `# stats …` summary.
+    Line,
+    /// `STATS JSON`: one `# stats-json {…}` line with the full live
+    /// registry snapshot, per-session and per-backend breakdowns.
+    Json,
+    /// `STATS PROM`: Prometheus text exposition, one `# prom …` line
+    /// per metric line, bracketed by `# prom-begin` / `# prom-end`.
+    Prom,
+}
+
 /// A parsed client control verb.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verb {
@@ -46,8 +61,8 @@ pub enum Verb {
     Begin,
     /// `PING`.
     Ping,
-    /// `STATS`.
-    Stats,
+    /// `STATS [JSON|PROM]`.
+    Stats(StatsFormat),
     /// `SHUTDOWN` — drain and exit.
     Shutdown,
 }
@@ -59,7 +74,16 @@ pub fn parse_verb(line: &str) -> Result<Verb, String> {
     let verb = match word {
         "BEGIN" => Verb::Begin,
         "PING" => Verb::Ping,
-        "STATS" => Verb::Stats,
+        "STATS" => match it.next() {
+            None => Verb::Stats(StatsFormat::Line),
+            Some("JSON") => Verb::Stats(StatsFormat::Json),
+            Some("PROM") => Verb::Stats(StatsFormat::Prom),
+            Some(other) => {
+                return Err(format!(
+                    "unknown STATS format {other:?}; valid formats are JSON, PROM"
+                ))
+            }
+        },
         "SHUTDOWN" => Verb::Shutdown,
         "SET" => {
             let key = it.next().ok_or("SET needs a key and a value")?;
@@ -96,7 +120,15 @@ mod tests {
     fn verbs_parse() {
         assert_eq!(parse_verb("BEGIN").unwrap(), Verb::Begin);
         assert_eq!(parse_verb("PING").unwrap(), Verb::Ping);
-        assert_eq!(parse_verb("STATS").unwrap(), Verb::Stats);
+        assert_eq!(parse_verb("STATS").unwrap(), Verb::Stats(StatsFormat::Line));
+        assert_eq!(
+            parse_verb("STATS JSON").unwrap(),
+            Verb::Stats(StatsFormat::Json)
+        );
+        assert_eq!(
+            parse_verb("STATS PROM").unwrap(),
+            Verb::Stats(StatsFormat::Prom)
+        );
         assert_eq!(parse_verb("SHUTDOWN").unwrap(), Verb::Shutdown);
         assert_eq!(
             parse_verb("SET backend edlib").unwrap(),
@@ -119,5 +151,9 @@ mod tests {
         assert!(e.contains("'tsv'") && e.contains("'paf'"), "{e}");
         assert!(parse_verb("SET color blue").unwrap_err().contains("color"));
         assert!(parse_verb("BEGIN now").unwrap_err().contains("trailing"));
+        assert!(parse_verb("STATS XML").unwrap_err().contains("XML"));
+        assert!(parse_verb("STATS JSON extra")
+            .unwrap_err()
+            .contains("trailing"));
     }
 }

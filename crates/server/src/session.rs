@@ -22,7 +22,7 @@ use genasm_pipeline::{AdmissionError, OutputFormat, ReadInput, SessionEvent, Ses
 use readsim::FastxReader;
 
 use crate::endpoint::Conn;
-use crate::protocol::{parse_verb, Verb};
+use crate::protocol::{parse_verb, StatsFormat, Verb};
 use crate::ServerShared;
 
 /// What the connection asked of the server beyond its own session.
@@ -69,23 +69,7 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
                 writeln!(writer, "# ok format {format}")?;
             }
             Ok(Verb::Ping) => writeln!(writer, "# pong")?,
-            Ok(Verb::Stats) => {
-                let m = srv.service.metrics();
-                writeln!(
-                    writer,
-                    "# stats sessions={} contigs={} reads_in={} mapped={} tasks={} records_out={} \
-                     inflight_bases_peak={} backend_errors={} uptime_ms={}",
-                    srv.service.active_sessions(),
-                    srv.service.ref_contigs(),
-                    m.reads_in,
-                    m.reads_mapped,
-                    m.tasks_generated,
-                    m.records_out,
-                    m.max_inflight_bases,
-                    srv.service.backend_errors(),
-                    m.wall.as_millis()
-                )?;
-            }
+            Ok(Verb::Stats(fmt)) => write_stats(&mut writer, srv, fmt)?,
             Ok(Verb::Shutdown) => {
                 writeln!(writer, "# ok draining")?;
                 writer.flush()?;
@@ -144,6 +128,56 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
         .expect("session writer thread panicked")?;
     writer.flush()?;
     Ok(ConnOutcome::Done)
+}
+
+/// Answer one `STATS` verb in the requested exposition format.
+///
+/// The classic line format includes the engine's band counters
+/// (`windows=`, `early_term=`, `rescued=`, `band_skipped=`) so an
+/// operator can see early-termination effectiveness without opening a
+/// JSON snapshot; they read zero until the first batch completes (the
+/// engine merges stats batch-atomically).
+fn write_stats(
+    writer: &mut BufWriter<Conn>,
+    srv: &ServerShared,
+    fmt: StatsFormat,
+) -> io::Result<()> {
+    match fmt {
+        StatsFormat::Line => {
+            let m = srv.service.metrics();
+            let eng = m.engine.unwrap_or_default();
+            writeln!(
+                writer,
+                "# stats sessions={} contigs={} reads_in={} mapped={} tasks={} records_out={} \
+                 inflight_bases_peak={} backend_errors={} uptime_ms={} windows={} early_term={} \
+                 rescued={} band_skipped={}",
+                srv.service.active_sessions(),
+                srv.service.ref_contigs(),
+                m.reads_in,
+                m.reads_mapped,
+                m.tasks_generated,
+                m.records_out,
+                m.max_inflight_bases,
+                srv.service.backend_errors(),
+                m.wall.as_millis(),
+                eng.windows,
+                eng.windows_early_terminated,
+                eng.windows_rescued,
+                eng.band_cells_skipped,
+            )?;
+        }
+        StatsFormat::Json => {
+            writeln!(writer, "# stats-json {}", srv.service.stats_json())?;
+        }
+        StatsFormat::Prom => {
+            writeln!(writer, "# prom-begin")?;
+            for line in srv.service.stats_prometheus().lines() {
+                writeln!(writer, "# prom {line}")?;
+            }
+            writeln!(writer, "# prom-end")?;
+        }
+    }
+    Ok(())
 }
 
 /// Drain session events to the client until `End` (which always closes

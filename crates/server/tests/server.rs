@@ -530,3 +530,81 @@ fn session_cap_rejects_over_admission() {
     server.request_shutdown();
     server.wait();
 }
+
+/// The machine-readable STATS formats: one session runs to completion,
+/// then a verb-only client asks for `STATS` (line + band counters),
+/// `STATS JSON`, and `STATS PROM` and everything must agree with the
+/// work the session did.
+#[test]
+fn stats_json_and_prom_expose_the_live_registry() {
+    let fx = Fixture::new(70_000);
+    let reads = fx.reads(5, 700, 31);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    assert!(!expected.is_empty());
+
+    let server = fx.start_server(ServiceConfig::default());
+    let (got, _) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
+    assert_eq!(got, expected);
+
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        server.endpoint(),
+        None::<Cursor<Vec<u8>>>,
+        &SubmitOptions {
+            stats: true,
+            stats_json: true,
+            stats_prom: true,
+            ..SubmitOptions::default()
+        },
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    let status = String::from_utf8(status).unwrap();
+    assert_eq!(report.errors, 0, "{status}");
+
+    // Classic line, now with the window-engine band counters (the CPU
+    // backend ran, so `windows=` must be non-zero).
+    let stats_line = status
+        .lines()
+        .find(|l| l.starts_with("# stats "))
+        .expect("no # stats line");
+    assert!(stats_line.contains("reads_in=5"), "{stats_line}");
+    assert!(stats_line.contains("windows="), "{stats_line}");
+    assert!(stats_line.contains("early_term="), "{stats_line}");
+    assert!(stats_line.contains("rescued="), "{stats_line}");
+    assert!(stats_line.contains("band_skipped="), "{stats_line}");
+    assert!(
+        !stats_line.contains("windows=0 "),
+        "CPU backend ran: {stats_line}"
+    );
+
+    // JSON: captured payload parses far enough to carry the schema tag,
+    // the server block, and the pipeline counters.
+    let json = report.stats_json.as_deref().expect("no stats-json payload");
+    assert!(
+        json.starts_with("{\"schema\":\"genasm-stats/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"reads_in\":5"), "{json}");
+    assert!(json.contains("\"records_out\""), "{json}");
+    assert!(json.contains("\"latency\""), "{json}");
+    assert!(json.contains("\"uptime_ms\""), "{json}");
+
+    // Prometheus: bare exposition lines, counters with _total, the
+    // latency histogram with cumulative buckets.
+    let prom = report.stats_prom.as_deref().expect("no stats-prom payload");
+    assert!(prom.contains("genasm_reads_in_total 5"), "{prom}");
+    assert!(
+        prom.contains("# TYPE genasm_read_latency_ns histogram"),
+        "{prom}"
+    );
+    assert!(prom.contains("genasm_read_latency_ns_count 5"), "{prom}");
+    assert!(prom.contains("genasm_sessions_active 0"), "{prom}");
+    assert!(status.contains("# prom-begin"), "{status}");
+    assert!(status.contains("# prom-end"), "{status}");
+
+    server.request_shutdown();
+    server.wait();
+}

@@ -1,0 +1,310 @@
+//! Log-bucketed (power-of-two) latency/size histograms.
+//!
+//! Bucket `0` counts zero-valued observations; bucket `i > 0` counts
+//! observations in `[2^(i-1), 2^i)`; the last bucket absorbs
+//! everything larger. Power-of-two bucketing costs one
+//! `leading_zeros` per record and bounds the relative quantile error
+//! at 2× — plenty for latency telemetry, where the interesting
+//! signals are order-of-magnitude shifts and tail growth.
+//!
+//! Recording is a relaxed atomic add; a [`HistogramSnapshot`] can be
+//! taken at any moment. The snapshot's `count` is *derived* from the
+//! bucket array (so `count == Σ buckets` holds in every snapshot by
+//! construction); `sum` is a separate atomic and may lag the buckets
+//! by observations in flight. Every field is individually monotonic
+//! across snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets. 64 covers the full `u64` range:
+/// nanosecond latencies up to ~584 years.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: `0` for zero, else `64 - leading_zeros`
+/// clamped into range (the same math as the pipeline's historical
+/// batch-size histogram).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the value quantiles report).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i.min(63)).wrapping_sub(1)
+    }
+}
+
+/// A concurrent power-of-two histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (wait-free, relaxed).
+    pub fn record(&self, value: u64) {
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy, safe during concurrent recording.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations per power-of-two bucket (length [`BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total observations (always `Σ buckets`).
+    pub count: u64,
+    /// Sum of observed values (may lag `buckets` under concurrency).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q ∈ (0, 1]`, reported as the containing
+    /// bucket's upper bound (≤ 2× the true value). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean observed value (exact, from `sum / count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// True when `self` could be an earlier snapshot of the same
+    /// histogram as `later`: every bucket, the count, and the sum are
+    /// all `≤` their counterparts.
+    pub fn monotonic_le(&self, later: &HistogramSnapshot) -> bool {
+        self.count <= later.count
+            && self.sum <= later.sum
+            && self.buckets.iter().zip(&later.buckets).all(|(a, b)| a <= b)
+            && self.buckets.len() == later.buckets.len()
+    }
+
+    /// Compact JSON object: count, sum, mean, p50/p90/p99, and the
+    /// non-empty buckets as `[index, count]` pairs.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99()
+        );
+        let mut first = true;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let _ = write!(s, "[{i},{c}]");
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Append Prometheus text exposition for this histogram:
+    /// cumulative `_bucket{le=…}` series (one per non-empty prefix
+    /// plus `+Inf`), `_sum`, and `_count`. `labels` is either empty
+    /// or a `key="value"` fragment to merge into each series.
+    pub fn write_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
+        let merge = |le: &str| {
+            if labels.is_empty() {
+                format!("{{le=\"{le}\"}}")
+            } else {
+                format!("{{{labels},le=\"{le}\"}}")
+            }
+        };
+        let plain = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let highest = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().take(highest).enumerate() {
+            cum += c;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cum}",
+                merge(&bucket_upper_bound(i).to_string())
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{} {}", merge("+Inf"), self.count);
+        let _ = writeln!(out, "{name}_sum{plain} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{plain} {}", self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(4096), 13);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(13), 8191);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 7, upper 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, upper 16383
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p90(), 127);
+        assert_eq!(s.p99(), 16383);
+        assert!((s.mean() - 1090.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshots_are_monotonic() {
+        let h = Histogram::new();
+        h.record(5);
+        let a = h.snapshot();
+        h.record(500);
+        h.record(0);
+        let b = h.snapshot();
+        assert!(a.monotonic_le(&b));
+        assert!(!b.monotonic_le(&a));
+        assert_eq!(b.buckets[0], 1, "zero lands in bucket 0");
+    }
+
+    #[test]
+    fn json_lists_nonempty_buckets() {
+        let h = Histogram::new();
+        h.record(4096);
+        let j = h.snapshot().to_json();
+        assert!(j.contains("\"count\":1"), "{j}");
+        assert!(j.contains("[13,1]"), "{j}");
+        assert!(j.contains("\"p50\":8191"), "{j}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(3);
+        let mut out = String::new();
+        h.snapshot().write_prometheus(&mut out, "x_ns", "");
+        assert!(out.contains("# TYPE x_ns histogram"), "{out}");
+        assert!(out.contains("x_ns_bucket{le=\"1\"} 1"), "{out}");
+        assert!(out.contains("x_ns_bucket{le=\"3\"} 2"), "{out}");
+        assert!(out.contains("x_ns_bucket{le=\"+Inf\"} 2"), "{out}");
+        assert!(out.contains("x_ns_sum 4"), "{out}");
+        assert!(out.contains("x_ns_count 2"), "{out}");
+        let mut lab = String::new();
+        h.snapshot()
+            .write_prometheus(&mut lab, "x_ns", "backend=\"cpu\"");
+        assert!(
+            lab.contains("x_ns_bucket{backend=\"cpu\",le=\"+Inf\"} 2"),
+            "{lab}"
+        );
+        assert!(lab.contains("x_ns_count{backend=\"cpu\"} 2"), "{lab}");
+    }
+}

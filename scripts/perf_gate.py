@@ -98,6 +98,19 @@ def main():
             f"(ceiling {ceiling:.0f}) {verdict}"
         )
 
+        # Schema v3 latency percentiles are informational only: the
+        # histogram buckets are power-of-two upper bounds, so they are
+        # too coarse to gate on, but worth printing in the job log.
+        lat = cur.get("latency") or {}
+        if lat:
+            print(
+                f"perf-gate: {name}: read latency p50/p90/p99 ns "
+                f"{lat.get('read_p50_ns', 0)}/{lat.get('read_p90_ns', 0)}"
+                f"/{lat.get('read_p99_ns', 0)}, "
+                f"task-queue wait p99 ns {lat.get('task_queue_wait_p99_ns', 0)} "
+                f"(informational)"
+            )
+
     for name in sorted(set(base_backends) - set(cur_backends)):
         print(f"perf-gate: {name}: present in baseline only — skipped")
 

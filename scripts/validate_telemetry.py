@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate genasm telemetry output in CI (stdlib only).
+
+Three modes, one per exposition surface:
+
+* ``trace FILE`` — a ``--trace`` Chrome trace-event JSON file. Must be
+  a well-formed JSON array of event objects: complete spans (``"ph":
+  "X"``) with non-negative ``ts``/``dur`` and a numeric ``tid``,
+  thread-name metadata (``"ph": "M"``), and at least one ``read`` and
+  one ``execute`` span (the per-read end-to-end span and the backend
+  execute span — if either is missing, the pipeline ran untraced).
+
+* ``metrics FILE`` — the stderr of ``--metrics json``: the last
+  non-empty line must be one ``genasm-pipeline-metrics/v1`` JSON
+  object whose latency histograms are internally consistent (bucket
+  counts sum to ``count``, quantiles ordered) and whose read-latency
+  count matches ``reads_in``.
+
+* ``stats-json FILE`` — the stdout of ``genasm ctl stats-json``: one
+  ``genasm-stats/v1`` object embedding a server block, a session list,
+  and a full pipeline metrics object (validated as above, except the
+  read-count check — a live server may be mid-stream).
+
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+EXPECTED_SPANS = {"read", "execute"}
+
+
+def fail(msg):
+    print(f"validate-telemetry: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_histogram(h, where):
+    for key in ("count", "sum", "p50", "p90", "p99", "buckets"):
+        if key not in h:
+            fail(f"{where}: histogram missing {key!r}")
+    bucket_total = sum(c for _, c in h["buckets"])
+    if bucket_total != h["count"]:
+        fail(
+            f"{where}: bucket counts sum to {bucket_total}, "
+            f"count says {h['count']}"
+        )
+    if not h["p50"] <= h["p90"] <= h["p99"]:
+        fail(
+            f"{where}: quantiles not ordered: "
+            f"p50={h['p50']} p90={h['p90']} p99={h['p99']}"
+        )
+
+
+def check_pipeline_metrics(m, require_read_count=True):
+    if m.get("schema") != "genasm-pipeline-metrics/v1":
+        fail(f"unexpected metrics schema {m.get('schema')!r}")
+    for key in ("reads_in", "records_out", "latency", "backends", "busy_ns"):
+        if key not in m:
+            fail(f"metrics object missing {key!r}")
+    lat = m["latency"]
+    for key in ("read", "task_queue_wait", "batch_build", "reorder_wait"):
+        if key not in lat:
+            fail(f"latency object missing {key!r}")
+        check_histogram(lat[key], f"latency.{key}")
+    if require_read_count and lat["read"]["count"] != m["reads_in"]:
+        fail(
+            f"read-latency count {lat['read']['count']} != "
+            f"reads_in {m['reads_in']}"
+        )
+    for name, b in m["backends"].items():
+        for key in ("batches", "tasks", "queue_wait", "execute"):
+            if key not in b:
+                fail(f"backend {name!r} missing {key!r}")
+        check_histogram(b["execute"], f"backends.{name}.execute")
+
+
+def mode_trace(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        events = json.load(fh)
+    if not isinstance(events, list) or not events:
+        fail("trace is not a non-empty JSON array")
+    span_names, meta = set(), 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"event {i} is not an object with 'ph'")
+        ph = ev["ph"]
+        if ph == "M":
+            meta += 1
+        elif ph == "X":
+            if ev.get("ts", -1) < 0 or ev.get("dur", -1) < 0:
+                fail(f"span {i} ({ev.get('name')!r}) has bad ts/dur")
+            if not isinstance(ev.get("tid"), int):
+                fail(f"span {i} ({ev.get('name')!r}) has no numeric tid")
+            span_names.add(ev.get("name"))
+        elif ph != "i":
+            fail(f"event {i} has unknown phase {ph!r}")
+    if meta == 0:
+        fail("no thread-name metadata events")
+    missing = EXPECTED_SPANS - span_names
+    if missing:
+        fail(f"missing expected span kinds: {sorted(missing)}")
+    print(
+        f"validate-telemetry: trace OK: {len(events)} events, "
+        f"span kinds {sorted(span_names)}"
+    )
+
+
+def last_json_line(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [ln.strip() for ln in fh if ln.strip()]
+    if not lines:
+        fail("file has no non-empty lines")
+    return json.loads(lines[-1])
+
+
+def mode_metrics(path):
+    m = last_json_line(path)
+    check_pipeline_metrics(m, require_read_count=True)
+    print(
+        f"validate-telemetry: metrics OK: {m['reads_in']} reads, "
+        f"{m['records_out']} records, read p99 "
+        f"{m['latency']['read']['p99']} ns"
+    )
+
+
+def mode_stats_json(path):
+    s = last_json_line(path)
+    if s.get("schema") != "genasm-stats/v1":
+        fail(f"unexpected stats schema {s.get('schema')!r}")
+    for key in ("server", "sessions", "pipeline"):
+        if key not in s:
+            fail(f"stats object missing {key!r}")
+    for key in ("sessions", "backend_errors", "uptime_ms", "ref"):
+        if key not in s["server"]:
+            fail(f"server block missing {key!r}")
+    if not isinstance(s["sessions"], list):
+        fail("'sessions' is not a list")
+    check_pipeline_metrics(s["pipeline"], require_read_count=False)
+    print(
+        f"validate-telemetry: stats-json OK: "
+        f"{s['server']['sessions']} active session(s), "
+        f"{s['pipeline']['records_out']} records"
+    )
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("trace", "metrics", "stats-json"):
+        print(__doc__)
+        return 2
+    mode, path = sys.argv[1], sys.argv[2]
+    try:
+        {"trace": mode_trace, "metrics": mode_metrics, "stats-json": mode_stats_json}[
+            mode
+        ](path)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
