@@ -162,6 +162,9 @@ pub const USAGE: &str = "usage:
                   [--max-sessions N] [--linger-ms N] [--batch-bases N] [--queue-depth N]
                   [--dispatchers N] [--max-per-read N] [--threads N] [--shards N]
                   [--shard-overlap BASES] [--metrics on|json] [--trace FILE]
+                  [--session-output-cap BYTES] [--overflow throttle|evict]
+                  [--session-inflight-reads N] [--session-inflight-bases N]
+                  [--idle-timeout-ms N]
   genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
   genasm ctl      ping|stats|stats-json|stats-prom|shutdown --to ENDPOINT
   genasm filter   --pattern SEQ --text FILE [-k N]
@@ -616,6 +619,19 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         },
         max_sessions: flags.num("max-sessions", 64)?,
         linger: std::time::Duration::from_millis(flags.num("linger-ms", 2)?),
+        max_session_output_bytes: flags.num("session-output-cap", 64 << 20)?,
+        overflow: flags
+            .get("overflow")
+            .unwrap_or("throttle")
+            .parse()
+            .map_err(CliError::usage)?,
+        max_session_inflight_reads: flags.num("session-inflight-reads", 1024)?,
+        max_session_inflight_bases: flags.num("session-inflight-bases", 0)?,
+    };
+    // 0 disables the idle timeout (and its heartbeats) entirely.
+    let idle_timeout = match flags.num("idle-timeout-ms", 30_000u64)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
     };
     let reference = load_reference(flags.req("ref")?)?;
     let ref_label = reference.label();
@@ -624,6 +640,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             endpoint,
             default_backend,
             default_format,
+            idle_timeout,
             service,
         },
         &ref_label,

@@ -78,11 +78,11 @@ pub use genasm_telemetry::TraceRecorder;
 pub use genasm_telemetry::{HistogramSnapshot, Registry, Snapshot};
 pub use metrics::{BackendLat, BackendMetrics, PipelineMetrics, QueueMetrics, StageCounters};
 pub use queue::BoundedQueue;
-pub use record::{AlignRecord, OutputFormat, ParseFormatError};
+pub use record::{escape_name, unescape_name, AlignRecord, OutputFormat, ParseFormatError};
 pub use reorder::ReorderBuffer;
 pub use service::{
-    AdmissionError, PipelineService, ServiceConfig, Session, SessionEvent, SessionMetrics,
-    SessionReceiver, SessionStat, SubmitError,
+    AdmissionError, OverflowPolicy, PipelineService, RecvOutcome, ServiceConfig, Session,
+    SessionEvent, SessionMetrics, SessionReceiver, SessionStat, SubmitError,
 };
 
 /// One read entering the pipeline.

@@ -86,6 +86,14 @@ pub struct StageCounters {
     pub batch_size_bases: Arc<Histogram>,
     // Sink.
     pub records_out: Arc<Counter>,
+    // Per-session output buffering (service only): bytes delivered to
+    // session event channels but not yet consumed by the receivers,
+    // its high water, and how often submitters were throttled or
+    // connections timed out by the serving layer.
+    pub session_output_buffered: Arc<Gauge>,
+    pub max_session_output_buffered: Arc<Gauge>,
+    pub sessions_throttled: Arc<Counter>,
+    pub sessions_timed_out: Arc<Counter>,
     // Residency (bases inside the pipeline between mapper push and
     // sink consumption).
     pub inflight_bases: Arc<Gauge>,
@@ -129,6 +137,10 @@ impl StageCounters {
             max_batch_bases: registry.gauge("max_batch_bases"),
             batch_size_bases: registry.histogram("batch_size_bases"),
             records_out: registry.counter("records_out"),
+            session_output_buffered: registry.gauge("session_output_buffered_bytes"),
+            max_session_output_buffered: registry.gauge("max_session_output_buffered_bytes"),
+            sessions_throttled: registry.counter("sessions_throttled"),
+            sessions_timed_out: registry.counter("sessions_timed_out"),
             inflight_bases: registry.gauge("inflight_bases"),
             max_inflight_bases: registry.gauge("max_inflight_bases"),
             inflight_tasks: registry.gauge("inflight_tasks"),
@@ -277,6 +289,18 @@ pub struct PipelineMetrics {
     pub batch_size_hist: Vec<u64>,
     /// Records emitted by the sink.
     pub records_out: u64,
+    /// Bytes buffered in session output channels right now (service
+    /// only; the one-shot pipeline writes straight to its sink).
+    pub session_output_buffered_bytes: u64,
+    /// Peak bytes buffered in any moment across session output
+    /// channels (service only).
+    pub max_session_output_buffered_bytes: u64,
+    /// Times a session's `submit` blocked on one of its per-session
+    /// caps (in-flight reads/bases or, under the throttle overflow
+    /// policy, buffered output bytes).
+    pub sessions_throttled: u64,
+    /// Sessions aborted by the serving layer's idle timeout.
+    pub sessions_timed_out: u64,
     /// Peak bases resident in the pipeline at once.
     pub max_inflight_bases: u64,
     /// Peak tasks resident in the pipeline at once.
@@ -686,6 +710,10 @@ impl PipelineMetrics {
             max_batch_bases: c.max_batch_bases.get(),
             batch_size_hist,
             records_out: c.records_out.get(),
+            session_output_buffered_bytes: c.session_output_buffered.get(),
+            max_session_output_buffered_bytes: c.max_session_output_buffered.get(),
+            sessions_throttled: c.sessions_throttled.get(),
+            sessions_timed_out: c.sessions_timed_out.get(),
             max_inflight_bases: c.max_inflight_bases.get(),
             max_inflight_tasks: c.max_inflight_tasks.get(),
             shard_index,

@@ -34,7 +34,7 @@ use align_core::{Alignment, Cigar};
 /// Escape a name field for TSV: `\` → `\\`, tab → `\t`, newline →
 /// `\n`, carriage return → `\r`. Ordinary names (no specials) are
 /// returned unchanged.
-fn escape_field(s: &str) -> std::borrow::Cow<'_, str> {
+pub fn escape_name(s: &str) -> std::borrow::Cow<'_, str> {
     if !s.contains(['\\', '\t', '\n', '\r']) {
         return std::borrow::Cow::Borrowed(s);
     }
@@ -51,9 +51,9 @@ fn escape_field(s: &str) -> std::borrow::Cow<'_, str> {
     std::borrow::Cow::Owned(out)
 }
 
-/// Invert [`escape_field`]; rejects dangling or unknown escapes with a
+/// Invert [`escape_name`]; rejects dangling or unknown escapes with a
 /// clear error.
-fn unescape_field(s: &str) -> Result<String, String> {
+pub fn unescape_name(s: &str) -> Result<String, String> {
     if !s.contains('\\') {
         return Ok(s.to_string());
     }
@@ -151,9 +151,9 @@ impl AlignRecord {
     pub fn to_tsv(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
-            escape_field(&self.qname),
+            escape_name(&self.qname),
             self.qlen,
-            escape_field(&self.tname),
+            escape_name(&self.tname),
             self.tstart,
             self.tend,
             self.edit_distance,
@@ -180,9 +180,9 @@ impl AlignRecord {
             .parse()
             .map_err(|_| format!("bad identity: {:?}", cols[7]))?;
         Ok(AlignRecord {
-            qname: unescape_field(cols[0])?,
+            qname: unescape_name(cols[0])?,
             qlen: num(1)?,
-            tname: unescape_field(cols[2])?,
+            tname: unescape_name(cols[2])?,
             tsize: 0,
             tstart: num(3)?,
             tend: num(4)?,
@@ -203,11 +203,11 @@ impl AlignRecord {
         let (m, x, i, d) = self.cigar.op_counts();
         format!(
             "{}\t{}\t0\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t255\tNM:i:{}\tcg:Z:{}",
-            escape_field(&self.qname),
+            escape_name(&self.qname),
             self.qlen,
             self.cigar.query_len(),
             if self.reverse { '-' } else { '+' },
-            escape_field(&self.tname),
+            escape_name(&self.tname),
             self.tsize,
             self.tstart,
             self.tend,
@@ -258,9 +258,9 @@ impl AlignRecord {
             return Err("zero alignment block length".to_string());
         }
         Ok(AlignRecord {
-            qname: unescape_field(cols[0])?,
+            qname: unescape_name(cols[0])?,
             qlen: num(1)?,
-            tname: unescape_field(cols[5])?,
+            tname: unescape_name(cols[5])?,
             tsize: num(6)?,
             tstart: num(7)?,
             tend: num(8)?,

@@ -83,6 +83,26 @@ pub struct ServiceConfig {
     /// never starved by other sessions' traffic). Only affects
     /// latency; output is identical for every value.
     pub linger: Duration,
+    /// Cap on one session's buffered, not-yet-received output, in
+    /// bytes (each delivered row is accounted as its TSV rendering
+    /// plus a newline). When a session's receiver falls behind by more
+    /// than this, [`ServiceConfig::overflow`] decides what happens —
+    /// the sink itself never blocks on a slow receiver. `0` means
+    /// unlimited.
+    pub max_session_output_bytes: usize,
+    /// What happens to a session whose buffered output exceeds
+    /// [`ServiceConfig::max_session_output_bytes`].
+    pub overflow: OverflowPolicy,
+    /// Cap on one session's in-flight reads (submitted, not yet fully
+    /// delivered). [`Session::submit`] blocks the submitting thread —
+    /// and only it — while the session is at the cap, so a greedy
+    /// client cannot monopolize the shared task queue. `0` means
+    /// unlimited.
+    pub max_session_inflight_reads: usize,
+    /// Cap on one session's in-flight task bases, enforced like
+    /// [`ServiceConfig::max_session_inflight_reads`]. `0` means
+    /// unlimited.
+    pub max_session_inflight_bases: usize,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +111,55 @@ impl Default for ServiceConfig {
             pipeline: PipelineConfig::default(),
             max_sessions: 64,
             linger: Duration::from_millis(2),
+            max_session_output_bytes: 64 << 20,
+            overflow: OverflowPolicy::Throttle,
+            max_session_inflight_reads: 1024,
+            max_session_inflight_bases: 0,
+        }
+    }
+}
+
+/// What the sink does when a session's buffered output exceeds
+/// [`ServiceConfig::max_session_output_bytes`]. Either way the sink
+/// keeps draining the shared reorder path — one slow receiver never
+/// stalls other sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Stop admitting the session's *own* reads: [`Session::submit`]
+    /// blocks until the receiver catches up. In the server, the
+    /// blocked submit stops the connection thread reading the socket,
+    /// so backpressure reaches the client's TCP window — the same path
+    /// a full task queue uses. Output bytes stay bounded by
+    /// [`ServiceConfig::session_output_bound`].
+    #[default]
+    Throttle,
+    /// Evict the session: the receiver gets one
+    /// [`SessionEvent::Overflow`], the overflowing read's rows (and
+    /// everything after) are dropped, and further submits fail with
+    /// [`SubmitError::SessionEvicted`]. The session still ends with
+    /// [`SessionEvent::End`] once its in-flight reads drain.
+    Evict,
+}
+
+impl core::fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OverflowPolicy::Throttle => write!(f, "throttle"),
+            OverflowPolicy::Evict => write!(f, "evict"),
+        }
+    }
+}
+
+impl core::str::FromStr for OverflowPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OverflowPolicy, String> {
+        match s {
+            "throttle" => Ok(OverflowPolicy::Throttle),
+            "evict" => Ok(OverflowPolicy::Evict),
+            other => Err(format!(
+                "unknown overflow policy {other:?} (expected throttle|evict)"
+            )),
         }
     }
 }
@@ -106,6 +175,27 @@ impl ServiceConfig {
         let per_batch = self.pipeline.batch_bases + max_task_bases;
         self.pipeline.resident_bases_bound(max_task_bases)
             + active_backends.saturating_sub(1) * per_batch
+    }
+
+    /// Upper bound on one session's buffered output bytes under
+    /// [`OverflowPolicy::Throttle`], given the largest rendered output
+    /// of any single read. The throttle gate admits a read only while
+    /// buffered output is *below* the cap, and at most
+    /// [`ServiceConfig::max_session_inflight_reads`] already-admitted
+    /// reads can still deliver after the gate closes, so:
+    ///
+    /// ```text
+    /// peak buffered ≤ max_session_output_bytes
+    ///               + max_session_inflight_reads × max_read_output_bytes
+    /// ```
+    ///
+    /// Unbounded (`usize::MAX`) when either cap is disabled (`0`) —
+    /// the bound needs both the gate and the in-flight read cap.
+    pub fn session_output_bound(&self, max_read_output_bytes: usize) -> usize {
+        if self.max_session_output_bytes == 0 || self.max_session_inflight_reads == 0 {
+            return usize::MAX;
+        }
+        self.max_session_output_bytes + self.max_session_inflight_reads * max_read_output_bytes
     }
 }
 
@@ -141,12 +231,27 @@ impl std::error::Error for AdmissionError {}
 pub enum SubmitError {
     /// The service's queues closed underneath the session.
     ServiceStopped,
+    /// The session's buffered output exceeded
+    /// [`ServiceConfig::max_session_output_bytes`] under
+    /// [`OverflowPolicy::Evict`]; the receiver got
+    /// [`SessionEvent::Overflow`] and no further reads are accepted.
+    SessionEvicted,
+    /// The session's [`SessionReceiver`] was dropped before the
+    /// session finished — there is no one left to deliver to, so
+    /// submitting more work would only be wasted backend time.
+    ReceiverGone,
 }
 
 impl core::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SubmitError::ServiceStopped => write!(f, "pipeline service stopped"),
+            SubmitError::SessionEvicted => {
+                write!(f, "session evicted: buffered output exceeded the cap")
+            }
+            SubmitError::ReceiverGone => {
+                write!(f, "session receiver dropped; no consumer for results")
+            }
         }
     }
 }
@@ -182,13 +287,197 @@ pub enum SessionEvent {
         /// Name of the failed read.
         read: String,
     },
+    /// The session's buffered output exceeded its cap under
+    /// [`OverflowPolicy::Evict`]. Sent at most once; the overflowing
+    /// read's rows and everything after it are dropped, and the
+    /// session still closes with [`SessionEvent::End`].
+    Overflow {
+        /// Buffered bytes the overflowing delivery would have reached.
+        buffered_bytes: u64,
+        /// The configured [`ServiceConfig::max_session_output_bytes`].
+        cap: u64,
+    },
     /// The session is fully drained; always the final event.
     End(SessionMetrics),
 }
 
+/// What the sink should do with one event it wants to deliver.
+enum BufferOutcome {
+    /// Deliver: the bytes were debited against the session's budget.
+    Deliver,
+    /// The event would blow the cap under [`OverflowPolicy::Evict`]:
+    /// drop it and send [`SessionEvent::Overflow`] instead.
+    Evict {
+        /// Buffered bytes the delivery would have reached.
+        buffered_bytes: u64,
+    },
+    /// The session is already evicted or its receiver is gone: drop
+    /// the event (completion accounting still runs).
+    Drop,
+}
+
+/// Per-session flow-control gate, shared by the submitter (admission),
+/// the sink (output accounting — never blocking), and the receiver
+/// (drain credits). This is what turns the formerly unbounded event
+/// channel into a budgeted one: the channel itself stays unbounded,
+/// but every byte in it is debited here, and the *ingest* side blocks
+/// when the budget runs out.
+struct SessionGate {
+    st: Mutex<GateState>,
+    cv: Condvar,
+    /// Byte cap on buffered output (0 = unlimited).
+    out_cap: u64,
+    /// In-flight read cap (0 = unlimited).
+    read_cap: u64,
+    /// In-flight task-base cap (0 = unlimited).
+    base_cap: u64,
+    /// Evict instead of throttling when the output cap is exceeded.
+    evict_on_overflow: bool,
+    /// Service-wide gauge of buffered output bytes (all sessions).
+    buffered_gauge: Arc<genasm_telemetry::Gauge>,
+    /// High water of `buffered_gauge`.
+    max_buffered_gauge: Arc<genasm_telemetry::Gauge>,
+    /// Service-wide count of submits that blocked on a session cap.
+    throttled: Arc<genasm_telemetry::Counter>,
+}
+
+#[derive(Default)]
+struct GateState {
+    buffered_bytes: u64,
+    inflight_reads: u64,
+    inflight_bases: u64,
+    evicted: bool,
+    receiver_gone: bool,
+}
+
+impl SessionGate {
+    fn new(cfg: &ServiceConfig, counters: &StageCounters) -> SessionGate {
+        SessionGate {
+            st: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            out_cap: cfg.max_session_output_bytes as u64,
+            read_cap: cfg.max_session_inflight_reads as u64,
+            base_cap: cfg.max_session_inflight_bases as u64,
+            evict_on_overflow: cfg.overflow == OverflowPolicy::Evict,
+            buffered_gauge: Arc::clone(&counters.session_output_buffered),
+            max_buffered_gauge: Arc::clone(&counters.max_session_output_buffered),
+            throttled: Arc::clone(&counters.sessions_throttled),
+        }
+    }
+
+    /// Submit-side admission: block the submitting thread (only) while
+    /// the session is at any of its caps. Errors once the session is
+    /// evicted or its receiver is gone — both of which also wake any
+    /// blocked waiter, so a dead client cannot deadlock a drain.
+    fn admit(&self) -> Result<(), SubmitError> {
+        let mut st = self.st.lock().unwrap();
+        let mut waited = false;
+        loop {
+            if st.evicted {
+                return Err(SubmitError::SessionEvicted);
+            }
+            if st.receiver_gone {
+                return Err(SubmitError::ReceiverGone);
+            }
+            let at_cap = (self.read_cap > 0 && st.inflight_reads >= self.read_cap)
+                || (self.base_cap > 0 && st.inflight_bases >= self.base_cap)
+                || (!self.evict_on_overflow
+                    && self.out_cap > 0
+                    && st.buffered_bytes >= self.out_cap);
+            if !at_cap {
+                return Ok(());
+            }
+            if !waited {
+                waited = true;
+                self.throttled.inc();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// A mapped read passed admission and is entering the pipeline.
+    fn register_read(&self, bases: u64) {
+        let mut st = self.st.lock().unwrap();
+        st.inflight_reads += 1;
+        st.inflight_bases += bases;
+    }
+
+    /// A registered read fully completed (its delivery, if any, was
+    /// already debited — ordering matters for the output bound).
+    fn read_done(&self, bases: u64) {
+        let mut st = self.st.lock().unwrap();
+        st.inflight_reads = st.inflight_reads.saturating_sub(1);
+        st.inflight_bases = st.inflight_bases.saturating_sub(bases);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Sink-side accounting for one event carrying `bytes` of payload.
+    /// Takes the brief gate mutex but never waits: the shared reorder
+    /// path must not stall on one slow receiver.
+    fn buffer(&self, bytes: u64) -> BufferOutcome {
+        let mut st = self.st.lock().unwrap();
+        if st.receiver_gone || st.evicted {
+            return BufferOutcome::Drop;
+        }
+        if self.evict_on_overflow
+            && self.out_cap > 0
+            && bytes > 0
+            && st.buffered_bytes + bytes > self.out_cap
+        {
+            let buffered_bytes = st.buffered_bytes + bytes;
+            st.evicted = true;
+            drop(st);
+            self.cv.notify_all(); // a throttled submitter must see the eviction
+            return BufferOutcome::Evict { buffered_bytes };
+        }
+        st.buffered_bytes += bytes;
+        drop(st);
+        let total = self.buffered_gauge.add(bytes);
+        self.max_buffered_gauge.set_max(total);
+        BufferOutcome::Deliver
+    }
+
+    /// Receiver-side: one event of `bytes` payload was consumed.
+    fn drained(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut st = self.st.lock().unwrap();
+        if st.receiver_gone {
+            return; // already written off by receiver_dropped
+        }
+        st.buffered_bytes = st.buffered_bytes.saturating_sub(bytes);
+        drop(st);
+        self.buffered_gauge.sub(bytes);
+        self.cv.notify_all();
+    }
+
+    /// The receiver was dropped: write off whatever it never consumed
+    /// and unblock any throttled submitter (which will then get
+    /// [`SubmitError::ReceiverGone`]).
+    fn receiver_dropped(&self) {
+        let mut st = self.st.lock().unwrap();
+        st.receiver_gone = true;
+        let orphaned = std::mem::take(&mut st.buffered_bytes);
+        drop(st);
+        self.buffered_gauge.sub(orphaned);
+        self.cv.notify_all();
+    }
+
+    /// Bytes currently buffered for this session (status reporting).
+    fn buffered_bytes(&self) -> u64 {
+        self.st.lock().unwrap().buffered_bytes
+    }
+}
+
 /// Per-session bookkeeping shared between submitters and the sink.
+/// Channel items carry their accounted byte weight so the receiver can
+/// credit the gate on consumption.
 struct SessionState {
-    tx: Sender<SessionEvent>,
+    tx: Sender<(SessionEvent, u64)>,
+    /// Flow control shared with the session's submitter and receiver.
+    gate: Arc<SessionGate>,
     /// The backend this session dispatches to (status reporting).
     backend: BackendKind,
     /// When the session was admitted (session-span telemetry).
@@ -212,6 +501,8 @@ pub struct SessionStat {
     pub backend: BackendKind,
     /// Live counters (monotonic while the session is open).
     pub metrics: SessionMetrics,
+    /// Output bytes buffered for this session's receiver right now.
+    pub buffered_out_bytes: u64,
 }
 
 /// Global ingest state: sequence numbering and admission.
@@ -366,6 +657,15 @@ impl PipelineService {
         self.shared.last_backend_error.lock().unwrap().clone()
     }
 
+    /// Record one session aborted by the serving layer's idle timeout
+    /// (surfaces as `sessions_timed_out` in metrics and Prometheus
+    /// exposition). The pipeline has no sockets of its own; the server
+    /// seam calls this so the count lives next to the other
+    /// session-robustness telemetry.
+    pub fn note_session_timeout(&self) {
+        self.shared.counters.sessions_timed_out.inc();
+    }
+
     /// Open a session. Admission control: fails while draining or when
     /// [`ServiceConfig::max_sessions`] sessions are already open. The
     /// returned halves are independent — submit from one thread while
@@ -392,10 +692,12 @@ impl PipelineService {
             id
         };
         let (tx, rx) = channel();
+        let gate = Arc::new(SessionGate::new(&self.shared.cfg, &self.shared.counters));
         self.shared.sessions.lock().unwrap().insert(
             id,
             SessionState {
                 tx,
+                gate: Arc::clone(&gate),
                 backend,
                 opened_at: Instant::now(),
                 mapped_submitted: 0,
@@ -407,12 +709,13 @@ impl PipelineService {
         Ok((
             Session {
                 shared: Arc::clone(&self.shared),
+                gate: Arc::clone(&gate),
                 id,
                 backend,
                 local_reads: 0,
                 closed: false,
             },
-            SessionReceiver { rx },
+            SessionReceiver { rx, gate },
         ))
     }
 
@@ -464,6 +767,7 @@ impl PipelineService {
                 id,
                 backend: st.backend,
                 metrics: st.metrics.clone(),
+                buffered_out_bytes: st.gate.buffered_bytes(),
             })
             .collect();
         out.sort_by_key(|s| s.id);
@@ -499,7 +803,8 @@ impl PipelineService {
             let _ = write!(
                 s,
                 "{{\"id\":{},\"backend\":\"{}\",\"reads_in\":{},\"reads_mapped\":{},\
-                 \"tasks\":{},\"task_bases\":{},\"records_out\":{},\"reads_failed\":{}}}",
+                 \"tasks\":{},\"task_bases\":{},\"records_out\":{},\"reads_failed\":{},\
+                 \"buffered_out_bytes\":{}}}",
                 st.id,
                 st.backend,
                 st.metrics.reads_in,
@@ -508,6 +813,7 @@ impl PipelineService {
                 st.metrics.task_bases,
                 st.metrics.records_out,
                 st.metrics.reads_failed,
+                st.buffered_out_bytes,
             );
         }
         s.push(']');
@@ -579,6 +885,7 @@ impl Drop for PipelineService {
 /// [`Session::finish`] finishes it implicitly.
 pub struct Session {
     shared: Arc<Shared>,
+    gate: Arc<SessionGate>,
     id: u64,
     backend: BackendKind,
     local_reads: u64,
@@ -598,9 +905,14 @@ impl Session {
 
     /// Map one read and push its candidate tasks into the shared
     /// pipeline. Blocks while the task queue is full (the server-wide
-    /// admission valve). Returns the number of tasks generated (0 =
-    /// unmapped read; it completes immediately with no rows).
+    /// admission valve) or while this session is at one of its own
+    /// caps (in-flight reads/bases, or buffered output under
+    /// [`OverflowPolicy::Throttle`]) — per-session backpressure that
+    /// blocks only the submitting thread. Returns the number of tasks
+    /// generated (0 = unmapped read; it completes immediately with no
+    /// rows).
     pub fn submit(&mut self, read: ReadInput) -> Result<usize, SubmitError> {
+        self.gate.admit()?;
         let sh = &self.shared;
         let t0 = Instant::now();
         let tasks = sh.index.candidates_for_read(
@@ -646,6 +958,10 @@ impl Session {
         if n == 0 {
             return Ok(0);
         }
+        // Registered before the pushes so the read counts against the
+        // session's in-flight caps from the moment it can occupy queue
+        // space; the sink's `read_done` is the matching credit.
+        self.gate.register_read(total_bases as u64);
         let qname: Arc<str> = Arc::from(read.name.as_str());
         let qlen = read.seq.len();
         // Hold the ingest lock across all pushes: a read's tasks must
@@ -702,7 +1018,7 @@ impl Session {
                 if st.completed == st.mapped_submitted {
                     let st = reg.remove(&self.id).unwrap();
                     trace_session_end(sh, self.id, &st);
-                    let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
+                    let _ = st.tx.send((SessionEvent::End(st.metrics.clone()), 0));
                 }
             }
         }
@@ -720,28 +1036,71 @@ impl Drop for Session {
 }
 
 /// The receiving half of a session: completed reads stream out in
-/// submission order, closed by [`SessionEvent::End`].
+/// submission order, closed by [`SessionEvent::End`]. Consuming an
+/// event credits the session's output budget; dropping the receiver
+/// before `End` writes the budget off and makes further submits fail
+/// with [`SubmitError::ReceiverGone`] — a vanished consumer must not
+/// pin buffered output or deadlock a throttled submitter.
 pub struct SessionReceiver {
-    rx: Receiver<SessionEvent>,
+    rx: Receiver<(SessionEvent, u64)>,
+    gate: Arc<SessionGate>,
 }
 
 impl SessionReceiver {
+    fn credit(&self, (event, bytes): (SessionEvent, u64)) -> SessionEvent {
+        self.gate.drained(bytes);
+        event
+    }
+
     /// Next event; `None` if the service died before the session ended
     /// (after [`SessionEvent::End`] this also returns `None`).
     pub fn recv(&self) -> Option<SessionEvent> {
-        self.rx.recv().ok()
+        self.rx.recv().ok().map(|item| self.credit(item))
     }
 
     /// Like [`SessionReceiver::recv`] with a deadline; `None` on
     /// timeout or service death.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<SessionEvent> {
-        self.rx.recv_timeout(timeout).ok()
+        self.rx
+            .recv_timeout(timeout)
+            .ok()
+            .map(|item| self.credit(item))
+    }
+
+    /// Like [`SessionReceiver::recv_timeout`], but distinguishes a
+    /// quiet session from a dead service — what a serving loop needs
+    /// to choose between emitting a heartbeat and giving up.
+    pub fn recv_deadline(&self, timeout: Duration) -> RecvOutcome {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.rx.recv_timeout(timeout) {
+            Ok(item) => RecvOutcome::Event(self.credit(item)),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
     }
 
     /// Iterate events until `End` (inclusive) or service death.
     pub fn iter(&self) -> impl Iterator<Item = SessionEvent> + '_ {
-        self.rx.iter()
+        self.rx.iter().map(move |item| self.credit(item))
     }
+}
+
+impl Drop for SessionReceiver {
+    fn drop(&mut self) {
+        self.gate.receiver_dropped();
+    }
+}
+
+/// Outcome of [`SessionReceiver::recv_deadline`].
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// An event arrived.
+    Event(SessionEvent),
+    /// Nothing arrived within the window; the session is still live.
+    TimedOut,
+    /// The service died before the session ended ([`SessionEvent::End`]
+    /// will never come).
+    Closed,
 }
 
 /// One per-backend building batch in the scheduler: the shared
@@ -921,6 +1280,9 @@ struct ReadAcc {
     rows: Vec<AlignRecord>,
     failed: bool,
     submitted_at: Instant,
+    /// Task bases accumulated as the read's tasks arrive — the credit
+    /// handed back to the session gate at completion.
+    bases: u64,
 }
 
 /// Deliver one completed read to its session and update completion
@@ -948,20 +1310,51 @@ fn finalize_read(sh: &Shared, acc: ReadAcc) {
     st.completed += 1;
     if acc.failed {
         st.metrics.reads_failed += 1;
-        let _ = st.tx.send(SessionEvent::ReadFailed {
-            read: acc.qname.to_string(),
-        });
+        match st.gate.buffer(0) {
+            BufferOutcome::Deliver => {
+                let _ = st.tx.send((
+                    SessionEvent::ReadFailed {
+                        read: acc.qname.to_string(),
+                    },
+                    0,
+                ));
+            }
+            // A zero-byte event can never overflow the cap.
+            BufferOutcome::Evict { .. } | BufferOutcome::Drop => {}
+        }
     } else {
         let mut rows = acc.rows;
         rows.sort_by_cached_key(AlignRecord::sort_key);
-        st.metrics.records_out += rows.len() as u64;
-        sh.counters.records_out.add(rows.len() as u64);
-        let _ = st.tx.send(SessionEvent::Rows(rows));
+        // Accounted as the TSV rendering plus a newline per row — the
+        // bytes a server would buffer for this delivery.
+        let bytes: u64 = rows.iter().map(|r| r.to_tsv().len() as u64 + 1).sum();
+        match st.gate.buffer(bytes) {
+            BufferOutcome::Deliver => {
+                st.metrics.records_out += rows.len() as u64;
+                sh.counters.records_out.add(rows.len() as u64);
+                let _ = st.tx.send((SessionEvent::Rows(rows), bytes));
+            }
+            BufferOutcome::Evict { buffered_bytes } => {
+                let _ = st.tx.send((
+                    SessionEvent::Overflow {
+                        buffered_bytes,
+                        cap: sh.cfg.max_session_output_bytes as u64,
+                    },
+                    0,
+                ));
+            }
+            BufferOutcome::Drop => {}
+        }
     }
+    // Debit before credit: the read's output is on the books before
+    // its in-flight slot frees, so a throttled submitter can never be
+    // admitted in a window where completed output is unaccounted —
+    // that ordering is what makes `session_output_bound` exact.
+    st.gate.read_done(acc.bases);
     if st.finished && st.completed == st.mapped_submitted {
         let st = reg.remove(&acc.session).unwrap();
         trace_session_end(sh, acc.session, &st);
-        let _ = st.tx.send(SessionEvent::End(st.metrics.clone()));
+        let _ = st.tx.send((SessionEvent::End(st.metrics.clone()), 0));
     }
 }
 
@@ -1010,7 +1403,9 @@ fn sink_loop(sh: &Shared) {
                     rows: Vec::with_capacity(meta.read_tasks as usize),
                     failed: false,
                     submitted_at: meta.submitted_at,
+                    bases: 0,
                 });
+                acc.bases += (meta.qlen + meta.tlen) as u64;
                 match aln {
                     Some(aln) => acc.rows.push(AlignRecord::new(
                         &meta.qname,

@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use align_core::{Reference, Seq};
 use genasm_pipeline::{
-    run_pipeline, AdmissionError, BackendKind, PipelineConfig, PipelineService, ReadInput,
-    ServiceConfig, SessionEvent,
+    run_pipeline, AdmissionError, BackendKind, OverflowPolicy, PipelineConfig, PipelineService,
+    ReadInput, ServiceConfig, SessionEvent, SubmitError,
 };
 use readsim::{simulate_reads, ErrorModel, Genome, GenomeConfig, ReadConfig};
 
@@ -110,6 +110,12 @@ fn run_session(
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap,
+            } => {
+                panic!("unexpected overflow: {buffered_bytes} buffered, cap {cap}")
+            }
             SessionEvent::End(m) => {
                 metrics = Some(m);
                 break;
@@ -347,6 +353,12 @@ fn graceful_drain_finishes_in_flight_sessions_and_refuses_new_ones() {
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap,
+            } => {
+                panic!("unexpected overflow: {buffered_bytes} buffered, cap {cap}")
+            }
             SessionEvent::End(_) => {
                 ended = true;
                 break;
@@ -441,6 +453,7 @@ fn lightly_loaded_session_is_not_starved_by_steady_traffic() {
         match a_receiver.recv_timeout(deadline) {
             Some(SessionEvent::Rows(rows)) => got_rows = !rows.is_empty(),
             Some(SessionEvent::ReadFailed { read }) => panic!("read {read} failed"),
+            Some(SessionEvent::Overflow { .. }) => panic!("unexpected overflow for session A"),
             Some(SessionEvent::End(_)) => break,
             None => panic!("session A starved: no event within {deadline:?} while B streams"),
         }
@@ -542,6 +555,12 @@ fn unmapped_reads_complete_without_rows() {
         match event {
             SessionEvent::Rows(r) => rows += r.len(),
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap,
+            } => {
+                panic!("unexpected overflow: {buffered_bytes} buffered, cap {cap}")
+            }
             SessionEvent::End(m) => {
                 metrics = Some(m);
                 break;
@@ -679,5 +698,293 @@ fn interleaved_session_counters_sum_to_global_and_snapshots_are_monotonic() {
     // All four sessions ran to completion, so the live per-session
     // list is empty again (closed sessions drop out of the registry).
     assert!(service.session_stats().is_empty());
+    service.shutdown();
+}
+
+/// Simulate `count` named reads over a raw contig (for sessions that
+/// need their own read set distinct from [`workload`]'s).
+fn extra_reads(seq: &Seq, count: usize, length: usize, seed: u64) -> Vec<(String, Seq)> {
+    let genome = Genome {
+        seq: seq.clone(),
+        planted: Vec::new(),
+    };
+    simulate_reads(
+        &genome,
+        &ReadConfig {
+            count,
+            length,
+            errors: ErrorModel::pacbio_clr(0.08),
+            rc_fraction: 0.5,
+            seed,
+        },
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| (format!("x{seed}read{i}"), r.seq))
+    .collect()
+}
+
+/// The largest single read's rendered output across an expected
+/// one-shot transcript — the `max_read_output_bytes` term of
+/// [`ServiceConfig::session_output_bound`].
+fn max_read_output_bytes(expected: &str) -> usize {
+    let mut per_read = std::collections::HashMap::new();
+    for line in expected.lines() {
+        let name = line.split('\t').next().unwrap().to_string();
+        *per_read.entry(name).or_insert(0usize) += line.len() + 1;
+    }
+    per_read.values().copied().max().unwrap_or(0)
+}
+
+#[test]
+fn slow_receiver_buffered_output_stays_within_the_session_bound() {
+    // A receiver that drains far slower than the backend produces:
+    // the throttle gate must keep buffered output within the provable
+    // bound (the sink never blocks; *submit* does), and once the
+    // receiver catches up the output is still byte-identical.
+    let w = workload(70_000, 48, 700, 21);
+    let expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu);
+    let max_read_bytes = max_read_output_bytes(&expected);
+
+    let cfg = ServiceConfig {
+        max_session_output_bytes: 2 * 1024,
+        max_session_inflight_reads: 4,
+        ..ServiceConfig::default()
+    };
+    let bound = cfg.session_output_bound(max_read_bytes);
+    assert!(
+        expected.len() > bound,
+        "workload too small to exercise the output cap: {} <= {bound}",
+        expected.len()
+    );
+
+    let service = PipelineService::start("ref", w.reference.clone(), cfg);
+    let (mut session, receiver) = service.open_session(BackendKind::Cpu).expect("admission");
+    let reads = w.reads.clone();
+    let submitter = std::thread::spawn(move || {
+        for (name, seq) in &reads {
+            session
+                .submit(ReadInput {
+                    name: name.clone(),
+                    seq: seq.clone(),
+                })
+                .expect("submit");
+        }
+        session.finish();
+    });
+
+    // Drain deliberately slowly, so the gate has to throttle.
+    let mut got = String::new();
+    let mut metrics = None;
+    while let Some(event) = receiver.recv() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        match event {
+            SessionEvent::Rows(rows) => {
+                for r in &rows {
+                    got.push_str(&r.to_tsv());
+                    got.push('\n');
+                }
+            }
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap,
+            } => {
+                panic!("throttle policy must never evict: {buffered_bytes}/{cap}")
+            }
+            SessionEvent::End(m) => {
+                metrics = Some(m);
+                break;
+            }
+        }
+    }
+    submitter.join().unwrap();
+    assert!(metrics.is_some(), "End event delivered");
+    assert_eq!(got, expected, "slow-receiver session output diverged");
+
+    let global = service.metrics();
+    assert!(
+        global.max_session_output_buffered_bytes as usize <= bound,
+        "peak buffered output {} exceeded the session bound {bound} \
+         (cap 2048, 4 in-flight reads of at most {max_read_bytes} bytes)",
+        global.max_session_output_buffered_bytes
+    );
+    assert!(
+        global.sessions_throttled >= 1,
+        "the output cap never bit: sessions_throttled == 0"
+    );
+    assert_eq!(global.session_output_buffered_bytes, 0, "fully drained");
+    service.shutdown();
+}
+
+#[test]
+fn greedy_slow_reader_does_not_starve_a_light_session() {
+    // A greedy session that uploads fast but reads nothing must be
+    // throttled by its own caps — not by hogging the shared queues —
+    // so a concurrent light session keeps its latency and its bytes.
+    let w = workload(70_000, 40, 700, 22);
+    let greedy_expected = one_shot(&w.reads, &w.reference, BackendKind::Cpu);
+    let light_reads = extra_reads(&w.seq, 3, 700, 91);
+    let light_expected = one_shot(&light_reads, &w.reference, BackendKind::Cpu);
+
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 2 * 1024,
+            queue_depth: 2,
+            dispatchers: 1,
+            ..PipelineConfig::default()
+        },
+        max_session_output_bytes: 4 * 1024,
+        max_session_inflight_reads: 2,
+        ..ServiceConfig::default()
+    };
+    let service = PipelineService::start("ref", w.reference.clone(), cfg);
+
+    let (mut greedy, greedy_rx) = service.open_session(BackendKind::Cpu).expect("admission");
+    let reads = w.reads.clone();
+    let submitter = std::thread::spawn(move || {
+        for (name, seq) in &reads {
+            greedy
+                .submit(ReadInput {
+                    name: name.clone(),
+                    seq: seq.clone(),
+                })
+                .expect("submit");
+        }
+        greedy.finish();
+    });
+
+    // Let the greedy session saturate its caps (its receiver is not
+    // being drained, so its submitter is soon blocked on the gate).
+    while service.metrics().sessions_throttled == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // The light session must complete promptly and byte-identically.
+    let (mut light, light_rx) = service.open_session(BackendKind::Cpu).expect("admission");
+    for (name, seq) in &light_reads {
+        light
+            .submit(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            })
+            .expect("submit");
+    }
+    light.finish();
+    let mut light_got = String::new();
+    let deadline = std::time::Duration::from_secs(20);
+    loop {
+        match light_rx.recv_timeout(deadline) {
+            Some(SessionEvent::Rows(rows)) => {
+                for r in &rows {
+                    light_got.push_str(&r.to_tsv());
+                    light_got.push('\n');
+                }
+            }
+            Some(SessionEvent::ReadFailed { read }) => panic!("read {read} failed"),
+            Some(SessionEvent::Overflow { .. }) => panic!("light session evicted"),
+            Some(SessionEvent::End(_)) => break,
+            None => panic!("light session starved: no event within {deadline:?}"),
+        }
+    }
+    assert_eq!(light_got, light_expected, "light session output diverged");
+
+    // Now drain the greedy session; its bytes must be intact too.
+    let mut greedy_got = String::new();
+    while let Some(event) = greedy_rx.recv() {
+        match event {
+            SessionEvent::Rows(rows) => {
+                for r in &rows {
+                    greedy_got.push_str(&r.to_tsv());
+                    greedy_got.push('\n');
+                }
+            }
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow { .. } => panic!("throttle policy must never evict"),
+            SessionEvent::End(_) => break,
+        }
+    }
+    submitter.join().unwrap();
+    assert_eq!(
+        greedy_got, greedy_expected,
+        "greedy session output diverged"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn evict_policy_sends_one_overflow_then_end_and_fails_further_submits() {
+    let w = workload(60_000, 0, 0, 23);
+    let reads = extra_reads(&w.seq, 48, 700, 95);
+    let cap = 2 * 1024usize;
+    let cfg = ServiceConfig {
+        max_session_output_bytes: cap,
+        overflow: OverflowPolicy::Evict,
+        max_session_inflight_reads: 2,
+        ..ServiceConfig::default()
+    };
+    let service = PipelineService::start("ref", w.reference.clone(), cfg);
+    let (mut session, receiver) = service.open_session(BackendKind::Cpu).expect("admission");
+
+    // Nobody drains the receiver, so the buffered output crosses the
+    // cap after a few reads and the session is evicted. The in-flight
+    // read cap keeps submit in lockstep with the sink, so the typed
+    // error is observed by the submitter (not just the receiver).
+    let mut evicted = false;
+    'submit: for _ in 0..64 {
+        for (name, seq) in &reads {
+            match session.submit(ReadInput {
+                name: name.clone(),
+                seq: seq.clone(),
+            }) {
+                Ok(_) => {}
+                Err(SubmitError::SessionEvicted) => {
+                    evicted = true;
+                    break 'submit;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    assert!(evicted, "submit never observed the eviction");
+    session.finish();
+
+    let mut delivered_bytes = 0usize;
+    let mut overflows = 0usize;
+    let mut rows_after_overflow = false;
+    let mut ended = false;
+    while let Some(event) = receiver.recv() {
+        match event {
+            SessionEvent::Rows(rows) => {
+                if overflows > 0 {
+                    rows_after_overflow = true;
+                }
+                delivered_bytes += rows.iter().map(|r| r.to_tsv().len() + 1).sum::<usize>();
+            }
+            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap: evt_cap,
+            } => {
+                overflows += 1;
+                assert_eq!(evt_cap as usize, cap);
+                assert!(
+                    buffered_bytes as usize > cap,
+                    "overflow reported below the cap: {buffered_bytes} <= {cap}"
+                );
+            }
+            SessionEvent::End(_) => {
+                ended = true;
+                break;
+            }
+        }
+    }
+    assert_eq!(overflows, 1, "exactly one Overflow event");
+    assert!(!rows_after_overflow, "rows delivered after eviction");
+    assert!(ended, "End still closes an evicted session");
+    assert!(
+        delivered_bytes <= cap,
+        "delivered {delivered_bytes} bytes despite the {cap}-byte cap"
+    );
     service.shutdown();
 }

@@ -10,7 +10,7 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::endpoint::{connect, Endpoint};
-use crate::protocol::{DONE_PREFIX, ERR_PREFIX, STATUS_PREFIX};
+use crate::protocol::{DONE_PREFIX, ERR_PREFIX, HB_LINE, STATUS_PREFIX};
 use genasm_pipeline::{BackendKind, OutputFormat};
 
 /// What to ask of the server.
@@ -71,11 +71,18 @@ pub fn submit<R: Read>(
                             status: &mut dyn Write|
      -> io::Result<String> {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-handshake",
-            ));
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-handshake",
+                ));
+            }
+            // Heartbeats are not replies; the real reply follows.
+            if line.trim_end() != HB_LINE {
+                break;
+            }
         }
         let line = line.trim_end().to_string();
         if line.starts_with(ERR_PREFIX) {

@@ -148,6 +148,30 @@ impl Conn {
             Conn::Unix(s) => s.shutdown(Shutdown::Read),
         }
     }
+
+    /// Bound how long a read may block (`None` = forever). A timed-out
+    /// read fails with `WouldBlock` or `TimedOut` without closing the
+    /// socket — the server's idle-timeout seam. Applies to the
+    /// underlying socket, so clones share the setting.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Bound how long a write may block when the peer stops reading
+    /// (`None` = forever). A write that makes zero progress for the
+    /// whole window fails with `WouldBlock` or `TimedOut`; partial
+    /// progress resets the clock.
+    pub fn set_write_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
 }
 
 impl Read for Conn {

@@ -53,6 +53,14 @@ pub struct ServerConfig {
     pub default_backend: BackendKind,
     /// Output format for sessions that don't `SET format`.
     pub default_format: OutputFormat,
+    /// How long a connection may go silent before the server acts:
+    /// in the verb loop an idle client is sent a `# hb` heartbeat (and
+    /// the connection closes once the heartbeat fails to deliver); in
+    /// the streaming phase a client that sends nothing for this long
+    /// has its session aborted (`# err input: idle timeout …`, then
+    /// `# done`), and a client that stops *reading* for this long is
+    /// treated as dead by the writer side. `None` disables all of it.
+    pub idle_timeout: Option<std::time::Duration>,
     /// The resident pipeline service underneath all sessions.
     pub service: ServiceConfig,
 }
@@ -63,6 +71,7 @@ pub(crate) struct ServerShared {
     pub(crate) service: PipelineService,
     pub(crate) default_backend: BackendKind,
     pub(crate) default_format: OutputFormat,
+    pub(crate) idle_timeout: Option<std::time::Duration>,
     endpoint: Endpoint,
     shutdown: Mutex<bool>,
     shutdown_cv: Condvar,
@@ -116,6 +125,7 @@ impl Server {
             service,
             default_backend: cfg.default_backend,
             default_format: cfg.default_format,
+            idle_timeout: cfg.idle_timeout,
             endpoint: actual,
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),

@@ -25,6 +25,19 @@
 //! byte-identical to `genasm align` on the same reads), interleaved
 //! with `# err read …` lines for failed reads, and ends with
 //! `# done …` followed by the server closing the connection.
+//!
+//! When the server runs with an idle timeout, it may interleave `# hb`
+//! heartbeat lines at any point — in the verb loop while waiting for a
+//! slow preamble, or in the response stream while the pipeline is
+//! quiet. Clients must ignore them (they are not a reply to any verb).
+//! The timeout also adds `# err` variants a robust client should
+//! expect: `# err input: idle timeout …` when the client went silent
+//! mid-upload (the session is aborted but still ends with `# done`),
+//! and `# err overflow: …` when the session was evicted under the
+//! server's `evict` output-overflow policy. Free-text payloads of
+//! `# err read`/`# err input` lines (read names, parser messages) are
+//! backslash-escaped like record name columns (`\t`, `\n`, `\r`, `\\`)
+//! so hostile content cannot forge a line boundary.
 
 use genasm_pipeline::{BackendKind, OutputFormat};
 
@@ -36,6 +49,10 @@ pub const ERR_PREFIX: &str = "# err";
 
 /// Prefix of the final per-session summary line.
 pub const DONE_PREFIX: &str = "# done";
+
+/// The idle heartbeat line. Not a reply to any verb — clients skip it
+/// wherever it appears.
+pub const HB_LINE: &str = "# hb";
 
 /// Exposition format of a `STATS` request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -6,23 +6,36 @@
 //! [`genasm_pipeline::PipelineService`], while a writer thread drains
 //! the session's events back to the client. The two halves are
 //! independent, so responses stream while the client is still
-//! uploading, and on the *upload* side the pipeline's backpressure (a
-//! full shared task queue blocks `submit`, which stops this thread
-//! reading the socket) propagates to the client's TCP window. The
-//! *response* side is deliberately not backpressured: the sink must
-//! never block on one slow client (it would stall every session), so
-//! a session's completed records buffer in its unbounded event channel
-//! until the writer catches up — bounded by that session's total
-//! output, not by `resident_bases_bound`, which covers task sequences
-//! only. Per-session output caps are a ROADMAP follow-up.
+//! uploading, and both directions are backpressured: a full shared
+//! task queue (or this session hitting one of its per-session caps)
+//! blocks `submit`, which stops this thread reading the socket and
+//! propagates to the client's TCP window; a receiver that falls behind
+//! by more than `ServiceConfig::max_session_output_bytes` throttles or
+//! evicts the session per `ServiceConfig::overflow` — the sink itself
+//! never blocks on one slow client.
+//!
+//! Adversarial clients are bounded in time as well as space. With an
+//! idle timeout configured, a client that goes silent in the verb loop
+//! gets `# hb` heartbeats (a failed heartbeat ends the connection),
+//! one that goes silent mid-upload has its session aborted
+//! (`# err input: idle timeout …`, then the usual `# done` framing),
+//! and one that stops *reading* kills the writer thread via the write
+//! timeout — which this thread notices and stops submitting, so a dead
+//! client cannot keep burning backend time on work no one will see.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use genasm_pipeline::{AdmissionError, OutputFormat, ReadInput, SessionEvent, SessionReceiver};
-use readsim::FastxReader;
+use genasm_pipeline::{
+    escape_name, AdmissionError, OutputFormat, ReadInput, RecvOutcome, SessionEvent,
+    SessionReceiver,
+};
+use readsim::{FastxError, FastxReader};
 
 use crate::endpoint::Conn;
-use crate::protocol::{parse_verb, StatsFormat, Verb};
+use crate::protocol::{parse_verb, StatsFormat, Verb, HB_LINE};
 use crate::ServerShared;
 
 /// What the connection asked of the server beyond its own session.
@@ -33,8 +46,34 @@ pub(crate) enum ConnOutcome {
     ShutdownRequested,
 }
 
+/// A read that hit the socket's receive or send timeout surfaces as
+/// `WouldBlock` (unix, via `SO_RCVTIMEO`) or `TimedOut` (windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The status line for a read that found no alignment. The name is
+/// escaped exactly like record name columns, so a read named
+/// `evil\nBEGIN` cannot forge protocol lines.
+fn status_err_read(read: &str) -> String {
+    format!(
+        "# err read {}: no alignment within the edit budget",
+        escape_name(read)
+    )
+}
+
 /// Serve one connection to completion.
 pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutcome> {
+    if let Some(t) = srv.idle_timeout {
+        // Socket-level, shared by the clones below: bounds both a
+        // silent client (read side) and one that stopped reading our
+        // responses (write side).
+        conn.set_read_timeout(Some(t))?;
+        conn.set_write_timeout(Some(t))?;
+    }
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
     let mut backend = srv.default_backend;
@@ -51,7 +90,19 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        // A timed-out read_line may leave a partial line in `line`;
+        // the retry appends the rest, so framing survives heartbeats.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e) if is_timeout(&e) => {
+                    writeln!(writer, "{HB_LINE}")?;
+                    writer.flush()?; // failure = client gone; drop the conn
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        if n == 0 {
             return Ok(ConnOutcome::Done); // client left without a session
         }
         let trimmed = line.trim_end();
@@ -96,24 +147,50 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
     // by the writer thread *at* the End event — so the error line is
     // emitted before `# done`, keeping the documented framing (the
     // response always ends with `# done`, then the connection closes).
-    let input_err: std::sync::Arc<std::sync::Mutex<Option<String>>> =
-        std::sync::Arc::new(std::sync::Mutex::new(None));
-    let err_slot = std::sync::Arc::clone(&input_err);
-    let writer_thread =
-        std::thread::spawn(move || drain_events(receiver, writer, format, &err_slot));
+    let input_err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    // Raised by the writer thread when its socket writes fail: the
+    // client stopped reading (or vanished), so submitting the rest of
+    // the upload would burn backend time on work no one will see.
+    let writer_dead = Arc::new(AtomicBool::new(false));
+    let err_slot = Arc::clone(&input_err);
+    let dead_flag = Arc::clone(&writer_dead);
+    let heartbeat = srv.idle_timeout;
+    let writer_thread = std::thread::spawn(move || {
+        let res = drain_events(receiver, writer, format, &err_slot, heartbeat);
+        if res.is_err() {
+            dead_flag.store(true, Ordering::SeqCst);
+        }
+        res
+    });
 
     // Parse records off the socket until the client half-closes.
     for rec in FastxReader::new(&mut reader) {
+        if writer_dead.load(Ordering::SeqCst) {
+            *input_err.lock().unwrap() =
+                Some("client stopped reading; aborting session".to_string());
+            break;
+        }
         match rec {
             Ok(r) => {
                 let read = ReadInput {
                     name: r.name,
                     seq: r.seq,
                 };
-                if session.submit(read).is_err() {
-                    *input_err.lock().unwrap() = Some("pipeline service stopped".to_string());
+                if let Err(e) = session.submit(read) {
+                    *input_err.lock().unwrap() = Some(e.to_string());
                     break;
                 }
+            }
+            Err(FastxError::Io(ref e)) if is_timeout(e) => {
+                // The client went silent mid-upload: abort the session
+                // rather than pin its slot (and its buffered state)
+                // forever. The drain still completes normally.
+                srv.service.note_session_timeout();
+                let ms = srv.idle_timeout.map_or(0, |t| t.as_millis());
+                *input_err.lock().unwrap() = Some(format!(
+                    "idle timeout: no data for {ms}ms; aborting session"
+                ));
+                break;
             }
             Err(e) => {
                 *input_err.lock().unwrap() = Some(e.to_string());
@@ -149,8 +226,9 @@ fn write_stats(
             writeln!(
                 writer,
                 "# stats sessions={} contigs={} reads_in={} mapped={} tasks={} records_out={} \
-                 inflight_bases_peak={} backend_errors={} uptime_ms={} windows={} early_term={} \
-                 rescued={} band_skipped={}",
+                 inflight_bases_peak={} out_buffered={} throttled={} timed_out={} \
+                 backend_errors={} uptime_ms={} windows={} early_term={} rescued={} \
+                 band_skipped={}",
                 srv.service.active_sessions(),
                 srv.service.ref_contigs(),
                 m.reads_in,
@@ -158,6 +236,9 @@ fn write_stats(
                 m.tasks_generated,
                 m.records_out,
                 m.max_inflight_bases,
+                m.session_output_buffered_bytes,
+                m.sessions_throttled,
+                m.sessions_timed_out,
                 srv.service.backend_errors(),
                 m.wall.as_millis(),
                 eng.windows,
@@ -182,13 +263,33 @@ fn write_stats(
 
 /// Drain session events to the client until `End` (which always closes
 /// the response: any input error is written just before `# done`).
+/// With a heartbeat interval, quiet stretches emit `# hb` — doubling
+/// as a liveness probe of the client's read side: once writes time out
+/// or fail, the returned error marks the writer dead and the reader
+/// loop aborts the session.
 fn drain_events(
     receiver: SessionReceiver,
     mut writer: BufWriter<Conn>,
     format: OutputFormat,
-    input_err: &std::sync::Mutex<Option<String>>,
+    input_err: &Mutex<Option<String>>,
+    heartbeat: Option<Duration>,
 ) -> io::Result<BufWriter<Conn>> {
-    while let Some(event) = receiver.recv() {
+    loop {
+        let event = match heartbeat {
+            Some(hb) => match receiver.recv_deadline(hb) {
+                RecvOutcome::Event(ev) => Some(ev),
+                RecvOutcome::TimedOut => {
+                    writeln!(writer, "{HB_LINE}")?;
+                    writer.flush()?;
+                    continue;
+                }
+                RecvOutcome::Closed => None,
+            },
+            None => receiver.recv(),
+        };
+        let Some(event) = event else {
+            break; // service died before End; nothing more will come
+        };
         match event {
             SessionEvent::Rows(rows) => {
                 for row in &rows {
@@ -197,9 +298,17 @@ fn drain_events(
                 writer.flush()?;
             }
             SessionEvent::ReadFailed { read } => {
+                writeln!(writer, "{}", status_err_read(&read))?;
+                writer.flush()?;
+            }
+            SessionEvent::Overflow {
+                buffered_bytes,
+                cap,
+            } => {
                 writeln!(
                     writer,
-                    "# err read {read}: no alignment within the edit budget"
+                    "# err overflow: buffered output would reach {buffered_bytes} bytes \
+                     (cap {cap}); session evicted, remaining rows dropped"
                 )?;
                 writer.flush()?;
             }
@@ -208,7 +317,7 @@ fn drain_events(
                 // finish(), which happens after it stored any input
                 // error — safe to read the slot here.
                 if let Some(msg) = input_err.lock().unwrap().take() {
-                    writeln!(writer, "# err input: {msg}")?;
+                    writeln!(writer, "# err input: {}", escape_name(&msg))?;
                 }
                 writeln!(
                     writer,
@@ -221,4 +330,32 @@ fn drain_events(
         }
     }
     Ok(writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_pipeline::unescape_name;
+
+    #[test]
+    fn err_read_line_escapes_hostile_names() {
+        let line = status_err_read("evil\nBEGIN\r# done\tx\\");
+        // One line, no matter what the name contained.
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.starts_with("# err read "));
+        // Round-trip: the escaped payload decodes back to the name.
+        let payload = line
+            .strip_prefix("# err read ")
+            .and_then(|s| s.strip_suffix(": no alignment within the edit budget"))
+            .unwrap();
+        assert_eq!(unescape_name(payload).unwrap(), "evil\nBEGIN\r# done\tx\\");
+    }
+
+    #[test]
+    fn plain_names_pass_through_unchanged() {
+        assert_eq!(
+            status_err_read("read42"),
+            "# err read read42: no alignment within the edit budget"
+        );
+    }
 }

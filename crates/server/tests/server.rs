@@ -84,6 +84,27 @@ impl Fixture {
                 endpoint: Endpoint::parse("127.0.0.1:0").unwrap(),
                 default_backend: BackendKind::Cpu,
                 default_format: OutputFormat::Tsv,
+                idle_timeout: None,
+                service,
+            },
+            "ref",
+            Reference::single("ref", self.reference.clone()),
+        )
+        .expect("server start")
+    }
+
+    /// Like [`Fixture::start_server`] with an idle timeout configured.
+    fn start_server_with_timeout(
+        &self,
+        service: ServiceConfig,
+        idle_timeout: std::time::Duration,
+    ) -> Server {
+        Server::start(
+            ServerConfig {
+                endpoint: Endpoint::parse("127.0.0.1:0").unwrap(),
+                default_backend: BackendKind::Cpu,
+                default_format: OutputFormat::Tsv,
+                idle_timeout: Some(idle_timeout),
                 service,
             },
             "ref",
@@ -465,6 +486,7 @@ fn unix_socket_round_trip() {
             endpoint: Endpoint::Unix(path.clone()),
             default_backend: BackendKind::Cpu,
             default_format: OutputFormat::Tsv,
+            idle_timeout: None,
             service: ServiceConfig::default(),
         },
         "ref",
@@ -604,6 +626,178 @@ fn stats_json_and_prom_expose_the_live_registry() {
     assert!(prom.contains("genasm_sessions_active 0"), "{prom}");
     assert!(status.contains("# prom-begin"), "{status}");
     assert!(status.contains("# prom-end"), "{status}");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+/// Regression: a client that uploads a pile of reads and then vanishes
+/// without ever reading a byte of output must not cost the server the
+/// full alignment bill. The writer thread hits a write error, signals
+/// the reader, and the session aborts with most reads never admitted.
+#[test]
+fn dead_client_does_not_get_all_its_reads_aligned() {
+    let fx = Fixture::new(60_000);
+    let n_reads = 300usize;
+    let reads = fx.reads(n_reads, 600, 51);
+    let server = fx.start_server_with_timeout(
+        ServiceConfig {
+            pipeline: PipelineConfig {
+                batch_bases: 2 * 1024,
+                queue_depth: 2,
+                dispatchers: 1,
+                ..PipelineConfig::default()
+            },
+            // A tight output budget: with no one reading, the session
+            // throttles after a handful of reads instead of racing
+            // through the whole upload.
+            max_session_output_bytes: 16 * 1024,
+            max_session_inflight_reads: 4,
+            ..ServiceConfig::default()
+        },
+        std::time::Duration::from_millis(500),
+    );
+
+    let conn = connect(server.endpoint()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    writeln!(writer, "BEGIN").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("# ok begin"), "{line}");
+
+    // Upload as much of the payload as the throttled server will take
+    // without blocking this test forever, then vanish: both halves of
+    // the connection drop with output still unread, so the server's
+    // next write fails.
+    writer
+        .set_write_timeout(Some(std::time::Duration::from_millis(300)))
+        .unwrap();
+    let payload = fastq_bytes(&reads);
+    let _ = writer.write_all(&payload);
+    drop(writer);
+    drop(reader);
+
+    // The session must wind down on its own — no shutdown needed.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let service = server.service();
+    while service.active_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead client's session never ended"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    server.request_shutdown();
+    let metrics = server.wait();
+    assert!(
+        (metrics.reads_in as usize) < n_reads,
+        "server aligned all {n_reads} reads for a client that never \
+         read a byte (reads_in={})",
+        metrics.reads_in
+    );
+}
+
+/// A client that opens a session and then goes silent: the read
+/// timeout must abort the session (reporting `# err input: idle
+/// timeout …` before the final `# done`), count it in telemetry, and
+/// leave the server fully serviceable.
+#[test]
+fn stalled_client_session_times_out_and_is_reported() {
+    let fx = Fixture::new(40_000);
+    let server = fx.start_server_with_timeout(
+        ServiceConfig::default(),
+        std::time::Duration::from_millis(300),
+    );
+
+    let conn = connect(server.endpoint()).unwrap();
+    let reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut lines = reader.lines();
+    lines.next().unwrap().unwrap(); // greeting
+    writeln!(writer, "BEGIN").unwrap();
+    assert!(lines.next().unwrap().unwrap().starts_with("# ok begin"));
+    // …and now say nothing. The server must end the session itself.
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let err_at = rest
+        .iter()
+        .position(|l| l.starts_with("# err input:") && l.contains("idle timeout"))
+        .unwrap_or_else(|| panic!("no idle-timeout error reported: {rest:?}"));
+    let done_at = rest
+        .iter()
+        .position(|l| l.starts_with("# done"))
+        .unwrap_or_else(|| panic!("no done line: {rest:?}"));
+    assert!(err_at < done_at, "error must precede done: {rest:?}");
+    assert_eq!(done_at, rest.len() - 1, "done must be last: {rest:?}");
+    drop(writer);
+
+    assert_eq!(server.service().metrics().sessions_timed_out, 1);
+
+    // The timeout killed one session, not the server: a well-behaved
+    // client still gets byte-identical output, and the counter shows
+    // up in the Prometheus exposition.
+    let reads = fx.reads(2, 500, 61);
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    let (got, _) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
+    assert_eq!(got, expected);
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        server.endpoint(),
+        None::<Cursor<Vec<u8>>>,
+        &SubmitOptions {
+            stats_prom: true,
+            ..SubmitOptions::default()
+        },
+        &mut out,
+        &mut status,
+    )
+    .unwrap();
+    let prom = report.stats_prom.as_deref().expect("no stats-prom payload");
+    assert!(prom.contains("genasm_sessions_timed_out_total 1"), "{prom}");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+/// An idle connection in the verb phase gets `# hb` heartbeats instead
+/// of a dead socket, and the connection still works afterwards.
+#[test]
+fn idle_verb_connection_gets_heartbeats_and_stays_usable() {
+    let fx = Fixture::new(30_000);
+    let server = fx.start_server_with_timeout(
+        ServiceConfig::default(),
+        std::time::Duration::from_millis(200),
+    );
+
+    let conn = connect(server.endpoint()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut writer = conn;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+
+    // Say nothing: the next full line the server sends must be a
+    // heartbeat (read_line blocks until it arrives).
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "# hb", "expected a heartbeat: {line}");
+
+    // The connection is still a working control channel.
+    writeln!(writer, "PING").unwrap();
+    loop {
+        line.clear();
+        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "connection died");
+        if line.trim_end() == "# hb" {
+            continue;
+        }
+        assert_eq!(line.trim_end(), "# pong", "{line}");
+        break;
+    }
+    drop(writer);
+    drop(reader);
 
     server.request_shutdown();
     server.wait();
