@@ -93,6 +93,7 @@ fn run_backend(
         shard_overlap: 256,
         params: CandidateParams::default(),
         trace: None,
+        explain: None,
     };
     // A fresh backend per pass keeps the cumulative window-engine
     // counters scoped to exactly one workload traversal.

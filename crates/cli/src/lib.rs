@@ -32,8 +32,9 @@ use std::io::{BufReader, BufWriter, Write};
 
 use align_core::{Reference, Seq};
 use genasm_pipeline::{
-    AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, Ksw2Backend, OutputFormat,
-    PipelineConfig, PipelineMetrics, ReadInput, ServiceConfig, TraceRecorder,
+    disposition, AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, ExplainRecord,
+    ExplainSink, Ksw2Backend, OutputFormat, PipelineConfig, PipelineMetrics, ReadInput,
+    ReadProvenance, ServiceConfig, TaskExplain, TraceRecorder,
 };
 use genasm_server::client::SubmitOptions;
 use genasm_server::{Endpoint, Server, ServerConfig};
@@ -154,19 +155,22 @@ pub const USAGE: &str = "usage:
                   [--shard-overlap BASES]
   genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
                   [--threads N] [--shards N] [--shard-overlap BASES] [--format tsv|paf]
+                  [--explain FILE]
   genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
                   [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N]
                   [--shards N] [--shard-overlap BASES] [--format tsv|paf]
-                  [--metrics on|json] [--trace FILE]
+                  [--metrics on|json] [--trace FILE] [--explain FILE]
   genasm serve    --ref FILE --listen ENDPOINT [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
                   [--max-sessions N] [--linger-ms N] [--batch-bases N] [--queue-depth N]
                   [--dispatchers N] [--max-per-read N] [--threads N] [--shards N]
-                  [--shard-overlap BASES] [--metrics on|json] [--trace FILE]
+                  [--shard-overlap BASES] [--metrics on|json] [--trace FILE] [--explain FILE]
                   [--session-output-cap BYTES] [--overflow throttle|evict]
                   [--session-inflight-reads N] [--session-inflight-bases N]
                   [--idle-timeout-ms N]
   genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
+                  [--explain FILE]
   genasm ctl      ping|stats|stats-json|stats-prom|shutdown --to ENDPOINT
+  genasm ctl      top --to ENDPOINT [--interval-ms N] [--frames N]
   genasm filter   --pattern SEQ --text FILE [-k N]
 
 ENDPOINT is unix:PATH, tcp:HOST:PORT, or HOST:PORT. `serve` runs until a
@@ -176,8 +180,13 @@ References may be multi-contig FASTA: records report contig names and
 contig-local coordinates, and shards never straddle contig boundaries.
 `--metrics json` prints a single-line machine-readable snapshot to
 stderr; `--trace FILE` records a Chrome trace-event timeline (open in
-Perfetto or about://tracing). `ctl stats-json` / `ctl stats-prom` print
-a live server snapshot as JSON / Prometheus text on stdout.";
+Perfetto or about://tracing). `--explain FILE` streams one
+genasm-explain/v1 JSON line per read (funnel counts, hint-vs-edits per
+candidate, final disposition) without changing record output.
+`ctl stats-json` / `ctl stats-prom` print a live server snapshot as
+JSON / Prometheus text on stdout; `ctl top` streams one
+genasm-stat-frame/v1 JSON object per line (every --interval-ms,
+stopping after --frames frames; 0 streams until server shutdown).";
 
 fn io_err(e: std::io::Error) -> CliError {
     CliError::runtime(format!("I/O error: {e}"))
@@ -389,6 +398,23 @@ fn finish_trace(trace: &Option<std::sync::Arc<TraceRecorder>>) -> Result<(), Cli
     Ok(())
 }
 
+/// `--explain FILE`: stream one `genasm-explain/v1` JSON line per
+/// read — the per-read decision funnel, candidate hint-vs-edits
+/// accounting, and final disposition. Returns `None` when the flag is
+/// absent; record output is byte-identical either way (the sink
+/// flushes every line itself, so there is nothing to finalize).
+fn explain_sink(flags: &Flags) -> Result<Option<std::sync::Arc<ExplainSink>>, CliError> {
+    match flags.get("explain") {
+        None => Ok(None),
+        Some(path) => {
+            let f = File::create(path).map_err(|e| {
+                CliError::runtime(format!("cannot create explain file {path}: {e}"))
+            })?;
+            Ok(Some(std::sync::Arc::new(ExplainSink::new(Box::new(f)))))
+        }
+    }
+}
+
 /// `--shards N` / `--shard-overlap BASES` for `align` and `pipeline`.
 /// Defaults (1 shard, 256-base overlap) reproduce the unsharded path.
 fn shard_params(flags: &Flags) -> Result<(usize, usize), CliError> {
@@ -492,6 +518,7 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let format = output_format(flags)?;
     let params = candidate_params(flags)?;
     let (shards, shard_overlap) = shard_params(flags)?;
+    let explain = explain_sink(flags)?;
     configure_threads(flags)?;
     let reference = load_reference(flags.req("ref")?)?;
     let reads = load_fastx(flags.req("reads")?)?;
@@ -500,11 +527,16 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     // the index's shard-local storage.
     let index = ShardedIndex::build(reference, shards, shard_overlap);
 
-    // Generate all candidates up front (the one-shot shape).
+    // Generate all candidates up front (the one-shot shape), keeping
+    // each read's funnel counts and mapping time for `--explain`.
     let mut tasks = Vec::new();
     let mut read_of_task = Vec::new();
+    let mut funnel = Vec::with_capacity(reads.len());
     for (i, r) in reads.iter().enumerate() {
-        for t in index.candidates_for_read(i as u32, &r.seq, &params) {
+        let t0 = std::time::Instant::now();
+        let (cand, stats) = index.candidates_for_read_stats(i as u32, &r.seq, &params);
+        funnel.push((stats, t0.elapsed().as_nanos() as u64));
+        for t in cand {
             read_of_task.push(i);
             tasks.push(t);
         }
@@ -515,6 +547,7 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::runtime(e.to_string()))?;
 
     let mut rows: Vec<Vec<AlignRecord>> = reads.iter().map(|_| Vec::new()).collect();
+    let mut task_detail: Vec<Vec<TaskExplain>> = reads.iter().map(|_| Vec::new()).collect();
     for ((&i, task), aln) in read_of_task.iter().zip(&tasks).zip(&alignments) {
         let aln = aln.as_ref().ok_or_else(|| {
             CliError::runtime(format!(
@@ -524,6 +557,13 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         })?;
         aln.check(&task.query, &task.target)
             .map_err(|e| CliError::runtime(format!("invalid alignment: {e}")))?;
+        task_detail[i].push(TaskExplain {
+            hint: task.max_edits,
+            edits: aln.edit_distance as u64,
+            rescued: task
+                .max_edits
+                .is_some_and(|k| aln.edit_distance > k as usize),
+        });
         rows[i].push(AlignRecord::new(
             &reads[i].name,
             reads[i].seq.len(),
@@ -539,6 +579,32 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         per_read.sort_by_cached_key(AlignRecord::sort_key);
         for row in per_read.iter() {
             writeln!(out, "{}", format.line(row)).map_err(io_err)?;
+        }
+    }
+    if let Some(x) = &explain {
+        // The one-shot path aligns everything in a single batch, so
+        // there is no per-read alignment latency to report.
+        for (i, r) in reads.iter().enumerate() {
+            let (stats, map_ns) = &funnel[i];
+            let disp = match stats.unmapped_reason() {
+                Some(reason) => disposition::unmapped(reason),
+                None if task_detail[i].iter().any(|t| t.rescued) => {
+                    disposition::RESCUED.to_string()
+                }
+                None => disposition::ALIGNED.to_string(),
+            };
+            x.emit(&ExplainRecord {
+                read: &r.name,
+                disposition: &disp,
+                provenance: ReadProvenance {
+                    anchors: stats.anchors,
+                    chains: stats.chains,
+                    candidates: stats.candidates,
+                    map_ns: *map_ns,
+                },
+                tasks: &task_detail[i],
+                align_ns: 0,
+            });
         }
     }
     Ok(())
@@ -561,6 +627,7 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         shard_overlap,
         params: candidate_params(flags)?,
         trace: trace.clone(),
+        explain: explain_sink(flags)?,
     };
     let format = output_format(flags)?;
     let metrics_out = metrics_mode(flags);
@@ -616,6 +683,7 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             shard_overlap,
             params: candidate_params(flags)?,
             trace: trace.clone(),
+            explain: explain_sink(flags)?,
         },
         max_sessions: flags.num("max-sessions", 64)?,
         linger: std::time::Duration::from_millis(flags.num("linger-ms", 2)?),
@@ -661,6 +729,7 @@ fn run_submit(
     endpoint: &Endpoint,
     reads: Option<std::fs::File>,
     opts: &SubmitOptions,
+    explain_path: Option<&str>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let mut status = std::io::stderr();
@@ -668,6 +737,18 @@ fn run_submit(
     let report =
         genasm_server::client::submit(endpoint, reads.map(BufReader::new), opts, out, &mut status)
             .map_err(|e| CliError::runtime(format!("server connection failed: {e}")))?;
+    if let Some(path) = explain_path {
+        // The server already streamed the `# explain` lines; this just
+        // lands their JSON payloads in the requested file, same
+        // one-line-per-read shape as `align --explain`.
+        let f = File::create(path)
+            .map_err(|e| CliError::runtime(format!("cannot create explain file {path}: {e}")))?;
+        let mut w = BufWriter::new(f);
+        for line in &report.explain {
+            writeln!(w, "{line}").map_err(io_err)?;
+        }
+        w.flush().map_err(io_err)?;
+    }
     if report.errors > 0 {
         return Err(CliError::runtime(format!(
             "server reported {} error(s); see stderr",
@@ -689,6 +770,7 @@ fn run_submit(
 /// byte-identical to `genasm align` on the same reads.
 fn cmd_submit(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let endpoint = endpoint_flag(flags, "to")?;
+    let explain_path = flags.get("explain");
     let opts = SubmitOptions {
         backend: flags
             .get("backend")
@@ -698,12 +780,13 @@ fn cmd_submit(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             .get("format")
             .map(|v| v.parse().map_err(|e| CliError::usage(format!("{e}"))))
             .transpose()?,
+        explain: explain_path.is_some(),
         ..SubmitOptions::default()
     };
     let reads_path = flags.req("reads")?;
     let f = File::open(reads_path)
         .map_err(|e| CliError::runtime(format!("cannot open {reads_path}: {e}")))?;
-    run_submit(&endpoint, Some(f), &opts, out)
+    run_submit(&endpoint, Some(f), &opts, explain_path, out)
 }
 
 /// `genasm ctl ping|stats|shutdown --to ENDPOINT`: control verbs
@@ -714,6 +797,27 @@ fn cmd_ctl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "ctl needs an action: ping, stats, or shutdown",
         ));
     };
+    if action == "top" {
+        // Live streaming view: one raw `genasm-stat-frame/v1` JSON
+        // object per line on stdout (protocol chatter on stderr), so
+        // the feed pipes into `jq` or a dashboard collector.
+        let flags = Flags::parse(rest)?;
+        let endpoint = endpoint_flag(&flags, "to")?;
+        let interval: u64 = flags.num("interval-ms", 1000)?;
+        if interval == 0 {
+            return Err(CliError::usage("--interval-ms must be at least 1"));
+        }
+        let frames: u64 = flags.num("frames", 0)?;
+        let mut status = std::io::stderr();
+        let n = genasm_server::client::stream_stats(&endpoint, interval, frames, out, &mut status)
+            .map_err(|e| CliError::runtime(format!("stat stream failed: {e}")))?;
+        if n == 0 {
+            return Err(CliError::runtime(
+                "server ended the stream before the first stat frame",
+            ));
+        }
+        return Ok(());
+    }
     let opts = match action.as_str() {
         "ping" => SubmitOptions {
             ping: true,
@@ -738,7 +842,7 @@ fn cmd_ctl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         other => {
             return Err(CliError::usage(format!(
                 "unknown ctl action {other:?}; valid actions are ping, stats, \
-                 stats-json, stats-prom, shutdown"
+                 stats-json, stats-prom, top, shutdown"
             )))
         }
     };

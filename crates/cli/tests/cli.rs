@@ -1026,3 +1026,165 @@ fn ctl_stats_json_and_prom_print_bare_payloads() {
     server_thread.join().unwrap().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn explain_flag_writes_jsonl_and_never_changes_records() {
+    let dir = tmpdir("explain");
+    let (ref_path, reads_path) = simulate_workload(&dir, 6, 700);
+
+    // Pull the read name / disposition fields back out of an explain
+    // line (names here are plain, so no unescaping is needed).
+    fn field<'a>(line: &'a str, key: &str) -> &'a str {
+        let pat = format!("\"{key}\":\"");
+        let start = line
+            .find(&pat)
+            .unwrap_or_else(|| panic!("no {key} in {line}"))
+            + pat.len();
+        let end = line[start..].find('"').unwrap();
+        &line[start..start + end]
+    }
+
+    let plain_align = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    let align_explain = dir.join("align.explain.jsonl");
+    let explained_align = run_ok(&[
+        "align",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--explain",
+        align_explain.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        explained_align, plain_align,
+        "explain changed align records"
+    );
+    let align_text = std::fs::read_to_string(&align_explain).unwrap();
+    assert_eq!(align_text.lines().count(), 6, "{align_text}");
+
+    let plain_pipe = run_ok(&["pipeline", "--ref", &ref_path, "--reads", &reads_path]);
+    assert_eq!(plain_pipe, plain_align);
+    let pipe_explain = dir.join("pipeline.explain.jsonl");
+    let explained_pipe = run_ok(&[
+        "pipeline",
+        "--ref",
+        &ref_path,
+        "--reads",
+        &reads_path,
+        "--explain",
+        pipe_explain.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        explained_pipe, plain_pipe,
+        "explain changed pipeline records"
+    );
+    let pipe_text = std::fs::read_to_string(&pipe_explain).unwrap();
+    assert_eq!(pipe_text.lines().count(), 6, "{pipe_text}");
+
+    // Same reads, same decisions: the one-shot and streaming paths
+    // must agree on every read's disposition (timings differ, so the
+    // lines themselves don't compare byte-for-byte).
+    let mut align_disp: Vec<(String, String)> = align_text
+        .lines()
+        .map(|l| {
+            (
+                field(l, "read").to_string(),
+                field(l, "disposition").to_string(),
+            )
+        })
+        .collect();
+    let mut pipe_disp: Vec<(String, String)> = pipe_text
+        .lines()
+        .map(|l| {
+            (
+                field(l, "read").to_string(),
+                field(l, "disposition").to_string(),
+            )
+        })
+        .collect();
+    align_disp.sort();
+    pipe_disp.sort();
+    assert_eq!(
+        align_disp, pipe_disp,
+        "align/pipeline dispositions diverged"
+    );
+    for line in align_text.lines().chain(pipe_text.lines()) {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-explain/v1\""),
+            "{line}"
+        );
+        assert!(line.contains("\"tasks\":["), "{line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_submit_explain_and_ctl_top_stream() {
+    let dir = tmpdir("serve-top");
+    let (ref_path, reads_path) = simulate_workload(&dir, 4, 700);
+    let sock = dir.join("genasm-top.sock");
+    let endpoint = format!("unix:{}", sock.display());
+
+    let serve_args: Vec<String> = ["serve", "--ref", &ref_path, "--listen", &endpoint]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let server_thread = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        let result = genasm_cli::run(&serve_args, &mut out);
+        (result, String::from_utf8(out).unwrap())
+    });
+    await_server(&endpoint);
+
+    // `submit --explain FILE` lands one provenance line per read and
+    // keeps stdout byte-identical to align.
+    let align = run_ok(&["align", "--ref", &ref_path, "--reads", &reads_path]);
+    let explain_path = dir.join("submit.explain.jsonl");
+    let submit_out = run_ok(&[
+        "submit",
+        "--to",
+        &endpoint,
+        "--reads",
+        &reads_path,
+        "--explain",
+        explain_path.to_str().unwrap(),
+    ]);
+    assert_eq!(submit_out, align, "explain submit diverged from align");
+    let text = std::fs::read_to_string(&explain_path).unwrap();
+    assert_eq!(text.lines().count(), 4, "{text}");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-explain/v1\""),
+            "{line}"
+        );
+    }
+
+    // `ctl top` prints bare stat-frame JSON, one object per line.
+    let top = run_ok(&[
+        "ctl",
+        "top",
+        "--to",
+        &endpoint,
+        "--interval-ms",
+        "20",
+        "--frames",
+        "2",
+    ]);
+    let lines: Vec<&str> = top.lines().collect();
+    assert_eq!(lines.len(), 2, "{top}");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-stat-frame/v1\""),
+            "{line}"
+        );
+        assert!(line.contains("\"funnel\":{\"reads_in\":4"), "{line}");
+        assert!(line.contains("\"rates\":{"), "{line}");
+    }
+    let e = run_err(&["ctl", "top", "--to", &endpoint, "--interval-ms", "0"]);
+    assert_eq!(e.code, 2);
+
+    run_ok(&["ctl", "shutdown", "--to", &endpoint]);
+    let (result, _) = server_thread.join().unwrap();
+    result.unwrap_or_else(|e| panic!("serve failed: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -28,4 +28,4 @@ pub use candidates::{
 };
 pub use chain::{chain_anchors, collect_anchors, Anchor, Chain, ChainParams};
 pub use index::{hash64, minimizers, minimizers_windowed, Minimizer, MinimizerIndex};
-pub use shard::{ShardIndexMetrics, ShardMetrics, ShardedIndex};
+pub use shard::{ReadMapStats, ShardIndexMetrics, ShardMetrics, ShardedIndex};

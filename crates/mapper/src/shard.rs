@@ -237,6 +237,39 @@ pub struct ShardIndexMetrics {
     pub reference_bytes: usize,
 }
 
+/// Per-read funnel counts from one pass through the candidate stages
+/// (anchors → chains → candidate tasks), reported by
+/// [`ShardedIndex::candidates_for_read_stats`]. Each count is the size
+/// of the corresponding intermediate, so `anchors == 0` implies
+/// `chains == 0` implies `candidates == 0` — the read's first empty
+/// stage is the reason it went unmapped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadMapStats {
+    /// Merged, deduplicated anchors across all shards.
+    pub anchors: u64,
+    /// Chains produced by the per-contig chaining DP.
+    pub chains: u64,
+    /// Candidate tasks emitted (after the per-read cap).
+    pub candidates: u64,
+}
+
+impl ReadMapStats {
+    /// The funnel stage that emptied first, as the unmapped-reason
+    /// suffix the provenance layer reports (`None` when the read
+    /// produced at least one candidate).
+    pub fn unmapped_reason(&self) -> Option<&'static str> {
+        if self.candidates > 0 {
+            None
+        } else if self.anchors == 0 {
+            Some("no_anchors")
+        } else if self.chains == 0 {
+            Some("no_chain")
+        } else {
+            Some("no_candidates")
+        }
+    }
+}
+
 /// A minimizer index split into overlapping, contig-aware reference
 /// shards that own their slice of the reference.
 #[derive(Debug)]
@@ -572,18 +605,25 @@ impl ShardedIndex {
     /// A chain never spans two contigs.
     pub fn chains_for_read(&self, read: &Seq, params: &ChainParams) -> Vec<(u32, Chain)> {
         let anchors = self.collect_anchors(read);
+        self.chains_from_anchors(&anchors, params)
+    }
+
+    /// Chain an already-merged anchor stream (the body of
+    /// [`ShardedIndex::chains_for_read`], split out so the provenance
+    /// path can observe the anchor count without re-collecting).
+    fn chains_from_anchors(&self, anchors: &[Anchor], params: &ChainParams) -> Vec<(u32, Chain)> {
         let mut merged: Vec<(u32, Chain)> = Vec::new();
         if self.contigs.len() <= 1 {
             // Single contig: local == global; skip the partition.
             merged.extend(
-                chain_anchors(&anchors, self.k, params)
+                chain_anchors(anchors, self.k, params)
                     .into_iter()
                     .map(|c| (0u32, c)),
             );
             return merged; // chain_anchors already sorts by score
         }
         let mut per_contig: Vec<Vec<Anchor>> = vec![Vec::new(); self.contigs.len()];
-        for a in &anchors {
+        for a in anchors {
             let (ci, local) = self.locate(a.ref_pos as usize);
             per_contig[ci as usize].push(Anchor {
                 ref_pos: local as u32,
@@ -618,8 +658,25 @@ impl ShardedIndex {
         read: &Seq,
         params: &CandidateParams,
     ) -> Vec<AlignTask> {
-        let chains = self.chains_for_read(read, &params.chain);
-        chains
+        self.candidates_for_read_stats(read_id, read, params).0
+    }
+
+    /// [`ShardedIndex::candidates_for_read`] plus the per-read funnel
+    /// counts the provenance layer records: how many merged anchors
+    /// the read produced, how many chains survived the DP, and how
+    /// many candidate tasks were emitted (after the per-read cap).
+    /// The tasks are built by exactly the same code path, so they are
+    /// identical to [`ShardedIndex::candidates_for_read`]'s — the
+    /// counts are observations, never inputs.
+    pub fn candidates_for_read_stats(
+        &self,
+        read_id: u32,
+        read: &Seq,
+        params: &CandidateParams,
+    ) -> (Vec<AlignTask>, ReadMapStats) {
+        let anchors = self.collect_anchors(read);
+        let chains = self.chains_from_anchors(&anchors, &params.chain);
+        let tasks: Vec<AlignTask> = chains
             .iter()
             .take(params.max_per_read)
             .map(|(ci, chain)| {
@@ -641,7 +698,13 @@ impl ShardedIndex {
                     .in_contig(*ci)
                     .with_edit_bound(hint)
             })
-            .collect()
+            .collect();
+        let stats = ReadMapStats {
+            anchors: anchors.len() as u64,
+            chains: chains.len() as u64,
+            candidates: tasks.len() as u64,
+        };
+        (tasks, stats)
     }
 
     /// Snapshot the per-shard telemetry accumulated so far.
@@ -822,6 +885,56 @@ mod tests {
                 "candidate tasks diverged at {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn stats_variant_returns_identical_tasks_and_consistent_counts() {
+        let s = mixed_seq(40_000, 23);
+        let params = CandidateParams::default();
+        let idx = ShardedIndex::build(single(&s), 3, 256);
+        // Mappable read: counts populate every stage, tasks match the
+        // plain path bit for bit.
+        let read = s.slice(9_000, 1_200);
+        let plain = idx.candidates_for_read(4, &read, &params);
+        let (tasks, st) = idx.candidates_for_read_stats(4, &read, &params);
+        assert_eq!(tasks, plain, "stats variant must not change tasks");
+        assert!(!tasks.is_empty());
+        assert_eq!(st.candidates, tasks.len() as u64);
+        assert!(st.anchors >= st.chains && st.chains >= st.candidates);
+        assert_eq!(st.unmapped_reason(), None);
+        // Unrelated read: the funnel pinpoints the first empty stage.
+        let junk = mixed_seq(500, 0xDEAD_BEEF);
+        let (jt, js) = idx.candidates_for_read_stats(0, &junk, &params);
+        if jt.is_empty() {
+            let reason = js.unmapped_reason().expect("empty tasks need a reason");
+            assert!(
+                ["no_anchors", "no_chain", "no_candidates"].contains(&reason),
+                "{reason}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmapped_reason_reflects_first_empty_stage() {
+        let none = ReadMapStats::default();
+        assert_eq!(none.unmapped_reason(), Some("no_anchors"));
+        let anchored = ReadMapStats {
+            anchors: 4,
+            ..ReadMapStats::default()
+        };
+        assert_eq!(anchored.unmapped_reason(), Some("no_chain"));
+        let chained = ReadMapStats {
+            anchors: 4,
+            chains: 1,
+            ..ReadMapStats::default()
+        };
+        assert_eq!(chained.unmapped_reason(), Some("no_candidates"));
+        let mapped = ReadMapStats {
+            anchors: 4,
+            chains: 1,
+            candidates: 1,
+        };
+        assert_eq!(mapped.unmapped_reason(), None);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Per-read provenance: the `--explain` JSONL stream.
+//!
+//! Every read that enters the pipeline leaves exactly one line in the
+//! explain stream (schema `genasm-explain/v1`): how far it got through
+//! the candidate funnel (anchors → chains → candidates), how each
+//! accepted candidate's banding hint compared to the edits actually
+//! needed (and whether the engine's full-budget rescue produced it),
+//! stage timings, and the final disposition from the closed taxonomy
+//! in [`disposition`].
+//!
+//! Explaining is **strictly passive**: the sink is fed from data the
+//! pipeline already computes, and enabling it never changes output
+//! records or exit codes — the determinism suite asserts the output
+//! is byte-identical with explain on and off.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use genasm_telemetry::json;
+
+/// The closed disposition taxonomy. Every read ends in exactly one.
+pub mod disposition {
+    /// At least one record emitted; no accepted candidate needed
+    /// rescue.
+    pub const ALIGNED: &str = "aligned";
+    /// At least one record emitted, and at least one accepted
+    /// candidate exceeded its banding hint — the engine's full-budget
+    /// rescue pass produced it.
+    pub const RESCUED: &str = "rescued";
+    /// No record: alignment failed within the backend's edit budget.
+    pub const FAILED_NO_ALIGNMENT: &str = "failed:no_alignment";
+    /// No record: the read produced no candidates. `reason` is the
+    /// first empty funnel stage (`no_anchors`, `no_chain`,
+    /// `no_candidates`).
+    pub fn unmapped(reason: &str) -> String {
+        format!("unmapped:{reason}")
+    }
+}
+
+/// Funnel counts for one read, captured at candidate generation and
+/// carried (shared) on every one of the read's task metas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadProvenance {
+    /// Merged anchors collected for the read.
+    pub anchors: u64,
+    /// Chains built from those anchors.
+    pub chains: u64,
+    /// Candidate tasks emitted (after `max_per_read` capping).
+    pub candidates: u64,
+    /// Nanoseconds spent in candidate generation for this read.
+    pub map_ns: u64,
+}
+
+/// One accepted candidate's hint-vs-actual accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskExplain {
+    /// Banding hint the task was dispatched with (`None` = unbounded).
+    pub hint: Option<u32>,
+    /// Edit distance of the accepted alignment.
+    pub edits: u64,
+    /// True when `edits` exceeded `hint`: the tight band came up
+    /// empty and the full-budget rescue produced the result.
+    pub rescued: bool,
+}
+
+impl TaskExplain {
+    fn to_json(self) -> String {
+        let hint = match self.hint {
+            Some(k) => k.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"hint\":{},\"edits\":{},\"rescued\":{}}}",
+            hint, self.edits, self.rescued
+        )
+    }
+}
+
+/// One read's fully-assembled provenance, ready to render.
+#[derive(Debug, Clone)]
+pub struct ExplainRecord<'a> {
+    /// Read name (raw; rendering escapes it).
+    pub read: &'a str,
+    /// Final disposition (see [`disposition`]).
+    pub disposition: &'a str,
+    /// Funnel counts and candidate-generation timing.
+    pub provenance: ReadProvenance,
+    /// Per-accepted-candidate hint/edits/rescue detail (empty for
+    /// unmapped and failed reads).
+    pub tasks: &'a [TaskExplain],
+    /// Nanoseconds from pipeline entry to the read's last record
+    /// (0 for reads that never reached the alignment stage).
+    pub align_ns: u64,
+}
+
+impl ExplainRecord<'_> {
+    /// The read's single `genasm-explain/v1` JSON line (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"schema\":\"genasm-explain/v1\",\"read\":\"{}\",\"disposition\":\"{}\",\
+             \"anchors\":{},\"chains\":{},\"candidates\":{},\"rescued_tasks\":{},\
+             \"map_ns\":{},\"align_ns\":{},\"tasks\":[",
+            json::escape(self.read),
+            json::escape(self.disposition),
+            self.provenance.anchors,
+            self.provenance.chains,
+            self.provenance.candidates,
+            self.tasks.iter().filter(|t| t.rescued).count(),
+            self.provenance.map_ns,
+            self.align_ns,
+        );
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&t.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// A shared line-oriented explain writer. One `emit` = one complete
+/// line, atomic under the mutex, flushed immediately so readers (and
+/// crashed runs) always see whole lines.
+pub struct ExplainSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for ExplainSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplainSink").finish_non_exhaustive()
+    }
+}
+
+impl ExplainSink {
+    /// A sink writing JSON lines to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> ExplainSink {
+        ExplainSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Write one record as one line. Write errors are swallowed:
+    /// explain output must never change the pipeline's outcome.
+    pub fn emit(&self, rec: &ExplainRecord<'_>) {
+        let mut line = rec.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().expect("explain sink mutex poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_renders_schema_funnel_and_tasks() {
+        let tasks = [
+            TaskExplain {
+                hint: Some(9),
+                edits: 3,
+                rescued: false,
+            },
+            TaskExplain {
+                hint: Some(2),
+                edits: 7,
+                rescued: true,
+            },
+            TaskExplain {
+                hint: None,
+                edits: 4,
+                rescued: false,
+            },
+        ];
+        let rec = ExplainRecord {
+            read: "r\t1",
+            disposition: disposition::RESCUED,
+            provenance: ReadProvenance {
+                anchors: 5,
+                chains: 2,
+                candidates: 3,
+                map_ns: 1_000,
+            },
+            tasks: &tasks,
+            align_ns: 2_000,
+        };
+        let j = rec.to_json();
+        assert!(j.starts_with("{\"schema\":\"genasm-explain/v1\""), "{j}");
+        assert!(j.contains("\"read\":\"r\\t1\""), "{j}");
+        assert!(j.contains("\"disposition\":\"rescued\""), "{j}");
+        assert!(
+            j.contains("\"anchors\":5,\"chains\":2,\"candidates\":3,\"rescued_tasks\":1"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"tasks\":[{\"hint\":9,\"edits\":3,\"rescued\":false}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"hint\":null,\"edits\":4,\"rescued\":false}"),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+    }
+
+    #[test]
+    fn unmapped_disposition_strings_are_closed_taxonomy() {
+        assert_eq!(disposition::unmapped("no_anchors"), "unmapped:no_anchors");
+        assert_eq!(disposition::unmapped("no_chain"), "unmapped:no_chain");
+        assert_eq!(
+            disposition::unmapped("no_candidates"),
+            "unmapped:no_candidates"
+        );
+    }
+
+    #[test]
+    fn sink_emits_one_flushed_line_per_record() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared::default();
+        let sink = ExplainSink::new(Box::new(shared.clone()));
+        let rec = ExplainRecord {
+            read: "a",
+            disposition: disposition::ALIGNED,
+            provenance: ReadProvenance::default(),
+            tasks: &[],
+            align_ns: 0,
+        };
+        sink.emit(&rec);
+        sink.emit(&rec);
+        let bytes = shared.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with("\"tasks\":[]}\n"), "{text}");
+    }
+}

@@ -56,6 +56,7 @@
 
 pub mod backend;
 pub mod batcher;
+pub mod explain;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -74,9 +75,13 @@ pub use backend::{
     ParseBackendError,
 };
 pub use batcher::{Batch, BatchBuilder, TaskMeta};
+pub use explain::{disposition, ExplainRecord, ExplainSink, ReadProvenance, TaskExplain};
 pub use genasm_telemetry::TraceRecorder;
-pub use genasm_telemetry::{HistogramSnapshot, Registry, Snapshot};
-pub use metrics::{BackendLat, BackendMetrics, PipelineMetrics, QueueMetrics, StageCounters};
+pub use genasm_telemetry::{HistogramSnapshot, Registry, SlowRead, Snapshot};
+pub use metrics::{
+    BackendLat, BackendMetrics, FunnelCounts, PipelineMetrics, QueueMetrics, StageCounters,
+    SLOW_READS_CAPACITY,
+};
 pub use queue::BoundedQueue;
 pub use record::{escape_name, unescape_name, AlignRecord, OutputFormat, ParseFormatError};
 pub use reorder::ReorderBuffer;
@@ -123,6 +128,13 @@ pub struct PipelineConfig {
     /// wait → sink). Tracing is passive — it never changes output
     /// bytes (the determinism suite asserts this).
     pub trace: Option<Arc<TraceRecorder>>,
+    /// Optional per-read provenance stream: when set, every read
+    /// leaves exactly one `genasm-explain/v1` JSON line describing its
+    /// pass through the decision funnel and its final disposition
+    /// ([`explain::ExplainRecord`]). Like tracing, explaining is
+    /// passive — output records stay byte-identical with it on or off
+    /// (asserted by the determinism suite).
+    pub explain: Option<Arc<ExplainSink>>,
 }
 
 impl Default for PipelineConfig {
@@ -135,6 +147,7 @@ impl Default for PipelineConfig {
             shard_overlap: 256,
             params: CandidateParams::default(),
             trace: None,
+            explain: None,
         }
     }
 }
@@ -307,23 +320,54 @@ where
                     Some(Ok(r)) => r,
                 };
                 counters.reads_in.inc();
-                let tasks = index.candidates_for_read(read_seq as u32, &item.seq, &cfg.params);
-                StageCounters::add_ns(&counters.mapper_ns, t0.elapsed());
+                let (tasks, map_stats) =
+                    index.candidates_for_read_stats(read_seq as u32, &item.seq, &cfg.params);
+                let map_ns = t0.elapsed();
+                StageCounters::add_ns(&counters.mapper_ns, map_ns);
                 if let Some(t) = trace {
                     t.span(
                         "map",
                         "pipeline",
                         tids::INGEST,
                         t0,
-                        t0.elapsed(),
+                        map_ns,
                         &[
                             ("read", item.name.as_str().into()),
                             ("tasks", tasks.len().into()),
                         ],
                     );
                 }
-                if !tasks.is_empty() {
-                    counters.reads_mapped.inc();
+                let provenance = Arc::new(ReadProvenance {
+                    anchors: map_stats.anchors,
+                    chains: map_stats.chains,
+                    candidates: map_stats.candidates,
+                    map_ns: map_ns.as_nanos() as u64,
+                });
+                if let Some(reason) = counters.note_funnel(&map_stats) {
+                    // Zero-candidate reads end here: account for them
+                    // (satellite bugfix — they used to vanish from the
+                    // metrics entirely) and give them their explain
+                    // line and slow-ring observation.
+                    let disp = disposition::unmapped(reason);
+                    // An unmapped read's life ends at the mapper, so
+                    // its mapping time *is* its end-to-end latency —
+                    // recorded here to keep the one-sample-per-read
+                    // histogram invariant.
+                    counters.read_latency_ns.record(provenance.map_ns);
+                    counters
+                        .slow_reads
+                        .observe(&item.name, provenance.map_ns, &disp);
+                    if let Some(x) = &cfg.explain {
+                        x.emit(&ExplainRecord {
+                            read: &item.name,
+                            disposition: &disp,
+                            provenance: *provenance,
+                            tasks: &[],
+                            align_ns: 0,
+                        });
+                    }
+                    read_seq += 1;
+                    continue;
                 }
                 let read_tasks = tasks.len() as u32;
                 let qname: Arc<str> = Arc::from(item.name.as_str());
@@ -341,6 +385,8 @@ where
                         tstart: task.ref_pos,
                         tlen: task.target.len(),
                         reverse: task.reverse,
+                        max_edits: task.max_edits,
+                        provenance: Arc::clone(&provenance),
                         submitted_at: t0,
                         enqueued_at: Instant::now(),
                     };
@@ -454,7 +500,14 @@ where
         }
 
         // Stage 4: ordered sink (this thread).
-        sink_result = sink_loop(&result_q, &counters, &mut on_record, &error, trace);
+        sink_result = sink_loop(
+            &result_q,
+            &counters,
+            &mut on_record,
+            &error,
+            trace,
+            cfg.explain.as_deref(),
+        );
         if sink_result.is_err() {
             // Unblock the upstream stages so the scope can join.
             task_q.close();
@@ -498,7 +551,11 @@ struct ReadAcc {
     read_seq: u64,
     expected: u32,
     rows: Vec<AlignRecord>,
+    /// Hint-vs-actual accounting per accepted candidate (explain and
+    /// rescue telemetry; parallel to `rows` in arrival order).
+    tasks: Vec<TaskExplain>,
     qname: Arc<str>,
+    provenance: Arc<ReadProvenance>,
     submitted_at: Instant,
 }
 
@@ -508,6 +565,7 @@ fn sink_loop<F>(
     on_record: &mut F,
     error: &Mutex<Option<PipelineError>>,
     trace: Option<&TraceRecorder>,
+    explain: Option<&ExplainSink>,
 ) -> Result<(), PipelineError>
 where
     F: FnMut(&AlignRecord) -> std::io::Result<()>,
@@ -533,6 +591,25 @@ where
                 }
                 let latency = group.submitted_at.elapsed();
                 counters.read_latency_ns.record_duration(latency);
+                counters.reads_aligned.inc();
+                let disp = if group.tasks.iter().any(|t| t.rescued) {
+                    counters.reads_rescued.inc();
+                    disposition::RESCUED
+                } else {
+                    disposition::ALIGNED
+                };
+                counters
+                    .slow_reads
+                    .observe(&group.qname, latency.as_nanos() as u64, disp);
+                if let Some(x) = explain {
+                    x.emit(&ExplainRecord {
+                        read: &group.qname,
+                        disposition: disp,
+                        provenance: *group.provenance,
+                        tasks: &group.tasks,
+                        align_ns: latency.as_nanos() as u64,
+                    });
+                }
                 if let Some(t) = trace {
                     t.span(
                         "read",
@@ -560,6 +637,28 @@ where
             for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
                 counters.task_out(meta.qlen + meta.tlen);
                 let Some(aln) = aln else {
+                    let latency = meta.submitted_at.elapsed();
+                    counters.reads_failed.inc();
+                    counters.slow_reads.observe(
+                        &meta.qname,
+                        latency.as_nanos() as u64,
+                        disposition::FAILED_NO_ALIGNMENT,
+                    );
+                    if let Some(x) = explain {
+                        // The read's earlier tasks (if any finished)
+                        // are in the accumulator; report what we have.
+                        let done_tasks = match &acc {
+                            Some(a) if a.read_seq == meta.read_seq => a.tasks.as_slice(),
+                            _ => &[],
+                        };
+                        x.emit(&ExplainRecord {
+                            read: &meta.qname,
+                            disposition: disposition::FAILED_NO_ALIGNMENT,
+                            provenance: *meta.provenance,
+                            tasks: done_tasks,
+                            align_ns: latency.as_nanos() as u64,
+                        });
+                    }
                     return Err(PipelineError::NoAlignment {
                         read: meta.qname.to_string(),
                     });
@@ -571,8 +670,21 @@ where
                     read_seq: meta.read_seq,
                     expected: meta.read_tasks,
                     rows: Vec::with_capacity(meta.read_tasks as usize),
+                    tasks: Vec::with_capacity(meta.read_tasks as usize),
                     qname: Arc::clone(&meta.qname),
+                    provenance: Arc::clone(&meta.provenance),
                     submitted_at: meta.submitted_at,
+                });
+                let rescued = meta
+                    .max_edits
+                    .is_some_and(|k| aln.edit_distance > k as usize);
+                if rescued {
+                    counters.tasks_rescued.inc();
+                }
+                group.tasks.push(TaskExplain {
+                    hint: meta.max_edits,
+                    edits: aln.edit_distance as u64,
+                    rescued,
                 });
                 group.rows.push(AlignRecord::new(
                     &meta.qname,

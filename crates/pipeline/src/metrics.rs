@@ -40,8 +40,15 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use genasm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, BUCKETS};
-use mapper::ShardIndexMetrics;
+use genasm_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, SlowRead, SlowReads, Snapshot, BUCKETS,
+};
+use mapper::{ReadMapStats, ShardIndexMetrics};
+
+/// Entries retained by the slow-read ring (name, latency, disposition
+/// of the slowest reads seen so far), surfaced in `STATS JSON` and the
+/// server's `# stat-frame` stream.
+pub const SLOW_READS_CAPACITY: usize = 8;
 
 /// Number of power-of-two buckets in the legacy batch-size histogram
 /// view ([`PipelineMetrics::batch_size_hist`]). Bucket `i > 0` counts
@@ -74,6 +81,25 @@ pub struct StageCounters {
     // Reader / candidate generation.
     pub reads_in: Arc<Counter>,
     pub reads_mapped: Arc<Counter>,
+    // Decision funnel: how far each read got before it stopped
+    // producing anything. `reads_anchored ≥ reads_chained ≥
+    // reads_mapped`; at rest `reads_in == reads_aligned +
+    // Σ reads_unmapped{reason} + reads_failed`.
+    pub reads_anchored: Arc<Counter>,
+    pub reads_chained: Arc<Counter>,
+    pub reads_aligned: Arc<Counter>,
+    pub reads_rescued: Arc<Counter>,
+    pub reads_failed: Arc<Counter>,
+    pub unmapped_no_anchors: Arc<Counter>,
+    pub unmapped_no_chain: Arc<Counter>,
+    pub unmapped_no_candidates: Arc<Counter>,
+    /// Accepted candidate alignments whose edit distance exceeded
+    /// their banding hint — the tight band came up empty and the
+    /// engine's full-budget rescue produced the result.
+    pub tasks_rescued: Arc<Counter>,
+    /// Ring of the slowest completed reads (not a registry metric:
+    /// entries carry names, so it is rendered separately).
+    pub slow_reads: Arc<SlowReads>,
     pub tasks_generated: Arc<Counter>,
     pub task_bases: Arc<Counter>,
     pub query_bases: Arc<Counter>,
@@ -127,6 +153,20 @@ impl StageCounters {
         StageCounters {
             reads_in: registry.counter("reads_in"),
             reads_mapped: registry.counter("reads_mapped"),
+            reads_anchored: registry.counter("reads_anchored"),
+            reads_chained: registry.counter("reads_chained"),
+            reads_aligned: registry.counter("reads_aligned"),
+            reads_rescued: registry.counter("reads_rescued"),
+            reads_failed: registry.counter("reads_failed"),
+            unmapped_no_anchors: registry.labeled_counter("reads_unmapped", "reason", "no_anchors"),
+            unmapped_no_chain: registry.labeled_counter("reads_unmapped", "reason", "no_chain"),
+            unmapped_no_candidates: registry.labeled_counter(
+                "reads_unmapped",
+                "reason",
+                "no_candidates",
+            ),
+            tasks_rescued: registry.counter("tasks_rescued"),
+            slow_reads: Arc::new(SlowReads::new(SLOW_READS_CAPACITY)),
             tasks_generated: registry.counter("tasks_generated"),
             task_bases: registry.counter("task_bases"),
             query_bases: registry.counter("query_bases"),
@@ -186,6 +226,48 @@ impl StageCounters {
             .clone()
     }
 
+    /// Record one read's pass through the candidate funnel stages
+    /// (anchors → chains → candidates). `reads_in` is bumped
+    /// separately by the ingest stage; this bumps the stage-survival
+    /// counters and, for a read that emptied out, the partitioned
+    /// `reads_unmapped{reason}` counter. Returns the unmapped reason
+    /// when the read produced no candidates.
+    pub fn note_funnel(&self, st: &ReadMapStats) -> Option<&'static str> {
+        if st.anchors > 0 {
+            self.reads_anchored.inc();
+        }
+        if st.chains > 0 {
+            self.reads_chained.inc();
+        }
+        match st.unmapped_reason() {
+            None => {
+                self.reads_mapped.inc();
+                None
+            }
+            Some(reason) => {
+                self.note_unmapped(reason);
+                Some(reason)
+            }
+        }
+    }
+
+    /// Bump the partitioned unmapped counter for `reason`
+    /// (`no_anchors` / `no_chain` / `no_candidates`).
+    pub fn note_unmapped(&self, reason: &str) {
+        match reason {
+            "no_anchors" => self.unmapped_no_anchors.inc(),
+            "no_chain" => self.unmapped_no_chain.inc(),
+            _ => self.unmapped_no_candidates.inc(),
+        }
+    }
+
+    /// Sum of the partitioned unmapped counters.
+    pub fn reads_unmapped(&self) -> u64 {
+        self.unmapped_no_anchors.get()
+            + self.unmapped_no_chain.get()
+            + self.unmapped_no_candidates.get()
+    }
+
     /// Record `n` bases entering the pipeline as one task.
     pub fn task_in(&self, bases: usize) {
         self.tasks_generated.inc();
@@ -231,6 +313,85 @@ impl StageCounters {
     }
 }
 
+/// The decision funnel at snapshot time: how many reads reached each
+/// candidate stage and how every finished read was disposed of. At
+/// rest, `reads_in == aligned + unmapped_total() + failed` (the
+/// per-read accounting invariant the tests assert); mid-run a read
+/// counted in `reads_in` may not yet be disposed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunnelCounts {
+    /// Reads consumed from the input stream.
+    pub reads_in: u64,
+    /// Reads with at least one merged anchor.
+    pub anchored: u64,
+    /// Reads with at least one chain.
+    pub chained: u64,
+    /// Reads with at least one candidate task (`reads_mapped`).
+    pub candidates: u64,
+    /// Reads that finished with at least one output record.
+    pub aligned: u64,
+    /// Aligned reads where at least one accepted candidate needed the
+    /// engine's full-budget rescue (a subset of `aligned`).
+    pub rescued: u64,
+    /// Reads that finished with no record because alignment failed.
+    pub failed: u64,
+    /// Unmapped reads whose anchor stage came up empty.
+    pub unmapped_no_anchors: u64,
+    /// Unmapped reads that anchored but produced no chain.
+    pub unmapped_no_chain: u64,
+    /// Unmapped reads that chained but emitted no candidate task.
+    pub unmapped_no_candidates: u64,
+}
+
+impl FunnelCounts {
+    /// Total unmapped reads across the partitioned reasons.
+    pub fn unmapped_total(&self) -> u64 {
+        self.unmapped_no_anchors + self.unmapped_no_chain + self.unmapped_no_candidates
+    }
+
+    /// Reads with a terminal disposition so far
+    /// (`aligned + unmapped + failed`); equals `reads_in` at rest.
+    pub fn accounted(&self) -> u64 {
+        self.aligned + self.unmapped_total() + self.failed
+    }
+
+    /// Snapshot the funnel counters out of live [`StageCounters`].
+    pub fn from_counters(c: &StageCounters) -> FunnelCounts {
+        FunnelCounts {
+            reads_in: c.reads_in.get(),
+            anchored: c.reads_anchored.get(),
+            chained: c.reads_chained.get(),
+            candidates: c.reads_mapped.get(),
+            aligned: c.reads_aligned.get(),
+            rescued: c.reads_rescued.get(),
+            failed: c.reads_failed.get(),
+            unmapped_no_anchors: c.unmapped_no_anchors.get(),
+            unmapped_no_chain: c.unmapped_no_chain.get(),
+            unmapped_no_candidates: c.unmapped_no_candidates.get(),
+        }
+    }
+
+    /// Compact JSON object (shared by `--metrics json`, `STATS JSON`,
+    /// and the `# stat-frame` stream).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"reads_in\":{},\"anchored\":{},\"chained\":{},\"candidates\":{},\
+             \"aligned\":{},\"rescued\":{},\"failed\":{},\
+             \"unmapped\":{{\"no_anchors\":{},\"no_chain\":{},\"no_candidates\":{}}}}}",
+            self.reads_in,
+            self.anchored,
+            self.chained,
+            self.candidates,
+            self.aligned,
+            self.rescued,
+            self.failed,
+            self.unmapped_no_anchors,
+            self.unmapped_no_chain,
+            self.unmapped_no_candidates
+        )
+    }
+}
+
 /// Telemetry for one bounded queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueMetrics {
@@ -268,6 +429,11 @@ pub struct PipelineMetrics {
     pub reads_in: u64,
     /// Reads that produced at least one candidate task.
     pub reads_mapped: u64,
+    /// The decision funnel: stage-survival counts and per-reason
+    /// disposition of every finished read.
+    pub funnel: FunnelCounts,
+    /// Ring of the slowest completed reads, slowest first.
+    pub slow_reads: Vec<SlowRead>,
     /// Candidate tasks generated by the mapper stage.
     pub tasks_generated: u64,
     /// Total bases (query + target) across generated tasks.
@@ -401,6 +567,23 @@ impl PipelineMetrics {
             "pipeline: {} reads in ({} mapped), {} tasks, {} records out",
             self.reads_in, self.reads_mapped, self.tasks_generated, self.records_out
         );
+        let f = &self.funnel;
+        let _ = writeln!(
+            s,
+            "funnel:   in={} anchored={} chained={} candidates={} aligned={} (rescued {}) \
+             unmapped={} (no_anchors {}, no_chain {}, no_candidates {}) failed={}",
+            f.reads_in,
+            f.anchored,
+            f.chained,
+            f.candidates,
+            f.aligned,
+            f.rescued,
+            f.unmapped_total(),
+            f.unmapped_no_anchors,
+            f.unmapped_no_chain,
+            f.unmapped_no_candidates,
+            f.failed
+        );
         let _ = writeln!(
             s,
             "batches:  {} dispatched, mean {:.0} bases, max {} bases",
@@ -529,6 +712,21 @@ impl PipelineMetrics {
             genasm_telemetry::json::number(self.query_bases_per_sec()),
             genasm_telemetry::json::number(self.backend_utilization()),
         );
+        let _ = write!(s, ",\"funnel\":{}", self.funnel.to_json());
+        s.push_str(",\"slow_reads\":[");
+        for (i, e) in self.slow_reads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"read\":\"{}\",\"latency_ns\":{},\"disposition\":\"{}\"}}",
+                genasm_telemetry::json::escape(&e.name),
+                e.latency_ns,
+                genasm_telemetry::json::escape(&e.disposition)
+            );
+        }
+        s.push(']');
         let _ = write!(
             s,
             ",\"busy_ns\":{{\"mapper\":{},\"scheduler\":{},\"backend\":{},\"sink\":{}}}",
@@ -700,6 +898,8 @@ impl PipelineMetrics {
         PipelineMetrics {
             reads_in: c.reads_in.get(),
             reads_mapped: c.reads_mapped.get(),
+            funnel: FunnelCounts::from_counters(c),
+            slow_reads: c.slow_reads.snapshot(),
             tasks_generated: c.tasks_generated.get(),
             task_bases: c.task_bases.get(),
             query_bases: c.query_bases.get(),
@@ -938,6 +1138,92 @@ mod tests {
             "{p}"
         );
         assert!(p.contains("genasm_engine_windows_total 2"), "{p}");
+    }
+
+    #[test]
+    fn funnel_counts_render_in_summary_json_and_prometheus() {
+        let c = StageCounters::default();
+        // Three reads: mapped+aligned (rescued), unmapped(no_chain),
+        // mapped+failed.
+        c.reads_in.add(3);
+        assert_eq!(
+            c.note_funnel(&ReadMapStats {
+                anchors: 4,
+                chains: 2,
+                candidates: 2,
+            }),
+            None
+        );
+        c.reads_aligned.inc();
+        c.reads_rescued.inc();
+        c.tasks_rescued.inc();
+        assert_eq!(
+            c.note_funnel(&ReadMapStats {
+                anchors: 1,
+                chains: 0,
+                candidates: 0,
+            }),
+            Some("no_chain")
+        );
+        assert_eq!(
+            c.note_funnel(&ReadMapStats {
+                anchors: 2,
+                chains: 1,
+                candidates: 1,
+            }),
+            None
+        );
+        c.reads_failed.inc();
+        c.slow_reads.observe("slow\"one", 9_999, "aligned");
+        assert_eq!(c.reads_unmapped(), 1);
+        let m = PipelineMetrics::snapshot(
+            &c,
+            Duration::from_secs(1),
+            no_shards(),
+            q1(),
+            q1(),
+            q1(),
+            None,
+        );
+        let f = &m.funnel;
+        assert_eq!(f.reads_in, 3);
+        assert_eq!(f.anchored, 3);
+        assert_eq!(f.chained, 2);
+        assert_eq!(f.candidates, 2);
+        assert_eq!(f.aligned, 1);
+        assert_eq!(f.rescued, 1);
+        assert_eq!(f.failed, 1);
+        assert_eq!(f.unmapped_total(), 1);
+        assert_eq!(f.accounted(), f.reads_in);
+        let s = m.summary();
+        assert!(
+            s.contains(
+                "funnel:   in=3 anchored=3 chained=2 candidates=2 aligned=1 (rescued 1) \
+                 unmapped=1 (no_anchors 0, no_chain 1, no_candidates 0) failed=1"
+            ),
+            "{s}"
+        );
+        let j = m.to_json();
+        assert!(
+            j.contains("\"funnel\":{\"reads_in\":3,\"anchored\":3,\"chained\":2"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"unmapped\":{\"no_anchors\":0,\"no_chain\":1,\"no_candidates\":0}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"slow_reads\":[{\"read\":\"slow\\\"one\",\"latency_ns\":9999"),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        let p = m.to_prometheus();
+        assert!(
+            p.contains("genasm_reads_unmapped_total{reason=\"no_chain\"} 1"),
+            "{p}"
+        );
+        assert!(p.contains("genasm_reads_aligned_total 1"), "{p}");
+        assert!(p.contains("genasm_tasks_rescued_total 1"), "{p}");
     }
 
     #[test]

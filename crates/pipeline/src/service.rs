@@ -63,6 +63,7 @@ use mapper::ShardedIndex;
 
 use crate::backend::{Backend, BackendKind};
 use crate::batcher::{Batch, BatchBuilder, TaskMeta};
+use crate::explain::{disposition, ExplainRecord, ReadProvenance, TaskExplain};
 use crate::metrics::{BackendLat, PipelineMetrics, QueueMetrics, StageCounters};
 use crate::queue::{BoundedQueue, PopTimeout};
 use crate::record::AlignRecord;
@@ -265,6 +266,10 @@ pub struct SessionMetrics {
     pub reads_in: u64,
     /// Reads that produced at least one candidate task.
     pub reads_mapped: u64,
+    /// Reads that produced no candidate task (they complete
+    /// immediately with no rows; `reads_in == reads_mapped +
+    /// reads_unmapped` for every session).
+    pub reads_unmapped: u64,
     /// Candidate tasks generated.
     pub tasks: u64,
     /// Total bases (query + target) across the session's tasks.
@@ -297,6 +302,12 @@ pub enum SessionEvent {
         /// The configured [`ServiceConfig::max_session_output_bytes`].
         cap: u64,
     },
+    /// One read's `genasm-explain/v1` provenance line. Sent only when
+    /// the session opted in via [`Session::set_explain`]; follows the
+    /// read's [`SessionEvent::Rows`] / [`SessionEvent::ReadFailed`]
+    /// (unmapped reads, which get neither, still get their explain
+    /// line). Purely informational — record delivery is unchanged.
+    Explain(String),
     /// The session is fully drained; always the final event.
     End(SessionMetrics),
 }
@@ -488,6 +499,9 @@ struct SessionState {
     completed: u64,
     /// The submit side called finish (no more reads coming).
     finished: bool,
+    /// The session opted into per-read [`SessionEvent::Explain`]
+    /// events ([`Session::set_explain`]).
+    explain_on: bool,
     metrics: SessionMetrics,
 }
 
@@ -703,6 +717,7 @@ impl PipelineService {
                 mapped_submitted: 0,
                 completed: 0,
                 finished: false,
+                explain_on: false,
                 metrics: SessionMetrics::default(),
             },
         );
@@ -803,12 +818,13 @@ impl PipelineService {
             let _ = write!(
                 s,
                 "{{\"id\":{},\"backend\":\"{}\",\"reads_in\":{},\"reads_mapped\":{},\
-                 \"tasks\":{},\"task_bases\":{},\"records_out\":{},\"reads_failed\":{},\
-                 \"buffered_out_bytes\":{}}}",
+                 \"reads_unmapped\":{},\"tasks\":{},\"task_bases\":{},\"records_out\":{},\
+                 \"reads_failed\":{},\"buffered_out_bytes\":{}}}",
                 st.id,
                 st.backend,
                 st.metrics.reads_in,
                 st.metrics.reads_mapped,
+                st.metrics.reads_unmapped,
                 st.metrics.tasks,
                 st.metrics.task_bases,
                 st.metrics.records_out,
@@ -837,6 +853,61 @@ impl PipelineService {
             self.shared.started.elapsed().as_millis()
         );
         out
+    }
+
+    /// One `genasm-stat-frame/v1` JSON object for the server's
+    /// `STATS STREAM` push feed: uptime, open sessions, the decision
+    /// funnel, caller-computed interval rates, per-backend batch
+    /// counts and execute-latency quantiles, buffered session output,
+    /// and the slowest-reads ring. Single line, no trailing newline.
+    pub fn stat_frame_json(
+        &self,
+        interval_ms: u64,
+        reads_per_sec: f64,
+        records_per_sec: f64,
+    ) -> String {
+        use std::fmt::Write;
+        let sh = &self.shared;
+        let m = self.metrics();
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"genasm-stat-frame/v1\",\"uptime_ms\":{},\"interval_ms\":{},\
+             \"sessions\":{},\"records_out\":{},\"funnel\":{},\
+             \"rates\":{{\"reads_per_sec\":{},\"records_per_sec\":{}}}",
+            sh.started.elapsed().as_millis(),
+            interval_ms,
+            self.active_sessions(),
+            m.records_out,
+            m.funnel.to_json(),
+            genasm_telemetry::json::number(reads_per_sec),
+            genasm_telemetry::json::number(records_per_sec),
+        );
+        s.push_str(",\"backends\":{");
+        for (i, b) in m.backends.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"batches\":{},\"tasks\":{},\"execute_p50_ns\":{},\
+                 \"execute_p99_ns\":{},\"execute_max_ns\":{}}}",
+                genasm_telemetry::json::escape(&b.name),
+                b.batches,
+                b.tasks,
+                b.execute.p50(),
+                b.execute.p99(),
+                b.execute.max,
+            );
+        }
+        s.push('}');
+        let _ = write!(
+            s,
+            ",\"buffered_out_bytes\":{},\"slowest\":{}}}",
+            m.session_output_buffered_bytes,
+            sh.counters.slow_reads.to_json(),
+        );
+        s
     }
 
     /// Stop admitting new sessions immediately (open ones keep
@@ -915,13 +986,14 @@ impl Session {
         self.gate.admit()?;
         let sh = &self.shared;
         let t0 = Instant::now();
-        let tasks = sh.index.candidates_for_read(
+        let (tasks, map_stats) = sh.index.candidates_for_read_stats(
             self.local_reads as u32,
             &read.seq,
             &sh.cfg.pipeline.params,
         );
         self.local_reads += 1;
-        StageCounters::add_ns(&sh.counters.mapper_ns, t0.elapsed());
+        let map_ns = t0.elapsed();
+        StageCounters::add_ns(&sh.counters.mapper_ns, map_ns);
         sh.counters.reads_in.inc();
         if let Some(t) = sh.trace() {
             t.span(
@@ -929,7 +1001,7 @@ impl Session {
                 "service",
                 tids::INGEST,
                 t0,
-                t0.elapsed(),
+                map_ns,
                 &[
                     ("read", read.name.as_str().into()),
                     ("session", self.id.into()),
@@ -937,9 +1009,13 @@ impl Session {
                 ],
             );
         }
-        if !tasks.is_empty() {
-            sh.counters.reads_mapped.inc();
-        }
+        let unmapped_reason = sh.counters.note_funnel(&map_stats);
+        let provenance = Arc::new(ReadProvenance {
+            anchors: map_stats.anchors,
+            chains: map_stats.chains,
+            candidates: map_stats.candidates,
+            map_ns: map_ns.as_nanos() as u64,
+        });
         let n = tasks.len();
         let total_bases: usize = tasks.iter().map(AlignTask::bases).sum();
         {
@@ -953,6 +1029,33 @@ impl Session {
                 // Counted before the push so the sink can never observe
                 // completed > mapped_submitted.
                 st.mapped_submitted += 1;
+            } else {
+                // Zero-candidate reads used to vanish without a trace;
+                // now they are accounted per session and per reason,
+                // and get their explain line like every other read.
+                st.metrics.reads_unmapped += 1;
+                let reason = unmapped_reason.unwrap_or("no_candidates");
+                let disp = disposition::unmapped(reason);
+                // The read never reaches the sink, so record its
+                // end-to-end latency (= mapping time) here to keep the
+                // one-sample-per-read histogram invariant.
+                sh.counters.read_latency_ns.record(provenance.map_ns);
+                sh.counters
+                    .slow_reads
+                    .observe(&read.name, provenance.map_ns, &disp);
+                let rec = ExplainRecord {
+                    read: &read.name,
+                    disposition: &disp,
+                    provenance: *provenance,
+                    tasks: &[],
+                    align_ns: 0,
+                };
+                if let Some(x) = sh.cfg.pipeline.explain.as_deref() {
+                    x.emit(&rec);
+                }
+                if st.explain_on {
+                    let _ = st.tx.send((SessionEvent::Explain(rec.to_json()), 0));
+                }
             }
         }
         if n == 0 {
@@ -986,6 +1089,8 @@ impl Session {
                 tstart: task.ref_pos,
                 tlen: task.target.len(),
                 reverse: task.reverse,
+                max_edits: task.max_edits,
+                provenance: Arc::clone(&provenance),
                 submitted_at: t0,
                 enqueued_at: Instant::now(),
             };
@@ -996,6 +1101,16 @@ impl Session {
             }
         }
         Ok(n)
+    }
+
+    /// Opt this session in (or out) of per-read provenance events:
+    /// while on, every read is followed by a [`SessionEvent::Explain`]
+    /// carrying its `genasm-explain/v1` JSON line. Strictly passive —
+    /// record delivery and ordering are unchanged.
+    pub fn set_explain(&mut self, on: bool) {
+        if let Some(st) = self.shared.sessions.lock().unwrap().get_mut(&self.id) {
+            st.explain_on = on;
+        }
     }
 
     /// Declare the session finished: once its in-flight reads drain,
@@ -1278,8 +1393,13 @@ struct ReadAcc {
     expected: u32,
     got: u32,
     rows: Vec<AlignRecord>,
+    /// Hint-vs-actual accounting per accepted candidate (explain and
+    /// rescue telemetry).
+    tasks: Vec<TaskExplain>,
     failed: bool,
     submitted_at: Instant,
+    /// Funnel counts captured at candidate generation.
+    provenance: Arc<ReadProvenance>,
     /// Task bases accumulated as the read's tasks arrive — the credit
     /// handed back to the session gate at completion.
     bases: u64,
@@ -1290,6 +1410,33 @@ struct ReadAcc {
 fn finalize_read(sh: &Shared, acc: ReadAcc) {
     let latency = acc.submitted_at.elapsed();
     sh.counters.read_latency_ns.record_duration(latency);
+    // Funnel disposition is global telemetry: it runs even when the
+    // session (and its receiver) is already gone.
+    let disp = if acc.failed {
+        sh.counters.reads_failed.inc();
+        disposition::FAILED_NO_ALIGNMENT
+    } else {
+        sh.counters.reads_aligned.inc();
+        if acc.tasks.iter().any(|t| t.rescued) {
+            sh.counters.reads_rescued.inc();
+            disposition::RESCUED
+        } else {
+            disposition::ALIGNED
+        }
+    };
+    sh.counters
+        .slow_reads
+        .observe(&acc.qname, latency.as_nanos() as u64, disp);
+    let rec = ExplainRecord {
+        read: &acc.qname,
+        disposition: disp,
+        provenance: *acc.provenance,
+        tasks: &acc.tasks,
+        align_ns: latency.as_nanos() as u64,
+    };
+    if let Some(x) = sh.cfg.pipeline.explain.as_deref() {
+        x.emit(&rec);
+    }
     if let Some(t) = sh.trace() {
         t.span(
             "read",
@@ -1346,6 +1493,9 @@ fn finalize_read(sh: &Shared, acc: ReadAcc) {
             BufferOutcome::Drop => {}
         }
     }
+    if st.explain_on {
+        let _ = st.tx.send((SessionEvent::Explain(rec.to_json()), 0));
+    }
     // Debit before credit: the read's output is on the books before
     // its in-flight slot frees, so a throttled submitter can never be
     // admitted in a window where completed output is unaccounted —
@@ -1401,22 +1551,37 @@ fn sink_loop(sh: &Shared) {
                     expected: meta.read_tasks,
                     got: 0,
                     rows: Vec::with_capacity(meta.read_tasks as usize),
+                    tasks: Vec::with_capacity(meta.read_tasks as usize),
                     failed: false,
                     submitted_at: meta.submitted_at,
+                    provenance: Arc::clone(&meta.provenance),
                     bases: 0,
                 });
                 acc.bases += (meta.qlen + meta.tlen) as u64;
                 match aln {
-                    Some(aln) => acc.rows.push(AlignRecord::new(
-                        &meta.qname,
-                        meta.qlen,
-                        &meta.tname,
-                        meta.tsize,
-                        meta.tstart,
-                        meta.tlen,
-                        meta.reverse,
-                        &aln,
-                    )),
+                    Some(aln) => {
+                        let rescued = meta
+                            .max_edits
+                            .is_some_and(|k| aln.edit_distance > k as usize);
+                        if rescued {
+                            sh.counters.tasks_rescued.inc();
+                        }
+                        acc.tasks.push(TaskExplain {
+                            hint: meta.max_edits,
+                            edits: aln.edit_distance as u64,
+                            rescued,
+                        });
+                        acc.rows.push(AlignRecord::new(
+                            &meta.qname,
+                            meta.qlen,
+                            &meta.tname,
+                            meta.tsize,
+                            meta.tstart,
+                            meta.tlen,
+                            meta.reverse,
+                            &aln,
+                        ))
+                    }
                     None => acc.failed = true,
                 }
                 acc.got += 1;

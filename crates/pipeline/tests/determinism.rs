@@ -737,6 +737,87 @@ fn tracing_and_exposition_never_change_output_bytes() {
     assert!(trace_text.contains("\"ph\":\"M\""), "no thread metadata");
 }
 
+/// `--explain` is passive: the identical workload run with an explain
+/// sink attached produces byte-identical records, and the explain
+/// stream carries exactly one well-formed `genasm-explain/v1` line per
+/// input read — including reads that never produce a record. The
+/// funnel counters partition `reads_in` exactly.
+#[test]
+fn explain_stream_is_passive_and_covers_every_read() {
+    use genasm_pipeline::ExplainSink;
+    use std::sync::Arc;
+
+    let (reference, mut reads) = workload(40_000, 8, 600);
+    // An empty read can never anchor: it must still get an explain
+    // line (disposition unmapped:no_anchors) despite emitting nothing.
+    reads.push(("lost \"read\"".to_string(), Seq::new()));
+    let backend = CpuBackend::improved();
+    let plain_cfg = PipelineConfig {
+        batch_bases: 8 * 1024,
+        queue_depth: 2,
+        shards: env_shards(),
+        ..PipelineConfig::default()
+    };
+    let (plain, _) = run_stream(&reads, &reference, &backend, &plain_cfg);
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())));
+    let explained_cfg = PipelineConfig {
+        explain: Some(Arc::new(ExplainSink::new(Box::new(buf.clone())))),
+        ..plain_cfg.clone()
+    };
+    let (explained, m) = run_stream(&reads, &reference, &backend, &explained_cfg);
+    assert_eq!(plain, explained, "explain changed the output bytes");
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        reads.len(),
+        "one explain line per read:\n{text}"
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-explain/v1\""),
+            "{line}"
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "{line}"
+        );
+    }
+    // Every input read appears exactly once, hostile names escaped.
+    for (name, _) in &reads {
+        let esc = genasm_telemetry::json::escape(name);
+        let needle = format!("\"read\":\"{esc}\"");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains(&needle)).count(),
+            1,
+            "read {name:?} not explained exactly once"
+        );
+    }
+    assert!(
+        text.contains("\"disposition\":\"unmapped:no_anchors\""),
+        "the empty read's disposition is missing:\n{text}"
+    );
+    // The funnel partitions reads_in on the metrics surface too.
+    let f = m.funnel;
+    assert_eq!(f.reads_in, reads.len() as u64);
+    assert_eq!(f.reads_in, f.aligned + f.unmapped_total() + f.failed);
+    assert_eq!(f.unmapped_no_anchors, 1);
+}
+
 /// The latency histograms cover the full read lifecycle: every read
 /// gets an end-to-end latency sample, every batch a build-time and a
 /// backend execute sample, and the per-backend breakdown matches the

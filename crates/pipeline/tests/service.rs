@@ -110,6 +110,7 @@ fn run_session(
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow {
                 buffered_bytes,
                 cap,
@@ -353,6 +354,7 @@ fn graceful_drain_finishes_in_flight_sessions_and_refuses_new_ones() {
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow {
                 buffered_bytes,
                 cap,
@@ -453,6 +455,7 @@ fn lightly_loaded_session_is_not_starved_by_steady_traffic() {
         match a_receiver.recv_timeout(deadline) {
             Some(SessionEvent::Rows(rows)) => got_rows = !rows.is_empty(),
             Some(SessionEvent::ReadFailed { read }) => panic!("read {read} failed"),
+            Some(SessionEvent::Explain(_)) => {}
             Some(SessionEvent::Overflow { .. }) => panic!("unexpected overflow for session A"),
             Some(SessionEvent::End(_)) => break,
             None => panic!("session A starved: no event within {deadline:?} while B streams"),
@@ -555,6 +558,7 @@ fn unmapped_reads_complete_without_rows() {
         match event {
             SessionEvent::Rows(r) => rows += r.len(),
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow {
                 buffered_bytes,
                 cap,
@@ -786,6 +790,7 @@ fn slow_receiver_buffered_output_stays_within_the_session_bound() {
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow {
                 buffered_bytes,
                 cap,
@@ -882,6 +887,7 @@ fn greedy_slow_reader_does_not_starve_a_light_session() {
                 }
             }
             Some(SessionEvent::ReadFailed { read }) => panic!("read {read} failed"),
+            Some(SessionEvent::Explain(_)) => {}
             Some(SessionEvent::Overflow { .. }) => panic!("light session evicted"),
             Some(SessionEvent::End(_)) => break,
             None => panic!("light session starved: no event within {deadline:?}"),
@@ -900,6 +906,7 @@ fn greedy_slow_reader_does_not_starve_a_light_session() {
                 }
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow { .. } => panic!("throttle policy must never evict"),
             SessionEvent::End(_) => break,
         }
@@ -962,6 +969,7 @@ fn evict_policy_sends_one_overflow_then_end_and_fails_further_submits() {
                 delivered_bytes += rows.iter().map(|r| r.to_tsv().len() + 1).sum::<usize>();
             }
             SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+            SessionEvent::Explain(_) => {}
             SessionEvent::Overflow {
                 buffered_bytes,
                 cap: evt_cap,
@@ -987,4 +995,175 @@ fn evict_policy_sends_one_overflow_then_end_and_fails_further_submits() {
         "delivered {delivered_bytes} bytes despite the {cap}-byte cap"
     );
     service.shutdown();
+}
+
+/// Adversarial concurrent sessions: unmappable reads, hostile names
+/// needing JSON escaping, and explain opt-in, all at once. The
+/// decision funnel must partition `reads_in` exactly — globally and
+/// per session — and each session's explain stream must cover every
+/// submitted read exactly once without perturbing record output.
+#[test]
+fn funnel_partitions_reads_under_adversarial_concurrent_sessions() {
+    let base = workload(90_000, 0, 0, 3);
+    let reference = base.reference;
+    let sessions: Vec<(BackendKind, Vec<(String, Seq)>)> = [
+        (BackendKind::Cpu, 31u64),
+        (BackendKind::Edlib, 32),
+        (BackendKind::Cpu, 33),
+        (BackendKind::Ksw2, 34),
+    ]
+    .iter()
+    .map(|&(backend, seed)| {
+        let genome = Genome {
+            seq: base.seq.clone(),
+            planted: Vec::new(),
+        };
+        let sim = simulate_reads(
+            &genome,
+            &ReadConfig {
+                count: 4,
+                length: 700,
+                errors: ErrorModel::pacbio_clr(0.08),
+                rc_fraction: 0.5,
+                seed,
+            },
+        );
+        let mut named: Vec<(String, Seq)> = sim
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("s{seed}\t\"read\"\n{i}"), r.seq))
+            .collect();
+        // An empty read can never anchor: per-session unmapped count.
+        named.push((format!("s{seed} ghost"), Seq::new()));
+        (backend, named)
+    })
+    .collect();
+
+    let expected: Vec<String> = sessions
+        .iter()
+        .map(|(backend, reads)| one_shot(reads, &reference, *backend))
+        .collect();
+
+    let cfg = ServiceConfig {
+        pipeline: PipelineConfig {
+            batch_bases: 4 * 1024,
+            queue_depth: 4,
+            dispatchers: 2,
+            ..PipelineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(PipelineService::start("ref", reference.clone(), cfg));
+    type SessionRun = (String, Vec<String>, genasm_pipeline::SessionMetrics);
+    let outputs: Vec<SessionRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|(backend, reads)| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let (mut session, receiver) =
+                        service.open_session(*backend).expect("admission");
+                    session.set_explain(true);
+                    for (name, seq) in reads.iter() {
+                        session
+                            .submit(ReadInput {
+                                name: name.clone(),
+                                seq: seq.clone(),
+                            })
+                            .expect("submit");
+                    }
+                    session.finish();
+                    let mut out = String::new();
+                    let mut explain = Vec::new();
+                    let mut metrics = None;
+                    while let Some(event) = receiver.recv() {
+                        match event {
+                            SessionEvent::Rows(rows) => {
+                                for r in &rows {
+                                    out.push_str(&r.to_tsv());
+                                    out.push('\n');
+                                }
+                            }
+                            SessionEvent::ReadFailed { read } => panic!("read {read} failed"),
+                            SessionEvent::Explain(line) => explain.push(line),
+                            SessionEvent::Overflow { .. } => panic!("unexpected overflow"),
+                            SessionEvent::End(m) => {
+                                metrics = Some(m);
+                                break;
+                            }
+                        }
+                    }
+                    (out, explain, metrics.expect("End event delivered"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, ((got, explain, m), (want, (_, reads)))) in outputs
+        .iter()
+        .zip(expected.iter().zip(&sessions))
+        .enumerate()
+    {
+        assert_eq!(got, want, "session {i}: explain perturbed record output");
+        assert_eq!(m.reads_in, 5, "session {i}");
+        assert_eq!(
+            m.reads_in,
+            m.reads_mapped + m.reads_unmapped,
+            "session {i}: session accounting does not partition reads_in"
+        );
+        assert_eq!(m.reads_unmapped, 1, "session {i}");
+        assert_eq!(
+            explain.len(),
+            reads.len(),
+            "session {i}: one explain line per read"
+        );
+        for line in explain {
+            assert!(
+                line.starts_with("{\"schema\":\"genasm-explain/v1\""),
+                "{line}"
+            );
+            assert_eq!(line.lines().count(), 1, "forged line boundary: {line}");
+        }
+        for (name, _) in reads {
+            let needle = format!("\"read\":\"{}\"", genasm_telemetry::json::escape(name));
+            assert_eq!(
+                explain.iter().filter(|l| l.contains(&needle)).count(),
+                1,
+                "session {i}: read {name:?} not explained exactly once"
+            );
+        }
+        assert!(
+            explain
+                .iter()
+                .any(|l| l.contains("\"disposition\":\"unmapped:no_anchors\"")),
+            "session {i}: the ghost read's disposition is missing"
+        );
+    }
+
+    // The live stat-frame surface carries the same funnel.
+    let frame = service.stat_frame_json(1000, 1.5, 0.0);
+    assert!(
+        frame.starts_with("{\"schema\":\"genasm-stat-frame/v1\""),
+        "{frame}"
+    );
+    assert!(frame.contains("\"funnel\":{\"reads_in\":20"), "{frame}");
+    assert!(
+        frame.contains("\"rates\":{\"reads_per_sec\":1.5"),
+        "{frame}"
+    );
+    assert_eq!(frame.lines().count(), 1, "stat frame must be one line");
+
+    let metrics = service.shutdown();
+    let f = metrics.funnel;
+    assert_eq!(f.reads_in, 20);
+    assert_eq!(
+        f.reads_in,
+        f.aligned + f.unmapped_total() + f.failed,
+        "global funnel does not partition reads_in: {f:?}"
+    );
+    assert_eq!(f.unmapped_no_anchors, 4);
+    assert_eq!(f.candidates, f.aligned + f.failed);
+    assert!(f.reads_in >= f.anchored && f.anchored >= f.chained && f.chained >= f.candidates);
+    assert!(f.rescued <= f.aligned);
 }

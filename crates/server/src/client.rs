@@ -31,6 +31,10 @@ pub struct SubmitOptions {
     /// / `# prom-end` block; the bare exposition lines are captured in
     /// the report).
     pub stats_prom: bool,
+    /// Send `SET explain on` in the preamble: the session streams one
+    /// `# explain {json}` provenance line per read, captured in
+    /// [`SubmitReport::explain`].
+    pub explain: bool,
     /// Send `SHUTDOWN` and return (no records are sent).
     pub shutdown: bool,
 }
@@ -49,6 +53,9 @@ pub struct SubmitReport {
     /// The Prometheus exposition of a `STATS PROM` reply (prefixes
     /// stripped, one metric line per element).
     pub stats_prom: Option<String>,
+    /// The JSON payloads of `# explain …` provenance lines, in read
+    /// order (prefix stripped; empty unless `SET explain on` ran).
+    pub explain: Vec<String>,
 }
 
 /// Run one protocol conversation. `reads` supplies the raw FASTA/FASTQ
@@ -150,6 +157,15 @@ pub fn submit<R: Read>(
         let line = format!("SET format {format}");
         verb(&mut writer, &mut reader, &mut report, status, &line)?;
     }
+    if opts.explain {
+        verb(
+            &mut writer,
+            &mut reader,
+            &mut report,
+            status,
+            "SET explain on",
+        )?;
+    }
     let Some(mut reads) = reads else {
         return Ok(report); // verb-only conversation
     };
@@ -190,6 +206,9 @@ pub fn submit<R: Read>(
             if trimmed.starts_with(DONE_PREFIX) {
                 report.done = Some(trimmed.to_string());
             }
+            if let Some(json) = trimmed.strip_prefix("# explain ") {
+                report.explain.push(json.to_string());
+            }
             writeln!(status, "{trimmed}")?;
         } else {
             report.records += 1;
@@ -197,4 +216,55 @@ pub fn submit<R: Read>(
         }
     }
     Ok(report)
+}
+
+/// Consume a `STATS STREAM` push feed (the `genasm ctl top` client):
+/// connect, request one frame every `interval_ms`, and write each
+/// frame's bare JSON payload to `out` (one `genasm-stat-frame/v1`
+/// object per line — pipes straight into `jq`). Protocol chatter
+/// (greeting, heartbeats, `# ok stream-end`) goes to `status`.
+///
+/// Stops after `max_frames` frames (`0` = stream until the server
+/// ends the feed) by dropping the connection — that is the protocol's
+/// unsubscribe. Returns the number of frames received; an `# err …`
+/// reply to the verb surfaces as [`io::ErrorKind::InvalidData`].
+pub fn stream_stats(
+    endpoint: &Endpoint,
+    interval_ms: u64,
+    max_frames: u64,
+    out: &mut dyn Write,
+    status: &mut dyn Write,
+) -> io::Result<u64> {
+    let conn = connect(endpoint)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    writeln!(writer, "STATS STREAM {interval_ms}")?;
+    writer.flush()?;
+
+    let mut frames = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // server ended the feed (drain) — not an error
+        }
+        let trimmed = line.trim_end();
+        if let Some(json) = trimmed.strip_prefix("# stat-frame ") {
+            writeln!(out, "{json}")?;
+            out.flush()?;
+            frames += 1;
+            if max_frames > 0 && frames >= max_frames {
+                break; // dropping the connection unsubscribes
+            }
+            continue;
+        }
+        if trimmed.starts_with(ERR_PREFIX) {
+            writeln!(status, "{trimmed}")?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, trimmed));
+        }
+        if !trimmed.is_empty() {
+            writeln!(status, "{trimmed}")?;
+        }
+    }
+    Ok(frames)
 }

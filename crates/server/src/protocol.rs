@@ -10,10 +10,12 @@
 //! ```text
 //! SET backend cpu|gpu-sim|edlib|ksw2          pick this session's backend
 //! SET format tsv|paf                          pick this session's output format
+//! SET explain on|off                          stream per-read provenance lines
 //! PING                                        liveness probe
 //! STATS                                       one-line server-wide counters
 //! STATS JSON                                  live registry snapshot as one JSON line
 //! STATS PROM                                  Prometheus text exposition
+//! STATS STREAM <ms>                           push stat frames every <ms> milliseconds
 //! SHUTDOWN                                    ask the server to drain and exit
 //! BEGIN                                       end of preamble, records follow
 //! ```
@@ -38,6 +40,21 @@
 //! `# err read`/`# err input` lines (read names, parser messages) are
 //! backslash-escaped like record name columns (`\t`, `\n`, `\r`, `\\`)
 //! so hostile content cannot forge a line boundary.
+//!
+//! `SET explain on` opts the session into per-read provenance: after
+//! `BEGIN`, one `# explain {json}` status line per submitted read
+//! (schema `genasm-explain/v1`), interleaved with the record stream.
+//! Explaining is passive — the record lines stay byte-identical to a
+//! session without it.
+//!
+//! `STATS STREAM <ms>` turns the connection into a push feed: the
+//! server emits one `# stat-frame {json}` line (schema
+//! `genasm-stat-frame/v1` — uptime, sessions, the read-decision
+//! funnel, interval rates, per-backend latency quantiles, slowest
+//! reads) immediately and then every `<ms>` milliseconds until the
+//! client closes the connection or the server starts draining (the
+//! feed then ends with `# ok stream-end`). Records cannot follow —
+//! the stream replaces the session.
 
 use genasm_pipeline::{BackendKind, OutputFormat};
 
@@ -74,12 +91,17 @@ pub enum Verb {
     SetBackend(BackendKind),
     /// `SET format <fmt>`.
     SetFormat(OutputFormat),
+    /// `SET explain on|off`.
+    SetExplain(bool),
     /// `BEGIN` — records follow.
     Begin,
     /// `PING`.
     Ping,
     /// `STATS [JSON|PROM]`.
     Stats(StatsFormat),
+    /// `STATS STREAM <ms>` — push `# stat-frame` lines at this
+    /// interval until the client hangs up or the server drains.
+    StatsStream(u64),
     /// `SHUTDOWN` — drain and exit.
     Shutdown,
 }
@@ -95,9 +117,19 @@ pub fn parse_verb(line: &str) -> Result<Verb, String> {
             None => Verb::Stats(StatsFormat::Line),
             Some("JSON") => Verb::Stats(StatsFormat::Json),
             Some("PROM") => Verb::Stats(StatsFormat::Prom),
+            Some("STREAM") => {
+                let ms = it.next().ok_or("STATS STREAM needs an interval in ms")?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad STATS STREAM interval {ms:?}"))?;
+                if ms == 0 {
+                    return Err("STATS STREAM interval must be at least 1 ms".to_string());
+                }
+                Verb::StatsStream(ms)
+            }
             Some(other) => {
                 return Err(format!(
-                    "unknown STATS format {other:?}; valid formats are JSON, PROM"
+                    "unknown STATS format {other:?}; valid formats are JSON, PROM, STREAM <ms>"
                 ))
             }
         },
@@ -110,9 +142,19 @@ pub fn parse_verb(line: &str) -> Result<Verb, String> {
             match key {
                 "backend" => Verb::SetBackend(value.parse().map_err(|e| format!("{e}"))?),
                 "format" => Verb::SetFormat(value.parse().map_err(|e| format!("{e}"))?),
+                "explain" => match value {
+                    "on" => Verb::SetExplain(true),
+                    "off" => Verb::SetExplain(false),
+                    other => {
+                        return Err(format!(
+                            "bad explain value {other:?}; valid values are 'on', 'off'"
+                        ))
+                    }
+                },
                 other => {
                     return Err(format!(
-                        "unknown setting {other:?}; valid settings are 'backend', 'format'"
+                        "unknown setting {other:?}; valid settings are 'backend', 'format', \
+                         'explain'"
                     ))
                 }
             }
@@ -155,6 +197,18 @@ mod tests {
             parse_verb("SET format paf").unwrap(),
             Verb::SetFormat(OutputFormat::Paf)
         );
+        assert_eq!(
+            parse_verb("SET explain on").unwrap(),
+            Verb::SetExplain(true)
+        );
+        assert_eq!(
+            parse_verb("SET explain off").unwrap(),
+            Verb::SetExplain(false)
+        );
+        assert_eq!(
+            parse_verb("STATS STREAM 250").unwrap(),
+            Verb::StatsStream(250)
+        );
     }
 
     #[test]
@@ -167,9 +221,22 @@ mod tests {
         let e = parse_verb("SET format sam").unwrap_err();
         assert!(e.contains("'tsv'") && e.contains("'paf'"), "{e}");
         assert!(parse_verb("SET color blue").unwrap_err().contains("color"));
+        assert!(parse_verb("SET explain maybe")
+            .unwrap_err()
+            .contains("maybe"));
         assert!(parse_verb("BEGIN now").unwrap_err().contains("trailing"));
         assert!(parse_verb("STATS XML").unwrap_err().contains("XML"));
         assert!(parse_verb("STATS JSON extra")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_verb("STATS STREAM").unwrap_err().contains("interval"));
+        assert!(parse_verb("STATS STREAM fast")
+            .unwrap_err()
+            .contains("fast"));
+        assert!(parse_verb("STATS STREAM 0")
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_verb("STATS STREAM 100 extra")
             .unwrap_err()
             .contains("trailing"));
     }

@@ -78,6 +78,7 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
     let mut writer = BufWriter::new(conn);
     let mut backend = srv.default_backend;
     let mut format = srv.default_format;
+    let mut explain = false;
 
     writeln!(
         writer,
@@ -119,8 +120,16 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
                 format = fmt;
                 writeln!(writer, "# ok format {format}")?;
             }
+            Ok(Verb::SetExplain(on)) => {
+                explain = on;
+                writeln!(writer, "# ok explain {}", if on { "on" } else { "off" })?;
+            }
             Ok(Verb::Ping) => writeln!(writer, "# pong")?,
             Ok(Verb::Stats(fmt)) => write_stats(&mut writer, srv, fmt)?,
+            Ok(Verb::StatsStream(ms)) => {
+                stream_stats(&mut writer, srv, ms)?;
+                return Ok(ConnOutcome::Done);
+            }
             Ok(Verb::Shutdown) => {
                 writeln!(writer, "# ok draining")?;
                 writer.flush()?;
@@ -140,6 +149,9 @@ pub(crate) fn handle_conn(conn: Conn, srv: &ServerShared) -> io::Result<ConnOutc
             return Ok(ConnOutcome::Done);
         }
     };
+    if explain {
+        session.set_explain(true);
+    }
     writeln!(writer, "# ok begin backend={backend} format={format}")?;
     writer.flush()?;
 
@@ -261,6 +273,56 @@ fn write_stats(
     Ok(())
 }
 
+/// Serve a `STATS STREAM <ms>` push feed: one `# stat-frame {json}`
+/// line immediately, then one per interval, until the client hangs up
+/// (the write fails — possibly via the write timeout) or the server
+/// starts draining (the feed then ends with `# ok stream-end`).
+/// Interval rates are computed by diffing the service counters
+/// between frames, so the first frame reports zero rates. The sleep
+/// is chunked: a draining server reclaims this thread within ~50 ms
+/// no matter how long the requested interval is.
+fn stream_stats(
+    writer: &mut BufWriter<Conn>,
+    srv: &ServerShared,
+    interval_ms: u64,
+) -> io::Result<()> {
+    use std::time::Instant;
+    let interval = Duration::from_millis(interval_ms);
+    let mut last = srv.service.metrics();
+    let mut last_at = Instant::now();
+    let mut rates = (0.0f64, 0.0f64);
+    loop {
+        writeln!(
+            writer,
+            "# stat-frame {}",
+            srv.service.stat_frame_json(interval_ms, rates.0, rates.1)
+        )?;
+        writer.flush()?;
+        let deadline = Instant::now() + interval;
+        loop {
+            if srv.service.is_draining() {
+                writeln!(writer, "# ok stream-end")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            std::thread::sleep(left.min(Duration::from_millis(50)));
+        }
+        let now = Instant::now();
+        let m = srv.service.metrics();
+        let dt = now.duration_since(last_at).as_secs_f64().max(1e-9);
+        rates = (
+            m.reads_in.saturating_sub(last.reads_in) as f64 / dt,
+            m.records_out.saturating_sub(last.records_out) as f64 / dt,
+        );
+        last = m;
+        last_at = now;
+    }
+}
+
 /// Drain session events to the client until `End` (which always closes
 /// the response: any input error is written just before `# done`).
 /// With a heartbeat interval, quiet stretches emit `# hb` — doubling
@@ -299,6 +361,13 @@ fn drain_events(
             }
             SessionEvent::ReadFailed { read } => {
                 writeln!(writer, "{}", status_err_read(&read))?;
+                writer.flush()?;
+            }
+            SessionEvent::Explain(json) => {
+                // Provenance is opt-in (`SET explain on`); the JSON is
+                // a single line by construction, safe to frame as a
+                // status line.
+                writeln!(writer, "# explain {json}")?;
                 writer.flush()?;
             }
             SessionEvent::Overflow {

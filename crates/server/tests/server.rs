@@ -802,3 +802,146 @@ fn idle_verb_connection_gets_heartbeats_and_stays_usable() {
     server.request_shutdown();
     server.wait();
 }
+
+#[test]
+fn explain_sessions_stream_provenance_without_perturbing_records() {
+    let fx = Fixture::new(80_000);
+    let mut reads = fx.reads(4, 700, 21);
+    // An unmappable read: still explained, still counted in # done.
+    reads.push(("ghost21".to_string(), Seq::new()));
+    let expected = fx.expected(&reads, BackendKind::Cpu, OutputFormat::Tsv);
+    assert!(!expected.is_empty());
+
+    let server = fx.start_server(ServiceConfig::default());
+    let (plain, _) = run_client(server.endpoint(), &reads, &SubmitOptions::default());
+    assert_eq!(plain, expected, "baseline session diverged");
+
+    let mut out = Vec::new();
+    let mut status = Vec::new();
+    let report = submit(
+        server.endpoint(),
+        Some(Cursor::new(fastq_bytes(&reads))),
+        &SubmitOptions {
+            explain: true,
+            ..SubmitOptions::default()
+        },
+        &mut out,
+        &mut status,
+    )
+    .expect("submit failed");
+    let status = String::from_utf8(status).unwrap();
+    assert_eq!(report.errors, 0, "status:\n{status}");
+    assert_eq!(
+        String::from_utf8(out).unwrap(),
+        expected,
+        "explain changed the record bytes"
+    );
+    assert!(status.contains("# ok explain on"), "{status}");
+    assert_eq!(
+        report.explain.len(),
+        reads.len(),
+        "one explain line per read:\n{status}"
+    );
+    for line in &report.explain {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-explain/v1\""),
+            "{line}"
+        );
+    }
+    for (name, _) in &reads {
+        let needle = format!("\"read\":\"{name}\"");
+        assert_eq!(
+            report
+                .explain
+                .iter()
+                .filter(|l| l.contains(&needle))
+                .count(),
+            1,
+            "read {name} not explained exactly once"
+        );
+    }
+    assert!(
+        report
+            .explain
+            .iter()
+            .any(|l| l.contains("\"disposition\":\"unmapped:no_anchors\"")),
+        "ghost read's disposition missing"
+    );
+    assert!(status.contains("# done reads=5 mapped=4"), "{status}");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn stats_stream_pushes_parseable_frames_and_survives_unsubscribe() {
+    let fx = Fixture::new(60_000);
+    let server = fx.start_server(ServiceConfig::default());
+    // One completed session so the funnel has content to report.
+    let reads = fx.reads(3, 600, 22);
+    run_client(server.endpoint(), &reads, &SubmitOptions::default());
+
+    let mut frames = Vec::new();
+    let mut status = Vec::new();
+    let n = genasm_server::client::stream_stats(server.endpoint(), 20, 3, &mut frames, &mut status)
+        .expect("stream failed");
+    assert_eq!(n, 3, "status:\n{}", String::from_utf8_lossy(&status));
+    let text = String::from_utf8(frames).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"schema\":\"genasm-stat-frame/v1\""),
+            "{line}"
+        );
+        assert!(line.contains("\"funnel\":{\"reads_in\":3"), "{line}");
+        assert!(line.contains("\"interval_ms\":20"), "{line}");
+        assert!(line.contains("\"backends\":{"), "{line}");
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "{line}"
+        );
+    }
+
+    // Dropping the stream connection is the unsubscribe; the server
+    // must keep serving afterwards.
+    let mut status2 = Vec::new();
+    let report = submit(
+        server.endpoint(),
+        None::<Cursor<Vec<u8>>>,
+        &SubmitOptions {
+            ping: true,
+            ..SubmitOptions::default()
+        },
+        &mut std::io::sink(),
+        &mut status2,
+    )
+    .expect("ping after unsubscribe");
+    assert_eq!(report.errors, 0);
+    assert!(String::from_utf8(status2).unwrap().contains("# pong"));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn stats_stream_ends_politely_when_the_server_drains() {
+    let fx = Fixture::new(50_000);
+    let server = fx.start_server(ServiceConfig::default());
+    let endpoint = server.endpoint().clone();
+    let streamer = std::thread::spawn(move || {
+        let mut frames = Vec::new();
+        let mut status = Vec::new();
+        let n = genasm_server::client::stream_stats(&endpoint, 10, 0, &mut frames, &mut status)
+            .expect("stream failed");
+        (n, String::from_utf8(status).unwrap())
+    });
+    // Let at least one frame land, then drain under the streamer.
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    server.request_shutdown();
+    server.wait();
+    let (n, status) = streamer.join().unwrap();
+    assert!(n >= 1, "no frames before the drain");
+    assert!(status.contains("# ok stream-end"), "{status}");
+}

@@ -44,6 +44,7 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -58,12 +59,14 @@ impl Histogram {
         Histogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
     /// Record one observation (wait-free, relaxed).
     pub fn record(&self, value: u64) {
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -83,6 +86,7 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -97,6 +101,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observed values (may lag `buckets` under concurrency).
     pub sum: u64,
+    /// Exact largest observed value (quantiles are bucket upper
+    /// bounds, so without this the true outlier is rounded up to the
+    /// next power of two). 0 when empty.
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
@@ -146,24 +154,26 @@ impl HistogramSnapshot {
     pub fn monotonic_le(&self, later: &HistogramSnapshot) -> bool {
         self.count <= later.count
             && self.sum <= later.sum
+            && self.max <= later.max
             && self.buckets.iter().zip(&later.buckets).all(|(a, b)| a <= b)
             && self.buckets.len() == later.buckets.len()
     }
 
-    /// Compact JSON object: count, sum, mean, p50/p90/p99, and the
-    /// non-empty buckets as `[index, count]` pairs.
+    /// Compact JSON object: count, sum, mean, p50/p90/p99, exact max,
+    /// and the non-empty buckets as `[index, count]` pairs.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"buckets\":[",
             self.count,
             self.sum,
             self.mean(),
             self.p50(),
             self.p90(),
-            self.p99()
+            self.p99(),
+            self.max
         );
         let mut first = true;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -215,6 +225,7 @@ impl HistogramSnapshot {
         let _ = writeln!(out, "{name}_bucket{} {}", merge("+Inf"), self.count);
         let _ = writeln!(out, "{name}_sum{plain} {}", self.sum);
         let _ = writeln!(out, "{name}_count{plain} {}", self.count);
+        let _ = writeln!(out, "{name}_max{plain} {}", self.max);
     }
 }
 
@@ -250,6 +261,7 @@ mod tests {
         assert_eq!(s.p50(), 127);
         assert_eq!(s.p90(), 127);
         assert_eq!(s.p99(), 16383);
+        assert_eq!(s.max, 10_000, "max is exact, not a bucket bound");
         assert!((s.mean() - 1090.0).abs() < 1e-9);
     }
 
@@ -259,6 +271,7 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p50(), 0);
         assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
         assert_eq!(s.mean(), 0.0);
     }
 
@@ -283,6 +296,23 @@ mod tests {
         assert!(j.contains("\"count\":1"), "{j}");
         assert!(j.contains("[13,1]"), "{j}");
         assert!(j.contains("\"p50\":8191"), "{j}");
+        assert!(j.contains("\"max\":4096"), "{j}");
+    }
+
+    #[test]
+    fn max_is_exact_and_monotonic() {
+        let h = Histogram::new();
+        h.record(700);
+        h.record(300);
+        let a = h.snapshot();
+        assert_eq!(a.max, 700);
+        assert_eq!(a.p99(), 1023, "quantile rounds up; max must not");
+        h.record(5);
+        let b = h.snapshot();
+        assert_eq!(b.max, 700, "smaller observations leave max alone");
+        assert!(a.monotonic_le(&b));
+        h.record(9_999);
+        assert_eq!(h.snapshot().max, 9_999);
     }
 
     #[test]
@@ -298,6 +328,7 @@ mod tests {
         assert!(out.contains("x_ns_bucket{le=\"+Inf\"} 2"), "{out}");
         assert!(out.contains("x_ns_sum 4"), "{out}");
         assert!(out.contains("x_ns_count 2"), "{out}");
+        assert!(out.contains("x_ns_max 3"), "{out}");
         let mut lab = String::new();
         h.snapshot()
             .write_prometheus(&mut lab, "x_ns", "backend=\"cpu\"");
@@ -306,5 +337,6 @@ mod tests {
             "{lab}"
         );
         assert!(lab.contains("x_ns_count{backend=\"cpu\"} 2"), "{lab}");
+        assert!(lab.contains("x_ns_max{backend=\"cpu\"} 3"), "{lab}");
     }
 }

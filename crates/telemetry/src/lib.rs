@@ -32,8 +32,10 @@
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod slow;
 pub mod trace;
 
 pub use hist::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Counter, Gauge, MetricValue, Registry, Snapshot, SnapshotEntry};
+pub use slow::{SlowRead, SlowReads};
 pub use trace::{TraceArg, TraceRecorder};

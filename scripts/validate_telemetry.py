@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate genasm telemetry output in CI (stdlib only).
 
-Three modes, one per exposition surface:
+Five modes, one per exposition surface:
 
 * ``trace FILE`` — a ``--trace`` Chrome trace-event JSON file. Must be
   a well-formed JSON array of event objects: complete spans (``"ph":
@@ -21,6 +21,19 @@ Three modes, one per exposition surface:
   and a full pipeline metrics object (validated as above, except the
   read-count check — a live server may be mid-stream).
 
+* ``explain FILE`` — a ``--explain`` JSONL stream: every line is one
+  ``genasm-explain/v1`` object with the full funnel/task key set, a
+  disposition from the closed taxonomy, and internally consistent
+  rescue accounting (``rescued_tasks`` matches the per-task flags; a
+  ``rescued`` disposition has at least one rescued task; unmapped
+  reads carry zero candidates and no tasks).
+
+* ``stat-frames FILE`` — the stdout of ``genasm ctl top``: every line
+  is one ``genasm-stat-frame/v1`` object whose funnel stages are
+  monotone (``reads_in >= anchored >= chained >= candidates``) and
+  account for no more reads than entered, with uptime and counters
+  non-decreasing across frames.
+
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
 """
 
@@ -36,9 +49,13 @@ def fail(msg):
 
 
 def check_histogram(h, where):
-    for key in ("count", "sum", "p50", "p90", "p99", "buckets"):
+    for key in ("count", "sum", "max", "p50", "p90", "p99", "buckets"):
         if key not in h:
             fail(f"{where}: histogram missing {key!r}")
+    if h["max"] < 0:
+        fail(f"{where}: negative max {h['max']}")
+    if h["count"] == 0 and h["max"] != 0:
+        fail(f"{where}: empty histogram reports max {h['max']}")
     bucket_total = sum(c for _, c in h["buckets"])
     if bucket_total != h["count"]:
         fail(
@@ -52,12 +69,36 @@ def check_histogram(h, where):
         )
 
 
+def check_funnel(f, where, at_rest):
+    for key in ("reads_in", "anchored", "chained", "candidates", "aligned",
+                "rescued", "failed", "unmapped"):
+        if key not in f:
+            fail(f"{where}: funnel missing {key!r}")
+    for key in ("no_anchors", "no_chain", "no_candidates"):
+        if key not in f["unmapped"]:
+            fail(f"{where}: funnel.unmapped missing {key!r}")
+    if not f["reads_in"] >= f["anchored"] >= f["chained"] >= f["candidates"]:
+        fail(f"{where}: funnel stages not monotone: {f}")
+    accounted = f["aligned"] + f["failed"] + sum(f["unmapped"].values())
+    if at_rest and accounted != f["reads_in"]:
+        fail(
+            f"{where}: funnel does not partition reads_in: "
+            f"{accounted} accounted of {f['reads_in']}"
+        )
+    if accounted > f["reads_in"]:
+        fail(f"{where}: funnel accounts for more reads than entered: {f}")
+    if f["rescued"] > f["aligned"]:
+        fail(f"{where}: rescued {f['rescued']} exceeds aligned {f['aligned']}")
+
+
 def check_pipeline_metrics(m, require_read_count=True):
     if m.get("schema") != "genasm-pipeline-metrics/v1":
         fail(f"unexpected metrics schema {m.get('schema')!r}")
-    for key in ("reads_in", "records_out", "latency", "backends", "busy_ns"):
+    for key in ("reads_in", "records_out", "latency", "backends", "funnel",
+                "slow_reads", "busy_ns"):
         if key not in m:
             fail(f"metrics object missing {key!r}")
+    check_funnel(m["funnel"], "pipeline", at_rest=require_read_count)
     lat = m["latency"]
     for key in ("read", "task_queue_wait", "batch_build", "reorder_wait"):
         if key not in lat:
@@ -144,15 +185,100 @@ def mode_stats_json(path):
     )
 
 
+DISPOSITIONS = {"aligned", "rescued", "failed:no_alignment",
+                "unmapped:no_anchors", "unmapped:no_chain",
+                "unmapped:no_candidates"}
+
+
+def json_lines(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [ln.strip() for ln in fh if ln.strip()]
+    if not lines:
+        fail("file has no non-empty lines")
+    return [json.loads(ln) for ln in lines]
+
+
+def mode_explain(path):
+    recs = json_lines(path)
+    for i, r in enumerate(recs):
+        where = f"explain line {i}"
+        if r.get("schema") != "genasm-explain/v1":
+            fail(f"{where}: unexpected schema {r.get('schema')!r}")
+        for key in ("read", "disposition", "anchors", "chains", "candidates",
+                    "rescued_tasks", "map_ns", "align_ns", "tasks"):
+            if key not in r:
+                fail(f"{where}: missing {key!r}")
+        disp = r["disposition"]
+        if disp not in DISPOSITIONS:
+            fail(f"{where}: disposition {disp!r} outside the closed taxonomy")
+        rescued = sum(1 for t in r["tasks"] if t.get("rescued"))
+        if rescued != r["rescued_tasks"]:
+            fail(
+                f"{where}: rescued_tasks {r['rescued_tasks']} but "
+                f"{rescued} tasks carry the flag"
+            )
+        if disp == "rescued" and rescued == 0:
+            fail(f"{where}: rescued disposition with no rescued task")
+        if disp.startswith("unmapped:") and (r["candidates"] or r["tasks"]):
+            fail(f"{where}: unmapped read carries candidates/tasks")
+        for t in r["tasks"]:
+            for key in ("hint", "edits", "rescued"):
+                if key not in t:
+                    fail(f"{where}: task missing {key!r}")
+    by_disp = {}
+    for r in recs:
+        by_disp[r["disposition"]] = by_disp.get(r["disposition"], 0) + 1
+    print(f"validate-telemetry: explain OK: {len(recs)} reads, {by_disp}")
+
+
+def mode_stat_frames(path):
+    frames = json_lines(path)
+    prev_uptime, prev_reads = -1, -1
+    for i, f in enumerate(frames):
+        where = f"stat frame {i}"
+        if f.get("schema") != "genasm-stat-frame/v1":
+            fail(f"{where}: unexpected schema {f.get('schema')!r}")
+        for key in ("uptime_ms", "interval_ms", "sessions", "records_out",
+                    "funnel", "rates", "backends", "buffered_out_bytes",
+                    "slowest"):
+            if key not in f:
+                fail(f"{where}: missing {key!r}")
+        for key in ("reads_per_sec", "records_per_sec"):
+            if key not in f["rates"]:
+                fail(f"{where}: rates missing {key!r}")
+        # A live frame may catch reads mid-flight, so the funnel need
+        # not partition reads_in exactly — but it must stay monotone
+        # and never over-account.
+        check_funnel(f["funnel"], where, at_rest=False)
+        if f["uptime_ms"] < prev_uptime:
+            fail(f"{where}: uptime went backwards")
+        if f["funnel"]["reads_in"] < prev_reads:
+            fail(f"{where}: reads_in went backwards")
+        prev_uptime, prev_reads = f["uptime_ms"], f["funnel"]["reads_in"]
+    last = frames[-1]
+    print(
+        f"validate-telemetry: stat-frames OK: {len(frames)} frames, "
+        f"{last['funnel']['reads_in']} reads in, "
+        f"{last['records_out']} records out"
+    )
+
+
+MODES = {
+    "trace": mode_trace,
+    "metrics": mode_metrics,
+    "stats-json": mode_stats_json,
+    "explain": mode_explain,
+    "stat-frames": mode_stat_frames,
+}
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("trace", "metrics", "stats-json"):
+    if len(sys.argv) != 3 or sys.argv[1] not in MODES:
         print(__doc__)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
     try:
-        {"trace": mode_trace, "metrics": mode_metrics, "stats-json": mode_stats_json}[
-            mode
-        ](path)
+        MODES[mode](path)
     except (OSError, ValueError) as e:
         fail(f"cannot read {path}: {e}")
     return 0
