@@ -32,9 +32,9 @@ use std::io::{BufReader, BufWriter, Write};
 
 use align_core::{Reference, Seq};
 use genasm_pipeline::{
-    disposition, AlignRecord, Backend, BackendKind, CpuBackend, EdlibBackend, ExplainRecord,
+    disposition, AlignRecord, Backend, BackendChoice, CpuBackend, EdlibBackend, ExplainRecord,
     ExplainSink, Ksw2Backend, OutputFormat, PipelineConfig, PipelineMetrics, ReadInput,
-    ReadProvenance, ServiceConfig, TaskExplain, TraceRecorder,
+    ReadProvenance, RouterConfig, ServiceConfig, TaskExplain, TraceRecorder,
 };
 use genasm_server::client::SubmitOptions;
 use genasm_server::{Endpoint, Server, ServerConfig};
@@ -156,18 +156,19 @@ pub const USAGE: &str = "usage:
   genasm align    --ref FILE --reads FILE [--aligner genasm|genasm-base|edlib|ksw2] [--max-per-read N]
                   [--threads N] [--shards N] [--shard-overlap BASES] [--format tsv|paf]
                   [--explain FILE]
-  genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--batch-bases N]
+  genasm pipeline --ref FILE --reads FILE [--backend cpu|gpu-sim|edlib|ksw2|auto] [--batch-bases N]
                   [--queue-depth N] [--dispatchers N] [--max-per-read N] [--threads N]
                   [--shards N] [--shard-overlap BASES] [--format tsv|paf]
                   [--metrics on|json] [--trace FILE] [--explain FILE]
-  genasm serve    --ref FILE --listen ENDPOINT [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
+                  [--route-explore-every N] [--route-pinned on]
+  genasm serve    --ref FILE --listen ENDPOINT [--backend cpu|gpu-sim|edlib|ksw2|auto] [--format tsv|paf]
                   [--max-sessions N] [--linger-ms N] [--batch-bases N] [--queue-depth N]
                   [--dispatchers N] [--max-per-read N] [--threads N] [--shards N]
                   [--shard-overlap BASES] [--metrics on|json] [--trace FILE] [--explain FILE]
                   [--session-output-cap BYTES] [--overflow throttle|evict]
                   [--session-inflight-reads N] [--session-inflight-bases N]
-                  [--idle-timeout-ms N]
-  genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2] [--format tsv|paf]
+                  [--idle-timeout-ms N] [--route-explore-every N] [--route-pinned on]
+  genasm submit   --to ENDPOINT --reads FILE [--backend cpu|gpu-sim|edlib|ksw2|auto] [--format tsv|paf]
                   [--explain FILE]
   genasm ctl      ping|stats|stats-json|stats-prom|shutdown --to ENDPOINT
   genasm ctl      top --to ENDPOINT [--interval-ms N] [--frames N]
@@ -183,6 +184,10 @@ stderr; `--trace FILE` records a Chrome trace-event timeline (open in
 Perfetto or about://tracing). `--explain FILE` streams one
 genasm-explain/v1 JSON line per read (funnel counts, hint-vs-edits per
 candidate, final disposition) without changing record output.
+`--backend auto` routes each batch to cpu or gpu-sim from live latency
+metrics; output stays byte-identical to a fixed backend
+(`--route-pinned on` makes the routing trace itself deterministic,
+`--route-explore-every N` bounds how stale a backend's estimate may go).
 `ctl stats-json` / `ctl stats-prom` print a live server snapshot as
 JSON / Prometheus text on stdout; `ctl top` streams one
 genasm-stat-frame/v1 JSON object per line (every --interval-ms,
@@ -514,7 +519,8 @@ impl std::str::FromStr for AlignerKind {
 /// best-first records. This is the reference the streaming `pipeline`
 /// subcommand must match byte-for-byte.
 fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
-    let aligner: AlignerKind = flags.get("aligner").unwrap_or("genasm").parse()?;
+    let aligner_name = flags.get("aligner").unwrap_or("genasm");
+    let aligner: AlignerKind = aligner_name.parse()?;
     let format = output_format(flags)?;
     let params = candidate_params(flags)?;
     let (shards, shard_overlap) = shard_params(flags)?;
@@ -596,6 +602,8 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             x.emit(&ExplainRecord {
                 read: &r.name,
                 disposition: &disp,
+                // Unmapped reads never reach the aligner.
+                backend: (!task_detail[i].is_empty()).then_some(aligner_name),
                 provenance: ReadProvenance {
                     anchors: stats.anchors,
                     chains: stats.chains,
@@ -612,7 +620,7 @@ fn cmd_align(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// Streaming alignment through the bounded-queue pipeline.
 fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
-    let backend: BackendKind = flags
+    let backend: BackendChoice = flags
         .get("backend")
         .unwrap_or("cpu")
         .parse()
@@ -634,7 +642,6 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     configure_threads(flags)?;
     let reference = load_reference(flags.req("ref")?)?;
     let reads_path = flags.req("reads")?;
-    let backend = backend.create();
 
     let f = File::open(reads_path)
         .map_err(|e| CliError::runtime(format!("cannot open {reads_path}: {e}")))?;
@@ -645,9 +652,25 @@ fn cmd_pipeline(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
         })
     });
 
-    let metrics = genasm_pipeline::run_pipeline(stream, reference, backend.as_ref(), &cfg, |rec| {
-        writeln!(out, "{}", format.line(rec))
-    })
+    let metrics = match backend.fixed() {
+        Some(kind) => {
+            let backend = kind.create();
+            genasm_pipeline::run_pipeline(stream, reference, backend.as_ref(), &cfg, |rec| {
+                writeln!(out, "{}", format.line(rec))
+            })
+        }
+        // `--backend auto`: the router assigns each batch to cpu or
+        // gpu-sim from live metrics; output bytes are identical.
+        None => {
+            let router = RouterConfig {
+                explore_every: flags.num("route-explore-every", 16)?,
+                pinned: matches!(flags.get("route-pinned"), Some("on")),
+            };
+            genasm_pipeline::run_pipeline_auto(stream, reference, &cfg, router, |rec| {
+                writeln!(out, "{}", format.line(rec))
+            })
+        }
+    }
     .map_err(|e| CliError::runtime(e.to_string()))?;
 
     finish_trace(&trace)?;
@@ -664,7 +687,7 @@ fn endpoint_flag(flags: &Flags, name: &str) -> Result<Endpoint, CliError> {
 /// alignment server, and run until a client sends SHUTDOWN.
 fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
     let endpoint = endpoint_flag(flags, "listen")?;
-    let default_backend: BackendKind = flags
+    let default_backend: BackendChoice = flags
         .get("backend")
         .unwrap_or("cpu")
         .parse()
@@ -695,6 +718,10 @@ fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(CliError::usage)?,
         max_session_inflight_reads: flags.num("session-inflight-reads", 1024)?,
         max_session_inflight_bases: flags.num("session-inflight-bases", 0)?,
+        router: RouterConfig {
+            explore_every: flags.num("route-explore-every", 16)?,
+            pinned: matches!(flags.get("route-pinned"), Some("on")),
+        },
     };
     // 0 disables the idle timeout (and its heartbeats) entirely.
     let idle_timeout = match flags.num("idle-timeout-ms", 30_000u64)? {

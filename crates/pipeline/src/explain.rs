@@ -83,6 +83,11 @@ pub struct ExplainRecord<'a> {
     pub read: &'a str,
     /// Final disposition (see [`disposition`]).
     pub disposition: &'a str,
+    /// Name of the backend that aligned the read (`None` for reads
+    /// that never reached a backend — unmapped reads — or when the
+    /// caller does not track it). Under `--backend auto` this is the
+    /// router's pick, making routing visible per read.
+    pub backend: Option<&'a str>,
     /// Funnel counts and candidate-generation timing.
     pub provenance: ReadProvenance,
     /// Per-accepted-candidate hint/edits/rescue detail (empty for
@@ -97,12 +102,18 @@ impl ExplainRecord<'_> {
     /// The read's single `genasm-explain/v1` JSON line (no trailing
     /// newline).
     pub fn to_json(&self) -> String {
+        let backend = match self.backend {
+            Some(name) => format!("\"{}\"", json::escape(name)),
+            None => "null".to_string(),
+        };
         let mut s = format!(
             "{{\"schema\":\"genasm-explain/v1\",\"read\":\"{}\",\"disposition\":\"{}\",\
+             \"backend\":{},\
              \"anchors\":{},\"chains\":{},\"candidates\":{},\"rescued_tasks\":{},\
              \"map_ns\":{},\"align_ns\":{},\"tasks\":[",
             json::escape(self.read),
             json::escape(self.disposition),
+            backend,
             self.provenance.anchors,
             self.provenance.chains,
             self.provenance.candidates,
@@ -180,6 +191,7 @@ mod tests {
         let rec = ExplainRecord {
             read: "r\t1",
             disposition: disposition::RESCUED,
+            backend: Some("gpu-sim"),
             provenance: ReadProvenance {
                 anchors: 5,
                 chains: 2,
@@ -193,6 +205,7 @@ mod tests {
         assert!(j.starts_with("{\"schema\":\"genasm-explain/v1\""), "{j}");
         assert!(j.contains("\"read\":\"r\\t1\""), "{j}");
         assert!(j.contains("\"disposition\":\"rescued\""), "{j}");
+        assert!(j.contains("\"backend\":\"gpu-sim\""), "{j}");
         assert!(
             j.contains("\"anchors\":5,\"chains\":2,\"candidates\":3,\"rescued_tasks\":1"),
             "{j}"
@@ -236,6 +249,7 @@ mod tests {
         let rec = ExplainRecord {
             read: "a",
             disposition: disposition::ALIGNED,
+            backend: None,
             provenance: ReadProvenance::default(),
             tasks: &[],
             align_ns: 0,
@@ -245,6 +259,7 @@ mod tests {
         let bytes = shared.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"backend\":null"), "{text}");
         assert!(text.ends_with("\"tasks\":[]}\n"), "{text}");
     }
 }

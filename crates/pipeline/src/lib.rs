@@ -1,18 +1,28 @@
 //! # genasm-pipeline
 //!
-//! A streaming, multi-backend alignment pipeline:
+//! A streaming, multi-backend alignment pipeline with **one** stage
+//! core — the resident [`service::PipelineService`]:
 //!
 //! ```text
-//!  reads ──► candidate generation ──► batch scheduler ──► backend dispatch ──► ordered sink
-//!  (iter)    (sharded index fan-out     (1 thread)          (N threads,          (caller thread,
-//!             ┌► shard 0 ─┐                 │                pluggable Backend)   reorder buffer)
-//!             ├► shard …  ├─ merge)         ▼                    │
-//!             └► shard S ─┘            batch queue ────────► result queue
-//!                │                     (bounded,             (bounded,
-//!                ▼                      queue_depth)          queue_depth)
-//!            task queue
-//!           (bounded, weighted by bases)
+//!  session(s) ──► candidate generation ──► batch scheduler ──► router ──► dispatchers ──► ordered sink
+//!  (submit)       (sharded index fan-out    (one building      (auto:      (N threads,     (global reorder,
+//!                  ┌► shard 0 ─┐             batch per          metrics-    any Backend)    per-session rows)
+//!                  ├► shard …  ├─ merge)     backend choice)    driven          │
+//!                  └► shard S ─┘                 │              pick)      result queue
+//!                     │                          ▼                         (bounded)
+//!                 task queue                batch queue
+//!                (bounded, weighted          (bounded)
+//!                 by bases)
 //! ```
+//!
+//! [`run_pipeline`] — the one-shot batch entry point — is a thin
+//! wrapper that opens a single session on a private service and pumps
+//! the read iterator through it: the scheduler/dispatch/sink stages
+//! exist exactly once, in [`service`], so the one-shot path and the
+//! server share them *structurally* rather than by byte-equivalence
+//! testing. [`run_pipeline_auto`] is the same wrapper with
+//! [`BackendChoice::Auto`]: a [`route::Router`] assigns each batch to
+//! a backend from live metrics (see the module docs of [`route`]).
 //!
 //! The paper's evaluation drives GenASM as a one-shot batch: load every
 //! read, generate every candidate, align, print. This crate gives the
@@ -61,18 +71,18 @@ pub mod metrics;
 pub mod queue;
 pub mod record;
 pub mod reorder;
+pub mod route;
 pub mod service;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::Duration;
 
-use align_core::{Alignment, Reference, Seq};
-use mapper::{CandidateParams, ShardedIndex};
+use align_core::{AlignTask, Alignment, Reference, Seq};
+use mapper::CandidateParams;
 
 pub use backend::{
-    Backend, BackendError, BackendKind, CpuBackend, EdlibBackend, GpuSimBackend, Ksw2Backend,
-    ParseBackendError,
+    Backend, BackendChoice, BackendError, BackendKind, CpuBackend, EdlibBackend, GpuSimBackend,
+    Ksw2Backend, ParseBackendChoiceError, ParseBackendError,
 };
 pub use batcher::{Batch, BatchBuilder, TaskMeta};
 pub use explain::{disposition, ExplainRecord, ExplainSink, ReadProvenance, TaskExplain};
@@ -85,6 +95,7 @@ pub use metrics::{
 pub use queue::BoundedQueue;
 pub use record::{escape_name, unescape_name, AlignRecord, OutputFormat, ParseFormatError};
 pub use reorder::ReorderBuffer;
+pub use route::{Router, RouterConfig};
 pub use service::{
     AdmissionError, OverflowPolicy, PipelineService, RecvOutcome, ServiceConfig, Session,
     SessionEvent, SessionMetrics, SessionReceiver, SessionStat, SubmitError,
@@ -241,16 +252,31 @@ impl core::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-/// A completed batch travelling from dispatch to the sink. Sequences
-/// are already dropped; only metadata and alignments remain.
-struct DoneBatch {
-    seq: u64,
-    metas: Vec<TaskMeta>,
-    alignments: Vec<Option<Alignment>>,
-    completed_at: Instant,
+/// A caller-borrowed backend adapted into the service's owned-table
+/// shape: pure delegation to the wrapped `&dyn Backend`.
+struct BorrowedBackend(&'static dyn Backend);
+
+impl Backend for BorrowedBackend {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn align_batch(&self, tasks: &[AlignTask]) -> Result<Vec<Option<Alignment>>, BackendError> {
+        self.0.align_batch(tasks)
+    }
+
+    fn engine_stats(&self) -> Option<genasm_core::MemStats> {
+        self.0.engine_stats()
+    }
 }
 
 /// Run the pipeline to completion.
+///
+/// A thin wrapper over [`service::PipelineService`]: it starts a
+/// private single-session service around the caller's backend and
+/// pumps the read iterator through it, so the scheduler/dispatch/sink
+/// stages exist exactly once (in [`service`]) and the one-shot path is
+/// *structurally* identical to a server session over the same reads.
 ///
 /// `reads` is consumed incrementally — the whole read set is never
 /// materialized. The `reference` is consumed: the sharded index takes
@@ -259,8 +285,10 @@ struct DoneBatch {
 /// geometry for the whole run. Records are delivered to `on_record`
 /// in deterministic order (input read order; within a read, best
 /// alignment first — see [`AlignRecord::sort_key`]) and report contig
-/// names and contig-local coordinates. Returns the run's
-/// [`PipelineMetrics`].
+/// names and contig-local coordinates. The first failure (input error,
+/// poisoned batch, task with no alignment in budget, sink write error)
+/// aborts the run; the records already emitted are always whole reads
+/// in input order. Returns the run's [`PipelineMetrics`].
 pub fn run_pipeline<I, E, F>(
     reads: I,
     reference: Reference,
@@ -273,450 +301,184 @@ where
     E: core::fmt::Display,
     F: FnMut(&AlignRecord) -> std::io::Result<()>,
 {
-    let wall0 = Instant::now();
-    let index = ShardedIndex::build(reference, cfg.shards, cfg.shard_overlap);
-    let counters = StageCounters::default();
-    let trace = cfg.trace.as_deref();
-    if let Some(t) = trace {
-        trace_lanes(t, &[backend.name()]);
-    }
+    // SAFETY: lifetime-only widening of the borrow handed to the
+    // service's backend table. The service's stage threads are the
+    // only holders, and `run_oneshot` drops the service — whose Drop
+    // joins every stage thread — before returning, including on
+    // unwind, so the 'static promise never outlives the real borrow.
+    let backend: &'static dyn Backend = unsafe { core::mem::transmute(backend) };
+    // The kind is a routing tag for the single-entry table; the
+    // session is fixed to it, so it never reaches the auto router.
+    let table: Vec<(BackendKind, Box<dyn Backend>)> =
+        vec![(BackendKind::Cpu, Box::new(BorrowedBackend(backend)))];
+    run_oneshot(
+        reads,
+        reference,
+        table,
+        BackendKind::Cpu.into(),
+        cfg,
+        RouterConfig::default(),
+        &mut on_record,
+    )
+}
 
-    let task_q: BoundedQueue<(align_core::AlignTask, TaskMeta)> =
-        BoundedQueue::new(cfg.queue_depth.max(1) * cfg.batch_bases.max(1));
-    let batch_q: BoundedQueue<Batch> = BoundedQueue::new(cfg.queue_depth.max(1));
-    let result_q: BoundedQueue<DoneBatch> = BoundedQueue::new(cfg.queue_depth.max(1));
+/// [`run_pipeline`] under adaptive routing: a one-shot run whose
+/// session is [`BackendChoice::Auto`], so each dispatched batch is
+/// assigned to `cpu` or `gpu-sim` by the metrics-driven
+/// [`route::Router`]. Output is byte-identical to a fixed-backend run
+/// over the same reads — the two engines are bit-identical
+/// implementations of the improved GenASM algorithm, and the ordered
+/// sink restores submission order across them — while the routing
+/// itself surfaces in the returned metrics (`router_batches`,
+/// `genasm_router_batches_total{backend=…}`) and per-read `--explain`
+/// lines.
+pub fn run_pipeline_auto<I, E, F>(
+    reads: I,
+    reference: Reference,
+    cfg: &PipelineConfig,
+    router: RouterConfig,
+    mut on_record: F,
+) -> Result<PipelineMetrics, PipelineError>
+where
+    I: Iterator<Item = Result<ReadInput, E>> + Send,
+    E: core::fmt::Display,
+    F: FnMut(&AlignRecord) -> std::io::Result<()>,
+{
+    let table: Vec<(BackendKind, Box<dyn Backend>)> = vec![
+        (BackendKind::Cpu, BackendKind::Cpu.create()),
+        (BackendKind::GpuSim, BackendKind::GpuSim.create()),
+    ];
+    run_oneshot(
+        reads,
+        reference,
+        table,
+        BackendChoice::Auto,
+        cfg,
+        router,
+        &mut on_record,
+    )
+}
 
-    let error: Mutex<Option<PipelineError>> = Mutex::new(None);
-    // First error wins; closing every queue unblocks all stages so the
-    // scope can join without deadlocking.
-    let abort = |e: PipelineError| {
-        let mut slot = error.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-        drop(slot);
-        task_q.close();
-        batch_q.close();
-        result_q.close();
+/// The shared one-shot pump: private service, one session, stream the
+/// reads in, stream the rows out, abort on the first failure.
+fn run_oneshot<I, E, F>(
+    reads: I,
+    reference: Reference,
+    backends: Vec<(BackendKind, Box<dyn Backend>)>,
+    choice: BackendChoice,
+    cfg: &PipelineConfig,
+    router: RouterConfig,
+    on_record: &mut F,
+) -> Result<PipelineMetrics, PipelineError>
+where
+    I: Iterator<Item = Result<ReadInput, E>>,
+    E: core::fmt::Display,
+    F: FnMut(&AlignRecord) -> std::io::Result<()>,
+{
+    let svc_cfg = ServiceConfig {
+        pipeline: cfg.clone(),
+        max_sessions: 1,
+        // One-shot batch geometry: a building batch flushes only when
+        // it reaches its target — or at end of input, when shutdown
+        // closes the task queue — exactly like the historical inline
+        // scheduler. The linger is set far past any run length so the
+        // age flush can never fire mid-run.
+        linger: Duration::from_secs(3600),
+        // The caps exist for multi-tenant fairness; a one-shot run is
+        // its own only tenant, and its memory is already bounded by
+        // the stage queues.
+        max_session_output_bytes: 0,
+        overflow: OverflowPolicy::Throttle,
+        max_session_inflight_reads: 0,
+        max_session_inflight_bases: 0,
+        router,
     };
-
-    let dispatchers = cfg.dispatchers.max(1);
-    let live_dispatchers = AtomicUsize::new(dispatchers);
-    let mut sink_result: Result<(), PipelineError> = Ok(());
-
-    std::thread::scope(|scope| {
-        // Stage 1: read + candidate generation.
-        scope.spawn(|| {
-            let mut reads = reads;
-            let mut read_seq: u64 = 0;
-            loop {
-                let t0 = Instant::now();
-                let item = match reads.next() {
-                    None => break,
-                    Some(Err(e)) => {
-                        abort(PipelineError::Input(e.to_string()));
-                        return;
-                    }
-                    Some(Ok(r)) => r,
-                };
-                counters.reads_in.inc();
-                let (tasks, map_stats) =
-                    index.candidates_for_read_stats(read_seq as u32, &item.seq, &cfg.params);
-                let map_ns = t0.elapsed();
-                StageCounters::add_ns(&counters.mapper_ns, map_ns);
-                if let Some(t) = trace {
-                    t.span(
-                        "map",
-                        "pipeline",
-                        tids::INGEST,
-                        t0,
-                        map_ns,
-                        &[
-                            ("read", item.name.as_str().into()),
-                            ("tasks", tasks.len().into()),
-                        ],
-                    );
-                }
-                let provenance = Arc::new(ReadProvenance {
-                    anchors: map_stats.anchors,
-                    chains: map_stats.chains,
-                    candidates: map_stats.candidates,
-                    map_ns: map_ns.as_nanos() as u64,
-                });
-                if let Some(reason) = counters.note_funnel(&map_stats) {
-                    // Zero-candidate reads end here: account for them
-                    // (satellite bugfix — they used to vanish from the
-                    // metrics entirely) and give them their explain
-                    // line and slow-ring observation.
-                    let disp = disposition::unmapped(reason);
-                    // An unmapped read's life ends at the mapper, so
-                    // its mapping time *is* its end-to-end latency —
-                    // recorded here to keep the one-sample-per-read
-                    // histogram invariant.
-                    counters.read_latency_ns.record(provenance.map_ns);
-                    counters
-                        .slow_reads
-                        .observe(&item.name, provenance.map_ns, &disp);
-                    if let Some(x) = &cfg.explain {
-                        x.emit(&ExplainRecord {
-                            read: &item.name,
-                            disposition: &disp,
-                            provenance: *provenance,
-                            tasks: &[],
-                            align_ns: 0,
-                        });
-                    }
-                    read_seq += 1;
-                    continue;
-                }
-                let read_tasks = tasks.len() as u32;
-                let qname: Arc<str> = Arc::from(item.name.as_str());
-                let qlen = item.seq.len();
-                for task in tasks {
-                    let bases = task.bases();
-                    let meta = TaskMeta {
-                        read_seq,
-                        session: 0,
-                        qname: Arc::clone(&qname),
-                        qlen,
-                        read_tasks,
-                        tname: index.contig_name_shared(task.contig),
-                        tsize: index.contig_len(task.contig),
-                        tstart: task.ref_pos,
-                        tlen: task.target.len(),
-                        reverse: task.reverse,
-                        max_edits: task.max_edits,
-                        provenance: Arc::clone(&provenance),
-                        submitted_at: t0,
-                        enqueued_at: Instant::now(),
-                    };
-                    counters.task_in(bases);
-                    counters.query_bases.add(task.query.len() as u64);
-                    if task_q.push((task, meta), bases).is_err() {
-                        return; // pipeline is aborting
-                    }
-                }
-                read_seq += 1;
+    let service = PipelineService::start_with_backends("", reference, svc_cfg, backends);
+    let (mut session, rx) = service
+        .open_session(choice)
+        .expect("a fresh service admits its first session");
+    let mut failure: Option<PipelineError> = None;
+    'ingest: for item in reads {
+        let read = match item {
+            Ok(read) => read,
+            Err(e) => {
+                failure = Some(PipelineError::Input(e.to_string()));
+                break 'ingest;
             }
-            task_q.close();
-        });
-
-        // Stage 2: batch scheduler (coalesce by total bases).
-        scope.spawn(|| {
-            let mut builder = BatchBuilder::new(cfg.batch_bases);
-            let dispatch = |batch: Batch| -> Result<(), ()> {
-                counters.batch_dispatched(batch.tasks.len(), batch.bases);
-                let build = batch.ready_at.duration_since(batch.build_started);
-                counters.batch_build_ns.record_duration(build);
-                if let Some(t) = trace {
-                    t.span(
-                        "batch-build",
-                        "pipeline",
-                        tids::SCHED,
-                        batch.build_started,
-                        build,
-                        &[
-                            ("batch", batch.seq.into()),
-                            ("tasks", batch.tasks.len().into()),
-                            ("bases", batch.bases.into()),
-                        ],
-                    );
-                }
-                batch_q.push(batch, 1).map_err(|_| ())
-            };
-            while let Some((task, meta)) = task_q.pop() {
-                let t0 = Instant::now();
-                counters
-                    .task_queue_wait_ns
-                    .record_duration(t0.duration_since(meta.enqueued_at));
-                let flushed = builder.push(task, meta);
-                StageCounters::add_ns(&counters.scheduler_ns, t0.elapsed());
-                if let Some(batch) = flushed {
-                    if dispatch(batch).is_err() {
-                        return; // pipeline is aborting
-                    }
-                }
-            }
-            if let Some(batch) = builder.take() {
-                if dispatch(batch).is_err() {
-                    return;
-                }
-            }
-            batch_q.close();
-        });
-
-        // Stage 3: backend dispatch.
-        for _ in 0..dispatchers {
-            scope.spawn(|| {
-                let lat = counters.backend_lat(backend.name());
-                while let Some(batch) = batch_q.pop() {
-                    let t0 = Instant::now();
-                    let queue_wait = t0.duration_since(batch.ready_at);
-                    lat.queue_wait_ns.record_duration(queue_wait);
-                    let alignments = match backend.align_batch(&batch.tasks) {
-                        Ok(a) => a,
-                        Err(e) => {
-                            abort(PipelineError::Backend(e));
-                            return;
-                        }
-                    };
-                    let execute = t0.elapsed();
-                    StageCounters::add_ns(&counters.backend_ns, execute);
-                    lat.execute_ns.record_duration(execute);
-                    lat.batches.inc();
-                    lat.tasks.add(batch.tasks.len() as u64);
-                    if let Some(t) = trace {
-                        let args = [
-                            ("batch", batch.seq.into()),
-                            ("tasks", batch.tasks.len().into()),
-                            ("bases", batch.bases.into()),
-                        ];
-                        t.span(
-                            "queue-wait",
-                            "pipeline",
-                            tids::BACKEND0,
-                            batch.ready_at,
-                            queue_wait,
-                            &args,
-                        );
-                        t.span("execute", "pipeline", tids::BACKEND0, t0, execute, &args);
-                    }
-                    let done = DoneBatch {
-                        seq: batch.seq,
-                        metas: batch.metas,
-                        alignments,
-                        completed_at: Instant::now(),
-                    };
-                    // Task sequences drop here; the sink only needs
-                    // metadata and CIGARs.
-                    if result_q.push(done, 1).is_err() {
-                        return;
-                    }
-                }
-                if live_dispatchers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    result_q.close();
-                }
-            });
+        };
+        if let Err(e) = session.submit(read) {
+            failure = Some(PipelineError::Input(e.to_string()));
+            break 'ingest;
         }
-
-        // Stage 4: ordered sink (this thread).
-        sink_result = sink_loop(
-            &result_q,
-            &counters,
-            &mut on_record,
-            &error,
-            trace,
-            cfg.explain.as_deref(),
-        );
-        if sink_result.is_err() {
-            // Unblock the upstream stages so the scope can join.
-            task_q.close();
-            batch_q.close();
-            result_q.close();
+        // Stream out whatever the sink has already delivered, so rows
+        // flow to the caller while ingest continues.
+        while let Some(event) = rx.try_recv() {
+            if let Err(e) = deliver(&service, event, on_record) {
+                failure = Some(e);
+                break 'ingest;
+            }
         }
-    });
-
-    if let Some(e) = error.into_inner().unwrap() {
+    }
+    if let Some(e) = failure {
+        // First failure aborts the run. Dropping the session halves
+        // and the service closes every queue and joins the stage
+        // threads, so what was emitted stays a whole-reads-in-input-
+        // order prefix.
+        drop(rx);
+        drop(session);
+        drop(service);
         return Err(e);
     }
-    sink_result?;
-
-    Ok(PipelineMetrics::snapshot(
-        &counters,
-        wall0.elapsed(),
-        index.metrics(),
-        QueueMetrics {
-            capacity: task_q.capacity(),
-            pushed: task_q.total_pushed(),
-            high_water: task_q.high_water(),
-        },
-        QueueMetrics {
-            capacity: batch_q.capacity(),
-            pushed: batch_q.total_pushed(),
-            high_water: batch_q.high_water(),
-        },
-        QueueMetrics {
-            capacity: result_q.capacity(),
-            pushed: result_q.total_pushed(),
-            high_water: result_q.high_water(),
-        },
-        // Drained once, after every dispatcher has joined, so the
-        // snapshot sees the full run's engine instrumentation.
-        backend.engine_stats(),
-    ))
+    session.finish();
+    // Drain the stages first: shutdown closes the task queue (flushing
+    // the scheduler's partial batches) and joins the threads. The
+    // session channel is unbounded, so every event — `End` included —
+    // is waiting for the drain loop below; nothing can be lost.
+    let metrics = service.shutdown();
+    while let Some(event) = rx.recv() {
+        match deliver(&service, event, on_record) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => {
+                drop(rx);
+                drop(service);
+                return Err(e);
+            }
+        }
+    }
+    Ok(metrics)
 }
 
-/// Accumulates one read's rows until all its tasks have reported.
-struct ReadAcc {
-    read_seq: u64,
-    expected: u32,
-    rows: Vec<AlignRecord>,
-    /// Hint-vs-actual accounting per accepted candidate (explain and
-    /// rescue telemetry; parallel to `rows` in arrival order).
-    tasks: Vec<TaskExplain>,
-    qname: Arc<str>,
-    provenance: Arc<ReadProvenance>,
-    submitted_at: Instant,
-}
-
-fn sink_loop<F>(
-    result_q: &BoundedQueue<DoneBatch>,
-    counters: &StageCounters,
+/// Handle one session event in the one-shot pump. `Ok(true)` = the
+/// session ended.
+fn deliver<F>(
+    service: &PipelineService,
+    event: SessionEvent,
     on_record: &mut F,
-    error: &Mutex<Option<PipelineError>>,
-    trace: Option<&TraceRecorder>,
-    explain: Option<&ExplainSink>,
-) -> Result<(), PipelineError>
+) -> Result<bool, PipelineError>
 where
     F: FnMut(&AlignRecord) -> std::io::Result<()>,
 {
-    let mut reorder: ReorderBuffer<DoneBatch> = ReorderBuffer::new();
-    let mut acc: Option<ReadAcc> = None;
-
-    let mut emit =
-        |acc: &mut Option<ReadAcc>, counters: &StageCounters| -> Result<(), PipelineError> {
-            if let Some(mut group) = acc.take() {
-                debug_assert_eq!(
-                    group.rows.len(),
-                    group.expected as usize,
-                    "read {} flushed before all its tasks reported",
-                    group.read_seq
-                );
-                // cached_key: the CIGAR-string tiebreak is built once
-                // per row, not once per comparison.
-                group.rows.sort_by_cached_key(AlignRecord::sort_key);
-                for row in &group.rows {
-                    on_record(row).map_err(PipelineError::Sink)?;
-                    counters.records_out.inc();
-                }
-                let latency = group.submitted_at.elapsed();
-                counters.read_latency_ns.record_duration(latency);
-                counters.reads_aligned.inc();
-                let disp = if group.tasks.iter().any(|t| t.rescued) {
-                    counters.reads_rescued.inc();
-                    disposition::RESCUED
-                } else {
-                    disposition::ALIGNED
-                };
-                counters
-                    .slow_reads
-                    .observe(&group.qname, latency.as_nanos() as u64, disp);
-                if let Some(x) = explain {
-                    x.emit(&ExplainRecord {
-                        read: &group.qname,
-                        disposition: disp,
-                        provenance: *group.provenance,
-                        tasks: &group.tasks,
-                        align_ns: latency.as_nanos() as u64,
-                    });
-                }
-                if let Some(t) = trace {
-                    t.span(
-                        "read",
-                        "pipeline",
-                        tids::READS,
-                        group.submitted_at,
-                        latency,
-                        &[
-                            ("read", (&*group.qname).into()),
-                            ("records", group.rows.len().into()),
-                        ],
-                    );
-                }
+    match event {
+        SessionEvent::Rows(rows) => {
+            for row in &rows {
+                on_record(row).map_err(PipelineError::Sink)?;
             }
-            Ok(())
-        };
-
-    while let Some(done) = result_q.pop() {
-        for batch in reorder.push(done.seq, done) {
-            let t0 = Instant::now();
-            let batch_seq = batch.seq;
-            counters
-                .reorder_wait_ns
-                .record_duration(t0.duration_since(batch.completed_at));
-            for (meta, aln) in batch.metas.iter().zip(batch.alignments) {
-                counters.task_out(meta.qlen + meta.tlen);
-                let Some(aln) = aln else {
-                    let latency = meta.submitted_at.elapsed();
-                    counters.reads_failed.inc();
-                    counters.slow_reads.observe(
-                        &meta.qname,
-                        latency.as_nanos() as u64,
-                        disposition::FAILED_NO_ALIGNMENT,
-                    );
-                    if let Some(x) = explain {
-                        // The read's earlier tasks (if any finished)
-                        // are in the accumulator; report what we have.
-                        let done_tasks = match &acc {
-                            Some(a) if a.read_seq == meta.read_seq => a.tasks.as_slice(),
-                            _ => &[],
-                        };
-                        x.emit(&ExplainRecord {
-                            read: &meta.qname,
-                            disposition: disposition::FAILED_NO_ALIGNMENT,
-                            provenance: *meta.provenance,
-                            tasks: done_tasks,
-                            align_ns: latency.as_nanos() as u64,
-                        });
-                    }
-                    return Err(PipelineError::NoAlignment {
-                        read: meta.qname.to_string(),
-                    });
-                };
-                if acc.as_ref().is_some_and(|a| a.read_seq != meta.read_seq) {
-                    emit(&mut acc, counters)?;
-                }
-                let group = acc.get_or_insert_with(|| ReadAcc {
-                    read_seq: meta.read_seq,
-                    expected: meta.read_tasks,
-                    rows: Vec::with_capacity(meta.read_tasks as usize),
-                    tasks: Vec::with_capacity(meta.read_tasks as usize),
-                    qname: Arc::clone(&meta.qname),
-                    provenance: Arc::clone(&meta.provenance),
-                    submitted_at: meta.submitted_at,
-                });
-                let rescued = meta
-                    .max_edits
-                    .is_some_and(|k| aln.edit_distance > k as usize);
-                if rescued {
-                    counters.tasks_rescued.inc();
-                }
-                group.tasks.push(TaskExplain {
-                    hint: meta.max_edits,
-                    edits: aln.edit_distance as u64,
-                    rescued,
-                });
-                group.rows.push(AlignRecord::new(
-                    &meta.qname,
-                    meta.qlen,
-                    &meta.tname,
-                    meta.tsize,
-                    meta.tstart,
-                    meta.tlen,
-                    meta.reverse,
-                    &aln,
-                ));
-            }
-            StageCounters::add_ns(&counters.sink_ns, t0.elapsed());
-            if let Some(t) = trace {
-                t.span(
-                    "sink",
-                    "pipeline",
-                    tids::SINK,
-                    t0,
-                    t0.elapsed(),
-                    &[("batch", batch_seq.into())],
-                );
-            }
+            Ok(false)
         }
+        SessionEvent::ReadFailed { read } => {
+            // The service fails reads individually; the one-shot
+            // contract aborts on the first one, with the typed cause:
+            // a poisoned batch surfaces as the backend's own error, a
+            // task that exhausted its edit budget as `NoAlignment`.
+            Err(match service.last_backend_error_detail() {
+                Some(e) => PipelineError::Backend(e),
+                None => PipelineError::NoAlignment { read },
+            })
+        }
+        SessionEvent::End(_) => Ok(true),
+        // The output cap is disabled in the one-shot config, and
+        // explain lines already flow through the config's sink.
+        SessionEvent::Overflow { .. } | SessionEvent::Explain(_) => Ok(false),
     }
-    if error.lock().unwrap().is_some() {
-        // Aborting: the failed batch never arrives, so later batches
-        // may be stranded in the reorder buffer and the current read
-        // may be incomplete. Drop both rather than emitting a partial
-        // read; run_pipeline returns the recorded error.
-        return Ok(());
-    }
-    debug_assert!(reorder.is_empty(), "reorder buffer drained");
-    emit(&mut acc, counters)
 }

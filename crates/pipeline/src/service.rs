@@ -61,13 +61,14 @@ use align_core::{AlignTask, Alignment, Reference};
 use genasm_telemetry::TraceRecorder;
 use mapper::ShardedIndex;
 
-use crate::backend::{Backend, BackendKind};
+use crate::backend::{Backend, BackendChoice, BackendError, BackendKind};
 use crate::batcher::{Batch, BatchBuilder, TaskMeta};
 use crate::explain::{disposition, ExplainRecord, ReadProvenance, TaskExplain};
 use crate::metrics::{BackendLat, PipelineMetrics, QueueMetrics, StageCounters};
 use crate::queue::{BoundedQueue, PopTimeout};
 use crate::record::AlignRecord;
 use crate::reorder::ReorderBuffer;
+use crate::route::{Router, RouterConfig};
 use crate::{tids, trace_lanes, PipelineConfig, ReadInput};
 
 /// Tuning for the long-lived service.
@@ -104,6 +105,10 @@ pub struct ServiceConfig {
     /// [`ServiceConfig::max_session_inflight_reads`]. `0` means
     /// unlimited.
     pub max_session_inflight_bases: usize,
+    /// Tuning for the adaptive router behind
+    /// [`BackendChoice::Auto`] sessions (exploration floor, pinned
+    /// deterministic mode). Ignored by fixed-backend sessions.
+    pub router: RouterConfig,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +121,7 @@ impl Default for ServiceConfig {
             overflow: OverflowPolicy::Throttle,
             max_session_inflight_reads: 1024,
             max_session_inflight_bases: 0,
+            router: RouterConfig::default(),
         }
     }
 }
@@ -489,8 +495,9 @@ struct SessionState {
     tx: Sender<(SessionEvent, u64)>,
     /// Flow control shared with the session's submitter and receiver.
     gate: Arc<SessionGate>,
-    /// The backend this session dispatches to (status reporting).
-    backend: BackendKind,
+    /// The backend choice this session dispatches to (status
+    /// reporting).
+    backend: BackendChoice,
     /// When the session was admitted (session-span telemetry).
     opened_at: Instant,
     /// Mapped reads submitted (reads with ≥ 1 task).
@@ -511,8 +518,8 @@ struct SessionState {
 pub struct SessionStat {
     /// Service-assigned session id.
     pub id: u64,
-    /// The session's backend.
-    pub backend: BackendKind,
+    /// The session's backend choice (`auto` or a fixed kind).
+    pub backend: BackendChoice,
     /// Live counters (monotonic while the session is open).
     pub metrics: SessionMetrics,
     /// Output bytes buffered for this session's receiver right now.
@@ -532,6 +539,9 @@ struct SvcDone {
     seq: u64,
     metas: Vec<TaskMeta>,
     alignments: Vec<Option<Alignment>>,
+    /// Name of the backend that executed the batch (per-read
+    /// provenance; under `auto` routing this is the router's pick).
+    backend_name: &'static str,
     completed_at: Instant,
 }
 
@@ -542,16 +552,17 @@ struct Shared {
     index: ShardedIndex,
     cfg: ServiceConfig,
     backends: Vec<(BackendKind, Box<dyn Backend>)>,
-    task_q: BoundedQueue<(AlignTask, TaskMeta, BackendKind)>,
+    task_q: BoundedQueue<(AlignTask, TaskMeta, BackendChoice)>,
     batch_q: BoundedQueue<(Batch, BackendKind)>,
     result_q: BoundedQueue<SvcDone>,
     counters: StageCounters,
+    router: Router,
     ingest: Mutex<Ingest>,
     drained_cv: Condvar,
     sessions: Mutex<HashMap<u64, SessionState>>,
     live_dispatchers: AtomicU64,
     backend_errors: AtomicU64,
-    last_backend_error: Mutex<Option<String>>,
+    last_backend_error: Mutex<Option<BackendError>>,
     started: Instant,
 }
 
@@ -586,12 +597,42 @@ impl PipelineService {
     /// the index's shard-local slices — spawn the resident stages, and
     /// return the running service.
     pub fn start(ref_label: &str, reference: Reference, cfg: ServiceConfig) -> PipelineService {
-        let pcfg = &cfg.pipeline;
-        let index = ShardedIndex::build(reference, pcfg.shards, pcfg.shard_overlap);
         let backends: Vec<(BackendKind, Box<dyn Backend>)> = BackendKind::ALL
             .iter()
             .map(|&(kind, _)| (kind, kind.create()))
             .collect();
+        PipelineService::start_with_backends(ref_label, reference, cfg, backends)
+    }
+
+    /// [`PipelineService::start`] with an explicit backend table
+    /// (kind tag → implementation). Sessions can only pick backends
+    /// present in the table; the one-shot wrapper uses this to run
+    /// against a caller-borrowed backend. The `auto` router routes
+    /// over the table's bit-identical engines (`cpu`, `gpu-sim`), or
+    /// over the whole table when neither is present.
+    pub fn start_with_backends(
+        ref_label: &str,
+        reference: Reference,
+        cfg: ServiceConfig,
+        backends: Vec<(BackendKind, Box<dyn Backend>)>,
+    ) -> PipelineService {
+        assert!(!backends.is_empty(), "service needs at least one backend");
+        let pcfg = &cfg.pipeline;
+        let index = ShardedIndex::build(reference, pcfg.shards, pcfg.shard_overlap);
+        // `auto` may only route among backends that produce identical
+        // bytes for the same task — the improved-GenASM pair — so
+        // routing can never change output. A custom table without
+        // that pair degenerates to routing over whatever is there.
+        let mut auto_kinds: Vec<BackendKind> = backends
+            .iter()
+            .map(|(kind, _)| *kind)
+            .filter(|kind| matches!(kind, BackendKind::Cpu | BackendKind::GpuSim))
+            .collect();
+        if auto_kinds.is_empty() {
+            auto_kinds = backends.iter().map(|(kind, _)| *kind).collect();
+        }
+        let router = Router::new(auto_kinds, cfg.router);
+        let lane_names: Vec<&str> = backends.iter().map(|(_, b)| b.name()).collect();
         let shared = Arc::new(Shared {
             ref_label: ref_label.to_string(),
             index,
@@ -600,6 +641,7 @@ impl PipelineService {
             batch_q: BoundedQueue::new(pcfg.queue_depth.max(1)),
             result_q: BoundedQueue::new(pcfg.queue_depth.max(1)),
             counters: StageCounters::default(),
+            router,
             ingest: Mutex::new(Ingest {
                 next_read_seq: 0,
                 next_session: 0,
@@ -615,8 +657,7 @@ impl PipelineService {
             cfg,
         });
         if let Some(t) = shared.trace() {
-            let names: Vec<&str> = BackendKind::ALL.iter().map(|&(_, name)| name).collect();
-            trace_lanes(t, &names);
+            trace_lanes(t, &lane_names);
         }
 
         let mut handles = Vec::new();
@@ -668,6 +709,13 @@ impl PipelineService {
 
     /// The most recent backend error message, if any.
     pub fn last_backend_error(&self) -> Option<String> {
+        self.last_backend_error_detail().map(|e| e.to_string())
+    }
+
+    /// The most recent backend error with its structured detail
+    /// (backend name + reason) — what the one-shot wrapper needs to
+    /// reconstruct its typed abort error.
+    pub fn last_backend_error_detail(&self) -> Option<BackendError> {
         self.shared.last_backend_error.lock().unwrap().clone()
     }
 
@@ -686,8 +734,9 @@ impl PipelineService {
     /// another drains the receiver.
     pub fn open_session(
         &self,
-        backend: BackendKind,
+        backend: impl Into<BackendChoice>,
     ) -> Result<(Session, SessionReceiver), AdmissionError> {
+        let backend = backend.into();
         let id = {
             let mut ing = self.shared.ingest.lock().unwrap();
             if ing.draining {
@@ -958,7 +1007,7 @@ pub struct Session {
     shared: Arc<Shared>,
     gate: Arc<SessionGate>,
     id: u64,
-    backend: BackendKind,
+    backend: BackendChoice,
     local_reads: u64,
     closed: bool,
 }
@@ -969,8 +1018,8 @@ impl Session {
         self.id
     }
 
-    /// The backend this session's tasks are dispatched to.
-    pub fn backend(&self) -> BackendKind {
+    /// The backend choice this session's tasks are dispatched to.
+    pub fn backend(&self) -> BackendChoice {
         self.backend
     }
 
@@ -1046,6 +1095,7 @@ impl Session {
                 let rec = ExplainRecord {
                     read: &read.name,
                     disposition: &disp,
+                    backend: None,
                     provenance: *provenance,
                     tasks: &[],
                     align_ns: 0,
@@ -1173,6 +1223,12 @@ impl SessionReceiver {
         self.rx.recv().ok().map(|item| self.credit(item))
     }
 
+    /// Next event if one is already buffered; never blocks (`None`
+    /// both when the session is quiet and when it is over).
+    pub fn try_recv(&self) -> Option<SessionEvent> {
+        self.rx.try_recv().ok().map(|item| self.credit(item))
+    }
+
     /// Like [`SessionReceiver::recv`] with a deadline; `None` on
     /// timeout or service death.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<SessionEvent> {
@@ -1218,20 +1274,39 @@ pub enum RecvOutcome {
     Closed,
 }
 
-/// One per-backend building batch in the scheduler: the shared
+/// One per-choice building batch in the scheduler: the shared
 /// [`BatchBuilder`] accumulation rules plus an age stamp for the
-/// linger flush. Batch sequence numbers are assigned globally at
-/// dispatch so the sink's reorder buffer sees one ordered stream.
+/// linger flush. An `auto` session gets one slot of its own (keyed by
+/// [`BackendChoice::Auto`]) whose flushed batches are routed to a
+/// concrete backend at dispatch time, so a read's tasks still occupy
+/// one FIFO building batch and complete in submission order. Batch
+/// sequence numbers are assigned globally at dispatch so the sink's
+/// reorder buffer sees one ordered stream.
 struct Slot {
-    kind: BackendKind,
+    choice: BackendChoice,
     builder: BatchBuilder,
     /// When the oldest task of the building batch arrived.
     since: Instant,
 }
 
-/// Hand one finished batch to the dispatchers; false when the batch
-/// queue closed (service shutting down).
-fn dispatch_batch(sh: &Shared, kind: BackendKind, mut batch: Batch, next_seq: &mut u64) -> bool {
+/// Hand one finished batch to the dispatchers — resolving an `auto`
+/// batch to a concrete backend via the router first; false when the
+/// batch queue closed (service shutting down).
+fn dispatch_batch(
+    sh: &Shared,
+    choice: BackendChoice,
+    mut batch: Batch,
+    next_seq: &mut u64,
+) -> bool {
+    let kind = match choice.fixed() {
+        Some(kind) => kind,
+        None => sh.router.route(
+            &sh.counters,
+            batch.bases as u64,
+            batch.tasks.len() as u64,
+            sh.counters.max_task_bases.get(),
+        ),
+    };
     batch.seq = *next_seq;
     *next_seq += 1;
     sh.counters.batch_dispatched(batch.tasks.len(), batch.bases);
@@ -1263,16 +1338,16 @@ fn scheduler_loop(sh: &Shared) {
     let mut next_seq: u64 = 0;
     loop {
         match sh.task_q.pop_timeout(linger) {
-            PopTimeout::Item((task, meta, kind)) => {
+            PopTimeout::Item((task, meta, choice)) => {
                 let t0 = Instant::now();
                 sh.counters
                     .task_queue_wait_ns
                     .record_duration(t0.duration_since(meta.enqueued_at));
-                let idx = match slots.iter().position(|s| s.kind == kind) {
+                let idx = match slots.iter().position(|s| s.choice == choice) {
                     Some(i) => i,
                     None => {
                         slots.push(Slot {
-                            kind,
+                            choice,
                             builder: BatchBuilder::new(target),
                             since: Instant::now(),
                         });
@@ -1286,7 +1361,7 @@ fn scheduler_loop(sh: &Shared) {
                 let flushed = slot.builder.push(task, meta);
                 StageCounters::add_ns(&sh.counters.scheduler_ns, t0.elapsed());
                 if let Some(batch) = flushed {
-                    if !dispatch_batch(sh, kind, batch, &mut next_seq) {
+                    if !dispatch_batch(sh, choice, batch, &mut next_seq) {
                         return;
                     }
                 }
@@ -1302,7 +1377,7 @@ fn scheduler_loop(sh: &Shared) {
         for slot in &mut slots {
             if !slot.builder.is_empty() && slot.since.elapsed() >= linger {
                 if let Some(batch) = slot.builder.take() {
-                    if !dispatch_batch(sh, slot.kind, batch, &mut next_seq) {
+                    if !dispatch_batch(sh, slot.choice, batch, &mut next_seq) {
                         return;
                     }
                 }
@@ -1311,7 +1386,7 @@ fn scheduler_loop(sh: &Shared) {
     }
     for slot in &mut slots {
         if let Some(batch) = slot.builder.take() {
-            if !dispatch_batch(sh, slot.kind, batch, &mut next_seq) {
+            if !dispatch_batch(sh, slot.choice, batch, &mut next_seq) {
                 return;
             }
         }
@@ -1343,9 +1418,11 @@ fn dispatch_loop(sh: &Shared) {
             Ok(a) => a,
             Err(e) => {
                 // Poisoned batch: fail its reads individually, keep
-                // serving everyone else.
+                // serving everyone else. Stored before the results are
+                // pushed so a consumer that sees a failed read always
+                // finds the error that caused it.
                 sh.backend_errors.fetch_add(1, Ordering::Relaxed);
-                *sh.last_backend_error.lock().unwrap() = Some(e.to_string());
+                *sh.last_backend_error.lock().unwrap() = Some(e);
                 batch.tasks.iter().map(|_| None).collect()
             }
         };
@@ -1354,6 +1431,7 @@ fn dispatch_loop(sh: &Shared) {
         lat.execute_ns.record_duration(execute);
         lat.batches.inc();
         lat.tasks.add(batch.tasks.len() as u64);
+        lat.bases.add(batch.bases as u64);
         if let Some(t) = sh.trace() {
             let tid = sh.backend_tid(kind);
             let args = [
@@ -1375,6 +1453,7 @@ fn dispatch_loop(sh: &Shared) {
             seq: batch.seq,
             metas: batch.metas,
             alignments,
+            backend_name: backend.name(),
             completed_at: Instant::now(),
         };
         if sh.result_q.push(done, 1).is_err() {
@@ -1403,6 +1482,10 @@ struct ReadAcc {
     /// Task bases accumulated as the read's tasks arrive — the credit
     /// handed back to the session gate at completion.
     bases: u64,
+    /// Backend that executed the read's tasks (explain provenance).
+    /// When a read spans batches routed to different — bit-identical —
+    /// backends, the last batch wins.
+    backend: Option<&'static str>,
 }
 
 /// Deliver one completed read to its session and update completion
@@ -1430,6 +1513,7 @@ fn finalize_read(sh: &Shared, acc: ReadAcc) {
     let rec = ExplainRecord {
         read: &acc.qname,
         disposition: disp,
+        backend: acc.backend,
         provenance: *acc.provenance,
         tasks: &acc.tasks,
         align_ns: latency.as_nanos() as u64,
@@ -1540,6 +1624,7 @@ fn sink_loop(sh: &Shared) {
         for batch in reorder.push(done.seq, done) {
             let t0 = Instant::now();
             let batch_seq = batch.seq;
+            let backend_name = batch.backend_name;
             sh.counters
                 .reorder_wait_ns
                 .record_duration(t0.duration_since(batch.completed_at));
@@ -1556,8 +1641,10 @@ fn sink_loop(sh: &Shared) {
                     submitted_at: meta.submitted_at,
                     provenance: Arc::clone(&meta.provenance),
                     bases: 0,
+                    backend: None,
                 });
                 acc.bases += (meta.qlen + meta.tlen) as u64;
+                acc.backend = Some(backend_name);
                 match aln {
                     Some(aln) => {
                         let rescued = meta

@@ -11,13 +11,14 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::endpoint::{connect, Endpoint};
 use crate::protocol::{DONE_PREFIX, ERR_PREFIX, HB_LINE, STATUS_PREFIX};
-use genasm_pipeline::{BackendKind, OutputFormat};
+use genasm_pipeline::{BackendChoice, OutputFormat};
 
 /// What to ask of the server.
 #[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
     /// `SET backend …` before `BEGIN` (server default otherwise).
-    pub backend: Option<BackendKind>,
+    /// [`BackendChoice::Auto`] asks for the server's adaptive router.
+    pub backend: Option<BackendChoice>,
     /// `SET format …` before `BEGIN` (server default otherwise).
     pub format: Option<OutputFormat>,
     /// Send `PING` (liveness probe) in the preamble.
